@@ -1,0 +1,206 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] [-only table7,table10,table4,fig2,fig3,fig6,fig7,fig8,fig9,ablations,sweeps,response]
+//
+// With no -only flag every experiment runs (a few minutes at full scale;
+// seconds with -quick).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
+	only := flag.String("only", "", "comma-separated subset of experiments to run")
+	jsonOut := flag.String("json", "", "also write raw results as JSON to this file")
+	flag.Parse()
+
+	jsonBlob := map[string]any{}
+	defer func() {
+		if *jsonOut == "" || len(jsonBlob) == 0 {
+			return
+		}
+		data, err := json.MarshalIndent(jsonBlob, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: json:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[raw results written to %s]\n", *jsonOut)
+	}()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	ucfg := experiments.DefaultUniConfig()
+	mcfg := experiments.DefaultMPConfig()
+	if *quick {
+		ucfg = experiments.QuickUniConfig()
+		mcfg = experiments.QuickMPConfig()
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if sel("table4") {
+		r, err := experiments.Table4()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatTable4(r))
+		fmt.Println()
+	}
+
+	if sel("fig2") || sel("fig3") {
+		if sel("fig2") {
+			b, i, err := experiments.Figure2()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println("Figure 2: switch cost of a data miss with four active contexts")
+			fmt.Printf("(blocked pays %d switch slots, interleaved %d)\n\n",
+				b.Stats.Slots[core.SlotSwitch], i.Stats.Slots[core.SlotSwitch])
+			fmt.Print(experiments.FormatTimeline(b))
+			fmt.Print(experiments.FormatTimeline(i))
+			fmt.Println()
+		}
+		if sel("fig3") {
+			b, i, err := experiments.Figure3()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println("Figure 3: four example threads (A:2, B:3 with dependency, C:4, D:6 insns),")
+			fmt.Println("each ending in a cache miss")
+			fmt.Println()
+			fmt.Print(experiments.FormatTimeline(b))
+			fmt.Print(experiments.FormatTimeline(i))
+			fmt.Printf("\nblocked finishes in %d cycles, interleaved in %d\n\n", b.Cycles, i.Cycles)
+		}
+	}
+
+	var uni *experiments.UniResult
+	needUni := sel("table7") || sel("fig6") || sel("fig7")
+	if needUni {
+		start := time.Now()
+		r, err := experiments.RunUniprocessor(ucfg)
+		if err != nil {
+			fail(err)
+		}
+		uni = r
+		jsonBlob["workstation"] = r
+		fmt.Fprintf(os.Stderr, "[workstation evaluation: %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+	if sel("table7") {
+		fmt.Println(experiments.FormatTable7(uni))
+		fmt.Println()
+	}
+	if sel("fig6") {
+		fmt.Println(experiments.FormatFigure(uni, core.Blocked, 6))
+	}
+	if sel("fig7") {
+		fmt.Println(experiments.FormatFigure(uni, core.Interleaved, 7))
+	}
+
+	var mpr *experiments.MPResult
+	needMP := sel("table10") || sel("fig8") || sel("fig9")
+	if needMP {
+		start := time.Now()
+		r, err := experiments.RunMultiprocessor(mcfg)
+		if err != nil {
+			fail(err)
+		}
+		mpr = r
+		jsonBlob["multiprocessor"] = r
+		fmt.Fprintf(os.Stderr, "[multiprocessor evaluation: %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+	if sel("table10") {
+		fmt.Println(experiments.FormatTable10(mpr))
+		fmt.Println()
+	}
+	if sel("fig8") {
+		fmt.Println(experiments.FormatMPFigure(mpr, core.Blocked, 8))
+	}
+	if sel("fig9") {
+		fmt.Println(experiments.FormatMPFigure(mpr, core.Interleaved, 9))
+	}
+
+	if sel("ablations") {
+		start := time.Now()
+		r, err := experiments.RunAblations(ucfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "[ablations: %v]\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println(experiments.FormatAblations(r))
+	}
+
+	if sel("response") {
+		r, err := experiments.RunResponse(experiments.DefaultResponseConfig())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatResponse(r))
+		fmt.Println()
+	}
+
+	if sel("sweeps") {
+		start := time.Now()
+		if r, err := experiments.SwitchCostSweep(ucfg, "DC"); err != nil {
+			fail(err)
+		} else {
+			fmt.Println(experiments.FormatSweep(r))
+			fmt.Println()
+		}
+		if r, err := experiments.ContextCountSweep(ucfg, "DC"); err != nil {
+			fail(err)
+		} else {
+			fmt.Println(experiments.FormatSweep(r))
+			fmt.Println()
+		}
+		if r, err := experiments.MSHRSweep(ucfg, "DC"); err != nil {
+			fail(err)
+		} else {
+			fmt.Println(experiments.FormatSweep(r))
+			fmt.Println()
+		}
+		if r, err := experiments.RemoteLatencySweep(mcfg, "ocean"); err != nil {
+			fail(err)
+		} else {
+			fmt.Println(experiments.FormatSweep(r))
+			fmt.Println()
+		}
+		if r, err := experiments.IssueWidthSweep(ucfg, "R1"); err != nil {
+			fail(err)
+		} else {
+			fmt.Println(experiments.FormatSweep(r))
+			fmt.Println()
+		}
+		if r, err := experiments.RunPrefetchComparison(ucfg); err != nil {
+			fail(err)
+		} else {
+			fmt.Println(experiments.FormatPrefetchComparison(r))
+		}
+		fmt.Fprintf(os.Stderr, "[sweeps: %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,101 @@
+// Command mpsim runs one SPLASH-like application on the simulated
+// multiprocessor and prints its execution time and breakdown — the
+// building block of the paper's Table 10 and Figures 8-9.
+//
+// Usage:
+//
+//	mpsim -app mp3d -scheme interleaved -contexts 4 -procs 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/mp"
+	"repro/internal/prog"
+	"repro/internal/splash"
+	"repro/internal/stats"
+)
+
+func parseScheme(s string) (core.Scheme, error) {
+	for sc := core.Scheme(0); int(sc) < core.NumSchemes; sc++ {
+		if sc.String() == s {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func yieldFor(s core.Scheme) prog.YieldMode {
+	switch s {
+	case core.Blocked, core.BlockedFast:
+		return prog.YieldSwitch
+	case core.Interleaved:
+		return prog.YieldBackoff
+	default:
+		return prog.YieldNone
+	}
+}
+
+func main() {
+	appName := flag.String("app", "mp3d", "application (mp3d barnes water ocean locus pthor cholesky)")
+	scheme := flag.String("scheme", "interleaved", "context scheme")
+	contexts := flag.Int("contexts", 4, "hardware contexts per processor")
+	procs := flag.Int("procs", 8, "processors")
+	steps := flag.Int("steps", 0, "time steps (0 = app default)")
+	limit := flag.Int64("limit", 200_000_000, "cycle limit")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "mpsim:", err)
+		os.Exit(1)
+	}
+
+	sc, err := parseScheme(*scheme)
+	if err != nil {
+		die(err)
+	}
+	if sc == core.Single {
+		*contexts = 1
+	}
+	app, err := splash.Lookup(*appName)
+	if err != nil {
+		die(err)
+	}
+
+	cfg := mp.DefaultConfig(sc, *contexts)
+	cfg.Processors = *procs
+	cfg.LimitCycles = *limit
+	p := app.Build(splash.Options{
+		CodeBase:     0x0100_0000,
+		DataBase:     0x5000_0000,
+		Yield:        yieldFor(sc),
+		AutoTolerate: sc != core.Single,
+		NumThreads:   *procs * *contexts,
+		Steps:        *steps,
+	})
+	res, err := mp.Run(p, cfg)
+	if err != nil {
+		die(err)
+	}
+	if !res.Completed {
+		die(fmt.Errorf("%s did not complete within %d cycles", *appName, *limit))
+	}
+
+	fmt.Printf("%s: %d processors x %d context(s) (%d threads), scheme %v\n",
+		*appName, *procs, *contexts, res.Threads, sc)
+	fmt.Printf("execution time: %d cycles\n\n", res.Cycles)
+
+	bd := res.Stats.Breakdown()
+	t := stats.NewTable("category", "fraction")
+	t.AddRow("busy", stats.Pct(bd.Busy))
+	t.AddRow("instruction (short)", stats.Pct(bd.InstrShort))
+	t.AddRow("instruction (long)", stats.Pct(bd.InstrLong))
+	t.AddRow("memory", stats.Pct(bd.DataMem))
+	t.AddRow("synchronization", stats.Pct(bd.Sync))
+	t.AddRow("context switch", stats.Pct(bd.Switch))
+	t.AddRow("idle", stats.Pct(bd.Idle))
+	fmt.Println(t.String())
+}

@@ -1,0 +1,60 @@
+// Command pipeview renders the paper's Figure 2 and Figure 3 pipeline
+// timelines as text: one character per issue slot, naming the issuing
+// context or the kind of lost slot.
+//
+// Usage:
+//
+//	pipeview -figure 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	figure := flag.Int("figure", 3, "figure to render (2 or 3)")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "pipeview:", err)
+		os.Exit(1)
+	}
+
+	switch *figure {
+	case 2:
+		b, i, err := experiments.Figure2()
+		if err != nil {
+			die(err)
+		}
+		fmt.Println("Figure 2: cost of one data miss with four active contexts.")
+		fmt.Println("Letters name the issuing context; '*' marks context-switch overhead,")
+		fmt.Println("'m' memory wait, '.' pipeline stall.")
+		fmt.Println()
+		fmt.Print(experiments.FormatTimeline(b))
+		fmt.Println()
+		fmt.Print(experiments.FormatTimeline(i))
+		fmt.Printf("\nswitch overhead: blocked %d slots, interleaved %d slots (paper: 7 vs 2)\n",
+			b.Stats.Slots[core.SlotSwitch], i.Stats.Slots[core.SlotSwitch])
+	case 3:
+		b, i, err := experiments.Figure3()
+		if err != nil {
+			die(err)
+		}
+		fmt.Println("Figure 3: four threads — A: 2 insns; B: 3 insns with a two-cycle")
+		fmt.Println("dependency; C: 4 insns; D: 6 insns — each ending in a cache miss.")
+		fmt.Println()
+		fmt.Print(experiments.FormatTimeline(b))
+		fmt.Println()
+		fmt.Print(experiments.FormatTimeline(i))
+		fmt.Printf("\ncompletion: blocked %d cycles, interleaved %d cycles\n", b.Cycles, i.Cycles)
+		fmt.Printf("short pipeline-dependency stalls: blocked %d, interleaved %d (B's dependency hidden)\n",
+			b.Stats.Slots[core.SlotStallShort], i.Stats.Slots[core.SlotStallShort])
+	default:
+		die(fmt.Errorf("figure must be 2 or 3"))
+	}
+}

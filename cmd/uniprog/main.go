@@ -1,0 +1,101 @@
+// Command uniprog runs one multiprogrammed workstation workload under one
+// scheme/context configuration and prints the utilization breakdown — the
+// building block of the paper's Table 7 and Figures 6-7.
+//
+// Usage:
+//
+//	uniprog -workload DC -scheme interleaved -contexts 4
+//	uniprog -apps doduc,emit -scheme blocked -contexts 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/workstation"
+)
+
+func parseScheme(s string) (core.Scheme, error) {
+	for sc := core.Scheme(0); int(sc) < core.NumSchemes; sc++ {
+		if sc.String() == s {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q (single, blocked, blocked-fast, interleaved, fine-grained)", s)
+}
+
+func main() {
+	workload := flag.String("workload", "DC", "Table 5 workload (IC DC DT FP R0 R1 SP)")
+	appList := flag.String("apps", "", "comma-separated kernel names (overrides -workload)")
+	scheme := flag.String("scheme", "interleaved", "context scheme")
+	contexts := flag.Int("contexts", 4, "hardware contexts")
+	slice := flag.Int64("slice", 60_000, "scheduler time slice in cycles")
+	rotations := flag.Int("rotations", 2, "measured scheduler rotations")
+	flag.Parse()
+
+	sc, err := parseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uniprog:", err)
+		os.Exit(1)
+	}
+	if sc == core.Single {
+		*contexts = 1
+	}
+
+	var kernels []apps.Kernel
+	if *appList != "" {
+		for _, n := range strings.Split(*appList, ",") {
+			k, err := apps.Lookup(strings.TrimSpace(n))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "uniprog:", err)
+				os.Exit(1)
+			}
+			kernels = append(kernels, k)
+		}
+	} else {
+		kernels, err = experiments.ResolveWorkload(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uniprog:", err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := workstation.DefaultConfig(sc, *contexts)
+	cfg.OS.SliceCycles = *slice
+	cfg.MeasureRotations = *rotations
+	res, err := workstation.Run(kernels, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uniprog:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload: %d applications, scheme %v, %d context(s), %d cycles measured\n\n",
+		len(kernels), sc, *contexts, res.Stats.Cycles)
+	bd := res.Stats.Breakdown()
+	t := stats.NewTable("category", "fraction")
+	t.AddRow("busy", stats.Pct(bd.Busy+bd.Sync))
+	t.AddRow("instruction stall", stats.Pct(bd.InstrShort+bd.InstrLong))
+	t.AddRow("inst cache", stats.Pct(bd.InstCache))
+	t.AddRow("data cache/TLB", stats.Pct(bd.DataMem))
+	t.AddRow("context switch", stats.Pct(bd.Switch))
+	t.AddRow("idle", stats.Pct(bd.Idle))
+	fmt.Println(t.String())
+
+	fmt.Printf("\nprocessor busy fraction:       %.3f\n", res.Throughput)
+	fmt.Printf("fair-normalized throughput:    %.3f insts/cycle\n\n", res.FairThroughput)
+	at := stats.NewTable("application", "retired", "devoted cycles", "insts/devoted-cycle")
+	for _, a := range res.Apps {
+		eff := 0.0
+		if a.Devoted > 0 {
+			eff = float64(a.Retired) / float64(a.Devoted)
+		}
+		at.AddRow(a.Name, fmt.Sprint(a.Retired), fmt.Sprint(a.Devoted), fmt.Sprintf("%.3f", eff))
+	}
+	fmt.Println(at.String())
+}

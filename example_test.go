@@ -1,0 +1,72 @@
+package interleave_test
+
+import (
+	"fmt"
+
+	interleave "repro"
+)
+
+// ExampleMachine runs a small counting loop on a four-context interleaved
+// processor.
+func ExampleMachine() {
+	b := interleave.NewProgram("count", 0x1000, 0x100000, 1<<20)
+	b.Li(interleave.R1, 100)
+	b.Label("loop")
+	b.Addi(interleave.R1, interleave.R1, -1)
+	b.Bgtz(interleave.R1, "loop")
+	b.Halt()
+
+	m, err := interleave.NewMachine(interleave.DefaultConfig(interleave.Interleaved, 4))
+	if err != nil {
+		panic(err)
+	}
+	th := m.Load(0, b.MustBuild())
+	_, done := m.RunUntilHalted(1 << 20)
+	fmt.Println(done, th.IntReg(interleave.R1))
+	// Output: true 0
+}
+
+// ExampleAssemble builds the same loop from assembly text.
+func ExampleAssemble() {
+	p, err := interleave.Assemble("count", 0x1000, 0x100000, 1<<20, `
+		li r1, 100
+	loop:
+		addi r1, r1, -1
+		bgtz r1, loop
+		halt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	m, _ := interleave.NewMachine(interleave.DefaultConfig(interleave.Single, 1))
+	th := m.Load(0, p)
+	m.RunUntilHalted(1 << 20)
+	fmt.Println(th.IntReg(interleave.R1))
+	// Output: 0
+}
+
+// ExampleRunMultiprocessor runs an SPMD program where every thread
+// deposits its id into a private slot.
+func ExampleRunMultiprocessor() {
+	b := interleave.NewProgram("ids", 0x1000, 0x5000_0000, 1<<20)
+	out := b.Alloc(256, 64)
+	b.La(interleave.R8, out)
+	b.Sll(interleave.R9, interleave.TidReg, 2)
+	b.Add(interleave.R8, interleave.R8, interleave.R9)
+	b.Addi(interleave.R10, interleave.TidReg, 1)
+	b.Sw(interleave.R10, interleave.R8, 0)
+	b.Halt()
+
+	cfg := interleave.DefaultMPConfig(interleave.Interleaved, 2)
+	cfg.Processors = 2 // 4 threads
+	res, err := interleave.RunMultiprocessor(b.MustBuild(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	sum := uint32(0)
+	for i := uint32(0); i < 4; i++ {
+		sum += res.Mem.LoadW(0x5000_0000 + 4*i)
+	}
+	fmt.Println(res.Completed, sum)
+	// Output: true 10
+}

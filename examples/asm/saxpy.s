@@ -1,0 +1,37 @@
+# saxpy.s — y[i] = a*x[i] + y[i] over 512 doubles, written in the
+# simulated assembly language. Run with:
+#
+#   go run ./cmd/asmrun -scheme interleaved -contexts 2 -copies 2 examples/asm/saxpy.s
+#
+# With -copies 2 two threads split the vector by tid (r4) and thread
+# count (r5), the SPMD convention the multiprocessor runner uses.
+
+.alloc X 4096 64
+.alloc Y 4096 64
+.double X 1.5
+.double X+8 2.5
+.double Y 10.0
+
+	la   r8, X
+	la   r9, Y
+	li   r10, 512        # elements
+	divu r10, r10, r5    # elements per thread
+	mul  r11, r4, r10    # my start
+	sll  r11, r11, 3
+	add  r8, r8, r11
+	add  r9, r9, r11
+
+	li   r12, 3          # a = 3.0
+	mtc1 f1, r12
+
+loop:
+	fld  f2, 0(r8)       # x[i]
+	fld  f3, 0(r9)       # y[i]
+	fmul f4, f1, f2
+	fadd f4, f4, f3
+	fsd  f4, 0(r9)
+	addi r8, r8, 8
+	addi r9, r9, 8
+	addi r10, r10, -1
+	bgtz r10, loop
+	halt

@@ -1,0 +1,124 @@
+// Multiproc: write an SPMD program against the public API — a parallel
+// histogram with a lock-protected merge and a global barrier — and run it
+// on the 8-node directory-coherent multiprocessor under each scheme.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	interleave "repro"
+)
+
+const (
+	buckets  = 64
+	items    = 65536
+	dataBase = 0x5000_0000
+)
+
+// histogram builds the SPMD program: each thread classifies its slice of a
+// shared input array into a private histogram, then merges it into the
+// shared result under a lock and waits at a barrier.
+func histogram(yield interleave.YieldMode) *interleave.Program {
+	b := interleave.NewProgram("histogram", 0x1000, dataBase, 1<<24)
+	b.SetYield(yield)
+
+	input := b.Alloc(items*4, 64)
+	shared := b.Alloc(buckets*4, 64)
+	lock := b.AllocLock()
+	bar := b.AllocBarrier()
+	private := b.Alloc(64*buckets*4, 64) // per-thread scratch, by tid
+
+	for i := 0; i < items; i++ {
+		b.InitW(input+uint32(4*i), uint32(i*2654435761))
+	}
+
+	// R4 = tid, R5 = nthreads (set by the runner).
+	b.La(interleave.R6, bar)
+	b.Li(interleave.R7, 0)
+
+	// My private histogram base and input slice.
+	b.Li(interleave.R8, buckets*4)
+	b.Mul(interleave.R9, interleave.R4, interleave.R8)
+	b.La(interleave.R10, private)
+	b.Add(interleave.R10, interleave.R10, interleave.R9) // my histogram
+
+	b.Li(interleave.R11, items)
+	b.Divu(interleave.R11, interleave.R11, interleave.R5) // items per thread
+	b.Mul(interleave.R12, interleave.R4, interleave.R11)
+	b.Sll(interleave.R12, interleave.R12, 2)
+	b.La(interleave.R13, input)
+	b.Add(interleave.R13, interleave.R13, interleave.R12) // my slice
+
+	// Classify.
+	b.Label("classify")
+	b.Lw(interleave.R14, interleave.R13, 0)
+	b.Andi(interleave.R14, interleave.R14, buckets-1)
+	b.Sll(interleave.R14, interleave.R14, 2)
+	b.Add(interleave.R15, interleave.R10, interleave.R14)
+	b.Lw(interleave.R16, interleave.R15, 0)
+	b.Addi(interleave.R16, interleave.R16, 1)
+	b.Sw(interleave.R16, interleave.R15, 0)
+	b.Addi(interleave.R13, interleave.R13, 4)
+	b.Addi(interleave.R11, interleave.R11, -1)
+	b.Bgtz(interleave.R11, "classify")
+
+	// Merge into the shared histogram under the lock.
+	b.La(interleave.R17, lock)
+	b.LockAcquire(interleave.R17, interleave.R2)
+	b.La(interleave.R18, shared)
+	b.Li(interleave.R19, buckets)
+	b.Label("merge")
+	b.Lw(interleave.R20, interleave.R10, 0)
+	b.Lw(interleave.R21, interleave.R18, 0)
+	b.Add(interleave.R21, interleave.R21, interleave.R20)
+	b.Sw(interleave.R21, interleave.R18, 0)
+	b.Addi(interleave.R10, interleave.R10, 4)
+	b.Addi(interleave.R18, interleave.R18, 4)
+	b.Addi(interleave.R19, interleave.R19, -1)
+	b.Bgtz(interleave.R19, "merge")
+	b.LockRelease(interleave.R17)
+
+	b.Barrier(interleave.R6, interleave.R5, interleave.R7, interleave.R2, interleave.R3)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func main() {
+	fmt.Printf("Parallel histogram: %d items into %d buckets on 8 processors\n\n", items, buckets)
+
+	sharedBase := uint32(dataBase + items*4)
+	var total uint32
+	for _, cfg := range []struct {
+		s     interleave.Scheme
+		n     int
+		yield interleave.YieldMode
+	}{
+		{interleave.Single, 1, interleave.YieldNone},
+		{interleave.Blocked, 4, interleave.YieldSwitch},
+		{interleave.Interleaved, 4, interleave.YieldBackoff},
+	} {
+		mc := interleave.DefaultMPConfig(cfg.s, cfg.n)
+		res, err := interleave.RunMultiprocessor(histogram(cfg.yield), mc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Completed {
+			log.Fatalf("%v did not complete", cfg.s)
+		}
+		// Verify the histogram sums to the item count.
+		total = 0
+		for i := uint32(0); i < buckets; i++ {
+			total += res.Mem.LoadW(sharedBase + 4*i)
+		}
+		bd := res.Stats.Breakdown()
+		fmt.Printf("%-12v %d ctx: %7d cycles  (busy %4.1f%%, memory %4.1f%%, sync %4.1f%%)  checksum %d\n",
+			cfg.s, cfg.n, res.Cycles, 100*bd.Busy, 100*bd.DataMem, 100*bd.Sync, total)
+		if total != items {
+			log.Fatalf("histogram lost updates: %d != %d", total, items)
+		}
+	}
+	fmt.Println()
+	fmt.Println("All schemes produce the same histogram; the interleaved processor")
+	fmt.Println("overlaps the remote misses and lock waits at the lowest switch cost.")
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a small program with the public API and watch the
+// interleaved scheme hide a pointer-chasing loop's cache misses that stall
+// a single-context processor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	interleave "repro"
+)
+
+// chaser builds a program that walks a 1024-node linked list with a
+// 256 KB-spread layout (every hop misses the 64 KB L1) and then halts.
+func chaser(codeBase, dataBase uint32) *interleave.Program {
+	b := interleave.NewProgram("chaser", codeBase, dataBase, 1<<20)
+	const nodes = 1024
+	const stride = 256 // bytes between nodes: 8 pages apart per hop
+	heap := b.Alloc(nodes*stride, 64)
+	for i := 0; i < nodes; i++ {
+		next := uint32((i + 7) % nodes)
+		b.InitW(heap+uint32(i*stride), heap+next*stride)
+	}
+	b.La(interleave.R8, heap)
+	b.Li(interleave.R9, nodes)
+	b.Label("walk")
+	b.Lw(interleave.R8, interleave.R8, 0) // follow the pointer: misses
+	b.Addi(interleave.R9, interleave.R9, -1)
+	b.Bgtz(interleave.R9, "walk")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func run(scheme interleave.Scheme, contexts int) {
+	m, err := interleave.NewMachine(interleave.DefaultConfig(scheme, contexts))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One independent chaser per context, in separate address regions.
+	// The regions are staggered within the cache- and TLB-index range so
+	// the lists do not all alias to the same direct-mapped sets.
+	for c := 0; c < contexts; c++ {
+		m.Load(c, chaser(
+			0x10000+uint32(c)*0x100000+uint32(c)*0x4400,
+			0x4000_0000+uint32(c)*0x400_0000+uint32(c)*0x11400))
+	}
+	cycles, done := m.RunUntilHalted(10_000_000)
+	if !done {
+		log.Fatalf("%v/%d did not finish", scheme, contexts)
+	}
+	s := m.Stats()
+	perList := float64(cycles) / float64(contexts)
+	fmt.Printf("%-12v %d context(s): %7d cycles total, %7.0f cycles/list, busy %4.1f%%\n",
+		scheme, contexts, cycles, perList, 100*s.BusyFraction())
+}
+
+func main() {
+	fmt.Println("Walking pointer-chasing lists (every hop misses the primary cache):")
+	fmt.Println()
+	run(interleave.Single, 1)
+	run(interleave.Blocked, 4)
+	run(interleave.Interleaved, 4)
+	fmt.Println()
+	fmt.Println("The interleaved processor overlaps the four lists' misses with a")
+	fmt.Println("2-cycle switch cost instead of the blocked scheme's 7-cycle flush.")
+}

@@ -1,0 +1,54 @@
+// Workstation: run a custom multiprogrammed mix — a floating-point
+// background job, an interactive-style pointer chaser, and two
+// memory-bound kernels — across schemes and context counts, reproducing
+// the paper's workstation argument (§5.1) on a user-defined workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	interleave "repro"
+)
+
+func main() {
+	reg := interleave.Kernels()
+	mix := []interleave.Kernel{
+		reg["matrix300"], // FP background job
+		reg["li"],        // branchy, pointer-chasing foreground job
+		reg["cfft2d"],    // memory-bound
+		reg["vpenta"],    // TLB- and memory-bound
+	}
+
+	fmt.Println("Custom workload: matrix300 + li + cfft2d + vpenta")
+	fmt.Println()
+	fmt.Printf("%-14s %8s %10s %12s %10s\n",
+		"scheme", "contexts", "busy", "fair-thruput", "gain")
+
+	var base float64
+	for _, cfg := range []struct {
+		s interleave.Scheme
+		n int
+	}{
+		{interleave.Single, 1},
+		{interleave.Blocked, 2},
+		{interleave.Blocked, 4},
+		{interleave.Interleaved, 2},
+		{interleave.Interleaved, 4},
+	} {
+		wc := interleave.DefaultWorkstationConfig(cfg.s, cfg.n)
+		res, err := interleave.RunWorkstation(mix, wc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cfg.s == interleave.Single {
+			base = res.FairThroughput
+		}
+		fmt.Printf("%-14v %8d %9.1f%% %12.3f %9.2fx\n",
+			cfg.s, cfg.n, 100*res.Throughput, res.FairThroughput, res.FairThroughput/base)
+	}
+
+	fmt.Println()
+	fmt.Println("The interleaved scheme tolerates this mix's short L2-hit latencies;")
+	fmt.Println("the blocked scheme's 7-cycle flush consumes most of what it saves.")
+}

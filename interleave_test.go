@@ -1,0 +1,108 @@
+package interleave_test
+
+import (
+	"testing"
+
+	interleave "repro"
+)
+
+// TestPublicQuickstart exercises the doc-comment quickstart path.
+func TestPublicQuickstart(t *testing.T) {
+	b := interleave.NewProgram("count", 0x1000, 0x100000, 1<<20)
+	b.Li(interleave.R1, 1000)
+	b.Label("loop")
+	b.Addi(interleave.R1, interleave.R1, -1)
+	b.Bgtz(interleave.R1, "loop")
+	b.Halt()
+	p := b.MustBuild()
+
+	m, err := interleave.NewMachine(interleave.DefaultConfig(interleave.Interleaved, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := m.Load(0, p)
+	cycles, done := m.RunUntilHalted(1 << 20)
+	if !done {
+		t.Fatal("program did not halt")
+	}
+	if cycles < 2000 {
+		t.Errorf("suspiciously fast: %d cycles for 2000+ instructions", cycles)
+	}
+	if th.IntReg(interleave.R1) != 0 {
+		t.Errorf("R1 = %d, want 0", th.IntReg(interleave.R1))
+	}
+	if m.Stats().Retired < 2000 {
+		t.Errorf("retired = %d", m.Stats().Retired)
+	}
+}
+
+func TestPublicRegistries(t *testing.T) {
+	if len(interleave.Kernels()) != 12 {
+		t.Errorf("kernels = %d, want 12", len(interleave.Kernels()))
+	}
+	if len(interleave.Apps()) != 7 {
+		t.Errorf("apps = %d, want 7", len(interleave.Apps()))
+	}
+}
+
+func TestPublicWorkstation(t *testing.T) {
+	reg := interleave.Kernels()
+	mix := []interleave.Kernel{reg["emit"], reg["mxm"]}
+	cfg := interleave.DefaultWorkstationConfig(interleave.Interleaved, 2)
+	cfg.OS.SliceCycles = 5_000
+	res, err := interleave.RunWorkstation(mix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FairThroughput <= 0 {
+		t.Error("no throughput recorded")
+	}
+	if len(res.Apps) != 2 {
+		t.Errorf("apps = %d", len(res.Apps))
+	}
+}
+
+func TestPublicMultiprocessor(t *testing.T) {
+	apps := interleave.Apps()
+	p := apps["ocean"].Build(interleave.AppOptions{
+		CodeBase:   0x0100_0000,
+		DataBase:   0x5000_0000,
+		Yield:      interleave.YieldBackoff,
+		NumThreads: 8,
+		Steps:      1,
+	})
+	cfg := interleave.DefaultMPConfig(interleave.Interleaved, 2)
+	cfg.Processors = 4
+	res, err := interleave.RunMultiprocessor(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("ocean did not complete")
+	}
+	if res.Threads != 8 {
+		t.Errorf("threads = %d, want 8", res.Threads)
+	}
+}
+
+// TestTable7HeadlineShape verifies the paper's central claim end-to-end
+// through the public API on a reduced configuration: the interleaved
+// scheme outgains the blocked scheme on the workstation.
+func TestTable7HeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := interleave.DefaultUniConfig()
+	cfg.SliceCycles = 8_000
+	cfg.MeasureRotations = 1
+	cfg.Workloads = []string{"DC", "FP"}
+	r, err := interleave.RunTable7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4} {
+		if im, bm := r.MeanGain(interleave.Interleaved, n), r.MeanGain(interleave.Blocked, n); im <= bm {
+			t.Errorf("%d contexts: interleaved %.2f <= blocked %.2f", n, im, bm)
+		}
+	}
+}

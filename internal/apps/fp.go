@@ -1,0 +1,193 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// loadFPRegs fills F8..F23 from sixteen initialized doubles at base so FP
+// blocks never operate on zeros.
+func loadFPRegs(b *prog.Builder, baseReg isa.Reg) {
+	for i := 0; i < 16; i++ {
+		b.Fld(isa.F8+isa.Reg(i), baseReg, int32(8*i))
+	}
+}
+
+// Doduc models the SPEC89 Monte-Carlo reactor kernel: a very large live
+// code footprint (its defining property — it anchors the IC workload) of
+// floating-point phases with a steady diet of double-precision divides.
+func Doduc() Kernel {
+	return Kernel{Name: "doduc", Build: func(o Options) *prog.Program {
+		o = o.normalize()
+		b := newBuilder("doduc", o)
+		data := b.Alloc(512*8, 64)
+		initDoubles(b, data, 512)
+		rng := xorshift(0xD0D0C)
+
+		b.La(isa.R21, data)
+		loadFPRegs(b, isa.R21)
+		b.Label("forever")
+		for ph := 0; ph < 10; ph++ {
+			loop := fmt.Sprintf("doduc_p%d", ph)
+			b.Li(isa.R20, uint32(2*o.Scale))
+			b.Addi(isa.R22, isa.R21, int32(ph*256))
+			b.Label(loop)
+			fpBlock(b, &rng, isa.R22, 600, 40)
+			b.Addi(isa.R20, isa.R20, -1)
+			b.Bgtz(isa.R20, loop)
+		}
+		b.J("forever")
+		return b.MustBuild()
+	}}
+}
+
+// Emit models the NASA7 emission kernel: small, cache-resident data but a
+// high density of floating-point divides — the archetypal long-instruction-
+// latency program (FP workload).
+func Emit() Kernel {
+	return Kernel{Name: "emit", Build: func(o Options) *prog.Program {
+		o = o.normalize()
+		b := newBuilder("emit", o)
+		data := b.Alloc(256*8, 64)
+		initDoubles(b, data, 256)
+		rng := xorshift(0xE317)
+
+		b.La(isa.R21, data)
+		loadFPRegs(b, isa.R21)
+		b.Label("forever")
+		b.Li(isa.R20, uint32(16*o.Scale))
+		b.Label("emit_loop")
+		fpBlock(b, &rng, isa.R21, 120, 24) // a divide every 24 instructions
+		b.Addi(isa.R20, isa.R20, -1)
+		b.Bgtz(isa.R20, "emit_loop")
+		b.J("forever")
+		return b.MustBuild()
+	}}
+}
+
+// Cholsky models the NASA7 Cholesky factorization: triangular loop nest
+// over a 96x96 matrix with a square root and a column of divides per
+// pivot. Its row stride also crosses pages (DT workload member).
+func Cholsky() Kernel {
+	return Kernel{Name: "cholsky", Build: func(o Options) *prog.Program {
+		o = o.normalize()
+		const n = 96
+		const rowBytes = n * 8
+		b := newBuilder("cholsky", o)
+		a := b.Alloc(n*rowBytes, 64)
+		// Diagonally dominant initialization keeps pivots positive.
+		for i := 0; i < n; i++ {
+			b.InitF(a+uint32(i*rowBytes+i*8), float64(n))
+			b.InitF(a+uint32(i*rowBytes+((i+1)%n)*8), 0.5)
+		}
+
+		b.La(isa.R21, a)
+		b.Li(isa.R23, rowBytes)
+		b.Label("forever")
+		// for k in 0..n-1: pivot = sqrt(A[k][k]); scale column below;
+		// rank-1 update of the trailing row (bounded to keep the
+		// iteration near slice-sized).
+		b.Li(isa.R8, 0) // k
+		b.Label("chol_k")
+		// &A[k][k]
+		b.Mul(isa.R9, isa.R8, isa.R23)
+		b.Add(isa.R9, isa.R9, isa.R21)
+		b.Sll(isa.R10, isa.R8, 3)
+		b.Add(isa.R9, isa.R9, isa.R10)
+		b.Fld(isa.F1, isa.R9, 0)
+		b.FSqrt(isa.F2, isa.F1)
+		b.Fsd(isa.F2, isa.R9, 0)
+		// scale the rest of row k: A[k][j] /= pivot
+		b.Addi(isa.R11, isa.R8, 1) // j
+		b.Move(isa.R12, isa.R9)
+		b.Label("chol_scale")
+		b.Slti(isa.R13, isa.R11, n)
+		b.Beq(isa.R13, isa.R0, "chol_kend")
+		b.Addi(isa.R12, isa.R12, 8)
+		b.Fld(isa.F3, isa.R12, 0)
+		b.FDivD(isa.F4, isa.F3, isa.F2)
+		b.Fsd(isa.F4, isa.R12, 0)
+		// trailing update of A[j][j] -= A[k][j]^2 (representative touch)
+		b.Mul(isa.R14, isa.R11, isa.R23)
+		b.Add(isa.R14, isa.R14, isa.R21)
+		b.Sll(isa.R15, isa.R11, 3)
+		b.Add(isa.R14, isa.R14, isa.R15)
+		b.Fld(isa.F5, isa.R14, 0)
+		b.FMul(isa.F6, isa.F4, isa.F4)
+		b.FSub(isa.F5, isa.F5, isa.F6)
+		b.FAbs(isa.F5, isa.F5)
+		b.FAdd(isa.F5, isa.F5, isa.F2) // keep positive-definite-ish
+		b.Fsd(isa.F5, isa.R14, 0)
+		b.Addi(isa.R11, isa.R11, 1)
+		b.J("chol_scale")
+		b.Label("chol_kend")
+		b.Addi(isa.R8, isa.R8, 1)
+		b.Slti(isa.R13, isa.R8, n)
+		b.Bne(isa.R13, isa.R0, "chol_k")
+		b.J("forever")
+		return b.MustBuild()
+	}}
+}
+
+// Matrix300 models the SPEC89 dense matrix-multiply program: streaming
+// floating-point over matrices that overflow the primary cache but sit in
+// the secondary (FP workload member with memory pressure).
+func Matrix300() Kernel {
+	return Kernel{Name: "matrix300", Build: func(o Options) *prog.Program {
+		o = o.normalize()
+		const n = 80
+		const rowBytes = n * 8
+		b := newBuilder("matrix300", o)
+		ma := b.Alloc(n*rowBytes, 64)
+		mb := b.Alloc(n*rowBytes, 64)
+		mc := b.Alloc(n*rowBytes, 64)
+		for i := 0; i < n; i++ { // seed one row+column; rest grows
+			b.InitF(ma+uint32(i*rowBytes), 1.25)
+			b.InitF(mb+uint32(i*8), 0.75)
+		}
+
+		b.La(isa.R21, ma)
+		b.La(isa.R22, mb)
+		b.La(isa.R23, mc)
+		b.Li(isa.R24, rowBytes)
+		b.Label("forever")
+		b.Li(isa.R8, 0) // i
+		b.Label("m3_i")
+		b.Mul(isa.R9, isa.R8, isa.R24)
+		b.Add(isa.R10, isa.R9, isa.R21) // &A[i][0]
+		b.Add(isa.R11, isa.R9, isa.R23) // &C[i][0]
+		b.Li(isa.R12, 0)                // j
+		b.Label("m3_j")
+		b.Sll(isa.R13, isa.R12, 3)
+		b.Add(isa.R14, isa.R22, isa.R13) // &B[0][j]
+		b.Fld(isa.F1, isa.R11, 0)        // C[i][j] accumulates across outer iters
+		b.Li(isa.R15, 0)                 // k (unrolled by 8)
+		b.Label("m3_k")
+		for u := 0; u < 8; u++ {
+			b.Fld(isa.F2, isa.R10, int32(8*u))
+			b.Fld(isa.F3, isa.R14, 0)
+			b.FMul(isa.F4, isa.F2, isa.F3)
+			b.FAdd(isa.F1, isa.F1, isa.F4)
+			b.Add(isa.R14, isa.R14, isa.R24)
+		}
+		b.Addi(isa.R10, isa.R10, 64)
+		b.Addi(isa.R15, isa.R15, 8)
+		b.Slti(isa.R16, isa.R15, n)
+		b.Bne(isa.R16, isa.R0, "m3_k")
+		b.Fsd(isa.F1, isa.R11, 0)
+		// rewind A row pointer for next j
+		b.Mul(isa.R9, isa.R8, isa.R24)
+		b.Add(isa.R10, isa.R9, isa.R21)
+		b.Addi(isa.R11, isa.R11, 8)
+		b.Addi(isa.R12, isa.R12, 1)
+		b.Slti(isa.R16, isa.R12, n)
+		b.Bne(isa.R16, isa.R0, "m3_j")
+		b.Addi(isa.R8, isa.R8, 1)
+		b.Slti(isa.R16, isa.R8, n)
+		b.Bne(isa.R16, isa.R0, "m3_i")
+		b.J("forever")
+		return b.MustBuild()
+	}}
+}

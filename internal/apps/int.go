@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Li models the SPEC89 Lisp interpreter: pointer chasing through a heap of
+// cons cells plus a large, branchy dispatch body — big instruction
+// footprint (IC workload) with small, irregular data.
+func Li() Kernel {
+	return Kernel{Name: "li", Build: func(o Options) *prog.Program {
+		o = o.normalize()
+		const nodes = 1024
+		const nodeBytes = 16
+		b := newBuilder("li", o)
+		heap := b.Alloc(nodes*nodeBytes, 64)
+		scratch := b.Alloc(4096, 64) // dispatch-phase workspace: never the heap
+		// Build a permutation ring: node i -> node (7i+1) mod nodes.
+		for i := 0; i < nodes; i++ {
+			next := uint32((7*i + 1) % nodes)
+			b.InitW(heap+uint32(i*nodeBytes), heap+next*nodeBytes)
+			b.InitW(heap+uint32(i*nodeBytes+4), uint32(i*3+1))
+		}
+		rng := xorshift(0x11C0DE)
+
+		b.Label("forever")
+		// Walk phase: chase pointers, mutate values with data-dependent
+		// branches (the interpreter's eval loop).
+		b.La(isa.R8, heap)
+		b.Li(isa.R20, uint32(256*o.Scale))
+		b.Label("li_walk")
+		b.Lw(isa.R9, isa.R8, 4)
+		b.Andi(isa.R10, isa.R9, 1)
+		b.Beq(isa.R10, isa.R0, "li_even")
+		b.Addi(isa.R9, isa.R9, 3)
+		b.J("li_store")
+		b.Label("li_even")
+		b.Srl(isa.R9, isa.R9, 1)
+		b.Addi(isa.R9, isa.R9, 1)
+		b.Label("li_store")
+		b.Sw(isa.R9, isa.R8, 4)
+		b.Lw(isa.R8, isa.R8, 0) // next
+		b.Addi(isa.R20, isa.R20, -1)
+		b.Bgtz(isa.R20, "li_walk")
+		// Dispatch phases: the interpreter's many opcode handlers, as
+		// large straight-line integer blocks.
+		b.La(isa.R21, scratch)
+		for ph := 0; ph < 6; ph++ {
+			loop := fmt.Sprintf("li_p%d", ph)
+			b.Li(isa.R20, uint32(o.Scale))
+			b.Label(loop)
+			intBlock(b, &rng, isa.R21, 700)
+			b.Addi(isa.R20, isa.R20, -1)
+			b.Bgtz(isa.R20, loop)
+		}
+		b.J("forever")
+		return b.MustBuild()
+	}}
+}
+
+// Eqntott models the SPEC89 truth-table generator: bit-vector logic over
+// word arrays with data-dependent comparison branches (hard to predict),
+// plus a sizable unrolled comparison body (IC workload member).
+func Eqntott() Kernel {
+	return Kernel{Name: "eqntott", Build: func(o Options) *prog.Program {
+		o = o.normalize()
+		const words = 4096
+		b := newBuilder("eqntott", o)
+		va := b.Alloc(words*4, 64)
+		vb := b.Alloc(words*4, 64)
+		for i := 0; i < words; i += 4 {
+			b.InitW(va+uint32(i*4), uint32(i*2654435761))
+			b.InitW(vb+uint32(i*4), uint32(i*40503+77))
+		}
+		rng := xorshift(0xE9707)
+
+		b.Label("forever")
+		b.La(isa.R8, va)
+		b.La(isa.R9, vb)
+		b.Li(isa.R20, uint32(words/8))
+		b.Li(isa.R15, 0) // population counter
+		b.Label("eq_cmp")
+		for u := 0; u < 8; u++ {
+			off := int32(4 * u)
+			b.Lw(isa.R10, isa.R8, off)
+			b.Lw(isa.R11, isa.R9, off)
+			b.Xor(isa.R12, isa.R10, isa.R11)
+			b.And(isa.R13, isa.R10, isa.R11)
+			b.Or(isa.R14, isa.R12, isa.R13)
+			b.Sw(isa.R14, isa.R8, off)
+			// Data-dependent branch: count vectors that differ.
+			skip := fmt.Sprintf("eq_s%d", u)
+			b.Beq(isa.R12, isa.R0, skip)
+			b.Addi(isa.R15, isa.R15, 1)
+			b.Label(skip)
+		}
+		b.Addi(isa.R8, isa.R8, 32)
+		b.Addi(isa.R9, isa.R9, 32)
+		b.Addi(isa.R20, isa.R20, -1)
+		b.Bgtz(isa.R20, "eq_cmp")
+		// Sorting/canonicalization phases: unrolled integer code.
+		b.La(isa.R21, vb)
+		for ph := 0; ph < 6; ph++ {
+			loop := fmt.Sprintf("eq_p%d", ph)
+			b.Li(isa.R20, uint32(o.Scale))
+			b.Label(loop)
+			intBlock(b, &rng, isa.R21, 800)
+			b.Addi(isa.R20, isa.R20, -1)
+			b.Bgtz(isa.R20, loop)
+		}
+		b.J("forever")
+		return b.MustBuild()
+	}}
+}

@@ -1,0 +1,343 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Mxm models the NASA7 matrix-multiply kernel. The matrices are small
+// enough to live in the primary cache; the distinguishing load is a large
+// unrolled code body (several compiler-specialized variants), which is why
+// it belongs to the IC workload.
+func Mxm() Kernel {
+	return Kernel{Name: "mxm", Build: func(o Options) *prog.Program {
+		o = o.normalize()
+		const n = 32
+		const rowBytes = n * 8
+		b := newBuilder("mxm", o)
+		ma := b.Alloc(n*rowBytes, 64)
+		mb := b.Alloc(n*rowBytes, 64)
+		mc := b.Alloc(n*rowBytes, 64)
+		initDoubles(b, ma, 64)
+		initDoubles(b, mb, 64)
+
+		b.La(isa.R21, ma)
+		b.La(isa.R22, mb)
+		b.La(isa.R23, mc)
+		b.Li(isa.R24, rowBytes)
+		b.Label("forever")
+		// Four specialized variants with different unroll shapes, run in
+		// sequence — a multi-versioned compilation's footprint. Each
+		// variant uses two accumulators so consecutive FP adds do not
+		// serialize (the scheduling the paper's Twine pass performs).
+		unrolls := [4]int{8, 16, 32, 32}
+		for v := 0; v < 4; v++ {
+			iLoop := fmt.Sprintf("mxm_v%d_i", v)
+			kLoop := fmt.Sprintf("mxm_v%d_k", v)
+			unroll := unrolls[v]
+			b.Li(isa.R8, 0) // i
+			b.Label(iLoop)
+			b.Mul(isa.R9, isa.R8, isa.R24)
+			b.Add(isa.R10, isa.R9, isa.R21) // &A[i][0]
+			b.Add(isa.R11, isa.R9, isa.R23) // &C[i][0]
+			// Fully unrolled j in blocks, dynamic k.
+			for j := 0; j < n; j += 4 {
+				b.Fld(isa.F1, isa.R11, int32(8*j))
+				b.FSub(isa.F5, isa.F5, isa.F5) // second accumulator = 0
+				b.Sll(isa.R13, isa.R0, 0)      // k = 0 (clears R13)
+				b.Add(isa.R14, isa.R22, isa.R0)
+				b.Label(fmt.Sprintf("%s_j%d", kLoop, j))
+				for u := 0; u < unroll; u += 2 {
+					// Software-pipelined pair: both loads, both
+					// multiplies, then the accumulates, so no result is
+					// consumed before it forwards.
+					b.Fld(isa.F2, isa.R10, int32(8*u))
+					b.Fld(isa.F3, isa.R14, int32(8*j))
+					b.Fld(isa.F6, isa.R10, int32(8*(u+1)))
+					b.Fld(isa.F7, isa.R14, int32(rowBytes+8*j))
+					b.FMul(isa.F4, isa.F2, isa.F3)
+					b.FMul(isa.F9, isa.F6, isa.F7)
+					b.Add(isa.R14, isa.R14, isa.R24)
+					b.Add(isa.R14, isa.R14, isa.R24)
+					b.FAdd(isa.F1, isa.F1, isa.F4)
+					b.FAdd(isa.F5, isa.F5, isa.F9)
+				}
+				b.Addi(isa.R13, isa.R13, int32(unroll))
+				b.Slti(isa.R15, isa.R13, n)
+				b.Bne(isa.R15, isa.R0, fmt.Sprintf("%s_j%d", kLoop, j))
+				b.FAdd(isa.F1, isa.F1, isa.F5)
+				b.Fsd(isa.F1, isa.R11, int32(8*j))
+			}
+			b.Addi(isa.R8, isa.R8, 1)
+			b.Slti(isa.R15, isa.R8, n)
+			b.Bne(isa.R15, isa.R0, iLoop)
+		}
+		b.J("forever")
+		return b.MustBuild()
+	}}
+}
+
+// Tomcatv models the SPEC89 vectorized mesh generator: stencil sweeps over
+// several ~74 KB grids whose combined working set overflows the primary
+// cache but fits the secondary (DC workload).
+func Tomcatv() Kernel {
+	return Kernel{Name: "tomcatv", Build: func(o Options) *prog.Program {
+		o = o.normalize()
+		const n = 96
+		const rowBytes = n * 8
+		b := newBuilder("tomcatv", o)
+		var grids [5]uint32
+		for g := range grids {
+			grids[g] = b.Alloc(n*rowBytes, 64)
+		}
+		initDoubles(b, grids[0], 256)
+		initDoubles(b, grids[1], 256)
+
+		b.Label("forever")
+		for g := 0; g < 4; g++ {
+			// sweep grid g+1 = stencil(grid g)
+			iLoop := fmt.Sprintf("tc_g%d_i", g)
+			jLoop := fmt.Sprintf("tc_g%d_j", g)
+			b.La(isa.R8, grids[g])
+			b.La(isa.R9, grids[g+1])
+			b.Li(isa.R10, n-2) // rows 1..n-2
+			b.Label(iLoop)
+			b.Li(isa.R11, (n-2)/2)
+			b.Label(jLoop)
+			for u := 0; u < 2; u++ {
+				off := int32(8 + 8*u)
+				b.Fld(isa.F1, isa.R8, off-8)
+				b.Fld(isa.F2, isa.R8, off+8)
+				b.Fld(isa.F3, isa.R8, off-8+rowBytes)
+				b.Fld(isa.F4, isa.R8, off+8+rowBytes)
+				b.FAdd(isa.F5, isa.F1, isa.F2)
+				b.FAdd(isa.F6, isa.F3, isa.F4)
+				b.FAdd(isa.F7, isa.F5, isa.F6)
+				b.FMul(isa.F7, isa.F7, isa.F8)
+				b.Fsd(isa.F7, isa.R9, off)
+			}
+			b.Addi(isa.R8, isa.R8, 16)
+			b.Addi(isa.R9, isa.R9, 16)
+			b.Addi(isa.R11, isa.R11, -1)
+			b.Bgtz(isa.R11, jLoop)
+			b.Addi(isa.R8, isa.R8, 16) // skip row remainder
+			b.Addi(isa.R9, isa.R9, 16)
+			b.Addi(isa.R10, isa.R10, -1)
+			b.Bgtz(isa.R10, iLoop)
+		}
+		// Relaxation residual with a few divides.
+		b.La(isa.R8, grids[0])
+		b.Li(isa.R10, 64)
+		b.Label("tc_resid")
+		b.Fld(isa.F1, isa.R8, 0)
+		b.Fld(isa.F2, isa.R8, 8)
+		b.FAdd(isa.F3, isa.F1, isa.F2)
+		b.FAbs(isa.F3, isa.F3)
+		b.FAdd(isa.F3, isa.F3, isa.F8) // keep away from zero
+		b.FDivD(isa.F4, isa.F1, isa.F3)
+		b.Fsd(isa.F4, isa.R8, 0)
+		b.Addi(isa.R8, isa.R8, 64)
+		b.Addi(isa.R10, isa.R10, -1)
+		b.Bgtz(isa.R10, "tc_resid")
+		b.J("forever")
+		return b.MustBuild()
+	}}
+}
+
+// Btrix models the NASA7 block-tridiagonal solver: column-order walks with
+// an exactly page-sized stride over a half-megabyte array, which thrashes
+// the 64-entry data TLB (DT workload).
+func Btrix() Kernel {
+	return Kernel{Name: "btrix", Build: func(o Options) *prog.Program {
+		o = o.normalize()
+		const rows = 128      // pages touched per column walk (> 64 TLB entries)
+		const rowBytes = 4096 // one page per row
+		const cols = 64       // doubles used per row
+		b := newBuilder("btrix", o)
+		a := b.Alloc(rows*rowBytes, 4096)
+		for i := 0; i < rows; i++ {
+			b.InitF(a+uint32(i*rowBytes), 2.0+float64(i%5))
+		}
+
+		b.La(isa.R21, a)
+		b.Li(isa.R22, rowBytes)
+		b.La(isa.R23, a)
+		loadFPRegs(b, isa.R23)
+		b.Label("forever")
+		b.Li(isa.R8, 0) // column
+		b.Label("bt_col")
+		b.Sll(isa.R9, isa.R8, 3)
+		b.Add(isa.R10, isa.R21, isa.R9) // &A[0][col]
+		b.Li(isa.R11, rows)
+		b.Label("bt_row")
+		b.Fld(isa.F1, isa.R10, 0)
+		b.FMul(isa.F2, isa.F1, isa.F9)
+		b.FAdd(isa.F3, isa.F2, isa.F10)
+		b.Fsd(isa.F3, isa.R10, 0)
+		b.Add(isa.R10, isa.R10, isa.R22) // next page
+		b.Addi(isa.R11, isa.R11, -1)
+		b.Bgtz(isa.R11, "bt_row")
+		b.Addi(isa.R8, isa.R8, 1)
+		b.Slti(isa.R12, isa.R8, cols)
+		b.Bne(isa.R12, isa.R0, "bt_col")
+		b.J("forever")
+		return b.MustBuild()
+	}}
+}
+
+// Cfft2d models the NASA7 two-dimensional FFT: butterfly passes with
+// power-of-two strides over a 256 KB complex grid — primary-cache conflict
+// misses that hit in the secondary cache (DC workload).
+func Cfft2d() Kernel {
+	return Kernel{Name: "cfft2d", Build: func(o Options) *prog.Program {
+		o = o.normalize()
+		const points = 16384 // complex doubles: 16384*16 = 256 KB
+		b := newBuilder("cfft2d", o)
+		a := b.Alloc(points*16, 64)
+		initDoubles(b, a, 512)
+
+		b.La(isa.R21, a)
+		loadFPRegs(b, isa.R21)
+		b.Label("forever")
+		// log2(points)=14 butterfly passes; each pairs elements stride
+		// 2^s apart.
+		for s := 4; s <= 13; s++ {
+			stride := 1 << uint(s) // in complex elements
+			loop := fmt.Sprintf("fft_s%d", s)
+			b.La(isa.R8, a)
+			b.Li(isa.R9, uint32(stride*16))
+			b.Li(isa.R10, uint32(points/(2*stride)))
+			b.Label(loop)
+			// One butterfly group: (x,y) at R8 and R8+strideBytes.
+			b.Add(isa.R11, isa.R8, isa.R9)
+			for u := 0; u < 4; u++ {
+				off := int32(16 * u)
+				b.Fld(isa.F1, isa.R8, off)
+				b.Fld(isa.F2, isa.R8, off+8)
+				b.Fld(isa.F3, isa.R11, off)
+				b.Fld(isa.F4, isa.R11, off+8)
+				b.FAdd(isa.F5, isa.F1, isa.F3)
+				b.FSub(isa.F6, isa.F1, isa.F3)
+				b.FAdd(isa.F7, isa.F2, isa.F4)
+				b.FMul(isa.F6, isa.F6, isa.F9) // twiddle
+				b.Fsd(isa.F5, isa.R8, off)
+				b.Fsd(isa.F7, isa.R8, off+8)
+				b.Fsd(isa.F6, isa.R11, off)
+			}
+			b.Add(isa.R8, isa.R8, isa.R9)
+			b.Add(isa.R8, isa.R8, isa.R9) // next group
+			b.Addi(isa.R10, isa.R10, -1)
+			b.Bgtz(isa.R10, loop)
+		}
+		b.J("forever")
+		return b.MustBuild()
+	}}
+}
+
+// Gmtry models the NASA7 Gaussian-elimination kernel: row reduction over a
+// 200 KB matrix with a divide per pivot row (DC and DT workloads).
+func Gmtry() Kernel {
+	return Kernel{Name: "gmtry", Build: func(o Options) *prog.Program {
+		o = o.normalize()
+		const n = 160
+		const rowBytes = n * 8
+		b := newBuilder("gmtry", o)
+		a := b.Alloc(n*rowBytes, 64)
+		for i := 0; i < n; i++ {
+			b.InitF(a+uint32(i*rowBytes+i*8), float64(n+i))
+			b.InitF(a+uint32(i*rowBytes), 1.0)
+		}
+
+		b.La(isa.R21, a)
+		b.Li(isa.R22, rowBytes)
+		b.Label("forever")
+		b.Li(isa.R8, 0) // pivot
+		b.Label("gm_piv")
+		b.Mul(isa.R9, isa.R8, isa.R22)
+		b.Add(isa.R9, isa.R9, isa.R21) // pivot row
+		b.Sll(isa.R10, isa.R8, 3)
+		b.Add(isa.R11, isa.R9, isa.R10) // &A[p][p]
+		b.Fld(isa.F1, isa.R11, 0)
+		b.FAbs(isa.F1, isa.F1)
+		b.FAdd(isa.F1, isa.F1, isa.F1) // keep nonzero
+		// eliminate the next 8 rows against the pivot row
+		b.Add(isa.R12, isa.R9, isa.R22) // row r
+		b.Li(isa.R13, 8)
+		b.Label("gm_row")
+		b.Add(isa.R14, isa.R12, isa.R10)
+		b.Fld(isa.F2, isa.R14, 0)
+		b.FDivD(isa.F3, isa.F2, isa.F1) // multiplier
+		b.Li(isa.R15, n/8)
+		b.Move(isa.R16, isa.R9)
+		b.Move(isa.R17, isa.R12)
+		b.Label("gm_el")
+		for u := 0; u < 8; u++ {
+			off := int32(8 * u)
+			b.Fld(isa.F4, isa.R16, off)
+			b.Fld(isa.F5, isa.R17, off)
+			b.FMul(isa.F6, isa.F4, isa.F3)
+			b.FSub(isa.F5, isa.F5, isa.F6)
+			b.Fsd(isa.F5, isa.R17, off)
+		}
+		b.Addi(isa.R16, isa.R16, 64)
+		b.Addi(isa.R17, isa.R17, 64)
+		b.Addi(isa.R15, isa.R15, -1)
+		b.Bgtz(isa.R15, "gm_el")
+		b.Add(isa.R12, isa.R12, isa.R22)
+		b.Addi(isa.R13, isa.R13, -1)
+		b.Bgtz(isa.R13, "gm_row")
+		b.Addi(isa.R8, isa.R8, 1)
+		b.Slti(isa.R18, isa.R8, n-9)
+		b.Bne(isa.R18, isa.R0, "gm_piv")
+		b.J("forever")
+		return b.MustBuild()
+	}}
+}
+
+// Vpenta models the NASA7 pentadiagonal inverter: simultaneous walks of
+// six large arrays with page-crossing strides — the heaviest TLB load in
+// the suite (DT workload) with secondary-cache-sized data (DC workload).
+func Vpenta() Kernel {
+	return Kernel{Name: "vpenta", Build: func(o Options) *prog.Program {
+		o = o.normalize()
+		const rows = 64
+		const rowBytes = 2048 // half-page stride per row
+		b := newBuilder("vpenta", o)
+		var arr [6]uint32
+		for i := range arr {
+			arr[i] = b.Alloc(rows*rowBytes, 4096)
+			b.InitF(arr[i], 1.5+float64(i))
+		}
+
+		b.La(isa.R21, arr[0])
+		loadFPRegs(b, isa.R21)
+		b.Label("forever")
+		for pass := 0; pass < 3; pass++ {
+			x, y, z := arr[pass], arr[pass+1], arr[pass+2]
+			loop := fmt.Sprintf("vp_p%d", pass)
+			b.La(isa.R8, x)
+			b.La(isa.R9, y)
+			b.La(isa.R10, z)
+			b.Li(isa.R11, rowBytes)
+			b.Li(isa.R12, rows)
+			b.Label(loop)
+			for u := 0; u < 4; u++ {
+				off := int32(8 * u)
+				b.Fld(isa.F1, isa.R8, off)
+				b.Fld(isa.F2, isa.R9, off)
+				b.FMul(isa.F3, isa.F1, isa.F9)
+				b.FAdd(isa.F4, isa.F3, isa.F2)
+				b.Fsd(isa.F4, isa.R10, off)
+			}
+			b.Add(isa.R8, isa.R8, isa.R11) // column walk: page-crossing
+			b.Add(isa.R9, isa.R9, isa.R11)
+			b.Add(isa.R10, isa.R10, isa.R11)
+			b.Addi(isa.R12, isa.R12, -1)
+			b.Bgtz(isa.R12, loop)
+		}
+		b.J("forever")
+		return b.MustBuild()
+	}}
+}

@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheGeometry(t *testing.T) {
+	c := NewCache(64<<10, 32)
+	if c.Sets() != 2048 {
+		t.Errorf("64KB/32B cache has %d sets, want 2048", c.Sets())
+	}
+	if c.Line(0x1234) != 0x1234>>5 {
+		t.Error("line address wrong")
+	}
+}
+
+func TestCacheFillPresentInvalidate(t *testing.T) {
+	c := NewCache(1024, 32) // 32 sets
+	if c.Present(0x100) {
+		t.Error("fresh cache should miss")
+	}
+	if _, _, had := c.Fill(0x100, false); had {
+		t.Error("fill into empty set reported a victim")
+	}
+	if !c.Present(0x100) || !c.Present(0x11f) {
+		t.Error("whole line should be present after fill")
+	}
+	if c.Present(0x120) {
+		t.Error("next line should not be present")
+	}
+	present, dirty := c.Invalidate(0x100)
+	if !present || dirty {
+		t.Error("invalidate of clean resident line misreported")
+	}
+	if c.Present(0x100) {
+		t.Error("line survived invalidate")
+	}
+}
+
+func TestCacheConflictEviction(t *testing.T) {
+	c := NewCache(1024, 32) // 32 sets: addresses 1024 apart conflict
+	c.Fill(0x0, false)
+	c.MarkDirty(0x0)
+	victim, vd, had := c.Fill(0x400, false)
+	if !had || !vd || victim != 0 {
+		t.Errorf("conflict fill: victim=%v dirty=%v had=%v", victim, vd, had)
+	}
+	if c.Present(0x0) || !c.Present(0x400) {
+		t.Error("wrong resident line after conflict")
+	}
+}
+
+func TestCacheRefillSameLineKeepsDirty(t *testing.T) {
+	c := NewCache(1024, 32)
+	c.Fill(0x40, false)
+	c.MarkDirty(0x40)
+	if _, _, had := c.Fill(0x40, false); had {
+		t.Error("refill of same line reported victim")
+	}
+	if !c.Dirty(0x40) {
+		t.Error("refill cleared dirtiness")
+	}
+}
+
+func TestDisplaceRandom(t *testing.T) {
+	c := NewCache(1024, 32)
+	for a := uint32(0); a < 1024; a += 32 {
+		c.Fill(a, false)
+	}
+	before := c.ResidentLines()
+	c.DisplaceRandom(16, rand.New(rand.NewSource(1)))
+	after := c.ResidentLines()
+	if after >= before {
+		t.Errorf("displacement removed nothing (%d -> %d)", before, after)
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tlb := NewTLB(64)
+	if tlb.Lookup(0x1000) {
+		t.Error("first lookup should miss")
+	}
+	if !tlb.Lookup(0x1ffc) {
+		t.Error("same page should hit")
+	}
+	// 64 entries x 4KB pages: address 64 pages away conflicts.
+	if tlb.Lookup(0x1000 + 64*4096) {
+		t.Error("conflicting page should miss")
+	}
+	if tlb.Lookup(0x1000) {
+		t.Error("original page should have been displaced")
+	}
+}
+
+// Property: direct-mapped residency — after filling any sequence of
+// addresses, each set holds exactly the last line filled into it.
+func TestQuickDirectMappedInvariant(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := NewCache(4096, 32)
+		last := make(map[uint32]uint32) // set -> line
+		for _, a := range addrs {
+			c.Fill(a, false)
+			last[c.Line(a)&uint32(c.Sets()-1)] = c.Line(a)
+		}
+		for _, line := range last {
+			if !c.Present(line << 5) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := DefaultParams()
+	bad.LineSize = 24
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two line size accepted")
+	}
+	bad = DefaultParams()
+	bad.MSHRs = 0
+	if bad.Validate() == nil {
+		t.Error("zero MSHRs accepted")
+	}
+	bad = DefaultParams()
+	bad.TLBEntries = 48
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two TLB accepted")
+	}
+}

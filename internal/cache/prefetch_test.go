@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/memsys"
+)
+
+func newPH(t *testing.T, mode PrefetchMode) *Hierarchy {
+	t.Helper()
+	p := DefaultParams()
+	p.Prefetch = mode
+	h, err := NewHierarchy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// sequential walk: with next-line prefetch, every second line should be
+// covered by a prefetch.
+func TestNextLinePrefetchCoversSequentialWalk(t *testing.T) {
+	h := newPH(t, PrefetchNextLine)
+	now := int64(0)
+	for a := uint32(0x10000); a < 0x10000+256*32; a += 32 {
+		now = warm(h, a, now)
+	}
+	if h.Stats.PrefetchesIssued < 100 {
+		t.Errorf("prefetches issued = %d, want many on a sequential walk", h.Stats.PrefetchesIssued)
+	}
+	if h.Stats.PrefetchesUseful < h.Stats.PrefetchesIssued/2 {
+		t.Errorf("useful = %d of %d issued; sequential walk should use most",
+			h.Stats.PrefetchesUseful, h.Stats.PrefetchesIssued)
+	}
+}
+
+// Strided walk: the stride prefetcher must lock onto a constant stride.
+func TestStridePrefetchLocksOn(t *testing.T) {
+	h := newPH(t, PrefetchStride)
+	now := int64(0)
+	const stride = 256 // bytes: 8 lines apart — next-line would miss this
+	for i := 0; i < 128; i++ {
+		now = warm(h, 0x40000+uint32(i*stride), now)
+	}
+	if h.Stats.PrefetchesIssued < 32 {
+		t.Errorf("stride prefetches issued = %d", h.Stats.PrefetchesIssued)
+	}
+	if h.Stats.PrefetchesUseful < h.Stats.PrefetchesIssued/2 {
+		t.Errorf("useful = %d of %d", h.Stats.PrefetchesUseful, h.Stats.PrefetchesIssued)
+	}
+}
+
+// Random traffic: the stride prefetcher must stay quiet rather than waste
+// bandwidth.
+func TestStridePrefetchQuietOnRandom(t *testing.T) {
+	h := newPH(t, PrefetchStride)
+	now := int64(0)
+	addr := uint32(0x50000)
+	for i := 0; i < 128; i++ {
+		addr = addr*1664525 + 1013904223
+		now = warm(h, (0x50000+addr%(1<<20))&^31, now)
+	}
+	if h.Stats.PrefetchesIssued > 40 {
+		t.Errorf("prefetches issued on random traffic = %d, want few", h.Stats.PrefetchesIssued)
+	}
+}
+
+// Prefetches must not steal demand MSHRs.
+func TestPrefetchDoesNotConsumeDemandMSHRs(t *testing.T) {
+	h := newPH(t, PrefetchNextLine)
+	// Touch pages first.
+	now := int64(0)
+	addrs := []uint32{0x100000, 0x101000, 0x102000, 0x103000}
+	for _, a := range addrs {
+		now = warm(h, a, now)
+	}
+	h.L1D.InvalidateAll()
+	h.L2.InvalidateAll()
+	// Issue 4 demand misses back-to-back; each also prefetches. If
+	// prefetches consumed MSHRs, the 3rd or 4th demand would be rejected.
+	for i, a := range addrs {
+		r := h.AccessData(a, false, 0, now+int64(i))
+		if r.Hit {
+			t.Fatal("expected miss")
+		}
+		if r.Class == memsys.MSHRFull {
+			t.Fatalf("demand miss %d rejected: prefetches are stealing MSHRs", i)
+		}
+	}
+}
+
+// Prefetching off: no prefetch stats move.
+func TestPrefetchOff(t *testing.T) {
+	h := newPH(t, PrefetchOff)
+	now := int64(0)
+	for a := uint32(0x10000); a < 0x10000+64*32; a += 32 {
+		now = warm(h, a, now)
+	}
+	if h.Stats.PrefetchesIssued != 0 {
+		t.Errorf("prefetches issued with prefetching off: %d", h.Stats.PrefetchesIssued)
+	}
+}
+
+func TestPrefetchModeString(t *testing.T) {
+	if PrefetchOff.String() != "off" || PrefetchNextLine.String() != "next-line" ||
+		PrefetchStride.String() != "stride" {
+		t.Error("mode names wrong")
+	}
+}

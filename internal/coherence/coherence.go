@@ -1,0 +1,369 @@
+// Package coherence implements the multiprocessor memory system of paper
+// §5.2: per-node single-level lockup-free data caches kept coherent by a
+// distributed, directory-based write-invalidate protocol in the style of
+// Stanford DASH, with an ideal instruction cache and a contentionless
+// interconnect whose latencies are drawn from the uniform distributions of
+// Table 8.
+//
+// The protocol is simulated at atomic-transaction granularity: directory
+// state changes (invalidations, ownership transfer) apply at request time;
+// only the data transfer latency is modeled, which is the fidelity the
+// paper's evaluation uses (cache contention dominates; network and memory
+// are contentionless).
+package coherence
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/memsys"
+)
+
+// Params configures the fabric. The paper's Table 8 ranges are garbled in
+// the source text; the defaults are DASH-era reconstructions documented in
+// DESIGN.md §3.
+type Params struct {
+	LineSize      int
+	CacheSize     int
+	LoadUseCycles int
+
+	LocalLow, LocalHigh   int // reply from local memory
+	RemoteLow, RemoteHigh int // reply from remote memory
+	DirtyLow, DirtyHigh   int // reply from remote cache (dirty)
+
+	Seed int64
+}
+
+// DefaultParams returns the paper's multiprocessor node configuration.
+func DefaultParams() Params {
+	return Params{
+		LineSize:      32,
+		CacheSize:     64 << 10,
+		LoadUseCycles: 3,
+		LocalLow:      20, LocalHigh: 40,
+		RemoteLow: 70, RemoteHigh: 110,
+		DirtyLow: 90, DirtyHigh: 130,
+		Seed: 1,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	switch {
+	case p.LineSize <= 0 || p.LineSize&(p.LineSize-1) != 0:
+		return fmt.Errorf("coherence: bad line size %d", p.LineSize)
+	case p.CacheSize%p.LineSize != 0:
+		return fmt.Errorf("coherence: cache size not a line multiple")
+	case p.LocalLow > p.LocalHigh || p.RemoteLow > p.RemoteHigh || p.DirtyLow > p.DirtyHigh:
+		return fmt.Errorf("coherence: inverted latency range")
+	}
+	return nil
+}
+
+// dirEntry is the directory state of one line: at most one dirty owner, or
+// any number of sharers.
+type dirEntry struct {
+	owner   int    // exclusive dirty owner, -1 if none
+	sharers uint64 // bitmask of nodes with (possibly in-flight) shared copies
+}
+
+type pendingFill struct {
+	fill      int64
+	exclusive bool
+}
+
+// fillHoldCycles mirrors internal/cache: a completed fill is held for its
+// faulting access so replays are guaranteed to hit (forward progress), and
+// installed unilaterally if abandoned.
+const fillHoldCycles = 256
+
+// Stats counts per-node access outcomes.
+type Stats struct {
+	Accesses      int64
+	ByClass       [memsys.NumMissClasses]int64
+	Invalidations int64 // invalidations this node received
+	Upgrades      int64 // write hits on shared lines needing ownership
+	Deferred      int64 // requests NAKed while an exclusive was in flight
+}
+
+// Node is one processor's view of the fabric; it implements memsys.System.
+type Node struct {
+	fab     *Fabric
+	id      int
+	cache   *cache.Cache
+	pending map[uint32]pendingFill
+	Stats   Stats
+}
+
+// Fabric is the shared directory and interconnect for all nodes.
+type Fabric struct {
+	P     Params
+	nodes []*Node
+	dir   map[uint32]*dirEntry
+	rng   *rand.Rand
+}
+
+// NewFabric builds a fabric with n nodes.
+func NewFabric(p Params, n int) (*Fabric, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 || n > 64 {
+		return nil, fmt.Errorf("coherence: node count %d out of range [1,64]", n)
+	}
+	f := &Fabric{
+		P:   p,
+		dir: make(map[uint32]*dirEntry),
+		rng: rand.New(rand.NewSource(p.Seed)),
+	}
+	for i := 0; i < n; i++ {
+		f.nodes = append(f.nodes, &Node{
+			fab:     f,
+			id:      i,
+			cache:   cache.NewCache(p.CacheSize, p.LineSize),
+			pending: make(map[uint32]pendingFill),
+		})
+	}
+	return f, nil
+}
+
+// MustNewFabric is NewFabric that panics on error.
+func MustNewFabric(p Params, n int) *Fabric {
+	f, err := NewFabric(p, n)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Nodes returns the number of nodes.
+func (f *Fabric) Nodes() int { return len(f.nodes) }
+
+// Node returns node i's memory system.
+func (f *Fabric) Node(i int) *Node { return f.nodes[i] }
+
+// home gives the line's home node: lines are interleaved round-robin, the
+// uniform distribution of shared data across node memories.
+func (f *Fabric) home(line uint32) int { return int(line) % len(f.nodes) }
+
+func (f *Fabric) entry(line uint32) *dirEntry {
+	e := f.dir[line]
+	if e == nil {
+		e = &dirEntry{owner: -1}
+		f.dir[line] = e
+	}
+	return e
+}
+
+func (f *Fabric) uniform(lo, hi int) int64 {
+	if hi <= lo {
+		return int64(lo)
+	}
+	return int64(lo + f.rng.Intn(hi-lo+1))
+}
+
+// latency returns the reply latency for the given class.
+func (f *Fabric) latency(c memsys.MissClass) int64 {
+	switch c {
+	case memsys.LocalMem:
+		return f.uniform(f.P.LocalLow, f.P.LocalHigh)
+	case memsys.RemoteMem:
+		return f.uniform(f.P.RemoteLow, f.P.RemoteHigh)
+	case memsys.RemoteCache:
+		return f.uniform(f.P.DirtyLow, f.P.DirtyHigh)
+	}
+	return 1
+}
+
+// lineAddr converts a line number back to a byte address.
+func (f *Fabric) lineAddr(line uint32) uint32 {
+	ls := uint32(f.P.LineSize)
+	return line * ls
+}
+
+// evicted is called by a node when installing a line displaced victim.
+func (f *Fabric) evicted(n int, victimLine uint32) {
+	e := f.dir[victimLine]
+	if e == nil {
+		return
+	}
+	if e.owner == n {
+		e.owner = -1 // writeback to home (contentionless: occupancy-free)
+	}
+	e.sharers &^= 1 << uint(n)
+}
+
+// FetchInst implements memsys.InstMemory: the multiprocessor study models
+// the instruction cache as ideal (§5.2).
+func (n *Node) FetchInst(addr uint32, now int64) (int64, bool) { return now, false }
+
+// AccessData implements memsys.DataMemory with MSI directory coherence.
+func (n *Node) AccessData(addr uint32, write bool, pc uint32, now int64) memsys.DataResult {
+	n.Stats.Accesses++
+	f := n.fab
+	line := addr / uint32(f.P.LineSize)
+
+	// Expire abandoned fills.
+	for l, pf := range n.pending {
+		if pf.fill+fillHoldCycles <= now {
+			n.install(l, pf.exclusive)
+			delete(n.pending, l)
+		}
+	}
+
+	// Completed fill for this line: serve the replay from the miss
+	// register and install.
+	if pf, ok := n.pending[line]; ok && pf.fill <= now {
+		delete(n.pending, line)
+		// The request may have been invalidated while in flight (another
+		// node wrote the line): if so, the replay must re-request.
+		if n.hasRight(line, write) {
+			n.install(line, pf.exclusive)
+		}
+	}
+
+	if n.cache.Present(addr) {
+		if write {
+			if e := f.entry(line); e.owner != n.id {
+				// Upgrade: shared -> modified. Ownership transfers at
+				// request time; the invalidation-acknowledgement latency
+				// makes the context wait like a miss.
+				n.Stats.Upgrades++
+				return n.miss(line, addr, write, now)
+			}
+			n.cache.MarkDirty(addr)
+		}
+		n.Stats.ByClass[memsys.HitL1]++
+		return memsys.DataResult{Hit: true, ReadyAt: now + int64(f.P.LoadUseCycles), Class: memsys.HitL1}
+	}
+
+	if pf, ok := n.pending[line]; ok {
+		// Still in flight: merge.
+		return memsys.DataResult{FillAt: pf.fill, Class: memsys.MSHRFull}
+	}
+
+	return n.miss(line, addr, write, now)
+}
+
+// hasRight reports whether node n's copy of line is good for the access:
+// reads need the line not to be dirty elsewhere; writes need ownership.
+func (n *Node) hasRight(line uint32, write bool) bool {
+	e := n.fab.dir[line]
+	if e == nil {
+		return !write
+	}
+	if write {
+		return e.owner == n.id
+	}
+	return e.owner == n.id || e.owner == -1
+}
+
+// miss performs a directory transaction and returns the miss result.
+func (n *Node) miss(line, addr uint32, write bool, now int64) memsys.DataResult {
+	f := n.fab
+
+	// Transaction serialization: while another node has an exclusive
+	// request in flight for this line, the directory defers new requests
+	// (DASH NAKs and retries them). Without this, a contended lock's
+	// release could be stolen before its replay ever completes.
+	for i, other := range f.nodes {
+		if i == n.id {
+			continue
+		}
+		if pf, ok := other.pending[line]; ok && pf.exclusive {
+			// Retry well after the transaction should complete, with a
+			// per-node stagger: aggressive retries turn contended lines
+			// into a flush storm on blocked processors.
+			n.Stats.Deferred++
+			retry := pf.fill + int64(32+5*n.id)
+			if min := now + int64(32+5*n.id); retry < min {
+				retry = min
+			}
+			return memsys.DataResult{FillAt: retry, Class: memsys.RemoteCache}
+		}
+	}
+
+	e := f.entry(line)
+
+	// Classify by where the data comes from.
+	var class memsys.MissClass
+	switch {
+	case e.owner >= 0 && e.owner != n.id:
+		class = memsys.RemoteCache // dirty in another cache
+	case f.home(line) == n.id:
+		class = memsys.LocalMem
+	default:
+		class = memsys.RemoteMem
+	}
+
+	// Directory transition at request time.
+	if write {
+		// Invalidate every other copy, resident or in flight.
+		for i, other := range f.nodes {
+			if i == n.id {
+				continue
+			}
+			if e.owner == i || e.sharers&(1<<uint(i)) != 0 {
+				other.cache.Invalidate(f.lineAddr(line))
+				delete(other.pending, line)
+				other.Stats.Invalidations++
+			}
+		}
+		e.owner = n.id
+		e.sharers = 1 << uint(n.id)
+	} else {
+		if e.owner >= 0 && e.owner != n.id {
+			// Downgrade the dirty owner to shared; data is written back.
+			e.sharers |= 1 << uint(e.owner)
+			e.owner = -1
+		}
+		e.sharers |= 1 << uint(n.id)
+	}
+
+	fill := now + f.latency(class)
+	n.pending[line] = pendingFill{fill: fill, exclusive: write}
+	n.Stats.ByClass[class]++
+	return memsys.DataResult{FillAt: fill, Class: class}
+}
+
+// install places a line in the node's cache, handling the victim's
+// directory state.
+func (n *Node) install(line uint32, exclusive bool) {
+	addr := n.fab.lineAddr(line)
+	victim, _, had := n.cache.Fill(addr, exclusive)
+	if had {
+		n.fab.evicted(n.id, victim)
+	}
+}
+
+// DirectoryInvariants checks protocol invariants for tests: a line with a
+// dirty owner has that owner as its only possible resident writer, and
+// every resident cache copy is recorded in the directory. It returns an
+// error description or "" if clean.
+func (f *Fabric) DirectoryInvariants() string {
+	for line, e := range f.dir {
+		owners := 0
+		for i := range f.nodes {
+			if e.owner == i {
+				owners++
+			}
+		}
+		if e.owner >= 0 && owners != 1 {
+			return fmt.Sprintf("line %#x: owner %d not a node", line, e.owner)
+		}
+		if e.owner >= 0 && e.sharers&^(1<<uint(e.owner)) != 0 {
+			return fmt.Sprintf("line %#x: dirty owner %d with sharers %b", line, e.owner, e.sharers)
+		}
+		for i, node := range f.nodes {
+			if node.cache.Present(f.lineAddr(line)) {
+				if e.owner != i && e.sharers&(1<<uint(i)) == 0 {
+					return fmt.Sprintf("line %#x: node %d resident but not in directory", line, i)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+var _ memsys.System = (*Node)(nil)

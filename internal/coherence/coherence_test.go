@@ -1,0 +1,189 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/memsys"
+)
+
+func newFab(t *testing.T, nodes int) *Fabric {
+	t.Helper()
+	f, err := NewFabric(DefaultParams(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// settle replays an access until it hits, as the core does.
+func settle(n *Node, addr uint32, write bool, now int64) int64 {
+	for i := 0; i < 64; i++ {
+		r := n.AccessData(addr, write, 0, now)
+		if r.Hit {
+			return now + 1
+		}
+		if r.FillAt > now {
+			now = r.FillAt
+		} else {
+			now++
+		}
+	}
+	panic("settle: access never hit")
+}
+
+func TestMissClassification(t *testing.T) {
+	f := newFab(t, 4)
+	p := f.P
+
+	// Line 0 is homed at node 0: local for node 0, remote for node 1.
+	addr := uint32(0)
+	r := f.Node(0).AccessData(addr, false, 0, 0)
+	if r.Hit || r.Class != memsys.LocalMem {
+		t.Fatalf("node0 cold access = %+v, want local miss", r)
+	}
+	if d := r.FillAt; d < int64(p.LocalLow) || d > int64(p.LocalHigh) {
+		t.Errorf("local latency %d outside [%d,%d]", d, p.LocalLow, p.LocalHigh)
+	}
+
+	// Same line from node 1: remote memory (node 0 only has it shared).
+	r = f.Node(1).AccessData(addr, false, 0, 0)
+	if r.Class != memsys.RemoteMem {
+		t.Fatalf("node1 class = %v, want remote", r.Class)
+	}
+	if d := r.FillAt; d < int64(p.RemoteLow) || d > int64(p.RemoteHigh) {
+		t.Errorf("remote latency %d outside [%d,%d]", d, p.RemoteLow, p.RemoteHigh)
+	}
+}
+
+func TestDirtyRemoteClass(t *testing.T) {
+	f := newFab(t, 4)
+	now := settle(f.Node(2), 0x100, true, 0) // node 2 owns dirty
+	r := f.Node(1).AccessData(0x100, false, 0, now)
+	if r.Class != memsys.RemoteCache {
+		t.Fatalf("read of remotely-dirty line class = %v, want remote-cache", r.Class)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	f := newFab(t, 4)
+	now := int64(0)
+	// All four nodes read line 0x200.
+	for i := 0; i < 4; i++ {
+		now = settle(f.Node(i), 0x200, false, now)
+	}
+	for i := 0; i < 4; i++ {
+		if !f.Node(i).cache.Present(0x200) {
+			t.Fatalf("node %d lost its shared copy", i)
+		}
+	}
+	// Node 3 writes: everyone else must be invalidated.
+	now = settle(f.Node(3), 0x200, true, now)
+	for i := 0; i < 3; i++ {
+		if f.Node(i).cache.Present(0x200) {
+			t.Errorf("node %d still has a copy after invalidation", i)
+		}
+		if f.Node(i).Stats.Invalidations == 0 {
+			t.Errorf("node %d did not record its invalidation", i)
+		}
+	}
+	if msg := f.DirectoryInvariants(); msg != "" {
+		t.Error(msg)
+	}
+}
+
+func TestWriteAfterSharedIsUpgrade(t *testing.T) {
+	f := newFab(t, 2)
+	n := f.Node(0)
+	now := settle(n, 0x300, false, 0) // shared copy
+	r := n.AccessData(0x300, true, 0, now)
+	if r.Hit {
+		t.Fatal("upgrade must not be a free hit")
+	}
+	if n.Stats.Upgrades != 1 {
+		t.Errorf("upgrades = %d, want 1", n.Stats.Upgrades)
+	}
+	now = settle(n, 0x300, true, now)
+	if !n.cache.Dirty(0x300) {
+		t.Error("line not dirty after upgrade completes")
+	}
+}
+
+func TestOwnershipPingPong(t *testing.T) {
+	// Two nodes alternately writing one line: every round trips through
+	// the remote-cache path and both must always make progress.
+	f := newFab(t, 2)
+	now := int64(0)
+	for round := 0; round < 10; round++ {
+		now = settle(f.Node(round%2), 0x400, true, now)
+		if msg := f.DirectoryInvariants(); msg != "" {
+			t.Fatalf("round %d: %s", round, msg)
+		}
+	}
+	a := f.Node(0).Stats.ByClass[memsys.RemoteCache] + f.Node(1).Stats.ByClass[memsys.RemoteCache]
+	if a < 8 {
+		t.Errorf("remote-cache transfers = %d, want >= 8", a)
+	}
+}
+
+func TestInFlightInvalidation(t *testing.T) {
+	// Node 0 has a read miss in flight when node 1 writes the line: the
+	// stale fill must not be installed; node 0's replay re-requests.
+	f := newFab(t, 2)
+	r0 := f.Node(0).AccessData(0x500, false, 0, 0)
+	if r0.Hit {
+		t.Fatal("expected miss")
+	}
+	settle(f.Node(1), 0x500, true, 1)
+	// Node 0 replays at its (now cancelled) fill time.
+	r := f.Node(0).AccessData(0x500, false, 0, r0.FillAt)
+	if r.Hit {
+		t.Fatal("stale in-flight fill served after invalidation")
+	}
+	if r.Class != memsys.RemoteCache {
+		t.Errorf("re-request class = %v, want remote-cache", r.Class)
+	}
+}
+
+func TestEvictionUpdatesDirectory(t *testing.T) {
+	f := newFab(t, 2)
+	n := f.Node(0)
+	now := settle(n, 0x600, true, 0)
+	// Fill a conflicting line (same set: cache size apart).
+	conflict := uint32(0x600) + uint32(f.P.CacheSize)
+	now = settle(n, conflict, false, now)
+	if n.cache.Present(0x600) {
+		t.Fatal("victim still resident")
+	}
+	// The directory must no longer consider node 0 the owner: node 1's
+	// read should be a plain memory access, not a cache transfer.
+	r := f.Node(1).AccessData(0x600, false, 0, now)
+	if r.Class == memsys.RemoteCache {
+		t.Error("directory still records evicted owner")
+	}
+	if msg := f.DirectoryInvariants(); msg != "" {
+		t.Error(msg)
+	}
+}
+
+func TestFabricValidation(t *testing.T) {
+	if _, err := NewFabric(DefaultParams(), 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewFabric(DefaultParams(), 65); err == nil {
+		t.Error("65 nodes accepted (sharer bitmask is 64-wide)")
+	}
+	bad := DefaultParams()
+	bad.LocalLow = 50
+	bad.LocalHigh = 10
+	if _, err := NewFabric(bad, 2); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestIdealInstCache(t *testing.T) {
+	f := newFab(t, 2)
+	ready, miss := f.Node(0).FetchInst(0x123400, 77)
+	if miss || ready != 77 {
+		t.Error("MP instruction cache must be ideal")
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+// BTB is the 2048-entry direct-mapped branch target buffer of paper §4.1.
+// A correctly predicted branch costs zero cycles; a mispredicted branch
+// pays a three-cycle redirect (the condition is evaluated in EX).
+//
+// Prediction policy: a resident entry predicts taken-to-target; a missing
+// entry predicts fall-through. Taken branches install or update their
+// entry; a not-taken branch that hit in the BTB evicts its entry.
+type BTB struct {
+	mask    uint32
+	tags    []uint32
+	targets []int32
+	valid   []bool
+}
+
+// NewBTB returns a BTB with entries slots (a power of two).
+func NewBTB(entries int) *BTB {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("core: BTB entries must be a positive power of two")
+	}
+	return &BTB{
+		mask:    uint32(entries - 1),
+		tags:    make([]uint32, entries),
+		targets: make([]int32, entries),
+		valid:   make([]bool, entries),
+	}
+}
+
+func (b *BTB) slot(pcAddr uint32) uint32 { return (pcAddr >> 2) & b.mask }
+
+// Lookup returns the predicted target instruction index for the branch at
+// pcAddr and whether the BTB hit.
+func (b *BTB) Lookup(pcAddr uint32) (target int32, hit bool) {
+	s := b.slot(pcAddr)
+	if b.valid[s] && b.tags[s] == pcAddr {
+		return b.targets[s], true
+	}
+	return 0, false
+}
+
+// Record updates the BTB after a branch resolves: taken branches install
+// their target; not-taken branches evict a stale entry.
+func (b *BTB) Record(pcAddr uint32, taken bool, target int32) {
+	s := b.slot(pcAddr)
+	if taken {
+		b.tags[s] = pcAddr
+		b.targets[s] = target
+		b.valid[s] = true
+		return
+	}
+	if b.valid[s] && b.tags[s] == pcAddr {
+		b.valid[s] = false
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTBBasic(t *testing.T) {
+	b := NewBTB(16)
+	if _, hit := b.Lookup(0x1000); hit {
+		t.Error("fresh BTB should miss")
+	}
+	b.Record(0x1000, true, 42)
+	if tgt, hit := b.Lookup(0x1000); !hit || tgt != 42 {
+		t.Errorf("lookup = %d,%v", tgt, hit)
+	}
+	// Not-taken resolution evicts the entry.
+	b.Record(0x1000, false, 0)
+	if _, hit := b.Lookup(0x1000); hit {
+		t.Error("not-taken branch should evict its entry")
+	}
+}
+
+func TestBTBConflict(t *testing.T) {
+	b := NewBTB(16)
+	// PCs 16 instructions apart share a slot.
+	b.Record(0x1000, true, 1)
+	b.Record(0x1000+16*4, true, 2)
+	if _, hit := b.Lookup(0x1000); hit {
+		t.Error("conflicting entry should have displaced the first")
+	}
+	if tgt, hit := b.Lookup(0x1000 + 16*4); !hit || tgt != 2 {
+		t.Error("second entry lost")
+	}
+}
+
+func TestBTBTagDisambiguation(t *testing.T) {
+	// A hit must verify the full PC, not just the index.
+	b := NewBTB(16)
+	b.Record(0x1000, true, 7)
+	if _, hit := b.Lookup(0x1000 + 16*4); hit {
+		t.Error("aliasing PC must not hit another branch's entry")
+	}
+}
+
+func TestBTBBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two BTB accepted")
+		}
+	}()
+	NewBTB(12)
+}
+
+// Property: after recording a taken branch, looking up the same PC hits
+// with the recorded target (no interference from non-conflicting records).
+func TestQuickBTBRecall(t *testing.T) {
+	b := NewBTB(2048)
+	f := func(pc uint32, target int32, otherPC uint32) bool {
+		pc &^= 3
+		otherPC &^= 3
+		b.Record(pc, true, target)
+		if (otherPC>>2)&2047 != (pc>>2)&2047 {
+			b.Record(otherPC, true, target+1)
+		}
+		got, hit := b.Lookup(pc)
+		return hit && got == target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Error(err)
+	}
+}

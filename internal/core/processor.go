@@ -1,0 +1,964 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+)
+
+// Scheme selects the context-multiplexing policy (paper §2-3).
+type Scheme uint8
+
+// Schemes.
+const (
+	// Single is the single-context baseline: one thread, lockup-free
+	// data cache, stalls exposed through the scoreboard.
+	Single Scheme = iota
+	// Blocked runs one context until a cache miss, then flushes the
+	// pipeline (switch cost = pipeline depth) and switches (§2.2).
+	Blocked
+	// BlockedFast is the pipeline-register-replication variant of the
+	// blocked scheme with a one-cycle switch (§2.2's "brute force"
+	// design point, used for ablation).
+	BlockedFast
+	// Interleaved issues round-robin from all available contexts each
+	// cycle and squashes only the faulting context's instructions on a
+	// miss (§3, the paper's proposal).
+	Interleaved
+	// FineGrained is the HEP-style baseline (§2.1): cycle-by-cycle
+	// switching, but no data cache (every reference pays memory
+	// latency) and one instruction per context in the pipeline.
+	FineGrained
+
+	// NumSchemes is the number of schemes.
+	NumSchemes = iota
+)
+
+var schemeNames = [NumSchemes]string{"single", "blocked", "blocked-fast", "interleaved", "fine-grained"}
+
+func (s Scheme) String() string {
+	if int(s) < len(schemeNames) {
+		return schemeNames[s]
+	}
+	return "scheme(?)"
+}
+
+// Config parameterizes a processor.
+type Config struct {
+	Scheme   Scheme
+	Contexts int
+
+	// PipelineDepth is the integer pipeline depth (7: IF1 IF2 RF EX DF1
+	// DF2 WB). A data miss is detected in WB, so the miss shadow — the
+	// slots wasted between a miss issuing and being detected — spans
+	// PipelineDepth slots.
+	PipelineDepth int
+
+	// MispredictPenalty is the fetch-redirect cost of a mispredicted
+	// branch (3: resolution in EX).
+	MispredictPenalty int
+
+	// ExplicitSwitchCost is the blocked scheme's SWITCH instruction cost
+	// (3, Table 4). The interleaved BACKOFF costs its own slot (1).
+	ExplicitSwitchCost int
+
+	// BTBEntries sizes the branch target buffer (2048). Zero disables
+	// branch prediction (every taken branch pays the redirect).
+	BTBEntries int
+
+	// BlockedFlushCost, when positive, overrides the blocked scheme's
+	// miss-switch cost (normally the pipeline depth; 1 for BlockedFast).
+	// Used by the switch-cost sensitivity sweep.
+	BlockedFlushCost int
+
+	// IssueWidth is the number of issue slots per cycle (default 1, the
+	// paper's processor). Values above 1 model the paper's §7 discussion
+	// of combining multiple contexts with superscalar issue: each cycle
+	// up to IssueWidth instructions issue, round-robin across available
+	// contexts (and back-to-back from one context when it is alone and
+	// its instructions are independent).
+	IssueWidth int
+
+	// FineGrainedMemLatency is the fixed memory latency of the
+	// fine-grained scheme, which supports no data cache.
+	FineGrainedMemLatency int
+}
+
+// DefaultConfig returns the paper's processor with the given scheme and
+// context count.
+func DefaultConfig(s Scheme, contexts int) Config {
+	return Config{
+		Scheme:                s,
+		Contexts:              contexts,
+		PipelineDepth:         7,
+		MispredictPenalty:     3,
+		ExplicitSwitchCost:    3,
+		BTBEntries:            2048,
+		FineGrainedMemLatency: 34,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Contexts < 1:
+		return fmt.Errorf("core: need at least one context")
+	case c.Scheme == Single && c.Contexts != 1:
+		return fmt.Errorf("core: single scheme requires exactly one context")
+	case int(c.Scheme) >= NumSchemes:
+		return fmt.Errorf("core: unknown scheme %d", c.Scheme)
+	case c.PipelineDepth < 2:
+		return fmt.Errorf("core: pipeline depth too small")
+	case c.BTBEntries != 0 && c.BTBEntries&(c.BTBEntries-1) != 0:
+		return fmt.Errorf("core: BTB entries must be zero or a power of two")
+	case c.IssueWidth < 0 || c.IssueWidth > 8:
+		return fmt.Errorf("core: issue width %d out of range [0,8]", c.IssueWidth)
+	}
+	return nil
+}
+
+// hwContext is one hardware context (replicated PC/EPC/register state per
+// paper §6; here: a binding slot for a Thread plus availability state).
+type hwContext struct {
+	idx    int
+	thread *Thread
+
+	// availableAt: the context may issue at or after this cycle.
+	availableAt int64
+	// availCause: what idle slots are charged to while unavailable.
+	availCause SlotClass
+	// shadowUntil: miss-shadow window; the context's issue slots before
+	// this cycle are charged to context-switch overhead (interleaved
+	// selective squash).
+	shadowUntil int64
+	// redirectUntil: fetch redirect after a mispredicted branch; the
+	// context cannot issue before this cycle.
+	redirectUntil int64
+	// replayPC, when >= 0, is the PC of a memory instruction whose miss
+	// already flushed this context. If its replay misses again (the line
+	// was NAKed or stolen), the context just re-sleeps: the MSHR retries
+	// in hardware; the pipeline holds nothing of this context to flush.
+	replayPC int
+}
+
+func (c *hwContext) runnable() bool {
+	return c.thread != nil && !c.thread.Halted
+}
+
+// TraceEvent describes how one cycle was spent; the pipeview tool renders
+// sequences of these as Figure 2/3-style timelines.
+type TraceEvent struct {
+	Cycle int64
+	Ctx   int // issuing context, -1 if none
+	Class SlotClass
+	PC    int
+	Inst  string // disassembly, set only for issued instructions
+}
+
+// Processor is one multiple-context processor pipeline.
+type Processor struct {
+	Cfg  Config
+	Mem  memsys.System // timing memory system
+	FMem *mem.Memory   // functional memory (shared across MP nodes)
+
+	ctxs []*hwContext
+	btb  *BTB
+
+	cycle int64
+	rr    int // interleaved round-robin pointer
+	cur   int // blocked current context, -1 if none
+	// forceNext makes the named context issue first after a blocking
+	// I-cache miss resolves: the stalled fetch completes before any other
+	// context can conflict-evict the just-filled line.
+	forceNext int
+
+	// Processor-wide stall frontiers, each with the context that caused
+	// it (for per-thread cycle attribution).
+	ifetchUntil int64 // blocking I-cache miss
+	ifetchCtx   int
+	shadowUntil int64 // blocked-scheme flush / explicit switch cost
+	shadowCtx   int
+	stallUntil  int64 // single-context structural stall (TLB refill etc.)
+	stallCtx    int
+	stallCause  SlotClass
+
+	fuFree [isa.NumUnits]int64
+
+	Stats Stats
+	Trace func(TraceEvent) // optional per-cycle hook
+	// MemWatch, if set, observes every retired word-width memory
+	// operation (functional value flow); used by tests to audit
+	// synchronization protocols.
+	MemWatch func(op isa.Op, addr, value uint32, ctx int, now int64)
+}
+
+// NewProcessor builds a processor with config cfg over the given timing and
+// functional memories.
+func NewProcessor(cfg Config, m memsys.System, fm *mem.Memory) (*Processor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// rr starts at -1 so the first round-robin pick is context 0.
+	p := &Processor{Cfg: cfg, Mem: m, FMem: fm, cur: -1, rr: -1, forceNext: -1}
+	for i := 0; i < cfg.Contexts; i++ {
+		p.ctxs = append(p.ctxs, &hwContext{idx: i, replayPC: -1})
+	}
+	if cfg.BTBEntries > 0 {
+		p.btb = NewBTB(cfg.BTBEntries)
+	}
+	return p, nil
+}
+
+// MustNewProcessor is NewProcessor that panics on config errors.
+func MustNewProcessor(cfg Config, m memsys.System, fm *mem.Memory) *Processor {
+	p, err := NewProcessor(cfg, m, fm)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Now returns the current cycle.
+func (p *Processor) Now() int64 { return p.cycle }
+
+// Contexts returns the number of hardware contexts.
+func (p *Processor) Contexts() int { return len(p.ctxs) }
+
+// BindThread loads thread th into context idx (nil unbinds). Any pending
+// availability state of the context is discarded; an in-flight miss keeps
+// filling the cache but no longer blocks the context.
+func (p *Processor) BindThread(idx int, th *Thread) {
+	c := p.ctxs[idx]
+	c.thread = th
+	c.availableAt = p.cycle
+	c.shadowUntil = 0
+	c.redirectUntil = 0
+	c.replayPC = -1
+	if p.cur == idx {
+		p.cur = -1
+	}
+}
+
+// ThreadAt returns the thread bound to context idx, or nil.
+func (p *Processor) ThreadAt(idx int) *Thread { return p.ctxs[idx].thread }
+
+// AllHalted reports whether every bound thread has halted (and at least
+// one thread is bound).
+func (p *Processor) AllHalted() bool {
+	bound := false
+	for _, c := range p.ctxs {
+		if c.thread != nil {
+			bound = true
+			if !c.thread.Halted {
+				return false
+			}
+		}
+	}
+	return bound
+}
+
+func (p *Processor) count(now int64, cls SlotClass, ctx int) {
+	p.Stats.Slots[cls]++
+	if ctx >= 0 {
+		if th := p.ctxs[ctx].thread; th != nil {
+			th.Devoted++
+		}
+	}
+	if p.Trace != nil {
+		p.Trace(TraceEvent{Cycle: now, Ctx: ctx, Class: cls})
+	}
+}
+
+// Run steps the processor n cycles.
+func (p *Processor) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		p.Step()
+	}
+}
+
+// RunUntilHalted steps until all bound threads halt, up to limit cycles.
+// It returns the cycles executed and whether everything halted.
+func (p *Processor) RunUntilHalted(limit int64) (int64, bool) {
+	start := p.cycle
+	for p.cycle-start < limit {
+		if p.AllHalted() {
+			return p.cycle - start, true
+		}
+		p.Step()
+	}
+	return p.cycle - start, p.AllHalted()
+}
+
+// Step advances the processor one cycle: one issue slot on the paper's
+// processor, IssueWidth slots on the superscalar extension.
+func (p *Processor) Step() {
+	now := p.cycle
+	p.cycle++
+	p.Stats.Cycles++
+	width := p.Cfg.IssueWidth
+	if width < 1 {
+		width = 1
+	}
+	for w := 0; w < width; w++ {
+		p.issueSlot(now)
+	}
+}
+
+// issueSlot spends one issue slot at cycle now.
+func (p *Processor) issueSlot(now int64) {
+	// Processor-wide stalls take precedence: the blocking I-cache, the
+	// blocked scheme's pipeline flush, and single-context structural
+	// stalls.
+	switch {
+	case now < p.ifetchUntil:
+		p.count(now, SlotICache, p.ifetchCtx)
+		return
+	case now < p.shadowUntil:
+		p.count(now, SlotSwitch, p.shadowCtx)
+		return
+	case now < p.stallUntil:
+		p.count(now, p.stallCause, p.stallCtx)
+		return
+	}
+
+	c := p.selectContext(now)
+	if c == nil {
+		cls, ctx := p.idleCause()
+		p.count(now, cls, ctx)
+		return
+	}
+
+	// Interleaved miss shadow: this context's slots between a miss
+	// issuing and its detection in WB are squashed work.
+	if now < c.shadowUntil {
+		p.count(now, SlotSwitch, c.idx)
+		return
+	}
+	// Fetch redirect after a mispredicted branch.
+	if now < c.redirectUntil {
+		p.count(now, SlotStallShort, c.idx)
+		return
+	}
+
+	th := c.thread
+	in := &th.Prog.Insts[th.PC]
+
+	// Instruction fetch. The I-cache is blocking: a miss stalls the
+	// whole processor regardless of scheme (paper §4.1).
+	if ready, miss := p.Mem.FetchInst(th.Prog.PCAddr(th.PC), now); miss {
+		p.ifetchUntil = ready
+		p.ifetchCtx = c.idx
+		p.forceNext = c.idx // the stalled fetch completes first
+		p.count(now, SlotICache, c.idx)
+		return
+	}
+
+	// Scoreboard: source and destination (WAW) dependencies.
+	if cls, stalled := p.depStall(th, in, now); stalled {
+		p.count(now, cls, c.idx)
+		return
+	}
+
+	// Functional-unit conflict (non-pipelined units).
+	tm := in.Op.Timing()
+	if tm.Unit != isa.UnitNone && p.fuFree[tm.Unit] > now {
+		p.count(now, stallClass(int(p.fuFree[tm.Unit]-now), in.Region), c.idx)
+		return
+	}
+
+	p.execute(c, th, in, now)
+}
+
+// selectContext picks the issuing context for this cycle.
+func (p *Processor) selectContext(now int64) *hwContext {
+	if p.forceNext >= 0 {
+		c := p.ctxs[p.forceNext]
+		p.forceNext = -1
+		if c.runnable() && c.availableAt <= now {
+			p.rr = c.idx
+			return c
+		}
+	}
+	switch p.Cfg.Scheme {
+	case Single:
+		c := p.ctxs[0]
+		if c.runnable() && c.availableAt <= now {
+			return c
+		}
+		return nil
+
+	case Blocked, BlockedFast:
+		if p.cur >= 0 {
+			c := p.ctxs[p.cur]
+			if c.runnable() && c.availableAt <= now {
+				return c
+			}
+			p.cur = -1
+		}
+		// Pick the next available context round-robin.
+		for i := 1; i <= len(p.ctxs); i++ {
+			c := p.ctxs[(p.rr+i)%len(p.ctxs)]
+			if c.runnable() && c.availableAt <= now {
+				p.rr = c.idx
+				p.cur = c.idx
+				return c
+			}
+		}
+		return nil
+
+	case Interleaved, FineGrained:
+		// Strict round-robin across available contexts. A context inside
+		// its miss shadow still takes its slot (the slot is charged to
+		// switch overhead by the caller).
+		for i := 1; i <= len(p.ctxs); i++ {
+			c := p.ctxs[(p.rr+i)%len(p.ctxs)]
+			if !c.runnable() {
+				continue
+			}
+			if c.availableAt <= now || c.shadowUntil > now {
+				p.rr = c.idx
+				return c
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// idleCause decides what to charge a cycle with no selectable context:
+// the unavailability cause of the context that will wake soonest.
+func (p *Processor) idleCause() (SlotClass, int) {
+	best := int64(math.MaxInt64)
+	cls := SlotIdle
+	ctx := -1
+	for _, c := range p.ctxs {
+		if c.runnable() && c.availableAt < best {
+			best = c.availableAt
+			cls = c.availCause
+			ctx = c.idx
+		}
+	}
+	return cls, ctx
+}
+
+// depStall checks source and WAW dependencies; on a stall it returns the
+// class to charge.
+func (p *Processor) depStall(th *Thread, in *isa.Inst, now int64) (SlotClass, bool) {
+	worst := int64(0)
+	cls := SlotStallShort
+	a, b := in.Srcs()
+	for _, r := range [2]isa.Reg{a, b} {
+		if r == isa.NoReg || r == isa.R0 {
+			continue
+		}
+		if rdy := th.regReady[r]; rdy > now && rdy > worst {
+			worst = rdy
+			cls = th.regStall[r]
+		}
+	}
+	// WAW: in-order writeback — a write may issue only if it completes
+	// no earlier than the previous write to the same register.
+	if d := in.Dest(); d != isa.NoReg && d != isa.R0 {
+		lat := int64(in.Op.Timing().Latency)
+		if need := th.regReady[d] - lat; need > now && th.regReady[d] > worst {
+			worst = th.regReady[d]
+			cls = th.regStall[d]
+		}
+	}
+	if worst <= now {
+		return 0, false
+	}
+	if in.Region == isa.RegionSync {
+		return SlotSync, true
+	}
+	return cls, true
+}
+
+// stallClass classifies a pipeline stall by its remaining length and the
+// region of the stalled instruction.
+func stallClass(remaining int, region isa.Region) SlotClass {
+	if region == isa.RegionSync {
+		return SlotSync
+	}
+	if remaining > isa.LongLatencyThreshold {
+		return SlotStallLong
+	}
+	return SlotStallShort
+}
+
+// producerClass gives the slot class charged to stalls on the result of an
+// instruction that completed normally.
+func producerClass(op isa.Op, region isa.Region) SlotClass {
+	if region == isa.RegionSync {
+		return SlotSync
+	}
+	if op.Timing().Latency-1 > isa.LongLatencyThreshold {
+		return SlotStallLong
+	}
+	return SlotStallShort
+}
+
+// missSlot maps a miss class and region to the slot class charged while a
+// context waits for the fill.
+func missSlot(mc memsys.MissClass, region isa.Region) SlotClass {
+	if region == isa.RegionSync {
+		return SlotSync
+	}
+	return SlotDMem
+}
+
+func (p *Processor) busySlot(now int64, c *hwContext, th *Thread, in *isa.Inst) {
+	c.replayPC = -1
+	cls := SlotBusy
+	if in.Region == isa.RegionSync {
+		cls = SlotSyncBusy
+	}
+	p.Stats.Slots[cls]++
+	th.Devoted++
+	th.Retired++
+	p.Stats.Retired++
+	if p.Trace != nil {
+		p.Trace(TraceEvent{Cycle: now, Ctx: c.idx, Class: cls, PC: th.PC, Inst: in.String()})
+	}
+}
+
+// execute issues instruction in from context c at cycle now: functional
+// semantics plus timing bookkeeping.
+func (p *Processor) execute(c *hwContext, th *Thread, in *isa.Inst, now int64) {
+	tm := in.Op.Timing()
+	if tm.Unit != isa.UnitNone && tm.Issue > 1 {
+		p.fuFree[tm.Unit] = now + int64(tm.Issue)
+	}
+
+	switch in.Op {
+	case isa.NOP:
+		// fallthrough to retire
+
+	case isa.ADD, isa.ADDI, isa.SUB, isa.AND, isa.ANDI, isa.OR, isa.ORI,
+		isa.XOR, isa.XORI, isa.SLT, isa.SLTI, isa.SLTU, isa.LUI,
+		isa.SLL, isa.SRL, isa.SRA, isa.SLLV, isa.SRLV,
+		isa.MUL, isa.DIV, isa.REM, isa.DIVU:
+		v := evalInt(in, th)
+		th.writeInt(in.Rd, v)
+		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in.Op, in.Region))
+
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FNEG, isa.FABS, isa.FCVTIW,
+		isa.FDIVS, isa.FDIVD, isa.FSQRT:
+		v := evalFP(in, th)
+		th.writeFP(in.Rd, v)
+		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in.Op, in.Region))
+
+	case isa.FCMPLT:
+		v := uint32(0)
+		if th.readFP(in.Rs) < th.readFP(in.Rt) {
+			v = 1
+		}
+		th.writeInt(in.Rd, v)
+		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in.Op, in.Region))
+
+	case isa.FCMPLE:
+		v := uint32(0)
+		if th.readFP(in.Rs) <= th.readFP(in.Rt) {
+			v = 1
+		}
+		th.writeInt(in.Rd, v)
+		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in.Op, in.Region))
+
+	case isa.MTC1:
+		th.writeFP(in.Rd, float64(int32(th.readInt(in.Rs))))
+		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in.Op, in.Region))
+
+	case isa.MFC1:
+		th.writeInt(in.Rd, uint32(int32(th.readFP(in.Rs))))
+		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in.Op, in.Region))
+
+	case isa.LW, isa.SW, isa.FLD, isa.FSD, isa.TAS:
+		if done := p.executeMem(c, th, in, now); !done {
+			return // slot already accounted by the miss path
+		}
+
+	case isa.BEQ, isa.BNE, isa.BLEZ, isa.BGTZ, isa.J, isa.JAL, isa.JR:
+		p.executeBranch(c, th, in, now)
+		p.busySlot(now, c, th, in)
+		return // PC already updated
+
+	case isa.SWITCH:
+		// Explicit switch (blocked scheme, Table 4: cost 3). The switch
+		// decision is made at decode, so the flush is short.
+		p.Stats.ExplicitSwitches++
+		th.PC++
+		c.availableAt = now + int64(in.Imm)
+		c.availCause = yieldCause(in.Region)
+		p.shadowUntil = now + int64(p.Cfg.ExplicitSwitchCost)
+		p.shadowCtx = c.idx
+		p.cur = -1
+		p.count(now, SlotSwitch, c.idx)
+		return
+
+	case isa.BACKOFF:
+		// Interleaved backoff (Table 4: cost 1 — this slot).
+		p.Stats.Backoffs++
+		th.PC++
+		c.availableAt = now + int64(in.Imm)
+		c.availCause = yieldCause(in.Region)
+		p.count(now, SlotSwitch, c.idx)
+		return
+
+	case isa.TRAP:
+		// Software exception (§6): save the resume PC in this context's
+		// EPC and redirect to the handler, paying the pipeline refill
+		// like an unpredicted control transfer.
+		th.TrapCode = in.Imm
+		if th.TrapHandler < 0 {
+			th.Halted = true
+			th.HaltedAt = now
+			p.busySlot(now, c, th, in)
+			if p.cur == c.idx {
+				p.cur = -1
+			}
+			return
+		}
+		th.EPC = th.PC + 1
+		th.PC = th.TrapHandler
+		c.redirectUntil = now + 1 + int64(p.Cfg.MispredictPenalty)
+		p.busySlot(now, c, th, in)
+		return
+
+	case isa.ERET:
+		th.PC = th.EPC
+		c.redirectUntil = now + 1 + int64(p.Cfg.MispredictPenalty)
+		p.busySlot(now, c, th, in)
+		return
+
+	case isa.HALT:
+		th.Halted = true
+		th.HaltedAt = now
+		p.busySlot(now, c, th, in)
+		if p.cur == c.idx {
+			p.cur = -1
+		}
+		return
+
+	default:
+		panic(fmt.Sprintf("core: unimplemented op %v", in.Op))
+	}
+
+	th.PC++
+	p.busySlot(now, c, th, in)
+
+	// Fine-grained pipelines hold one instruction per context: the next
+	// issue waits a full pipeline depth.
+	if p.Cfg.Scheme == FineGrained {
+		if c.availableAt < now+int64(p.Cfg.PipelineDepth) {
+			c.availableAt = now + int64(p.Cfg.PipelineDepth)
+			c.availCause = SlotStallShort
+		}
+	}
+}
+
+// yieldCause is what to charge idle time caused by an explicit
+// switch/backoff: sync code yields charge to synchronization, compute
+// yields (after divides) to long instruction stall.
+func yieldCause(r isa.Region) SlotClass {
+	if r == isa.RegionSync {
+		return SlotSync
+	}
+	return SlotStallLong
+}
+
+// executeMem handles loads, stores and atomics. It returns true if the
+// instruction completed (hit) and the caller should retire it; on a miss
+// it performs all scheme-specific bookkeeping and accounting itself.
+func (p *Processor) executeMem(c *hwContext, th *Thread, in *isa.Inst, now int64) bool {
+	addr := uint32(int64(th.readInt(in.Rs)) + int64(in.Imm))
+
+	// The fine-grained scheme has no data cache: every reference is a
+	// fixed-latency memory access with zero switch cost (§2.1).
+	if p.Cfg.Scheme == FineGrained {
+		p.memFunctional(th, in, c.idx, now)
+		fill := now + int64(p.Cfg.FineGrainedMemLatency)
+		if d := in.Dest(); d != isa.NoReg {
+			th.setReady(d, fill, missSlot(memsys.Memory, in.Region))
+		}
+		c.availableAt = fill
+		c.availCause = missSlot(memsys.Memory, in.Region)
+		th.PC++
+		p.busySlot(now, c, th, in)
+		return false
+	}
+
+	res := p.Mem.AccessData(addr, in.IsStore(), th.Prog.PCAddr(th.PC), now)
+	if res.Hit {
+		p.memFunctional(th, in, c.idx, now)
+		if d := in.Dest(); d != isa.NoReg {
+			th.setReady(d, res.ReadyAt, producerClass(in.Op, in.Region))
+		}
+		return true
+	}
+
+	// Miss. The faulting instruction is not executed: the context's PC
+	// stays here and the access replays when the line (or TLB entry)
+	// arrives, which also gives the replayed load post-coherence data on
+	// a multiprocessor.
+	cause := missSlot(res.Class, in.Region)
+
+	// A TLB miss is a software refill: the handler runs on the processor
+	// itself, so no scheme can overlap it — the pipe blocks until the
+	// entry is installed, then the access replays.
+	if res.Class == memsys.TLBMiss {
+		p.stallUntil = res.FillAt
+		p.stallCause = cause
+		p.stallCtx = c.idx
+		p.count(now, cause, c.idx)
+		return false
+	}
+
+	// A replayed access that misses again (NAKed at the directory or the
+	// line was stolen): the context was never restarted, so there is
+	// nothing to flush — it re-sleeps at the cost of this slot only.
+	if c.replayPC == th.PC && p.Cfg.Scheme != Single {
+		c.availableAt = maxI64(res.FillAt, now+1)
+		c.availCause = cause
+		p.count(now, cause, c.idx)
+		return false
+	}
+	c.replayPC = th.PC
+
+	switch p.Cfg.Scheme {
+	case Single:
+		if res.Class == memsys.MSHRFull {
+			// Structural: the access itself could not start. Stall the
+			// pipe and replay.
+			p.stallUntil = res.FillAt
+			p.stallCause = cause
+			p.stallCtx = c.idx
+			p.count(now, cause, c.idx)
+			return false
+		}
+		// Lockup-free: execute under the miss; consumers wait for the
+		// fill through the scoreboard.
+		p.memFunctional(th, in, c.idx, now)
+		if d := in.Dest(); d != isa.NoReg {
+			th.setReady(d, res.FillAt, cause)
+		}
+		th.PC++
+		p.busySlot(now, c, th, in)
+		return false
+
+	case Blocked, BlockedFast:
+		// Flush the pipeline: the miss is detected in WB, so the whole
+		// window from the faulting issue to detection is lost (7 slots),
+		// or a single slot for the replicated-pipeline variant.
+		p.Stats.MissSwitches++
+		depth := int64(p.Cfg.PipelineDepth)
+		if p.Cfg.Scheme == BlockedFast {
+			depth = 1
+		}
+		if p.Cfg.BlockedFlushCost > 0 {
+			depth = int64(p.Cfg.BlockedFlushCost)
+		}
+		p.shadowUntil = now + depth
+		p.shadowCtx = c.idx
+		c.availableAt = maxI64(res.FillAt, now+depth)
+		c.availCause = cause
+		p.cur = -1
+		p.count(now, SlotSwitch, c.idx)
+		return false
+
+	case Interleaved:
+		// Selective squash: only this context's slots inside the
+		// detection window are lost; other contexts keep issuing.
+		p.Stats.MissSwitches++
+		depth := int64(p.Cfg.PipelineDepth)
+		c.shadowUntil = now + depth
+		c.availableAt = maxI64(res.FillAt, now+depth)
+		c.availCause = cause
+		p.count(now, SlotSwitch, c.idx)
+		return false
+	}
+	panic("core: unreachable miss scheme")
+}
+
+// memFunctional applies the functional semantics of a memory instruction.
+func (p *Processor) memFunctional(th *Thread, in *isa.Inst, ctx int, now int64) {
+	addr := uint32(int64(th.readInt(in.Rs)) + int64(in.Imm))
+	switch in.Op {
+	case isa.LW:
+		v := p.FMem.LoadW(addr)
+		th.writeInt(in.Rd, v)
+		if p.MemWatch != nil {
+			p.MemWatch(in.Op, addr, v, ctx, now)
+		}
+	case isa.SW:
+		v := th.readInt(in.Rt)
+		p.FMem.StoreW(addr, v)
+		if p.MemWatch != nil {
+			p.MemWatch(in.Op, addr, v, ctx, now)
+		}
+	case isa.FLD:
+		th.Regs[in.Rd] = p.FMem.LoadD(addr)
+	case isa.FSD:
+		p.FMem.StoreD(addr, th.Regs[in.Rt])
+	case isa.TAS:
+		v := p.FMem.TestAndSet(addr)
+		th.writeInt(in.Rd, v)
+		if p.MemWatch != nil {
+			p.MemWatch(in.Op, addr, v, ctx, now)
+		}
+	}
+}
+
+// executeBranch resolves a control transfer, consults the BTB, and charges
+// the fetch redirect on a misprediction.
+func (p *Processor) executeBranch(c *hwContext, th *Thread, in *isa.Inst, now int64) {
+	p.Stats.Branches++
+	taken := true
+	next := int(in.Target)
+	switch in.Op {
+	case isa.BEQ:
+		taken = th.readInt(in.Rs) == th.readInt(in.Rt)
+	case isa.BNE:
+		taken = th.readInt(in.Rs) != th.readInt(in.Rt)
+	case isa.BLEZ:
+		taken = int32(th.readInt(in.Rs)) <= 0
+	case isa.BGTZ:
+		taken = int32(th.readInt(in.Rs)) > 0
+	case isa.J:
+	case isa.JAL:
+		th.writeInt(in.Rd, uint32(th.PC+1))
+		th.setReady(in.Rd, now+1, SlotStallShort)
+	case isa.JR:
+		next = int(th.readInt(in.Rs))
+	}
+	if !taken {
+		next = th.PC + 1
+	}
+
+	pcAddr := th.Prog.PCAddr(th.PC)
+	predicted := th.PC + 1 // fall-through on BTB miss
+	btbHit := false
+	if p.btb != nil {
+		if t, hit := p.btb.Lookup(pcAddr); hit {
+			predicted = int(t)
+			btbHit = true
+		}
+	}
+	if predicted != next {
+		p.Stats.Mispredicts++
+		penalty := int64(p.Cfg.MispredictPenalty)
+		if (in.Op == isa.J || in.Op == isa.JAL) && !btbHit {
+			// Unconditional direct jumps resolve at decode: one bubble.
+			penalty = 1
+		}
+		c.redirectUntil = now + 1 + penalty
+	}
+	if p.btb != nil {
+		p.btb.Record(pcAddr, taken || in.Op == isa.J || in.Op == isa.JAL || in.Op == isa.JR, int32(next))
+	}
+	th.PC = next
+}
+
+func evalInt(in *isa.Inst, th *Thread) uint32 {
+	s := th.readInt(in.Rs)
+	t := th.readInt(in.Rt)
+	imm := uint32(in.Imm)
+	switch in.Op {
+	case isa.ADD:
+		return s + t
+	case isa.ADDI:
+		return s + imm // imm sign-extended via int32 conversion on build
+	case isa.SUB:
+		return s - t
+	case isa.AND:
+		return s & t
+	case isa.ANDI:
+		return s & (imm & 0xFFFF)
+	case isa.OR:
+		return s | t
+	case isa.ORI:
+		return s | (imm & 0xFFFF)
+	case isa.XOR:
+		return s ^ t
+	case isa.XORI:
+		return s ^ (imm & 0xFFFF)
+	case isa.SLT:
+		if int32(s) < int32(t) {
+			return 1
+		}
+		return 0
+	case isa.SLTI:
+		if int32(s) < in.Imm {
+			return 1
+		}
+		return 0
+	case isa.SLTU:
+		if s < t {
+			return 1
+		}
+		return 0
+	case isa.LUI:
+		return imm << 16
+	case isa.SLL:
+		return s << (imm & 31)
+	case isa.SRL:
+		return s >> (imm & 31)
+	case isa.SRA:
+		return uint32(int32(s) >> (imm & 31))
+	case isa.SLLV:
+		return s << (t & 31)
+	case isa.SRLV:
+		return s >> (t & 31)
+	case isa.MUL:
+		return s * t
+	case isa.DIV:
+		if t == 0 {
+			return 0
+		}
+		return uint32(int32(s) / int32(t))
+	case isa.REM:
+		if t == 0 {
+			return 0
+		}
+		return uint32(int32(s) % int32(t))
+	case isa.DIVU:
+		if t == 0 {
+			return 0
+		}
+		return s / t
+	}
+	panic("core: evalInt on non-integer op")
+}
+
+func evalFP(in *isa.Inst, th *Thread) float64 {
+	s := th.readFP(in.Rs)
+	t := th.readFP(in.Rt)
+	switch in.Op {
+	case isa.FADD:
+		return s + t
+	case isa.FSUB:
+		return s - t
+	case isa.FMUL:
+		return s * t
+	case isa.FNEG:
+		return -s
+	case isa.FABS:
+		return math.Abs(s)
+	case isa.FCVTIW:
+		return math.Trunc(s)
+	case isa.FDIVS, isa.FDIVD:
+		return s / t
+	case isa.FSQRT:
+		return math.Sqrt(s)
+	}
+	panic("core: evalFP on non-FP op")
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

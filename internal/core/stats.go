@@ -1,0 +1,150 @@
+// Package core implements the paper's contribution: a cycle-accurate,
+// issue-slot model of a multiple-context processor pipeline supporting the
+// single-context, blocked, interleaved and fine-grained context-selection
+// schemes.
+//
+// One instruction issue slot exists per cycle. Every cycle is accounted to
+// exactly one slot class, which is how the paper's utilization breakdowns
+// (Figures 6-9) are produced: busy, instruction stall (short/long),
+// instruction-cache stall, data-memory stall, synchronization, and
+// context-switch overhead.
+package core
+
+// SlotClass says how one issue slot (cycle) was spent.
+type SlotClass uint8
+
+// Slot classes.
+const (
+	// SlotBusy: a useful application instruction issued.
+	SlotBusy SlotClass = iota
+	// SlotSyncBusy: an instruction from synchronization-library code
+	// issued (charged to the synchronization category in the MP
+	// breakdowns).
+	SlotSyncBusy
+	// SlotStallShort: pipeline dependency or FU conflict of at most
+	// four cycles (paper's "short" instruction stall).
+	SlotStallShort
+	// SlotStallLong: longer pipeline dependency (divides etc.).
+	SlotStallLong
+	// SlotICache: stalled on an instruction-cache miss (blocking I-cache).
+	SlotICache
+	// SlotDMem: stalled with all contexts waiting on data memory or the
+	// TLB ("Data Cache/TLB" in Figures 6-7, "Memory" in Figures 8-9).
+	SlotDMem
+	// SlotSync: stalled on synchronization (spin-wait backoff or a miss
+	// inside sync code).
+	SlotSync
+	// SlotSwitch: context-switch overhead — squashed or shadowed slots
+	// of a miss, or the cost of an explicit switch/backoff instruction.
+	SlotSwitch
+	// SlotIdle: no runnable thread bound to any context.
+	SlotIdle
+
+	// NumSlotClasses is the number of slot classes.
+	NumSlotClasses = iota
+)
+
+var slotNames = [NumSlotClasses]string{
+	"busy", "sync-busy", "stall-short", "stall-long",
+	"icache", "dmem", "sync", "switch", "idle",
+}
+
+func (c SlotClass) String() string {
+	if int(c) < len(slotNames) {
+		return slotNames[c]
+	}
+	return "slot(?)"
+}
+
+// Stats accumulates per-processor accounting.
+type Stats struct {
+	Cycles  int64
+	Slots   [NumSlotClasses]int64
+	Retired int64 // useful instructions completed (including sync code)
+
+	Branches    int64
+	Mispredicts int64
+
+	MissSwitches     int64 // context unavailability events due to data misses
+	ExplicitSwitches int64 // SWITCH instructions executed
+	Backoffs         int64 // BACKOFF instructions executed
+}
+
+// TotalSlots is the number of issue slots accounted (equal to Cycles on
+// the paper's single-issue processor; Cycles × width with superscalar
+// issue).
+func (s *Stats) TotalSlots() int64 {
+	var total int64
+	for _, v := range s.Slots {
+		total += v
+	}
+	return total
+}
+
+// BusyFraction is the fraction of issue slots spent on useful instructions
+// (the number printed atop the bars in Figures 6 and 7).
+func (s *Stats) BusyFraction() float64 {
+	total := s.TotalSlots()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Slots[SlotBusy]+s.Slots[SlotSyncBusy]) / float64(total)
+}
+
+// Fraction returns the share of issue slots in class c.
+func (s *Stats) Fraction(c SlotClass) float64 {
+	total := s.TotalSlots()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Slots[c]) / float64(total)
+}
+
+// IPC is retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	s.Cycles += o.Cycles
+	for i := range s.Slots {
+		s.Slots[i] += o.Slots[i]
+	}
+	s.Retired += o.Retired
+	s.Branches += o.Branches
+	s.Mispredicts += o.Mispredicts
+	s.MissSwitches += o.MissSwitches
+	s.ExplicitSwitches += o.ExplicitSwitches
+	s.Backoffs += o.Backoffs
+}
+
+// Breakdown maps the fine-grained slot classes onto the paper's reporting
+// categories.
+type Breakdown struct {
+	Busy       float64 // useful issue
+	InstrShort float64 // short pipeline-dependency stalls
+	InstrLong  float64 // long pipeline-dependency stalls
+	InstCache  float64 // I-cache stalls (uniprocessor figures)
+	DataMem    float64 // data cache / TLB / memory stalls
+	Sync       float64 // synchronization (MP figures)
+	Switch     float64 // context-switch overhead
+	Idle       float64 // unbound contexts
+}
+
+// Breakdown computes the category fractions.
+func (s *Stats) Breakdown() Breakdown {
+	return Breakdown{
+		Busy:       s.Fraction(SlotBusy),
+		InstrShort: s.Fraction(SlotStallShort),
+		InstrLong:  s.Fraction(SlotStallLong),
+		InstCache:  s.Fraction(SlotICache),
+		DataMem:    s.Fraction(SlotDMem),
+		Sync:       s.Fraction(SlotSync) + s.Fraction(SlotSyncBusy),
+		Switch:     s.Fraction(SlotSwitch),
+		Idle:       s.Fraction(SlotIdle),
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import "testing"
+
+func TestStatsFractions(t *testing.T) {
+	s := Stats{Cycles: 100}
+	s.Slots[SlotBusy] = 50
+	s.Slots[SlotSyncBusy] = 10
+	s.Slots[SlotStallShort] = 15
+	s.Slots[SlotStallLong] = 5
+	s.Slots[SlotDMem] = 10
+	s.Slots[SlotSwitch] = 10
+	if got := s.BusyFraction(); got != 0.6 {
+		t.Errorf("busy fraction = %v, want 0.6", got)
+	}
+	if got := s.Fraction(SlotSwitch); got != 0.1 {
+		t.Errorf("switch fraction = %v", got)
+	}
+	bd := s.Breakdown()
+	if bd.Busy != 0.5 || bd.Sync != 0.1 || bd.InstrShort != 0.15 {
+		t.Errorf("breakdown = %+v", bd)
+	}
+	// The breakdown must partition.
+	sum := bd.Busy + bd.InstrShort + bd.InstrLong + bd.InstCache + bd.DataMem + bd.Sync + bd.Switch + bd.Idle
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("breakdown sums to %v", sum)
+	}
+}
+
+func TestStatsZeroCycles(t *testing.T) {
+	var s Stats
+	if s.BusyFraction() != 0 || s.IPC() != 0 || s.Fraction(SlotBusy) != 0 {
+		t.Error("zero-cycle stats must report zero rates")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Cycles: 10, Retired: 5, Branches: 2, Mispredicts: 1, MissSwitches: 3}
+	a.Slots[SlotBusy] = 5
+	b := Stats{Cycles: 20, Retired: 8, Branches: 4, Backoffs: 2, ExplicitSwitches: 1}
+	b.Slots[SlotBusy] = 8
+	a.Add(&b)
+	if a.Cycles != 30 || a.Retired != 13 || a.Slots[SlotBusy] != 13 ||
+		a.Branches != 6 || a.Mispredicts != 1 || a.MissSwitches != 3 ||
+		a.Backoffs != 2 || a.ExplicitSwitches != 1 {
+		t.Errorf("Add result wrong: %+v", a)
+	}
+}
+
+func TestSlotClassNames(t *testing.T) {
+	for c := SlotClass(0); int(c) < NumSlotClasses; c++ {
+		if c.String() == "" || c.String() == "slot(?)" {
+			t.Errorf("slot class %d unnamed", c)
+		}
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	for s := Scheme(0); int(s) < NumSchemes; s++ {
+		if s.String() == "" || s.String() == "scheme(?)" {
+			t.Errorf("scheme %d unnamed", s)
+		}
+	}
+	if Scheme(200).String() != "scheme(?)" {
+		t.Error("out-of-range scheme name")
+	}
+}

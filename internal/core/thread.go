@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Thread is a software thread: architectural register state plus a program
+// position. Hardware contexts are loaded with threads; the workstation OS
+// model swaps threads across contexts at time slices, and the
+// multiprocessor binds one thread per context for an application's
+// lifetime.
+type Thread struct {
+	Name string
+	Prog *prog.Program
+	PC   int
+	// Regs holds the 64 architectural registers: integer registers store
+	// their 32-bit value zero-extended; FP registers store
+	// math.Float64bits of their value.
+	Regs   [isa.NumRegs]uint64
+	Halted bool
+	// HaltedAt is the cycle the HALT instruction retired.
+	HaltedAt int64
+
+	// Exception state (paper §6: each context replicates an EPC). EPC
+	// holds the resume point of the last trap; TrapHandler is the
+	// instruction index control enters on TRAP (set with SetTrapHandler;
+	// -1, the default from NewThread, makes TRAP halt the thread).
+	EPC         int
+	TrapHandler int
+	// TrapCode is the immediate of the most recent TRAP.
+	TrapCode int32
+
+	// Retired counts useful instructions completed by this thread.
+	Retired int64
+	// Devoted counts processor cycles attributed to this thread: its
+	// issue slots, its stalls, the switch overhead and idle time it
+	// caused. The workstation's fairness normalization (paper §5.1)
+	// divides Retired by Devoted to get the rate the application would
+	// sustain if the OS gave it exactly 1/n of the processor.
+	Devoted int64
+
+	// Scoreboard: absolute cycle at which each register's value is
+	// available for forwarding, and the slot class a stall on it should
+	// be charged to.
+	regReady [isa.NumRegs]int64
+	regStall [isa.NumRegs]SlotClass
+}
+
+// NewThread returns a thread at the entry of p with zeroed registers and
+// no trap handler.
+func NewThread(name string, p *prog.Program) *Thread {
+	return &Thread{Name: name, Prog: p, TrapHandler: -1}
+}
+
+// SetTrapHandler installs the trap handler at the named label of the
+// thread's program; it panics if the label does not exist.
+func (t *Thread) SetTrapHandler(label string) {
+	idx, ok := t.Prog.Labels[label]
+	if !ok {
+		panic("core: no label " + label + " in " + t.Prog.Name)
+	}
+	t.TrapHandler = idx
+}
+
+// SetIntReg initializes an integer register (used to pass thread id and
+// thread count to SPMD kernels).
+func (t *Thread) SetIntReg(r isa.Reg, v uint32) {
+	if r.IsFP() || !r.Valid() {
+		panic("core: SetIntReg needs an integer register")
+	}
+	if r != isa.R0 {
+		t.Regs[r] = uint64(v)
+	}
+}
+
+// IntReg reads an integer register.
+func (t *Thread) IntReg(r isa.Reg) uint32 {
+	return uint32(t.Regs[r])
+}
+
+// FPReg reads a floating-point register.
+func (t *Thread) FPReg(r isa.Reg) float64 {
+	return math.Float64frombits(t.Regs[r])
+}
+
+// SetFPReg initializes a floating-point register.
+func (t *Thread) SetFPReg(r isa.Reg, v float64) {
+	if !r.IsFP() {
+		panic("core: SetFPReg needs an FP register")
+	}
+	t.Regs[r] = math.Float64bits(v)
+}
+
+func (t *Thread) readInt(r isa.Reg) uint32 { return uint32(t.Regs[r]) }
+
+func (t *Thread) writeInt(r isa.Reg, v uint32) {
+	if r != isa.R0 {
+		t.Regs[r] = uint64(v)
+	}
+}
+
+func (t *Thread) readFP(r isa.Reg) float64 { return math.Float64frombits(t.Regs[r]) }
+
+func (t *Thread) writeFP(r isa.Reg, v float64) { t.Regs[r] = math.Float64bits(v) }
+
+// setReady records the forwarding time and stall class of a register write.
+func (t *Thread) setReady(r isa.Reg, readyAt int64, cls SlotClass) {
+	if r == isa.R0 || r == isa.NoReg {
+		return
+	}
+	t.regReady[r] = readyAt
+	t.regStall[r] = cls
+}
+
+// Done reports whether the thread has halted.
+func (t *Thread) Done() bool { return t.Halted }

@@ -1,0 +1,118 @@
+package core
+
+// Tests of the §6 exception machinery: TRAP saves the per-context EPC and
+// enters the handler; ERET resumes. Each hardware context's thread has its
+// own EPC, mirroring the paper's replicated exception-PC registers.
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// trapProgram: main increments R2, traps, continues; the handler
+// increments R3 and returns.
+func trapProgram(t *testing.T) *prog.Program {
+	return buildProg(t, "trap", func(b *prog.Builder) {
+		b.Li(isa.R2, 0)
+		b.Li(isa.R3, 0)
+		b.Addi(isa.R2, isa.R2, 1)
+		b.Trap(42)
+		b.Addi(isa.R2, isa.R2, 1)
+		b.Trap(43)
+		b.Addi(isa.R2, isa.R2, 1)
+		b.Halt()
+		b.Label("handler")
+		b.Addi(isa.R3, isa.R3, 10)
+		b.Eret()
+	})
+}
+
+func TestTrapAndReturn(t *testing.T) {
+	fm := mem.New()
+	p := MustNewProcessor(DefaultConfig(Single, 1), perfectMem{}, fm)
+	th := NewThread("trap", trapProgram(t))
+	th.SetTrapHandler("handler")
+	p.BindThread(0, th)
+	if _, done := p.RunUntilHalted(10_000); !done {
+		t.Fatal("did not halt")
+	}
+	if th.IntReg(isa.R2) != 3 {
+		t.Errorf("R2 = %d, want 3 (main path resumed after each trap)", th.IntReg(isa.R2))
+	}
+	if th.IntReg(isa.R3) != 20 {
+		t.Errorf("R3 = %d, want 20 (handler ran twice)", th.IntReg(isa.R3))
+	}
+	if th.TrapCode != 43 {
+		t.Errorf("trap code = %d, want 43 (last trap)", th.TrapCode)
+	}
+}
+
+func TestTrapWithoutHandlerHalts(t *testing.T) {
+	fm := mem.New()
+	p := MustNewProcessor(DefaultConfig(Single, 1), perfectMem{}, fm)
+	pr := buildProg(t, "t", func(b *prog.Builder) {
+		b.Addi(isa.R2, isa.R2, 1)
+		b.Trap(7)
+		b.Addi(isa.R2, isa.R2, 1) // unreachable
+		b.Halt()
+	})
+	th := NewThread("t", pr)
+	p.BindThread(0, th)
+	if _, done := p.RunUntilHalted(1_000); !done {
+		t.Fatal("did not halt")
+	}
+	if th.IntReg(isa.R2) != 1 {
+		t.Errorf("R2 = %d; unhandled trap must stop the thread", th.IntReg(isa.R2))
+	}
+	if th.TrapCode != 7 {
+		t.Errorf("trap code = %d", th.TrapCode)
+	}
+}
+
+// Per-context EPCs: two interleaved contexts trapping simultaneously must
+// not clobber each other's resume points (§6.2's replicated EPC).
+func TestPerContextEPC(t *testing.T) {
+	fm := mem.New()
+	p := MustNewProcessor(DefaultConfig(Interleaved, 2), perfectMem{}, fm)
+	for c := 0; c < 2; c++ {
+		th := NewThread("t", trapProgram(t))
+		th.SetTrapHandler("handler")
+		p.BindThread(c, th)
+	}
+	if _, done := p.RunUntilHalted(10_000); !done {
+		t.Fatal("did not halt")
+	}
+	for c := 0; c < 2; c++ {
+		th := p.ThreadAt(c)
+		if th.IntReg(isa.R2) != 3 || th.IntReg(isa.R3) != 20 {
+			t.Errorf("ctx %d: R2=%d R3=%d, want 3/20", c, th.IntReg(isa.R2), th.IntReg(isa.R3))
+		}
+	}
+}
+
+func TestSetTrapHandlerUnknownLabel(t *testing.T) {
+	th := NewThread("t", trapProgram(t))
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown handler label did not panic")
+		}
+	}()
+	th.SetTrapHandler("nope")
+}
+
+func TestTrapRedirectCostsPipelineRefill(t *testing.T) {
+	// The trap's control transfer pays the unpredicted-branch redirect.
+	fm := mem.New()
+	p := MustNewProcessor(DefaultConfig(Single, 1), perfectMem{}, fm)
+	th := NewThread("trap", trapProgram(t))
+	th.SetTrapHandler("handler")
+	p.BindThread(0, th)
+	cycles, _ := p.RunUntilHalted(10_000)
+	// 9 main+handler instructions + 4 redirects (2 traps + 2 erets) x 3.
+	if cycles < 9+4*3 {
+		t.Errorf("cycles = %d; traps should pay the redirect penalty", cycles)
+	}
+}

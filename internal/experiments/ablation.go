@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/stats"
+	"repro/internal/workstation"
+)
+
+// AblationResult reports the design-choice studies DESIGN.md calls out:
+// each row is a variant's fairness-normalized throughput gain over the
+// single-context baseline on the uniprocessor workloads (the same metric
+// as Table 7).
+type AblationResult struct {
+	Workloads []string
+	Rows      []AblationRow
+}
+
+// AblationRow is one variant's gains per workload.
+type AblationRow struct {
+	Name  string
+	Gains []float64
+	Mean  float64
+}
+
+// RunAblations evaluates, at four contexts on the given workloads:
+//
+//   - interleaved (the proposal)
+//   - blocked (the prior art)
+//   - blocked-fast (pipeline-register replication: 1-cycle switch, §2.2)
+//   - interleaved without the BTB
+//   - interleaved without the backoff instruction
+//   - fine-grained (HEP-style, §2.1)
+func RunAblations(cfg UniConfig) (*AblationResult, error) {
+	workloads := cfg.Workloads
+	if workloads == nil {
+		workloads = WorkloadOrder
+	}
+	res := &AblationResult{Workloads: workloads}
+
+	type variant struct {
+		name   string
+		scheme core.Scheme
+		mutate func(*workstation.Config)
+	}
+	variants := []variant{
+		{"interleaved", core.Interleaved, nil},
+		{"blocked", core.Blocked, nil},
+		{"blocked-fast (1-cycle switch)", core.BlockedFast, nil},
+		{"interleaved, no BTB", core.Interleaved, func(w *workstation.Config) {
+			c := core.DefaultConfig(core.Interleaved, w.Contexts)
+			c.BTBEntries = 0
+			w.Core = &c
+		}},
+		{"interleaved, no backoff", core.Interleaved, func(w *workstation.Config) {
+			// The hardware still interleaves, but the code is compiled
+			// without latency-tolerance yields.
+			none := prog.YieldNone
+			w.YieldOverride = &none
+		}},
+		{"fine-grained (HEP-style)", core.FineGrained, nil},
+	}
+
+	base := make(map[string]float64)
+	for _, w := range workloads {
+		kernels, err := ResolveWorkload(w)
+		if err != nil {
+			return nil, err
+		}
+		wcfg := workstation.DefaultConfig(core.Single, 1)
+		wcfg.OS.SliceCycles = cfg.SliceCycles
+		wcfg.WarmupRotations = cfg.WarmupRotations
+		wcfg.MeasureRotations = cfg.MeasureRotations
+		wcfg.Seed = cfg.Seed
+		r, err := workstation.Run(kernels, wcfg)
+		if err != nil {
+			return nil, err
+		}
+		base[w] = r.FairThroughput
+	}
+
+	for _, v := range variants {
+		row := AblationRow{Name: v.name}
+		for _, w := range workloads {
+			kernels, err := ResolveWorkload(w)
+			if err != nil {
+				return nil, err
+			}
+			wcfg := workstation.DefaultConfig(v.scheme, 4)
+			wcfg.OS.SliceCycles = cfg.SliceCycles
+			wcfg.WarmupRotations = cfg.WarmupRotations
+			wcfg.MeasureRotations = cfg.MeasureRotations
+			wcfg.Seed = cfg.Seed
+			if v.mutate != nil {
+				v.mutate(&wcfg)
+			}
+			r, err := workstation.Run(kernels, wcfg)
+			if err != nil {
+				return nil, err
+			}
+			row.Gains = append(row.Gains, r.FairThroughput/base[w])
+		}
+		row.Mean = stats.GeoMean(row.Gains)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// FormatAblations renders the ablation table.
+func FormatAblations(r *AblationResult) string {
+	var b strings.Builder
+	b.WriteString("Ablations: geometric-mean throughput gain at 4 contexts\n\n")
+	header := append([]string{"Variant"}, r.Workloads...)
+	header = append(header, "Mean")
+	t := stats.NewTable(header...)
+	for _, row := range r.Rows {
+		cells := []string{row.Name}
+		for _, g := range row.Gains {
+			cells = append(cells, stats.Ratio(g))
+		}
+		cells = append(cells, stats.Ratio(row.Mean))
+		t.AddRow(cells...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

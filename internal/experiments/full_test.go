@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	r, err := RunUniprocessor(DefaultUniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(FormatTable7(r))
+	m, err := RunMultiprocessor(DefaultMPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(FormatTable10(m))
+}

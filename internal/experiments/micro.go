@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+	"repro/internal/prog"
+	"repro/internal/stats"
+)
+
+// demoMem is the deterministic memory used by the micro experiments
+// (Figures 2-3, Table 4): instruction fetches always hit; a data line
+// misses once with a fixed latency and hits afterwards.
+type demoMem struct {
+	lat     int64
+	pending map[uint32]int64
+}
+
+func newDemoMem(lat int64) *demoMem {
+	return &demoMem{lat: lat, pending: make(map[uint32]int64)}
+}
+
+func (f *demoMem) preload(addr uint32) { f.pending[addr>>5] = -1 }
+
+func (f *demoMem) FetchInst(addr uint32, now int64) (int64, bool) { return now, false }
+
+func (f *demoMem) AccessData(addr uint32, write bool, pc uint32, now int64) memsys.DataResult {
+	line := addr >> 5
+	if fill, ok := f.pending[line]; ok {
+		if now >= fill {
+			return memsys.DataResult{Hit: true, ReadyAt: now + 3, Class: memsys.HitL1}
+		}
+		return memsys.DataResult{FillAt: fill, Class: memsys.Memory}
+	}
+	f.pending[line] = now + f.lat
+	return memsys.DataResult{FillAt: now + f.lat, Class: memsys.Memory}
+}
+
+// Figure3Threads builds the paper's four example threads: A is two
+// instructions, B is three with a two-cycle dependency between the first
+// two, C is four and D is six; each ends with a load that misses.
+func Figure3Threads(dm *demoMem) []*prog.Program {
+	hitAddr := uint32(0x200000)
+	dm.preload(hitAddr)
+	build := func(name string, f func(b *prog.Builder)) *prog.Program {
+		b := prog.NewBuilder(name, 0x1000, 0x100000, 1<<20)
+		f(b)
+		b.Halt()
+		return b.MustBuild()
+	}
+	a := build("A", func(b *prog.Builder) {
+		b.Add(isa.R2, isa.R3, isa.R4)
+		b.Lw(isa.R5, isa.R1, 0)
+	})
+	bb := build("B", func(b *prog.Builder) {
+		b.La(isa.R6, hitAddr)
+		b.Lw(isa.R2, isa.R6, 0)
+		b.Add(isa.R3, isa.R2, isa.R2)
+		b.Lw(isa.R5, isa.R1, 64)
+	})
+	c := build("C", func(b *prog.Builder) {
+		for i := 0; i < 3; i++ {
+			b.Add(isa.R2, isa.R3, isa.R4)
+		}
+		b.Lw(isa.R5, isa.R1, 128)
+	})
+	d := build("D", func(b *prog.Builder) {
+		for i := 0; i < 5; i++ {
+			b.Add(isa.R2, isa.R3, isa.R4)
+		}
+		b.Lw(isa.R5, isa.R1, 192)
+	})
+	return []*prog.Program{a, bb, c, d}
+}
+
+// TimelineResult is a recorded micro-experiment run.
+type TimelineResult struct {
+	Scheme core.Scheme
+	Cycles int64
+	Events []core.TraceEvent
+	Stats  core.Stats
+}
+
+// Figure2 runs the miss-cost microbenchmark (one context takes a miss
+// while three others run independent work) under both schemes, recording
+// the timelines whose switch overhead is 7 vs 2 cycles in the paper's
+// Figure 2.
+func Figure2() (blocked, interleaved *TimelineResult, err error) {
+	run := func(s core.Scheme) (*TimelineResult, error) {
+		dm := newDemoMem(40)
+		fm := mem.New()
+		p, err := core.NewProcessor(core.DefaultConfig(s, 4), dm, fm)
+		if err != nil {
+			return nil, err
+		}
+		res := &TimelineResult{Scheme: s}
+		p.Trace = func(ev core.TraceEvent) { res.Events = append(res.Events, ev) }
+		mk := func(name string, f func(b *prog.Builder)) *core.Thread {
+			b := prog.NewBuilder(name, 0x1000, 0x100000, 1<<20)
+			f(b)
+			b.Halt()
+			return core.NewThread(name, b.MustBuild())
+		}
+		p.BindThread(0, mk("A", func(b *prog.Builder) {
+			b.Lw(isa.R2, isa.R1, 0)
+			for i := 0; i < 20; i++ {
+				b.Add(isa.R3, isa.R4, isa.R5)
+			}
+		}))
+		for i := 1; i < 4; i++ {
+			p.BindThread(i, mk(string(rune('A'+i)), func(b *prog.Builder) {
+				for j := 0; j < 60; j++ {
+					b.Add(isa.R3, isa.R4, isa.R5)
+				}
+			}))
+		}
+		cycles, done := p.RunUntilHalted(10_000)
+		if !done {
+			return nil, fmt.Errorf("experiments: figure 2 run did not complete")
+		}
+		res.Cycles = cycles
+		res.Stats = p.Stats
+		return res, nil
+	}
+	if blocked, err = run(core.Blocked); err != nil {
+		return nil, nil, err
+	}
+	if interleaved, err = run(core.Interleaved); err != nil {
+		return nil, nil, err
+	}
+	return blocked, interleaved, nil
+}
+
+// Figure3 runs the four example threads under both schemes.
+func Figure3() (blocked, interleaved *TimelineResult, err error) {
+	run := func(s core.Scheme) (*TimelineResult, error) {
+		dm := newDemoMem(20)
+		progs := Figure3Threads(dm)
+		fm := mem.New()
+		p, err := core.NewProcessor(core.DefaultConfig(s, 4), dm, fm)
+		if err != nil {
+			return nil, err
+		}
+		res := &TimelineResult{Scheme: s}
+		p.Trace = func(ev core.TraceEvent) { res.Events = append(res.Events, ev) }
+		for i, pr := range progs {
+			p.BindThread(i, core.NewThread(pr.Name, pr))
+		}
+		cycles, done := p.RunUntilHalted(10_000)
+		if !done {
+			return nil, fmt.Errorf("experiments: figure 3 run did not complete")
+		}
+		res.Cycles = cycles
+		res.Stats = p.Stats
+		return res, nil
+	}
+	if blocked, err = run(core.Blocked); err != nil {
+		return nil, nil, err
+	}
+	if interleaved, err = run(core.Interleaved); err != nil {
+		return nil, nil, err
+	}
+	return blocked, interleaved, nil
+}
+
+// FormatTimeline renders a Figure 2/3-style issue-slot timeline: one
+// letter per cycle naming the issuing context (A-D), or a marker for
+// non-issue slots (. stall, * switch overhead, m memory wait, I icache).
+func FormatTimeline(r *TimelineResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s scheme (%d cycles):\n  ", r.Scheme, r.Cycles)
+	for i, ev := range r.Events {
+		if i > 0 && i%80 == 0 {
+			b.WriteString("\n  ")
+		}
+		switch {
+		case ev.Class == core.SlotBusy || ev.Class == core.SlotSyncBusy:
+			b.WriteByte(byte('A' + ev.Ctx))
+		case ev.Class == core.SlotSwitch:
+			b.WriteByte('*')
+		case ev.Class == core.SlotDMem:
+			b.WriteByte('m')
+		case ev.Class == core.SlotICache:
+			b.WriteByte('I')
+		case ev.Class == core.SlotIdle:
+			b.WriteByte('_')
+		default:
+			b.WriteByte('.')
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Table4Result reports the measured context-switch costs.
+type Table4Result struct {
+	BlockedMiss     int64 // cycles of switch overhead per data miss
+	InterleavedMiss int64 // with four active contexts
+	ExplicitSwitch  int64
+	Backoff         int64
+}
+
+// Table4 measures the switch costs of Table 4 with microbenchmarks: a
+// single miss (or explicit yield) surrounded by enough independent work on
+// the other contexts.
+func Table4() (*Table4Result, error) {
+	missCost := func(s core.Scheme) (int64, error) {
+		dm := newDemoMem(40)
+		fm := mem.New()
+		p, err := core.NewProcessor(core.DefaultConfig(s, 4), dm, fm)
+		if err != nil {
+			return 0, err
+		}
+		mk := func(name string, f func(b *prog.Builder)) *core.Thread {
+			b := prog.NewBuilder(name, 0x1000, 0x100000, 1<<20)
+			f(b)
+			b.Halt()
+			return core.NewThread(name, b.MustBuild())
+		}
+		p.BindThread(0, mk("misser", func(b *prog.Builder) {
+			b.Lw(isa.R2, isa.R1, 0)
+			for i := 0; i < 50; i++ {
+				b.Add(isa.R3, isa.R4, isa.R5)
+			}
+		}))
+		for i := 1; i < 4; i++ {
+			p.BindThread(i, mk("adder", func(b *prog.Builder) {
+				for j := 0; j < 200; j++ {
+					b.Add(isa.R3, isa.R4, isa.R5)
+				}
+			}))
+		}
+		if _, done := p.RunUntilHalted(10_000); !done {
+			return 0, fmt.Errorf("experiments: table 4 miss run did not complete")
+		}
+		return p.Stats.Slots[core.SlotSwitch], nil
+	}
+
+	yieldCost := func(s core.Scheme, y prog.YieldMode) (int64, error) {
+		fm := mem.New()
+		p, err := core.NewProcessor(core.DefaultConfig(s, 2), newDemoMem(1_000_000), fm)
+		if err != nil {
+			return 0, err
+		}
+		b := prog.NewBuilder("yielder", 0x1000, 0x100000, 1<<20)
+		b.SetYield(y)
+		b.Add(isa.R2, isa.R3, isa.R4)
+		b.Yield(10)
+		b.Add(isa.R2, isa.R3, isa.R4)
+		b.Halt()
+		p.BindThread(0, core.NewThread("yielder", b.MustBuild()))
+		fb := prog.NewBuilder("filler", 0x2000, 0x200000, 1<<20)
+		for j := 0; j < 100; j++ {
+			fb.Add(isa.R3, isa.R4, isa.R5)
+		}
+		fb.Halt()
+		p.BindThread(1, core.NewThread("filler", fb.MustBuild()))
+		if _, done := p.RunUntilHalted(10_000); !done {
+			return 0, fmt.Errorf("experiments: table 4 yield run did not complete")
+		}
+		return p.Stats.Slots[core.SlotSwitch], nil
+	}
+
+	var (
+		res Table4Result
+		err error
+	)
+	if res.BlockedMiss, err = missCost(core.Blocked); err != nil {
+		return nil, err
+	}
+	if res.InterleavedMiss, err = missCost(core.Interleaved); err != nil {
+		return nil, err
+	}
+	if res.ExplicitSwitch, err = yieldCost(core.Blocked, prog.YieldSwitch); err != nil {
+		return nil, err
+	}
+	if res.Backoff, err = yieldCost(core.Interleaved, prog.YieldBackoff); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// FormatTable4 renders the measured switch costs alongside the paper's.
+func FormatTable4(r *Table4Result) string {
+	t := stats.NewTable("Switch cause", "Blocked", "Interleaved", "Paper")
+	t.AddRow("Cache miss", fmt.Sprint(r.BlockedMiss), fmt.Sprint(r.InterleavedMiss), "7 / ~ceil(7/N)")
+	t.AddRow("Explicit switch", fmt.Sprint(r.ExplicitSwitch), "-", "3")
+	t.AddRow("Backoff", "-", fmt.Sprint(r.Backoff), "1")
+	return "Table 4: Context switch costs (measured slots of switch overhead)\n\n" + t.String()
+}

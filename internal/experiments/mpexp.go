@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mp"
+	"repro/internal/prog"
+	"repro/internal/splash"
+	"repro/internal/stats"
+)
+
+// MPConfig parameterizes the multiprocessor experiments (Table 10 and
+// Figures 8-9).
+type MPConfig struct {
+	Processors    int
+	Schemes       []core.Scheme
+	ContextCounts []int // the paper uses 2, 4 and 8
+	Apps          []string
+	Steps         int // per-app time steps; 0 selects app defaults
+	Scale         int
+	LimitCycles   int64
+	Seed          int64
+}
+
+// DefaultMPConfig reproduces the paper's multiprocessor setup on 8 nodes.
+func DefaultMPConfig() MPConfig {
+	return MPConfig{
+		Processors:    8,
+		Schemes:       []core.Scheme{core.Blocked, core.Interleaved},
+		ContextCounts: []int{2, 4, 8},
+		LimitCycles:   100_000_000,
+		Seed:          1,
+	}
+}
+
+// QuickMPConfig is a reduced configuration for tests and benchmarks.
+func QuickMPConfig() MPConfig {
+	c := DefaultMPConfig()
+	c.Processors = 4
+	c.ContextCounts = []int{2, 4}
+	c.Steps = 1
+	return c
+}
+
+// MPCell is one (app, scheme, contexts) measurement.
+type MPCell struct {
+	App      string
+	Scheme   core.Scheme
+	Contexts int
+	Cycles   int64
+	// Speedup is execution time relative to the single-context run of
+	// the same app (Table 10).
+	Speedup   float64
+	Breakdown core.Breakdown
+	Completed bool
+}
+
+// MPResult holds the full multiprocessor evaluation.
+type MPResult struct {
+	Cfg   MPConfig
+	Cells []MPCell
+}
+
+// Cell returns the measurement for (app, scheme, contexts).
+func (r *MPResult) Cell(app string, s core.Scheme, n int) (MPCell, bool) {
+	for _, c := range r.Cells {
+		if c.App == app && c.Scheme == s && c.Contexts == n {
+			return c, true
+		}
+	}
+	return MPCell{}, false
+}
+
+// MeanSpeedup is the geometric mean across apps for (scheme, contexts).
+func (r *MPResult) MeanSpeedup(s core.Scheme, n int) float64 {
+	var xs []float64
+	for _, c := range r.Cells {
+		if c.Scheme == s && c.Contexts == n {
+			xs = append(xs, c.Speedup)
+		}
+	}
+	return stats.GeoMean(xs)
+}
+
+// RunMultiprocessor runs the full multiprocessor evaluation.
+func RunMultiprocessor(cfg MPConfig) (*MPResult, error) {
+	appNames := cfg.Apps
+	if appNames == nil {
+		appNames = MPAppOrder
+	}
+	res := &MPResult{Cfg: cfg}
+	for _, name := range appNames {
+		app, err := splash.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		run := func(s core.Scheme, n int) (*mp.Result, error) {
+			mcfg := mp.DefaultConfig(s, n)
+			mcfg.Processors = cfg.Processors
+			mcfg.LimitCycles = cfg.LimitCycles
+			mcfg.Coherence.Seed = cfg.Seed
+			p := app.Build(splash.Options{
+				CodeBase:     0x0100_0000,
+				DataBase:     0x5000_0000,
+				Yield:        workstationYield(s),
+				AutoTolerate: s != core.Single,
+				NumThreads:   cfg.Processors * n,
+				Steps:        cfg.Steps,
+				Scale:        cfg.Scale,
+			})
+			r, err := mp.Run(p, mcfg)
+			if err != nil {
+				return nil, err
+			}
+			if !r.Completed {
+				return nil, fmt.Errorf("experiments: %s under %v/%d exceeded the cycle limit", name, s, n)
+			}
+			return r, nil
+		}
+		base, err := run(core.Single, 1)
+		if err != nil {
+			return nil, err
+		}
+		res.Cells = append(res.Cells, MPCell{
+			App: name, Scheme: core.Single, Contexts: 1,
+			Cycles: base.Cycles, Speedup: 1,
+			Breakdown: base.Stats.Breakdown(), Completed: true,
+		})
+		for _, s := range cfg.Schemes {
+			for _, n := range cfg.ContextCounts {
+				r, err := run(s, n)
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, MPCell{
+					App: name, Scheme: s, Contexts: n,
+					Cycles:    r.Cycles,
+					Speedup:   float64(base.Cycles) / float64(r.Cycles),
+					Breakdown: r.Stats.Breakdown(),
+					Completed: true,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+func workstationYield(s core.Scheme) prog.YieldMode {
+	switch s {
+	case core.Blocked, core.BlockedFast:
+		return prog.YieldSwitch
+	case core.Interleaved:
+		return prog.YieldBackoff
+	default:
+		return prog.YieldNone
+	}
+}
+
+// FormatTable10 renders the paper's Table 10: application speedup due to
+// multiple contexts.
+func FormatTable10(r *MPResult) string {
+	var b strings.Builder
+	b.WriteString("Table 10: Application speedup due to multiple contexts\n")
+	b.WriteString("(execution time relative to the single-context processor)\n\n")
+	appNames := r.Cfg.Apps
+	if appNames == nil {
+		appNames = MPAppOrder
+	}
+	header := append([]string{"Contexts", "Scheme"}, appNames...)
+	header = append(header, "Mean")
+	t := stats.NewTable(header...)
+	for _, n := range r.Cfg.ContextCounts {
+		for _, s := range []core.Scheme{core.Interleaved, core.Blocked} {
+			row := []string{fmt.Sprintf("%d", n), s.String()}
+			found := false
+			for _, a := range appNames {
+				if c, ok := r.Cell(a, s, n); ok {
+					row = append(row, stats.Ratio(c.Speedup))
+					found = true
+				} else {
+					row = append(row, "-")
+				}
+			}
+			if !found {
+				continue
+			}
+			row = append(row, stats.Ratio(r.MeanSpeedup(s, n)))
+			t.AddRow(row...)
+		}
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// FormatMPFigure renders Figure 8 (blocked) or Figure 9 (interleaved): the
+// execution-time breakdown per app, normalized to the single-context time.
+func FormatMPFigure(r *MPResult, scheme core.Scheme, figure int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d: execution time breakdown, %s scheme\n", figure, scheme)
+	b.WriteString("(bar length = time relative to 1 context; B=busy s=short stall l=long stall M=memory Y=sync S=switch)\n\n")
+	appNames := r.Cfg.Apps
+	if appNames == nil {
+		appNames = MPAppOrder
+	}
+	for _, a := range appNames {
+		base, ok := r.Cell(a, core.Single, 1)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:\n", a)
+		configs := []MPCell{base}
+		for _, n := range r.Cfg.ContextCounts {
+			if c, ok := r.Cell(a, scheme, n); ok {
+				configs = append(configs, c)
+			}
+		}
+		for _, c := range configs {
+			rel := float64(c.Cycles) / float64(base.Cycles)
+			bd := c.Breakdown
+			width := int(rel*40 + 0.5)
+			if width < 1 {
+				width = 1
+			}
+			bar := stats.Bar(width,
+				[]float64{bd.Busy, bd.InstrShort, bd.InstrLong, bd.DataMem, bd.Sync, bd.Switch},
+				[]rune{'B', 's', 'l', 'M', 'Y', 'S'})
+			fmt.Fprintf(&b, "  %d ctx |%s| %.2f\n", c.Contexts, bar, rel)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mp"
+	"repro/internal/splash"
+	"repro/internal/stats"
+	"repro/internal/workstation"
+)
+
+// SweepPoint is one configuration of a one-dimensional sensitivity sweep.
+type SweepPoint struct {
+	X     float64 // the swept parameter's value
+	Label string
+	Gain  float64 // fairness-normalized gain or speedup vs the sweep's baseline
+}
+
+// SweepResult is a named series of sweep points per scheme.
+type SweepResult struct {
+	Name   string
+	XLabel string
+	Series map[string][]SweepPoint
+}
+
+// SwitchCostSweep varies the blocked scheme's pipeline-flush cost from 1
+// to 9 cycles on the given workload at four contexts, with the
+// interleaved scheme as a horizontal reference — quantifying §2.2's
+// question of whether replicating pipeline registers (a 1-cycle switch)
+// closes the gap.
+func SwitchCostSweep(cfg UniConfig, workload string) (*SweepResult, error) {
+	kernels, err := ResolveWorkload(workload)
+	if err != nil {
+		return nil, err
+	}
+	run := func(w workstation.Config) (float64, error) {
+		w.OS.SliceCycles = cfg.SliceCycles
+		w.WarmupRotations = cfg.WarmupRotations
+		w.MeasureRotations = cfg.MeasureRotations
+		w.Seed = cfg.Seed
+		r, err := workstation.Run(kernels, w)
+		if err != nil {
+			return 0, err
+		}
+		return r.FairThroughput, nil
+	}
+
+	base, err := run(workstation.DefaultConfig(core.Single, 1))
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Name:   fmt.Sprintf("blocked switch cost on %s (4 contexts)", workload),
+		XLabel: "flush cost (cycles)",
+		Series: map[string][]SweepPoint{},
+	}
+
+	for cost := 1; cost <= 9; cost += 2 {
+		w := workstation.DefaultConfig(core.Blocked, 4)
+		cc := core.DefaultConfig(core.Blocked, 4)
+		cc.BlockedFlushCost = cost
+		w.Core = &cc
+		g, err := run(w)
+		if err != nil {
+			return nil, err
+		}
+		res.Series["blocked"] = append(res.Series["blocked"], SweepPoint{
+			X: float64(cost), Label: fmt.Sprintf("%d", cost), Gain: g / base,
+		})
+	}
+	gi, err := run(workstation.DefaultConfig(core.Interleaved, 4))
+	if err != nil {
+		return nil, err
+	}
+	res.Series["interleaved (reference)"] = []SweepPoint{{X: 7, Label: "7", Gain: gi / base}}
+	return res, nil
+}
+
+// ContextCountSweep varies the number of hardware contexts from 2 to 8 for
+// both schemes on the given workload — the diminishing-returns curve the
+// paper's Figures 6-7 trace with their 1/2/4-context bars.
+func ContextCountSweep(cfg UniConfig, workload string) (*SweepResult, error) {
+	kernels, err := ResolveWorkload(workload)
+	if err != nil {
+		return nil, err
+	}
+	run := func(s core.Scheme, n int) (float64, error) {
+		w := workstation.DefaultConfig(s, n)
+		w.OS.SliceCycles = cfg.SliceCycles
+		w.WarmupRotations = cfg.WarmupRotations
+		w.MeasureRotations = cfg.MeasureRotations
+		w.Seed = cfg.Seed
+		r, err := workstation.Run(kernels, w)
+		if err != nil {
+			return 0, err
+		}
+		return r.FairThroughput, nil
+	}
+	base, err := run(core.Single, 1)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Name:   fmt.Sprintf("context count on %s", workload),
+		XLabel: "hardware contexts",
+		Series: map[string][]SweepPoint{},
+	}
+	for _, s := range []core.Scheme{core.Blocked, core.Interleaved} {
+		for _, n := range []int{2, 4, 8} {
+			g, err := run(s, n)
+			if err != nil {
+				return nil, err
+			}
+			res.Series[s.String()] = append(res.Series[s.String()], SweepPoint{
+				X: float64(n), Label: fmt.Sprintf("%d", n), Gain: g / base,
+			})
+		}
+	}
+	return res, nil
+}
+
+// RemoteLatencySweep scales the multiprocessor's remote latencies (Table
+// 8) by 0.5x to 4x on one application at four contexts, showing how the
+// schemes' speedups respond to the latency multiple contexts must hide.
+func RemoteLatencySweep(cfg MPConfig, app string) (*SweepResult, error) {
+	a, err := splash.Lookup(app)
+	if err != nil {
+		return nil, err
+	}
+	run := func(s core.Scheme, n int, scale float64) (int64, error) {
+		mcfg := mp.DefaultConfig(s, n)
+		mcfg.Processors = cfg.Processors
+		mcfg.LimitCycles = cfg.LimitCycles
+		mcfg.Coherence.Seed = cfg.Seed
+		mcfg.Coherence.RemoteLow = int(float64(mcfg.Coherence.RemoteLow) * scale)
+		mcfg.Coherence.RemoteHigh = int(float64(mcfg.Coherence.RemoteHigh) * scale)
+		mcfg.Coherence.DirtyLow = int(float64(mcfg.Coherence.DirtyLow) * scale)
+		mcfg.Coherence.DirtyHigh = int(float64(mcfg.Coherence.DirtyHigh) * scale)
+		p := a.Build(splash.Options{
+			CodeBase:     0x0100_0000,
+			DataBase:     0x5000_0000,
+			Yield:        workstationYield(s),
+			AutoTolerate: s != core.Single,
+			NumThreads:   cfg.Processors * n,
+			Steps:        cfg.Steps,
+			Scale:        cfg.Scale,
+		})
+		r, err := mp.Run(p, mcfg)
+		if err != nil {
+			return 0, err
+		}
+		if !r.Completed {
+			return 0, fmt.Errorf("experiments: %s at scale %.1f did not complete", app, scale)
+		}
+		return r.Cycles, nil
+	}
+
+	res := &SweepResult{
+		Name:   fmt.Sprintf("remote latency scale on %s (4 contexts, %d processors)", app, cfg.Processors),
+		XLabel: "remote latency scale",
+		Series: map[string][]SweepPoint{},
+	}
+	for _, scale := range []float64{0.5, 1, 2, 4} {
+		base, err := run(core.Single, 1, scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range []core.Scheme{core.Blocked, core.Interleaved} {
+			c, err := run(s, 4, scale)
+			if err != nil {
+				return nil, err
+			}
+			res.Series[s.String()] = append(res.Series[s.String()], SweepPoint{
+				X: scale, Label: fmt.Sprintf("%.1fx", scale), Gain: float64(base) / float64(c),
+			})
+		}
+	}
+	return res, nil
+}
+
+// MSHRSweep varies the lockup-free data cache's miss registers from 1 to
+// 8 for the interleaved scheme at four contexts — the memory-level
+// parallelism the scheme depends on (§6's lockup-free cache requirement).
+func MSHRSweep(cfg UniConfig, workload string) (*SweepResult, error) {
+	kernels, err := ResolveWorkload(workload)
+	if err != nil {
+		return nil, err
+	}
+	run := func(s core.Scheme, n, mshrs int) (float64, error) {
+		w := workstation.DefaultConfig(s, n)
+		w.OS.SliceCycles = cfg.SliceCycles
+		w.WarmupRotations = cfg.WarmupRotations
+		w.MeasureRotations = cfg.MeasureRotations
+		w.Seed = cfg.Seed
+		w.Cache.MSHRs = mshrs
+		r, err := workstation.Run(kernels, w)
+		if err != nil {
+			return 0, err
+		}
+		return r.FairThroughput, nil
+	}
+	base, err := run(core.Single, 1, 4)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Name:   fmt.Sprintf("miss registers on %s (interleaved, 4 contexts)", workload),
+		XLabel: "MSHRs",
+		Series: map[string][]SweepPoint{},
+	}
+	for _, m := range []int{1, 2, 4, 8} {
+		g, err := run(core.Interleaved, 4, m)
+		if err != nil {
+			return nil, err
+		}
+		res.Series["interleaved"] = append(res.Series["interleaved"], SweepPoint{
+			X: float64(m), Label: fmt.Sprintf("%d", m), Gain: g / base,
+		})
+	}
+	return res, nil
+}
+
+// FormatSweep renders a sweep as a table.
+func FormatSweep(r *SweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sweep: %s\n\n", r.Name)
+	names := make([]string, 0, len(r.Series))
+	for n := range r.Series {
+		names = append(names, n)
+	}
+	// Stable order: blocked, interleaved, then others alphabetically.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	t := stats.NewTable(append([]string{r.XLabel}, names...)...)
+	// Collect the union of X labels in first-series order.
+	var labels []string
+	seen := map[string]bool{}
+	for _, n := range names {
+		for _, pt := range r.Series[n] {
+			if !seen[pt.Label] {
+				seen[pt.Label] = true
+				labels = append(labels, pt.Label)
+			}
+		}
+	}
+	for _, lbl := range labels {
+		row := []string{lbl}
+		for _, n := range names {
+			cell := "-"
+			for _, pt := range r.Series[n] {
+				if pt.Label == lbl {
+					cell = stats.Ratio(pt.Gain)
+				}
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// IssueWidthSweep runs the §7 extension: a superscalar version of the
+// processor issuing 1, 2 or 4 instructions per cycle, for the
+// single-context and four-context interleaved designs. The paper argues
+// (and Tullsen's later SMT work confirmed) that multiple contexts are what
+// fill the extra issue slots a lone thread cannot.
+func IssueWidthSweep(cfg UniConfig, workload string) (*SweepResult, error) {
+	kernels, err := ResolveWorkload(workload)
+	if err != nil {
+		return nil, err
+	}
+	run := func(s core.Scheme, n, width int) (float64, error) {
+		w := workstation.DefaultConfig(s, n)
+		w.OS.SliceCycles = cfg.SliceCycles
+		w.WarmupRotations = cfg.WarmupRotations
+		w.MeasureRotations = cfg.MeasureRotations
+		w.Seed = cfg.Seed
+		cc := core.DefaultConfig(s, n)
+		cc.IssueWidth = width
+		w.Core = &cc
+		r, err := workstation.Run(kernels, w)
+		if err != nil {
+			return 0, err
+		}
+		return r.FairThroughput, nil
+	}
+	base, err := run(core.Single, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Name:   fmt.Sprintf("issue width on %s (superscalar extension, paper §7)", workload),
+		XLabel: "issue width",
+		Series: map[string][]SweepPoint{},
+	}
+	for _, width := range []int{1, 2, 4} {
+		g, err := run(core.Single, 1, width)
+		if err != nil {
+			return nil, err
+		}
+		res.Series["single"] = append(res.Series["single"], SweepPoint{
+			X: float64(width), Label: fmt.Sprintf("%d", width), Gain: g / base,
+		})
+		gi, err := run(core.Interleaved, 4, width)
+		if err != nil {
+			return nil, err
+		}
+		res.Series["interleaved (4 ctx)"] = append(res.Series["interleaved (4 ctx)"], SweepPoint{
+			X: float64(width), Label: fmt.Sprintf("%d", width), Gain: gi / base,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workstation"
+)
+
+// UniConfig parameterizes the workstation experiments (Table 7 and
+// Figures 6-7).
+type UniConfig struct {
+	// Schemes evaluated against the single-context baseline.
+	Schemes []core.Scheme
+	// ContextCounts per scheme (the paper uses 2 and 4).
+	ContextCounts []int
+	// Workloads to run; nil selects all of Table 5.
+	Workloads []string
+
+	SliceCycles      int64
+	WarmupRotations  int
+	MeasureRotations int
+	Seed             int64
+}
+
+// DefaultUniConfig reproduces the paper's setup (time-scaled).
+func DefaultUniConfig() UniConfig {
+	return UniConfig{
+		Schemes:          []core.Scheme{core.Blocked, core.Interleaved},
+		ContextCounts:    []int{2, 4},
+		SliceCycles:      60_000,
+		WarmupRotations:  1,
+		MeasureRotations: 2,
+		Seed:             1,
+	}
+}
+
+// QuickUniConfig is a reduced configuration for tests and benchmarks.
+func QuickUniConfig() UniConfig {
+	c := DefaultUniConfig()
+	c.SliceCycles = 8_000
+	c.MeasureRotations = 1
+	return c
+}
+
+// UniCell is one (workload, scheme, contexts) measurement.
+type UniCell struct {
+	Workload string
+	Scheme   core.Scheme
+	Contexts int
+	// Busy is the raw processor busy fraction (Figures 6-7); Gain is the
+	// fairness-normalized throughput relative to the single-context
+	// baseline (Table 7's throughput increase; see
+	// workstation.Result.FairThroughput).
+	Busy      float64
+	Gain      float64
+	Breakdown core.Breakdown
+}
+
+// UniResult holds every cell of the workstation evaluation, including the
+// single-context baselines (Scheme == core.Single, Contexts == 1).
+type UniResult struct {
+	Cfg   UniConfig
+	Cells []UniCell
+}
+
+// Cell returns the measurement for (workload, scheme, contexts).
+func (r *UniResult) Cell(w string, s core.Scheme, n int) (UniCell, bool) {
+	for _, c := range r.Cells {
+		if c.Workload == w && c.Scheme == s && c.Contexts == n {
+			return c, true
+		}
+	}
+	return UniCell{}, false
+}
+
+// MeanGain returns the geometric-mean throughput gain across workloads for
+// (scheme, contexts) — the Mean column of Table 7.
+func (r *UniResult) MeanGain(s core.Scheme, n int) float64 {
+	var gs []float64
+	for _, c := range r.Cells {
+		if c.Scheme == s && c.Contexts == n {
+			gs = append(gs, c.Gain)
+		}
+	}
+	return stats.GeoMean(gs)
+}
+
+// RunUniprocessor runs the full workstation evaluation.
+func RunUniprocessor(cfg UniConfig) (*UniResult, error) {
+	workloads := cfg.Workloads
+	if workloads == nil {
+		workloads = WorkloadOrder
+	}
+	res := &UniResult{Cfg: cfg}
+	for _, w := range workloads {
+		kernels, err := ResolveWorkload(w)
+		if err != nil {
+			return nil, err
+		}
+		run := func(s core.Scheme, n int) (*workstation.Result, error) {
+			wcfg := workstation.DefaultConfig(s, n)
+			wcfg.OS.SliceCycles = cfg.SliceCycles
+			wcfg.WarmupRotations = cfg.WarmupRotations
+			wcfg.MeasureRotations = cfg.MeasureRotations
+			wcfg.Seed = cfg.Seed
+			return workstation.Run(kernels, wcfg)
+		}
+		base, err := run(core.Single, 1)
+		if err != nil {
+			return nil, err
+		}
+		res.Cells = append(res.Cells, UniCell{
+			Workload: w, Scheme: core.Single, Contexts: 1,
+			Busy: base.Throughput, Gain: 1,
+			Breakdown: base.Stats.Breakdown(),
+		})
+		for _, s := range cfg.Schemes {
+			for _, n := range cfg.ContextCounts {
+				r, err := run(s, n)
+				if err != nil {
+					return nil, err
+				}
+				gain := 0.0
+				if base.FairThroughput > 0 {
+					gain = r.FairThroughput / base.FairThroughput
+				}
+				res.Cells = append(res.Cells, UniCell{
+					Workload: w, Scheme: s, Contexts: n,
+					Busy:      r.Throughput,
+					Gain:      gain,
+					Breakdown: r.Stats.Breakdown(),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// FormatTable7 renders the paper's Table 7: throughput increase with
+// multiple contexts, as ratios to the single-context baseline.
+func FormatTable7(r *UniResult) string {
+	var b strings.Builder
+	b.WriteString("Table 7: Increase in application throughput with multiple contexts\n")
+	b.WriteString("(ratio to single-context baseline; paper reports e.g. interleaved 1.22/1.50 means)\n\n")
+	workloads := r.Cfg.Workloads
+	if workloads == nil {
+		workloads = WorkloadOrder
+	}
+	header := append([]string{"Contexts", "Scheme"}, workloads...)
+	header = append(header, "Mean")
+	t := stats.NewTable(header...)
+	for _, n := range r.Cfg.ContextCounts {
+		for _, s := range []core.Scheme{core.Interleaved, core.Blocked} {
+			found := false
+			row := []string{fmt.Sprintf("%d", n), s.String()}
+			for _, w := range workloads {
+				if c, ok := r.Cell(w, s, n); ok {
+					row = append(row, stats.Ratio(c.Gain))
+					found = true
+				} else {
+					row = append(row, "-")
+				}
+			}
+			if !found {
+				continue
+			}
+			row = append(row, stats.Ratio(r.MeanGain(s, n)))
+			t.AddRow(row...)
+		}
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// FormatFigure renders Figure 6 (blocked) or Figure 7 (interleaved): the
+// processor-utilization breakdown per workload for 1, 2 and 4 contexts,
+// as stacked text bars.
+func FormatFigure(r *UniResult, scheme core.Scheme, figure int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d: %s scheme processor utilization\n", figure, scheme)
+	b.WriteString("(bar: B=busy i=instr stall I=I-cache D=D-cache/TLB S=switch; number = busy fraction)\n\n")
+	workloads := r.Cfg.Workloads
+	if workloads == nil {
+		workloads = WorkloadOrder
+	}
+	configs := []struct {
+		s core.Scheme
+		n int
+	}{{core.Single, 1}}
+	for _, n := range r.Cfg.ContextCounts {
+		configs = append(configs, struct {
+			s core.Scheme
+			n int
+		}{scheme, n})
+	}
+	for _, w := range workloads {
+		fmt.Fprintf(&b, "%s:\n", w)
+		for _, cf := range configs {
+			c, ok := r.Cell(w, cf.s, cf.n)
+			if !ok {
+				continue
+			}
+			bd := c.Breakdown
+			bar := stats.Bar(50,
+				[]float64{bd.Busy + bd.Sync, bd.InstrShort + bd.InstrLong, bd.InstCache, bd.DataMem, bd.Switch},
+				[]rune{'B', 'i', 'I', 'D', 'S'})
+			fmt.Fprintf(&b, "  %d ctx |%s| %.2f\n", cf.n, bar, c.Busy)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,368 @@
+// Package isa defines the instruction-set architecture simulated by this
+// repository: a MIPS-II-like, 32-bit RISC instruction set with no branch or
+// load delay slots, as modeled in Laudon, Gupta & Horowitz, "Interleaving: A
+// Multithreading Technique Targeting Multiprocessors and Workstations"
+// (ASPLOS 1994).
+//
+// The package is purely declarative: it defines registers, opcodes,
+// instruction classes and their issue/latency timings (paper Table 3).
+// Functional semantics live in the core engine; program construction lives
+// in internal/prog.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Values 0-31 are the integer
+// registers (R0 is hardwired to zero); values 32-63 are the floating-point
+// registers, modeled as 32 double-precision registers. NoReg marks an
+// absent operand.
+type Reg uint8
+
+// NoReg marks an unused register operand slot.
+const NoReg Reg = 0xFF
+
+// NumRegs is the size of the combined architectural register file
+// (32 integer + 32 floating point).
+const NumRegs = 64
+
+// Integer registers.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31
+)
+
+// Floating-point registers.
+const (
+	F0 Reg = iota + 32
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	F11
+	F12
+	F13
+	F14
+	F15
+	F16
+	F17
+	F18
+	F19
+	F20
+	F21
+	F22
+	F23
+	F24
+	F25
+	F26
+	F27
+	F28
+	F29
+	F30
+	F31
+)
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= 32 && r < 64 }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String returns the assembler name of the register (r4, f12, ...).
+func (r Reg) String() string {
+	switch {
+	case r == NoReg:
+		return "-"
+	case r.IsFP():
+		return fmt.Sprintf("f%d", r-32)
+	case r.Valid():
+		return fmt.Sprintf("r%d", r)
+	default:
+		return fmt.Sprintf("reg(%d)", uint8(r))
+	}
+}
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The set is intentionally small: enough to express the
+// synthetic SPEC89- and SPLASH-like kernels, the synchronization library,
+// and the two latency-tolerance instructions the paper adds (SWITCH for the
+// blocked scheme, BACKOFF for the interleaved scheme).
+const (
+	NOP Op = iota
+
+	// Integer ALU (latency 1).
+	ADD  // rd = rs + rt
+	ADDI // rd = rs + imm
+	SUB  // rd = rs - rt
+	AND  // rd = rs & rt
+	ANDI // rd = rs & uimm
+	OR   // rd = rs | rt
+	ORI  // rd = rs | uimm
+	XOR  // rd = rs ^ rt
+	XORI // rd = rs ^ uimm
+	SLT  // rd = (int32(rs) < int32(rt)) ? 1 : 0
+	SLTI // rd = (int32(rs) < imm) ? 1 : 0
+	SLTU // rd = (rs < rt) ? 1 : 0
+	LUI  // rd = imm << 16
+
+	// Shifts (latency 2 per Table 3).
+	SLL // rd = rs << (imm&31)
+	SRL // rd = rs >> (imm&31) logical
+	SRA // rd = rs >> (imm&31) arithmetic
+	SLLV
+	SRLV
+
+	// Integer multiply / divide (multi-cycle, non-pipelined).
+	MUL  // rd = rs * rt (low 32 bits)
+	DIV  // rd = int32(rs) / int32(rt)
+	REM  // rd = int32(rs) % int32(rt)
+	DIVU // rd = rs / rt
+
+	// Memory (integer word and FP double).
+	LW  // rd = mem32[rs + imm]
+	SW  // mem32[rs + imm] = rt
+	FLD // fd = mem64[rs + imm]
+	FSD // mem64[rs + imm] = ft
+
+	// Atomic read-modify-write: rd = mem32[rs+imm]; mem32[rs+imm] = 1.
+	// Used to build spin locks; requires exclusive ownership of the line,
+	// so it is treated as a write by the coherence protocol.
+	TAS
+
+	// Control transfer. Branches resolve in EX; a 2048-entry BTB hides
+	// the taken-branch penalty when it predicts correctly.
+	BEQ  // if rs == rt goto target
+	BNE  // if rs != rt goto target
+	BLEZ // if int32(rs) <= 0 goto target
+	BGTZ // if int32(rs) > 0 goto target
+	J    // goto target
+	JAL  // rd = return index; goto target
+	JR   // goto rs (instruction index held in register)
+
+	// Floating point (double unless noted). Add-class ops have latency 5.
+	FADD
+	FSUB
+	FMUL
+	FNEG
+	FABS
+	FCVTIW // fd = float64(int32(rs int reg? no: converts fs holding bits)) -- see prog builder
+	FCMPLT // rd (int) = (fs < ft) ? 1 : 0
+	FCMPLE // rd (int) = (fs <= ft) ? 1 : 0
+	FDIVS  // single-precision divide: 31-cycle issue and latency
+	FDIVD  // double-precision divide: 61-cycle issue and latency
+	FSQRT  // modeled with double-divide timing
+
+	// Register-file moves (latency 2).
+	MTC1 // fd = float64(int32(rs))  (move+convert int -> fp)
+	MFC1 // rd = int32(fs)           (truncating convert fp -> int)
+
+	// Latency-tolerance instructions (paper Table 4).
+	SWITCH  // blocked scheme: explicit context switch, unavailable imm cycles
+	BACKOFF // interleaved scheme: context unavailable imm cycles
+
+	// Software exception entry and return (paper §6's EPC machinery:
+	// each context has its own exception PC register). TRAP saves the
+	// next PC in the thread's EPC and jumps to its trap handler; ERET
+	// resumes at the EPC.
+	TRAP
+	ERET
+
+	// HALT retires the thread.
+	HALT
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	NOP: "nop",
+	ADD: "add", ADDI: "addi", SUB: "sub",
+	AND: "and", ANDI: "andi", OR: "or", ORI: "ori", XOR: "xor", XORI: "xori",
+	SLT: "slt", SLTI: "slti", SLTU: "sltu", LUI: "lui",
+	SLL: "sll", SRL: "srl", SRA: "sra", SLLV: "sllv", SRLV: "srlv",
+	MUL: "mul", DIV: "div", REM: "rem", DIVU: "divu",
+	LW: "lw", SW: "sw", FLD: "fld", FSD: "fsd", TAS: "tas",
+	BEQ: "beq", BNE: "bne", BLEZ: "blez", BGTZ: "bgtz",
+	J: "j", JAL: "jal", JR: "jr",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FNEG: "fneg", FABS: "fabs",
+	FCVTIW: "fcvtiw", FCMPLT: "fcmplt", FCMPLE: "fcmple",
+	FDIVS: "fdivs", FDIVD: "fdivd", FSQRT: "fsqrt",
+	MTC1: "mtc1", MFC1: "mfc1",
+	SWITCH: "switch", BACKOFF: "backoff",
+	TRAP: "trap", ERET: "eret", HALT: "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Region tags the code region an instruction belongs to; the simulator uses
+// it to attribute stall time, mirroring how the paper separates
+// "synchronization" time from compute time in the SPLASH breakdowns.
+type Region uint8
+
+const (
+	// RegionNormal is ordinary application code.
+	RegionNormal Region = iota
+	// RegionSync is synchronization-library code (locks, barriers, spin
+	// loops); busy and stall slots in this region are charged to the
+	// synchronization category.
+	RegionSync
+)
+
+// Inst is a single decoded instruction. Programs are slices of Inst;
+// the program counter is an index into that slice, and the instruction's
+// byte address (for the I-cache) is program base + 4*index.
+type Inst struct {
+	Op     Op
+	Rd     Reg   // destination register, NoReg if none
+	Rs     Reg   // first source, NoReg if none
+	Rt     Reg   // second source, NoReg if none
+	Imm    int32 // immediate / displacement / unavailability cycles
+	Target int32 // branch/jump target (instruction index), resolved by the linker
+	Region Region
+}
+
+var opWritesDest = func() (w [NumOps]bool) {
+	for _, op := range []Op{
+		ADD, ADDI, SUB, AND, ANDI, OR, ORI, XOR, XORI, SLT, SLTI, SLTU, LUI,
+		SLL, SRL, SRA, SLLV, SRLV, MUL, DIV, REM, DIVU,
+		LW, FLD, TAS, JAL,
+		FADD, FSUB, FMUL, FNEG, FABS, FCVTIW, FCMPLT, FCMPLE,
+		FDIVS, FDIVD, FSQRT, MTC1, MFC1,
+	} {
+		w[op] = true
+	}
+	return
+}()
+
+// Dest returns the destination register, or NoReg for instructions that
+// write none (stores, branches other than JAL, NOP, SWITCH, BACKOFF, HALT).
+func (i *Inst) Dest() Reg {
+	if opWritesDest[i.Op] {
+		return i.Rd
+	}
+	return NoReg
+}
+
+// HasDest reports whether the instruction writes a register.
+func (i *Inst) HasDest() bool { return opWritesDest[i.Op] }
+
+// Srcs returns the instruction's source registers; unused slots are NoReg.
+// Stores source both the base (Rs) and the value (Rt); branches source
+// their comparands.
+func (i *Inst) Srcs() (a, b Reg) {
+	switch i.Op {
+	case NOP, J, JAL, LUI, SWITCH, BACKOFF, TRAP, ERET, HALT:
+		return NoReg, NoReg
+	case ADDI, ANDI, ORI, XORI, SLTI, SLL, SRL, SRA,
+		LW, FLD, TAS, BLEZ, BGTZ, JR,
+		FNEG, FABS, FCVTIW, FSQRT, MTC1, MFC1:
+		return i.Rs, NoReg
+	default:
+		// Three-operand ALU/FP ops, stores (base+value), BEQ/BNE.
+		return i.Rs, i.Rt
+	}
+}
+
+// IsBranch reports whether the instruction is a conditional branch or jump.
+func (i *Inst) IsBranch() bool {
+	switch i.Op {
+	case BEQ, BNE, BLEZ, BGTZ, J, JAL, JR:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (i *Inst) IsMem() bool {
+	switch i.Op {
+	case LW, SW, FLD, FSD, TAS:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the instruction writes data memory (TAS counts:
+// it requires exclusive ownership).
+func (i *Inst) IsStore() bool {
+	switch i.Op {
+	case SW, FSD, TAS:
+		return true
+	}
+	return false
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	switch i.Op {
+	case NOP, HALT, ERET:
+		return i.Op.String()
+	case SWITCH, BACKOFF, TRAP:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case J, JAL:
+		return fmt.Sprintf("%s @%d", i.Op, i.Target)
+	case JR:
+		return fmt.Sprintf("jr %s", i.Rs)
+	case BEQ, BNE:
+		return fmt.Sprintf("%s %s, %s, @%d", i.Op, i.Rs, i.Rt, i.Target)
+	case BLEZ, BGTZ:
+		return fmt.Sprintf("%s %s, @%d", i.Op, i.Rs, i.Target)
+	case LW, FLD, TAS:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rd, i.Imm, i.Rs)
+	case SW, FSD:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rt, i.Imm, i.Rs)
+	case LUI:
+		return fmt.Sprintf("lui %s, %d", i.Rd, i.Imm)
+	case ADDI, ANDI, ORI, XORI, SLTI, SLL, SRL, SRA:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs, i.Imm)
+	default:
+		if i.Rt == NoReg {
+			return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs, i.Rt)
+	}
+}

@@ -1,0 +1,116 @@
+// Package mem implements the functional (value-holding) memory shared by
+// the simulated processors. It is a sparse, paged, byte-addressed memory
+// supporting aligned 32-bit word and 64-bit double accesses — the two
+// access widths of the simulated ISA.
+//
+// Timing is handled entirely by internal/cache and internal/coherence;
+// this package only stores values.
+package mem
+
+import "fmt"
+
+const (
+	// PageShift selects 4 KiB pages — the page size assumed by the data
+	// TLB model.
+	PageShift = 12
+	pageBytes = 1 << PageShift
+	pageCells = pageBytes / 8
+	cellMask  = pageCells - 1
+)
+
+type page [pageCells]uint64
+
+// Memory is a sparse functional memory. The zero value is an empty memory
+// ready to use; all bytes read as zero until written.
+type Memory struct {
+	pages map[uint32]*page
+}
+
+// New returns an empty memory.
+func New() *Memory { return &Memory{pages: make(map[uint32]*page)} }
+
+func (m *Memory) page(addr uint32, create bool) *page {
+	pn := addr >> PageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		if m.pages == nil {
+			m.pages = make(map[uint32]*page)
+		}
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+func checkAlign(addr uint32, align uint32, op string) {
+	if addr%align != 0 {
+		panic(fmt.Sprintf("mem: unaligned %s at %#x (need %d-byte alignment)", op, addr, align))
+	}
+}
+
+// LoadW reads the 32-bit word at addr (4-byte aligned).
+func (m *Memory) LoadW(addr uint32) uint32 {
+	checkAlign(addr, 4, "LoadW")
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	cell := p[(addr>>3)&cellMask]
+	if addr&4 != 0 {
+		return uint32(cell >> 32)
+	}
+	return uint32(cell)
+}
+
+// StoreW writes the 32-bit word at addr (4-byte aligned) and returns the
+// previous value (useful for tests and for atomic read-modify-write).
+func (m *Memory) StoreW(addr uint32, v uint32) (old uint32) {
+	checkAlign(addr, 4, "StoreW")
+	p := m.page(addr, true)
+	idx := (addr >> 3) & cellMask
+	cell := p[idx]
+	if addr&4 != 0 {
+		old = uint32(cell >> 32)
+		p[idx] = cell&0x0000_0000_ffff_ffff | uint64(v)<<32
+	} else {
+		old = uint32(cell)
+		p[idx] = cell&0xffff_ffff_0000_0000 | uint64(v)
+	}
+	return old
+}
+
+// LoadD reads the 64-bit doubleword at addr (8-byte aligned).
+func (m *Memory) LoadD(addr uint32) uint64 {
+	checkAlign(addr, 8, "LoadD")
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[(addr>>3)&cellMask]
+}
+
+// StoreD writes the 64-bit doubleword at addr (8-byte aligned) and returns
+// the previous value.
+func (m *Memory) StoreD(addr uint32, v uint64) (old uint64) {
+	checkAlign(addr, 8, "StoreD")
+	p := m.page(addr, true)
+	idx := (addr >> 3) & cellMask
+	old = p[idx]
+	p[idx] = v
+	return old
+}
+
+// TestAndSet atomically reads the word at addr and sets it to 1,
+// returning the old value. Simulation is single-threaded, so the atomicity
+// is with respect to simulated processors, which is exactly what the TAS
+// instruction requires.
+func (m *Memory) TestAndSet(addr uint32) (old uint32) {
+	return m.StoreW(addr, 1)
+}
+
+// PageCount reports how many 4 KiB pages have been touched; used by tests
+// and by memory-footprint reporting.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Reset drops all pages, returning the memory to all-zeroes.
+func (m *Memory) Reset() { m.pages = make(map[uint32]*page) }

@@ -1,0 +1,139 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReadsZero(t *testing.T) {
+	m := New()
+	if m.LoadW(0x1000) != 0 {
+		t.Error("fresh memory word not zero")
+	}
+	if m.LoadD(0x8000_0008) != 0 {
+		t.Error("fresh memory double not zero")
+	}
+	if m.PageCount() != 0 {
+		t.Error("reads should not allocate pages")
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	m := New()
+	m.StoreW(0x100, 0xdeadbeef)
+	m.StoreW(0x104, 0x12345678)
+	if got := m.LoadW(0x100); got != 0xdeadbeef {
+		t.Errorf("LoadW(0x100) = %#x", got)
+	}
+	if got := m.LoadW(0x104); got != 0x12345678 {
+		t.Errorf("LoadW(0x104) = %#x", got)
+	}
+	// The two words share one 8-byte cell; check the double view.
+	if got := m.LoadD(0x100); got != 0x12345678_deadbeef {
+		t.Errorf("LoadD(0x100) = %#x", got)
+	}
+}
+
+func TestDoubleRoundTrip(t *testing.T) {
+	m := New()
+	old := m.StoreD(0x2000, 0xcafebabe_00112233)
+	if old != 0 {
+		t.Errorf("old = %#x, want 0", old)
+	}
+	if got := m.LoadD(0x2000); got != 0xcafebabe_00112233 {
+		t.Errorf("LoadD = %#x", got)
+	}
+	old = m.StoreD(0x2000, 7)
+	if old != 0xcafebabe_00112233 {
+		t.Errorf("StoreD old = %#x", old)
+	}
+}
+
+func TestStoreWPreservesNeighbour(t *testing.T) {
+	m := New()
+	m.StoreD(0x40, 0xffffffff_ffffffff)
+	m.StoreW(0x40, 0)
+	if got := m.LoadW(0x44); got != 0xffffffff {
+		t.Errorf("high word clobbered: %#x", got)
+	}
+	m.StoreD(0x40, 0xffffffff_ffffffff)
+	m.StoreW(0x44, 0)
+	if got := m.LoadW(0x40); got != 0xffffffff {
+		t.Errorf("low word clobbered: %#x", got)
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	m := New()
+	if m.TestAndSet(0x500) != 0 {
+		t.Error("first TAS should see 0")
+	}
+	if m.TestAndSet(0x500) != 1 {
+		t.Error("second TAS should see 1")
+	}
+	m.StoreW(0x500, 0)
+	if m.TestAndSet(0x500) != 0 {
+		t.Error("TAS after release should see 0")
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	m := New()
+	for _, f := range []func(){
+		func() { m.LoadW(2) },
+		func() { m.StoreW(6, 0) },
+		func() { m.LoadD(4) },
+		func() { m.StoreD(12, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("unaligned access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New()
+	m.StoreW(0x100, 1)
+	m.Reset()
+	if m.LoadW(0x100) != 0 || m.PageCount() != 0 {
+		t.Error("Reset did not clear memory")
+	}
+}
+
+// Property: a StoreW followed by LoadW of the same address returns the
+// stored value, and an interleaved store elsewhere never disturbs it.
+func TestQuickWordConsistency(t *testing.T) {
+	m := New()
+	f := func(a, b uint32, va, vb uint32) bool {
+		a &^= 3
+		b &^= 3
+		m.StoreW(a, va)
+		m.StoreW(b, vb)
+		if a == b {
+			return m.LoadW(a) == vb
+		}
+		return m.LoadW(a) == va && m.LoadW(b) == vb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: StoreW returns the previous value (undo-log contract).
+func TestQuickStoreReturnsOld(t *testing.T) {
+	m := New()
+	f := func(a uint32, v1, v2 uint32) bool {
+		a &^= 3
+		m.StoreW(a, v1)
+		return m.StoreW(a, v2) == v1 && m.LoadW(a) == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package mp simulates the paper's multiprocessor (§5.2): N nodes, each a
+// multiple-context processor with a private coherent data cache, stepped
+// in lockstep over the shared directory fabric. Applications are SPMD
+// programs whose threads receive their id and thread count in registers.
+package mp
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// Registers through which SPMD kernels receive their identity.
+const (
+	// TidReg holds the thread id (0-based).
+	TidReg = isa.R4
+	// NThreadsReg holds the total thread count.
+	NThreadsReg = isa.R5
+)
+
+// Config parameterizes a multiprocessor run.
+type Config struct {
+	Processors int
+	Scheme     core.Scheme
+	Contexts   int // hardware contexts per processor
+
+	Coherence coherence.Params
+	// Core, if non-nil, overrides the derived per-processor core config.
+	Core *core.Config
+
+	// LimitCycles bounds the run; exceeded means Result.Completed false.
+	LimitCycles int64
+}
+
+// DefaultConfig returns the paper's 8-node multiprocessor with the given
+// scheme and context count.
+func DefaultConfig(s core.Scheme, contexts int) Config {
+	return Config{
+		Processors:  8,
+		Scheme:      s,
+		Contexts:    contexts,
+		Coherence:   coherence.DefaultParams(),
+		LimitCycles: 50_000_000,
+	}
+}
+
+// Result reports a completed run.
+type Result struct {
+	Cycles    int64 // execution time: the cycle the last thread halted
+	Completed bool
+	Stats     core.Stats   // aggregate over processors
+	PerProc   []core.Stats // per-processor breakdowns
+	Threads   int
+	// Mem is the final shared functional memory, for checking results.
+	Mem *mem.Memory
+}
+
+// Run executes program p as an SPMD application with Processors×Contexts
+// threads. The program's initial data is loaded once into the shared
+// functional memory; every thread starts at instruction 0 with TidReg and
+// NThreadsReg set.
+func Run(p *prog.Program, cfg Config) (*Result, error) {
+	if cfg.Processors < 1 {
+		return nil, fmt.Errorf("mp: need at least one processor")
+	}
+	if cfg.Contexts < 1 {
+		return nil, fmt.Errorf("mp: need at least one context per processor")
+	}
+	ccfg := core.DefaultConfig(cfg.Scheme, cfg.Contexts)
+	if cfg.Core != nil {
+		ccfg = *cfg.Core
+	}
+	fab, err := coherence.NewFabric(cfg.Coherence, cfg.Processors)
+	if err != nil {
+		return nil, err
+	}
+
+	fm := mem.New()
+	p.LoadInit(fm)
+
+	nThreads := cfg.Processors * cfg.Contexts
+	procs := make([]*core.Processor, cfg.Processors)
+	var threads []*core.Thread
+	for i := range procs {
+		proc, err := core.NewProcessor(ccfg, fab.Node(i), fm)
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = proc
+		for c := 0; c < cfg.Contexts; c++ {
+			tid := i*cfg.Contexts + c
+			th := core.NewThread(fmt.Sprintf("%s.t%d", p.Name, tid), p)
+			th.SetIntReg(TidReg, uint32(tid))
+			th.SetIntReg(NThreadsReg, uint32(nThreads))
+			proc.BindThread(c, th)
+			threads = append(threads, th)
+		}
+	}
+
+	// Lockstep execution until every thread halts.
+	const checkEvery = 64
+	completed := false
+	for cycle := int64(0); cycle < cfg.LimitCycles; cycle += checkEvery {
+		for s := 0; s < checkEvery; s++ {
+			for _, proc := range procs {
+				proc.Step()
+			}
+		}
+		done := true
+		for _, proc := range procs {
+			if !proc.AllHalted() {
+				done = false
+				break
+			}
+		}
+		if done {
+			completed = true
+			break
+		}
+	}
+
+	res := &Result{Completed: completed, Threads: nThreads, Mem: fm}
+	for _, th := range threads {
+		if th.HaltedAt+1 > res.Cycles {
+			res.Cycles = th.HaltedAt + 1
+		}
+	}
+	for _, proc := range procs {
+		res.PerProc = append(res.PerProc, proc.Stats)
+		res.Stats.Add(&proc.Stats)
+	}
+	return res, nil
+}

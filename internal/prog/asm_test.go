@@ -1,0 +1,188 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble("t", 0x1000, 0x100000, 1<<20, `
+		# sum 1..10 into r2, store at A
+		.alloc A 64 64
+		.word  A+4 99
+		li   r1, 10
+		li   r2, 0
+	loop:
+		add  r2, r2, r1
+		addi r1, r1, -1
+		bgtz r1, loop
+		la   r3, A
+		sw   r2, 0(r3)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Init) != 1 || p.Init[0].Val != 99 {
+		t.Errorf("init = %+v", p.Init)
+	}
+	// Branch target resolved to the add.
+	var branch *isa.Inst
+	for i := range p.Insts {
+		if p.Insts[i].Op == isa.BGTZ {
+			branch = &p.Insts[i]
+		}
+	}
+	if branch == nil || p.Insts[branch.Target].Op != isa.ADD {
+		t.Fatalf("branch target wrong: %+v", branch)
+	}
+}
+
+func TestAssembleAllForms(t *testing.T) {
+	src := `
+		.alloc D 128
+		.double D 2.5
+		.region sync
+		tas  r1, 0(r2)
+		.region normal
+		add r1, r2, r3
+		sub r1, r2, r3
+		and r1, r2, r3
+		or r1, r2, r3
+		xor r1, r2, r3
+		slt r1, r2, r3
+		sltu r1, r2, r3
+		mul r1, r2, r3
+		div r1, r2, r3
+		rem r1, r2, r3
+		divu r1, r2, r3
+		sllv r1, r2, r3
+		srlv r1, r2, r3
+		addi r1, r2, 0x10
+		andi r1, r2, 7
+		ori r1, r2, 7
+		xori r1, r2, 7
+		slti r1, r2, -3
+		sll r1, r2, 3
+		srl r1, r2, 3
+		sra r1, r2, 3
+		lui r1, 0x1234
+		move r1, r2
+		lw  r1, 4(r2)
+		sw  r1, -4(r2)
+		fld f1, 8(r2)
+		fsd f1, 8(r2)
+		fadd f1, f2, f3
+		fsub f1, f2, f3
+		fmul f1, f2, f3
+		fdivs f1, f2, f3
+		fdivd f1, f2, f3
+		fneg f1, f2
+		fabs f1, f2
+		fsqrt f1, f2
+		fcvt f1, f2
+		fcmplt r1, f2, f3
+		fcmple r1, f2, f3
+		mtc1 f1, r2
+		mfc1 r1, f2
+		beq r1, r2, end
+		bne r1, r2, end
+		blez r1, end
+		bgtz r1, end
+		jal sub1
+		j end
+	sub1:
+		jr r31
+	end:
+		backoff 16
+		switch 16
+		nop
+		halt
+	`
+	p, err := Assemble("all", 0x1000, 0x100000, 1<<20, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.TAS || p.Insts[0].Region != isa.RegionSync {
+		t.Error("sync region tagging failed")
+	}
+	if p.Insts[1].Region != isa.RegionNormal {
+		t.Error("region restore failed")
+	}
+	var sawBackoff, sawSwitch bool
+	for _, in := range p.Insts {
+		if in.Op == isa.BACKOFF {
+			sawBackoff = true
+		}
+		if in.Op == isa.SWITCH {
+			sawSwitch = true
+		}
+	}
+	if !sawBackoff || !sawSwitch {
+		t.Error("explicit backoff/switch mnemonics not emitted")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"frobnicate r1, r2", "unknown mnemonic"},
+		{"add r1, r2", "needs 3 operands"},
+		{"add r1, r2, f3", "integer register"},
+		{"lw r1, r2", "memory operand"},
+		{"addi r1, r2, 99999", "out of 16-bit range"},
+		{"la r1, NOPE", "undefined symbol"},
+		{".alloc", "usage"},
+		{".alloc A 64\n.alloc A 64", "redefined"},
+		{".region purple", "unknown region"},
+		{".bogus 1", "unknown directive"},
+		{"add r1, r2, r99", "bad register"},
+		{"j nowhere\nhalt", "undefined label"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("e", 0x1000, 0x100000, 1<<20, c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: err = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestAssembleLineNumbersInErrors(t *testing.T) {
+	_, err := Assemble("e", 0x1000, 0x100000, 1<<20, "nop\nnop\nbadop r1\n")
+	if err == nil || !strings.Contains(err.Error(), "e:3:") {
+		t.Errorf("err = %v, want line 3", err)
+	}
+}
+
+// Assembled text and builder-constructed programs must be identical.
+func TestAssembleMatchesBuilder(t *testing.T) {
+	asm := MustAssemble("x", 0x2000, 0x200000, 4096, `
+		li r1, 5
+	top:
+		addi r2, r2, 3
+		addi r1, r1, -1
+		bgtz r1, top
+		halt
+	`)
+	b := NewBuilder("x", 0x2000, 0x200000, 4096)
+	b.Li(isa.R1, 5)
+	b.Label("top")
+	b.Addi(isa.R2, isa.R2, 3)
+	b.Addi(isa.R1, isa.R1, -1)
+	b.Bgtz(isa.R1, "top")
+	b.Halt()
+	ref := b.MustBuild()
+
+	if len(asm.Insts) != len(ref.Insts) {
+		t.Fatalf("lengths differ: %d vs %d", len(asm.Insts), len(ref.Insts))
+	}
+	for i := range asm.Insts {
+		if asm.Insts[i] != ref.Insts[i] {
+			t.Errorf("inst %d: %v vs %v", i, asm.Insts[i], ref.Insts[i])
+		}
+	}
+}

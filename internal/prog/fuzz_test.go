@@ -1,0 +1,43 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble: arbitrary input must produce either a program or an
+// error — never a panic.
+func FuzzAssemble(f *testing.F) {
+	f.Add("add r1, r2, r3\nhalt\n")
+	f.Add(".alloc A 64\nla r1, A\nlw r2, 0(r1)\nhalt")
+	f.Add("loop:\nbgtz r1, loop")
+	f.Add(".word A 1")
+	f.Add(".alloc A 99999999999")
+	f.Add("trap 1\neret")
+	f.Add("fadd f1, f2, r3")
+	f.Add("lw r1, 99999(r2)")
+	f.Add(".region sync\ntas r1, 0(r2)")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", 0x1000, 0x100000, 1<<20, src)
+		if err == nil && p == nil {
+			t.Fatal("nil program with nil error")
+		}
+	})
+}
+
+func TestListing(t *testing.T) {
+	p := MustAssemble("l", 0x1000, 0x100000, 4096, `
+	top:
+		addi r1, r1, 1
+		.region sync
+		tas r2, 0(r3)
+		.region normal
+		bgtz r1, top
+		halt
+	`)
+	out := p.Listing()
+	if !strings.Contains(out, "top:") || !strings.Contains(out, "; sync") ||
+		!strings.Contains(out, "addi r1, r1, 1") {
+		t.Errorf("listing:\n%s", out)
+	}
+}

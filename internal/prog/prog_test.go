@@ -1,0 +1,253 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func newTestBuilder() *Builder {
+	return NewBuilder("t", 0x1000, 0x10000, 1<<20)
+}
+
+func TestLabelsResolve(t *testing.T) {
+	b := newTestBuilder()
+	b.Label("top")
+	b.Addi(isa.R1, isa.R1, 1)
+	b.Bne(isa.R1, isa.R2, "top")
+	b.J("end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[1].Target != 0 {
+		t.Errorf("bne target = %d, want 0", p.Insts[1].Target)
+	}
+	if p.Insts[2].Target != 4 {
+		t.Errorf("j target = %d, want 4", p.Insts[2].Target)
+	}
+}
+
+func TestUndefinedLabelErrors(t *testing.T) {
+	b := newTestBuilder()
+	b.J("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("Build() err = %v, want undefined-label error", err)
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label did not panic")
+		}
+	}()
+	b := newTestBuilder()
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestOperandClassChecks(t *testing.T) {
+	cases := []func(b *Builder){
+		func(b *Builder) { b.Add(isa.F1, isa.R1, isa.R2) },  // FP dest in int op
+		func(b *Builder) { b.FAdd(isa.R1, isa.F1, isa.F2) }, // int dest in FP op
+		func(b *Builder) { b.Lw(isa.F1, isa.R1, 0) },        // LW into FP reg
+		func(b *Builder) { b.Fld(isa.R1, isa.R2, 0) },       // FLD into int reg
+		func(b *Builder) { b.Addi(isa.R1, isa.R2, 40000) },  // imm out of range
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: bad operands did not panic", i)
+				}
+			}()
+			f(newTestBuilder())
+		}()
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	cases := []struct {
+		v      uint32
+		nInsts int
+	}{
+		{0, 1},       // addi
+		{100, 1},     // addi
+		{0x10000, 1}, // lui only
+		{0x12345678, 2},
+		{0xffffffff, 1}, // sign-extended addi -1
+		{0x7fff0001, 2},
+	}
+	for _, c := range cases {
+		b := newTestBuilder()
+		b.Li(isa.R1, c.v)
+		p := b.MustBuild()
+		if len(p.Insts) != c.nInsts {
+			t.Errorf("Li(%#x) emitted %d insts, want %d", c.v, len(p.Insts), c.nInsts)
+		}
+	}
+}
+
+func TestAllocAlignmentAndOverflow(t *testing.T) {
+	b := NewBuilder("t", 0, 0x1000, 256)
+	a := b.Alloc(10, 8)
+	if a != 0x1000 {
+		t.Errorf("first alloc = %#x", a)
+	}
+	a2 := b.Alloc(8, 64)
+	if a2%64 != 0 || a2 < a+10 {
+		t.Errorf("second alloc = %#x, want 64-aligned past first", a2)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("arena overflow did not panic")
+		}
+	}()
+	b.Alloc(1<<20, 8)
+}
+
+func TestYieldModes(t *testing.T) {
+	for _, c := range []struct {
+		mode YieldMode
+		want isa.Op
+		n    int
+	}{
+		{YieldNone, isa.NOP, 0},
+		{YieldBackoff, isa.BACKOFF, 1},
+		{YieldSwitch, isa.SWITCH, 1},
+	} {
+		b := newTestBuilder()
+		b.SetYield(c.mode)
+		b.Yield(20)
+		p := b.MustBuild()
+		if len(p.Insts) != c.n {
+			t.Errorf("mode %v emitted %d insts, want %d", c.mode, len(p.Insts), c.n)
+			continue
+		}
+		if c.n == 1 {
+			if p.Insts[0].Op != c.want || p.Insts[0].Imm != 20 {
+				t.Errorf("mode %v emitted %v", c.mode, p.Insts[0])
+			}
+		}
+	}
+}
+
+func TestAutoTolerateInsertsAfterDivide(t *testing.T) {
+	b := newTestBuilder()
+	b.SetYield(YieldBackoff)
+	b.SetAutoTolerate(true)
+	b.FAdd(isa.F1, isa.F2, isa.F3) // latency 5: no yield
+	b.FDivD(isa.F1, isa.F2, isa.F3)
+	p := b.MustBuild()
+	if len(p.Insts) != 3 {
+		t.Fatalf("got %d insts, want 3 (fadd, fdivd, backoff)", len(p.Insts))
+	}
+	if p.Insts[2].Op != isa.BACKOFF {
+		t.Errorf("inst 2 = %v, want backoff", p.Insts[2])
+	}
+	if p.Insts[2].Imm != int32(isa.FDIVD.Timing().Latency-4) {
+		t.Errorf("backoff duration = %d", p.Insts[2].Imm)
+	}
+}
+
+func TestAutoTolerateOffByDefault(t *testing.T) {
+	b := newTestBuilder()
+	b.SetYield(YieldBackoff)
+	b.FDivD(isa.F1, isa.F2, isa.F3)
+	if p := b.MustBuild(); len(p.Insts) != 1 {
+		t.Errorf("got %d insts, want 1", len(p.Insts))
+	}
+}
+
+func TestRegionTagging(t *testing.T) {
+	b := newTestBuilder()
+	b.Add(isa.R1, isa.R2, isa.R3)
+	b.SetRegion(isa.RegionSync)
+	b.Add(isa.R1, isa.R2, isa.R3)
+	b.SetRegion(isa.RegionNormal)
+	b.Add(isa.R1, isa.R2, isa.R3)
+	p := b.MustBuild()
+	want := []isa.Region{isa.RegionNormal, isa.RegionSync, isa.RegionNormal}
+	for i, w := range want {
+		if p.Insts[i].Region != w {
+			t.Errorf("inst %d region = %v, want %v", i, p.Insts[i].Region, w)
+		}
+	}
+}
+
+func TestSyncLibraryRegionsAndLabels(t *testing.T) {
+	b := newTestBuilder()
+	lock := b.AllocLock()
+	bar := b.AllocBarrier()
+	if lock%64 != 0 || bar%64 != 0 {
+		t.Error("sync objects must be line-aligned")
+	}
+	b.SetYield(YieldBackoff)
+	b.La(isa.R8, lock)
+	b.LockAcquire(isa.R8, isa.R9)
+	b.LockRelease(isa.R8)
+	b.La(isa.R10, bar)
+	b.Li(isa.R11, 4)
+	b.Barrier(isa.R10, isa.R11, isa.R12, isa.R13, isa.R14)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything between the La ops must be sync-tagged except the La/Li
+	// themselves.
+	var sawSync, sawTas bool
+	for _, in := range p.Insts {
+		if in.Region == isa.RegionSync {
+			sawSync = true
+		}
+		if in.Op == isa.TAS {
+			sawTas = true
+			if in.Region != isa.RegionSync {
+				t.Error("TAS not tagged sync")
+			}
+		}
+	}
+	if !sawSync || !sawTas {
+		t.Error("sync library emitted no sync-tagged TAS")
+	}
+	// Region must be restored after library calls.
+	if p.Insts[len(p.Insts)-1].Region != isa.RegionNormal {
+		t.Error("region not restored after sync library call")
+	}
+}
+
+func TestLoadInit(t *testing.T) {
+	b := newTestBuilder()
+	a := b.Alloc(16, 8)
+	b.InitW(a, 42)
+	b.InitF(a+8, 3.5)
+	p := b.MustBuild()
+	m := mem.New()
+	p.LoadInit(m)
+	if m.LoadW(a) != 42 {
+		t.Error("InitW not applied")
+	}
+	if got := m.LoadD(a + 8); got != 0x400C000000000000 { // bits of 3.5
+		t.Errorf("InitF bits = %#x", got)
+	}
+}
+
+func TestPCAddr(t *testing.T) {
+	b := NewBuilder("t", 0x4000, 0x10000, 4096)
+	b.Nop()
+	b.Nop()
+	p := b.MustBuild()
+	if p.PCAddr(0) != 0x4000 || p.PCAddr(1) != 0x4004 {
+		t.Error("PCAddr wrong")
+	}
+	if p.CodeBytes() != 8 {
+		t.Error("CodeBytes wrong")
+	}
+}

@@ -1,0 +1,124 @@
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Synchronization library. Locks and barriers are built from the TAS
+// instruction and ordinary loads/stores, exactly as the SPLASH
+// applications build them from the machine's primitives. All emitted code
+// is tagged RegionSync so the simulator can charge its busy and stall time
+// to the synchronization category (Figures 8 and 9 of the paper), and all
+// spin loops contain a yield point so waiting contexts release the
+// processor to their siblings.
+
+// Memory layout of a barrier allocated by AllocBarrier. Each field lives
+// on its own cache line: the spin-read herd on the lock word must not
+// steal the line the holder's counter update needs (false sharing turns a
+// contended barrier from slow into pathological).
+const (
+	barrierLockOff  = 0
+	barrierCountOff = 64
+	barrierSenseOff = 128
+	// BarrierBytes is the memory footprint of one barrier.
+	BarrierBytes = 192
+)
+
+// SpinYieldCycles is how long a spinning context backs off between lock or
+// sense probes.
+const SpinYieldCycles = 16
+
+var syncSeq int
+
+func uniq(prefix string) string {
+	syncSeq++
+	return fmt.Sprintf("%s$%d", prefix, syncSeq)
+}
+
+// AllocLock reserves a cache-line-aligned lock word and returns its
+// address. The lock starts free (zero).
+func (b *Builder) AllocLock() uint32 {
+	return b.Alloc(64, 64) // full line: avoid false sharing
+}
+
+// AllocBarrier reserves and zero-initializes a barrier and returns its
+// address.
+func (b *Builder) AllocBarrier() uint32 {
+	return b.Alloc(BarrierBytes, 64)
+}
+
+// LockAcquire emits a test-and-test-and-set spin-lock acquire on the lock
+// whose address is in addrReg, clobbering tmp. On return the lock is held.
+func (b *Builder) LockAcquire(addrReg, tmp isa.Reg) {
+	prev := b.region
+	b.SetRegion(isa.RegionSync)
+	defer b.SetRegion(prev)
+
+	try := uniq("lock_try")
+	spin := uniq("lock_spin")
+	got := uniq("lock_got")
+
+	b.Label(try)
+	b.Tas(tmp, addrReg, 0)
+	b.Beq(tmp, isa.R0, got)
+	b.Label(spin)
+	b.Yield(SpinYieldCycles)
+	b.Lw(tmp, addrReg, 0) // test before retrying the expensive TAS
+	b.Beq(tmp, isa.R0, try)
+	b.J(spin)
+	b.Label(got)
+}
+
+// LockRelease emits a lock release (store of zero).
+func (b *Builder) LockRelease(addrReg isa.Reg) {
+	prev := b.region
+	b.SetRegion(isa.RegionSync)
+	defer b.SetRegion(prev)
+	b.Sw(isa.R0, addrReg, 0)
+}
+
+// Barrier emits a centralized sense-reversing barrier.
+//
+//   - baseReg holds the barrier address (from AllocBarrier)
+//   - nthreadsReg holds the number of participating threads
+//   - senseReg holds the thread's local sense; it must be initialized to 0
+//     before first use and is flipped by this code
+//   - tmp1, tmp2 are clobbered
+func (b *Builder) Barrier(baseReg, nthreadsReg, senseReg, tmp1, tmp2 isa.Reg) {
+	prev := b.region
+	b.SetRegion(isa.RegionSync)
+	defer b.SetRegion(prev)
+
+	spin := uniq("bar_spin")
+	last := uniq("bar_last")
+	done := uniq("bar_done")
+
+	// Flip local sense: this episode completes when the global sense
+	// equals the new local sense.
+	b.Xori(senseReg, senseReg, 1)
+
+	// count++ under the barrier's lock.
+	b.LockAcquire(baseReg, tmp1)
+	b.Lw(tmp1, baseReg, barrierCountOff)
+	b.Addi(tmp1, tmp1, 1)
+	b.Sw(tmp1, baseReg, barrierCountOff)
+	b.LockRelease(baseReg)
+
+	b.Beq(tmp1, nthreadsReg, last)
+
+	// Waiters spin until the global sense flips.
+	b.Label(spin)
+	b.Lw(tmp2, baseReg, barrierSenseOff)
+	b.Beq(tmp2, senseReg, done)
+	b.Yield(SpinYieldCycles)
+	b.J(spin)
+
+	// The last arriver resets the count and releases everyone.
+	b.Label(last)
+	b.Sw(isa.R0, baseReg, barrierCountOff)
+	b.Sw(senseReg, baseReg, barrierSenseOff)
+
+	b.Label(done)
+}

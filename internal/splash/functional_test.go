@@ -1,0 +1,135 @@
+package splash
+
+// Functional (value-level) checks of the parallel applications: the
+// synchronization protocols must make certain results exact regardless of
+// scheme, context count, or timing.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mp"
+	"repro/internal/prog"
+)
+
+// locusGridBase mirrors buildLocus's allocation order: barrier-affecting
+// allocations happen inside prologue after these three.
+const (
+	locusDataBase = 0x5000_0000
+	locusQlock    = locusDataBase     // 64-aligned lock line
+	locusCounter  = locusQlock + 64   // counter line
+	locusGrid     = locusCounter + 64 // 4096 doubles
+	locusTasks    = 256
+	locusHops     = 36
+)
+
+// TestLocusGridSumExact: every task adds exactly 1.0 to each of its hops'
+// cells, so the grid total must equal steps × tasks × hops under every
+// scheme and context count (FP addition of small integers is exact).
+func TestLocusGridSumExact(t *testing.T) {
+	for _, tc := range []struct {
+		scheme core.Scheme
+		ctx    int
+		procs  int
+	}{
+		{core.Single, 1, 4},
+		{core.Blocked, 2, 4},
+		{core.Interleaved, 4, 4},
+	} {
+		cfg := mp.DefaultConfig(tc.scheme, tc.ctx)
+		cfg.Processors = tc.procs
+		cfg.LimitCycles = 50_000_000
+		const steps = 2
+		p := Locus().Build(Options{
+			CodeBase: 0x0100_0000, DataBase: locusDataBase,
+			Yield:        prog.YieldBackoff,
+			AutoTolerate: true,
+			NumThreads:   tc.procs * tc.ctx,
+			Steps:        steps,
+		})
+		res, err := mp.Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("%v/%d did not complete", tc.scheme, tc.ctx)
+		}
+		sum := 0.0
+		for i := uint32(0); i < 4096; i++ {
+			sum += math.Float64frombits(res.Mem.LoadD(locusGrid + 8*i))
+		}
+		want := float64(steps * locusTasks * locusHops)
+		if sum != want {
+			t.Errorf("%v/%d: grid sum = %v, want %v (lost or duplicated tasks)",
+				tc.scheme, tc.ctx, sum, want)
+		}
+	}
+}
+
+// TestSingleThreadSchemeEquivalence: with one thread there are no races,
+// so the final functional memory must be bit-identical across schemes.
+func TestSingleThreadSchemeEquivalence(t *testing.T) {
+	run := func(s core.Scheme) map[uint32]uint64 {
+		cfg := mp.DefaultConfig(s, 1)
+		cfg.Processors = 1
+		cfg.LimitCycles = 100_000_000
+		p := Water().Build(Options{
+			CodeBase: 0x0100_0000, DataBase: 0x5000_0000,
+			Yield: prog.YieldBackoff, NumThreads: 1, Steps: 1,
+		})
+		res, err := mp.Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("%v did not complete", s)
+		}
+		// Snapshot the force array region (second allocation after x).
+		snap := make(map[uint32]uint64)
+		for a := uint32(0x5000_0000); a < 0x5000_0000+4096*8*2; a += 8 {
+			if v := res.Mem.LoadD(a); v != 0 {
+				snap[a] = v
+			}
+		}
+		return snap
+	}
+	ref := run(core.Single)
+	if len(ref) == 0 {
+		t.Fatal("water produced no output")
+	}
+	for _, s := range []core.Scheme{core.Blocked, core.Interleaved, core.FineGrained} {
+		got := run(s)
+		if len(got) != len(ref) {
+			t.Fatalf("%v: %d nonzero cells, reference %d", s, len(got), len(ref))
+		}
+		for a, v := range ref {
+			if got[a] != v {
+				t.Fatalf("%v: mem[%#x] = %#x, reference %#x", s, a, got[a], v)
+			}
+		}
+	}
+}
+
+// TestMutualExclusionAtScale: 64 threads hammer the pthor queue and its
+// region locks; completion plus the counter reset protocol reaching every
+// step proves the locks serialize at full scale.
+func TestMutualExclusionAtScale(t *testing.T) {
+	cfg := mp.DefaultConfig(core.Interleaved, 8)
+	cfg.Processors = 8
+	cfg.LimitCycles = 100_000_000
+	p := PTHOR().Build(Options{
+		CodeBase: 0x0100_0000, DataBase: 0x5000_0000,
+		Yield:        prog.YieldBackoff,
+		AutoTolerate: true,
+		NumThreads:   64,
+		Steps:        2,
+	})
+	res, err := mp.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("pthor with 64 threads did not complete")
+	}
+}

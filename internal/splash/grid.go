@@ -1,0 +1,275 @@
+package splash
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Ocean models the SPLASH eddy-current simulator: Gauss-Seidel-style
+// stencil sweeps over a shared grid partitioned by row blocks. The rows at
+// partition boundaries are read by two threads and written by one —
+// classic nearest-neighbour communication — and every sweep ends at a
+// barrier.
+func Ocean() App {
+	return App{Name: "ocean", Build: func(o Options) *prog.Program {
+		o = o.normalize(4)
+		const rows = 256
+		const cols = 64
+		const rowBytes = cols * 8
+		b := newApp("ocean", o)
+		grid := b.Alloc(rows*rowBytes, 64)
+		for i := 0; i < rows; i++ {
+			b.InitF(grid+uint32(i*rowBytes), float64(i%11))
+			b.InitF(grid+uint32(i*rowBytes+8*(cols-1)), float64(i%7))
+		}
+		consts := b.Alloc(8, 8)
+		b.InitF(consts, 0.25)
+
+		b.prologue()
+		b.La(isa.R20, consts)
+		b.Fld(isa.F10, isa.R20, 0) // 0.25
+		b.stepLoop(func() {
+			for sweep := 0; sweep < 2; sweep++ {
+				lbl := "oc_row0"
+				inner := "oc_col0"
+				if sweep == 1 {
+					lbl, inner = "oc_row1", "oc_col1"
+				}
+				b.myChunk(rows, isa.R8, isa.R9, isa.R10)
+				// Clamp away the global boundary rows.
+				b.Bne(isa.R8, isa.R0, lbl+"_s")
+				b.Addi(isa.R8, isa.R8, 1)
+				b.Label(lbl + "_s")
+				b.Slti(isa.R10, isa.R9, rows)
+				b.Bne(isa.R10, isa.R0, lbl+"_e")
+				b.Addi(isa.R9, isa.R9, -1)
+				b.Label(lbl + "_e")
+
+				b.Label(lbl)
+				b.Slt(isa.R15, isa.R8, isa.R9)
+				b.Beq(isa.R15, isa.R0, lbl+"_done")
+				// R11 = &grid[r][0]
+				b.Li(isa.R12, rowBytes)
+				b.Mul(isa.R11, isa.R8, isa.R12)
+				b.La(isa.R13, grid)
+				b.Add(isa.R11, isa.R11, isa.R13)
+				b.Li(isa.R14, (cols-2)/2)
+				b.Label(inner)
+				for u := 0; u < 2; u++ {
+					off := int32(8 + 8*u)
+					b.Fld(isa.F1, isa.R11, off-8)
+					b.Fld(isa.F2, isa.R11, off+8)
+					b.Fld(isa.F3, isa.R11, off-rowBytes)
+					b.Fld(isa.F4, isa.R11, off+rowBytes)
+					b.FAdd(isa.F5, isa.F1, isa.F2)
+					b.FAdd(isa.F6, isa.F3, isa.F4)
+					b.FAdd(isa.F5, isa.F5, isa.F6)
+					b.FMul(isa.F5, isa.F5, isa.F10)
+					b.Fsd(isa.F5, isa.R11, off)
+				}
+				b.Addi(isa.R11, isa.R11, 16)
+				b.Addi(isa.R14, isa.R14, -1)
+				b.Bgtz(isa.R14, inner)
+				b.Addi(isa.R8, isa.R8, 1)
+				b.J(lbl)
+				b.Label(lbl + "_done")
+				b.barrier()
+			}
+		})
+		return b.MustBuild()
+	}}
+}
+
+// Locus models the SPLASH wire router: a central work queue of routes,
+// each of which walks a shared cost grid, reading and writing scattered
+// cells. Lock contention plus write sharing of the grid.
+func Locus() App {
+	return App{Name: "locus", Build: buildLocus}
+}
+
+func buildLocus(o Options) *prog.Program {
+	o = o.normalize(3)
+	const gridCells = 4096
+	const tasks = 256
+	b := newApp("locus", o)
+	qlock := b.AllocLock()
+	counter := b.Alloc(64, 64)
+	grid := b.Alloc(gridCells*8, 64)
+	consts := b.Alloc(8, 8)
+	b.InitF(consts, 1.0)
+
+	b.prologue()
+	b.La(isa.R16, qlock)
+	b.La(isa.R17, counter)
+	b.La(isa.R20, consts)
+	b.Fld(isa.F10, isa.R20, 0)
+	b.stepLoop(func() {
+		b.Label("locus_task")
+		b.LockAcquire(isa.R16, isa.R2)
+		b.Lw(isa.R9, isa.R17, 0)
+		b.Addi(isa.R10, isa.R9, 1)
+		b.Sw(isa.R10, isa.R17, 0)
+		b.LockRelease(isa.R16)
+		b.Slti(isa.R15, isa.R9, tasks)
+		b.Beq(isa.R15, isa.R0, "locus_drained")
+
+		b.Li(isa.R11, 97)
+		b.Mul(isa.R12, isa.R9, isa.R11)
+		b.La(isa.R13, grid)
+		for hop := 0; hop < 36; hop++ {
+			b.Addi(isa.R14, isa.R12, int32(61*hop))
+			b.Andi(isa.R14, isa.R14, gridCells-1)
+			b.Sll(isa.R14, isa.R14, 3)
+			b.Add(isa.R18, isa.R13, isa.R14)
+			b.Fld(isa.F1, isa.R18, 0)
+			b.FAdd(isa.F1, isa.F1, isa.F10)
+			b.Fsd(isa.F1, isa.R18, 0)
+		}
+		b.J("locus_task")
+
+		b.Label("locus_drained")
+		b.barrier()
+		b.Bne(rTid, isa.R0, "locus_skip")
+		b.Sw(isa.R0, isa.R17, 0)
+		b.Label("locus_skip")
+		b.barrier()
+	})
+	return b.MustBuild()
+}
+
+// PTHOR models the SPLASH logic simulator: an event queue under a lock,
+// with each event updating net values in a lock-guarded region — the most
+// synchronization-intensive app, almost entirely integer.
+func PTHOR() App {
+	return App{Name: "pthor", Build: buildPTHOR}
+}
+
+func buildPTHOR(o Options) *prog.Program {
+	o = o.normalize(3)
+	const nets = 4096
+	const nlocks = 16
+	const events = 128
+	b := newApp("pthor", o)
+	qlock := b.AllocLock()
+	counter := b.Alloc(64, 64)
+	var regionLocks [nlocks]uint32
+	for i := range regionLocks {
+		regionLocks[i] = b.AllocLock()
+	}
+	netsA := b.Alloc(nets*4, 64)
+	locksBase := regionLocks[0]
+
+	b.prologue()
+	b.La(isa.R16, qlock)
+	b.La(isa.R17, counter)
+	b.La(isa.R19, netsA)
+	b.La(isa.R21, locksBase)
+	b.stepLoop(func() {
+		b.Label("pthor_evt")
+		b.LockAcquire(isa.R16, isa.R2)
+		b.Lw(isa.R9, isa.R17, 0)
+		b.Addi(isa.R10, isa.R9, 1)
+		b.Sw(isa.R10, isa.R17, 0)
+		b.LockRelease(isa.R16)
+		b.Slti(isa.R15, isa.R9, events)
+		b.Beq(isa.R15, isa.R0, "pthor_drained")
+
+		// Lock the region this event's nets live in (locks are allocated
+		// contiguously, 64 bytes apart).
+		b.Andi(isa.R11, isa.R9, nlocks-1)
+		b.Sll(isa.R11, isa.R11, 6)
+		b.Add(isa.R11, isa.R21, isa.R11)
+		b.LockAcquire(isa.R11, isa.R2)
+		// Update twenty-four net values.
+		b.Li(isa.R12, 53)
+		b.Mul(isa.R13, isa.R9, isa.R12)
+		for i := 0; i < 24; i++ {
+			b.Addi(isa.R14, isa.R13, int32(17*i))
+			b.Andi(isa.R14, isa.R14, nets-1)
+			b.Sll(isa.R14, isa.R14, 2)
+			b.Add(isa.R18, isa.R19, isa.R14)
+			b.Lw(isa.R22, isa.R18, 0)
+			b.Xori(isa.R22, isa.R22, 1)
+			b.Addi(isa.R22, isa.R22, 2)
+			b.Sw(isa.R22, isa.R18, 0)
+		}
+		b.LockRelease(isa.R11)
+		b.J("pthor_evt")
+
+		b.Label("pthor_drained")
+		b.barrier()
+		b.Bne(rTid, isa.R0, "pthor_skip")
+		b.Sw(isa.R0, isa.R17, 0)
+		b.Label("pthor_skip")
+		b.barrier()
+	})
+	return b.MustBuild()
+}
+
+// Cholesky models the SPLASH sparse Cholesky factorization, whose defining
+// property in the paper's results is that it gains nothing from multiple
+// contexts: a dominant serial pivot phase (thread 0 only) leaves the other
+// threads waiting at barriers.
+func Cholesky() App {
+	return App{Name: "cholesky", Build: func(o Options) *prog.Program {
+		o = o.normalize(2)
+		const panels = 12
+		const colLen = 512
+		b := newApp("cholesky", o)
+		col := b.Alloc(colLen*8, 64)
+		trail := b.Alloc(8192*8, 64)
+		for i := 0; i < colLen; i++ {
+			b.InitF(col+uint32(8*i), 2.0+float64(i%13))
+		}
+
+		b.prologue()
+		b.La(isa.R16, col)
+		b.La(isa.R17, trail)
+		b.stepLoop(func() {
+			b.Li(isa.R24, panels)
+			b.Label("ch_panel")
+
+			// Serial pivot: thread 0 factors the panel column (divides).
+			b.Bne(rTid, isa.R0, "ch_pivwait")
+			b.La(isa.R11, col)
+			b.Li(isa.R12, colLen/4)
+			b.Fld(isa.F1, isa.R11, 0)
+			b.Label("ch_piv")
+			for u := 0; u < 4; u++ {
+				off := int32(8 * u)
+				b.Fld(isa.F2, isa.R11, off)
+				b.FMul(isa.F3, isa.F2, isa.F2)
+				b.FAdd(isa.F3, isa.F3, isa.F1)
+				if u == 3 {
+					b.FDivD(isa.F4, isa.F3, isa.F1)
+					b.Fsd(isa.F4, isa.R11, off)
+				} else {
+					b.Fsd(isa.F3, isa.R11, off)
+				}
+			}
+			b.Addi(isa.R11, isa.R11, 32)
+			b.Addi(isa.R12, isa.R12, -1)
+			b.Bgtz(isa.R12, "ch_piv")
+			b.Label("ch_pivwait")
+			b.barrier()
+
+			// Small parallel trailing update.
+			b.myChunk(1024, isa.R8, isa.R9, isa.R10)
+			b.Sll(isa.R10, isa.R8, 3)
+			b.Add(isa.R11, isa.R17, isa.R10)
+			b.Label("ch_upd")
+			b.Fld(isa.F5, isa.R11, 0)
+			b.FAdd(isa.F5, isa.F5, isa.F1)
+			b.Fsd(isa.F5, isa.R11, 0)
+			b.Addi(isa.R11, isa.R11, 8)
+			b.Addi(isa.R8, isa.R8, 1)
+			b.Slt(isa.R15, isa.R8, isa.R9)
+			b.Bne(isa.R15, isa.R0, "ch_upd")
+			b.barrier()
+
+			b.Addi(isa.R24, isa.R24, -1)
+			b.Bgtz(isa.R24, "ch_panel")
+		})
+		return b.MustBuild()
+	}}
+}

@@ -1,0 +1,202 @@
+package splash
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// MP3D models the SPLASH rarefied-flow simulator: each thread advances its
+// particles and scatters their contributions into a shared space-cell
+// array written by every thread — the highest communication miss rate in
+// the suite.
+func MP3D() App {
+	return App{Name: "mp3d", Build: func(o Options) *prog.Program {
+		o = o.normalize(4)
+		const np = 16384
+		const nc = 4096
+		b := newApp("mp3d", o)
+		pos := b.Alloc(np*8, 64)
+		vel := b.Alloc(np*8, 64)
+		cells := b.Alloc(nc*8, 64)
+		for i := 0; i < np; i++ {
+			b.InitF(pos+uint32(8*i), float64((i*37)%nc))
+			b.InitF(vel+uint32(8*i), 0.5+float64(i%7)*0.25)
+		}
+
+		b.prologue()
+		b.stepLoop(func() {
+			b.myChunk(np, isa.R8, isa.R9, isa.R10)
+			// R11 = &pos[start], R12 = &vel[start], R16 = cells
+			b.Sll(isa.R10, isa.R8, 3)
+			b.La(isa.R11, pos)
+			b.Add(isa.R11, isa.R11, isa.R10)
+			b.La(isa.R12, vel)
+			b.Add(isa.R12, isa.R12, isa.R10)
+			b.La(isa.R16, cells)
+
+			b.Label("mp3d_part")
+			b.Fld(isa.F1, isa.R11, 0) // x
+			b.Fld(isa.F2, isa.R12, 0) // v
+			b.FAdd(isa.F1, isa.F1, isa.F2)
+			b.Fsd(isa.F1, isa.R11, 0)
+			// Scatter into cell int(x) & (nc-1): shared, write-contended.
+			b.Mfc1(isa.R13, isa.F1)
+			b.Andi(isa.R13, isa.R13, nc-1)
+			b.Sll(isa.R13, isa.R13, 3)
+			b.Add(isa.R14, isa.R16, isa.R13)
+			b.Fld(isa.F3, isa.R14, 0)
+			b.FAdd(isa.F3, isa.F3, isa.F2)
+			b.Fsd(isa.F3, isa.R14, 0)
+			b.Addi(isa.R11, isa.R11, 8)
+			b.Addi(isa.R12, isa.R12, 8)
+			b.Addi(isa.R8, isa.R8, 1)
+			b.Slt(isa.R15, isa.R8, isa.R9)
+			b.Bne(isa.R15, isa.R0, "mp3d_part")
+			b.barrier()
+		})
+		return b.MustBuild()
+	}}
+}
+
+// Barnes models the SPLASH hierarchical N-body code: for every body, a
+// walk over gravity cells computing mass/distance² — one double divide per
+// cell visited. With Water it carries the suite's largest long-instruction
+// latency, the paper's showcase for the interleaved scheme's backoff.
+func Barnes() App {
+	return App{Name: "barnes", Build: func(o Options) *prog.Program {
+		o = o.normalize(2)
+		const nb = 2048
+		const ncell = 128
+		b := newApp("barnes", o)
+		bodies := b.Alloc(nb*16, 64) // {x, force} pairs
+		cellsA := b.Alloc(ncell*16, 64)
+		for i := 0; i < nb; i++ {
+			b.InitF(bodies+uint32(16*i), float64(i%61))
+		}
+		for i := 0; i < ncell; i++ {
+			b.InitF(cellsA+uint32(16*i), 4.0+float64(i%9))   // mass
+			b.InitF(cellsA+uint32(16*i+8), float64(i%53)*.7) // position
+		}
+		eps := b.Alloc(16, 8)
+		b.InitF(eps, 0.3)
+		b.InitF(eps+8, 0.01) // dt
+
+		b.prologue()
+		b.La(isa.R20, eps)
+		b.Fld(isa.F7, isa.R20, 0)  // eps
+		b.Fld(isa.F10, isa.R20, 8) // dt
+		b.stepLoop(func() {
+			b.myChunk(nb, isa.R8, isa.R9, isa.R10)
+			b.Sll(isa.R10, isa.R8, 4)
+			b.La(isa.R11, bodies)
+			b.Add(isa.R11, isa.R11, isa.R10)
+			b.La(isa.R16, cellsA)
+
+			b.Label("bn_body")
+			b.Fld(isa.F1, isa.R11, 0)      // x
+			b.FSub(isa.F2, isa.F2, isa.F2) // force = 0
+			// Tree walk: eight pseudo-random cells.
+			b.Li(isa.R17, 13)
+			b.Mul(isa.R12, isa.R8, isa.R17) // walk seed
+			for c := 0; c < 8; c++ {
+				b.Addi(isa.R13, isa.R12, int32(29*c))
+				b.Andi(isa.R13, isa.R13, ncell-1)
+				b.Sll(isa.R13, isa.R13, 4)
+				b.Add(isa.R14, isa.R16, isa.R13)
+				b.Fld(isa.F3, isa.R14, 0) // mass
+				b.Fld(isa.F4, isa.R14, 8) // cx
+				b.FSub(isa.F5, isa.F4, isa.F1)
+				b.FMul(isa.F6, isa.F5, isa.F5)
+				b.FAdd(isa.F6, isa.F6, isa.F7)
+				if c%4 == 0 {
+					// Exact mass/dist² for the near cells...
+					b.FDivD(isa.F8, isa.F3, isa.F6)
+				} else {
+					// ...multipole-style approximation for the far ones.
+					b.FMul(isa.F8, isa.F3, isa.F7)
+					b.FSub(isa.F8, isa.F8, isa.F6)
+					b.FAbs(isa.F8, isa.F8)
+					b.FMul(isa.F8, isa.F8, isa.F7)
+				}
+				b.FAdd(isa.F2, isa.F2, isa.F8)
+			}
+			b.Fsd(isa.F2, isa.R11, 8) // force
+			b.FMul(isa.F9, isa.F2, isa.F10)
+			b.FAdd(isa.F1, isa.F1, isa.F9)
+			b.Fsd(isa.F1, isa.R11, 0)
+			b.Addi(isa.R11, isa.R11, 16)
+			b.Addi(isa.R8, isa.R8, 1)
+			b.Slt(isa.R15, isa.R8, isa.R9)
+			b.Bne(isa.R15, isa.R0, "bn_body")
+			b.barrier()
+		})
+		return b.MustBuild()
+	}}
+}
+
+// Water models the SPLASH molecular-dynamics code: pairwise interactions
+// within a neighbourhood window, each pair costing a square root and a
+// divide (long instruction latency), with the window crossing partition
+// boundaries (moderate sharing).
+func Water() App {
+	return App{Name: "water", Build: func(o Options) *prog.Program {
+		o = o.normalize(2)
+		const nm = 4096
+		b := newApp("water", o)
+		x := b.Alloc(nm*8, 64)
+		force := b.Alloc(nm*8, 64)
+		for i := 0; i < nm; i++ {
+			b.InitF(x+uint32(8*i), float64(i%97)*0.5)
+		}
+		consts := b.Alloc(16, 8)
+		b.InitF(consts, 0.25)  // eps
+		b.InitF(consts+8, 1.0) // one
+
+		b.prologue()
+		b.La(isa.R20, consts)
+		b.Fld(isa.F7, isa.R20, 0)  // eps
+		b.Fld(isa.F10, isa.R20, 8) // 1.0
+		b.stepLoop(func() {
+			b.myChunk(nm, isa.R8, isa.R9, isa.R10)
+			b.La(isa.R16, x)
+			b.La(isa.R17, force)
+
+			b.Label("wt_mol")
+			b.Sll(isa.R10, isa.R8, 3)
+			b.Add(isa.R11, isa.R16, isa.R10)
+			b.Fld(isa.F1, isa.R11, 0)      // x[i]
+			b.FSub(isa.F2, isa.F2, isa.F2) // acc = 0
+			// Four neighbours, wrapping: crosses the partition edge.
+			for j := 1; j <= 4; j++ {
+				b.Addi(isa.R12, isa.R8, int32(j))
+				b.Andi(isa.R12, isa.R12, nm-1)
+				b.Sll(isa.R12, isa.R12, 3)
+				b.Add(isa.R13, isa.R16, isa.R12)
+				b.Fld(isa.F3, isa.R13, 0)
+				b.FSub(isa.F4, isa.F3, isa.F1)
+				b.FMul(isa.F5, isa.F4, isa.F4)
+				b.FAdd(isa.F5, isa.F5, isa.F7)
+				if j == 1 {
+					b.FSqrt(isa.F6, isa.F5)          // r
+					b.FDivD(isa.F8, isa.F10, isa.F6) // 1/r
+				} else {
+					// Truncated series for the longer-range pairs.
+					b.FMul(isa.F6, isa.F5, isa.F7)
+					b.FSub(isa.F8, isa.F10, isa.F6)
+					b.FMul(isa.F8, isa.F8, isa.F8)
+					b.FAdd(isa.F8, isa.F8, isa.F7)
+				}
+				b.FAdd(isa.F2, isa.F2, isa.F8)
+			}
+			b.Add(isa.R14, isa.R17, isa.R10)
+			b.Fld(isa.F9, isa.R14, 0)
+			b.FAdd(isa.F9, isa.F9, isa.F2)
+			b.Fsd(isa.F9, isa.R14, 0)
+			b.Addi(isa.R8, isa.R8, 1)
+			b.Slt(isa.R15, isa.R8, isa.R9)
+			b.Bne(isa.R15, isa.R0, "wt_mol")
+			b.barrier()
+		})
+		return b.MustBuild()
+	}}
+}

@@ -1,0 +1,111 @@
+// Package stats provides the small numeric and formatting helpers shared
+// by the experiment harness: geometric means and fixed-width text tables
+// with ASCII breakdown bars, in the spirit of the paper's tables and
+// stacked-bar figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of xs (1.0 for empty input). Any
+// non-positive value contributes as a tiny epsilon to keep the result
+// defined.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-9
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Table accumulates rows of cells and formats them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := range t.header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar renders a stacked horizontal bar of the given width: each segment is
+// a fraction in [0,1] drawn with its rune. Fractions should sum to <= 1.
+func Bar(width int, fracs []float64, runes []rune) string {
+	var b strings.Builder
+	used := 0
+	for i, f := range fracs {
+		n := int(f*float64(width) + 0.5)
+		if used+n > width {
+			n = width - used
+		}
+		for j := 0; j < n; j++ {
+			b.WriteRune(runes[i%len(runes)])
+		}
+		used += n
+	}
+	for used < width {
+		b.WriteByte(' ')
+		used++
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%5.1f%%", 100*f) }
+
+// Ratio formats a throughput/speedup ratio.
+func Ratio(f float64) string { return fmt.Sprintf("%.2f", f) }

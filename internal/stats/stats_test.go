@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeoMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 1},
+		{[]float64{2, 8}, 4},
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{10}, 10},
+	}
+	for _, c := range cases {
+		if got := GeoMean(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("GeoMean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Non-positive inputs must not blow up.
+	if got := GeoMean([]float64{0, 4}); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("GeoMean with zero = %v", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("a", "1")
+	tab.AddRow("longer-name", "22")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// All rows align on the same column width.
+	if len(lines[2]) > len(lines[3])+3 && len(lines[3]) > len(lines[2])+3 {
+		t.Errorf("rows misaligned:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Error("missing separator row")
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tab := NewTable("a", "b", "c")
+	tab.AddRow("x") // missing cells render empty
+	if out := tab.String(); !strings.Contains(out, "x") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar(10, []float64{0.5, 0.3}, []rune{'A', 'B'})
+	if len([]rune(out)) != 10 {
+		t.Fatalf("bar width = %d", len(out))
+	}
+	if strings.Count(out, "A") != 5 || strings.Count(out, "B") != 3 {
+		t.Errorf("bar = %q", out)
+	}
+	// Over-full fractions clamp to the width.
+	out = Bar(10, []float64{0.9, 0.9}, []rune{'A', 'B'})
+	if len([]rune(out)) != 10 {
+		t.Errorf("overfull bar width = %d", len(out))
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.5); got != " 50.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Ratio(1.2345); got != "1.23" {
+		t.Errorf("Ratio = %q", got)
+	}
+}

@@ -1,0 +1,235 @@
+// Package workstation simulates the paper's uniprocessor environment
+// (§4-5.1): one multiple-context processor with the Table 1/2 cache
+// hierarchy, running a multiprogrammed workload of four applications under
+// the time-slicing, affinity-scheduling OS model. It produces the
+// utilization breakdowns of Figures 6-7 and the throughput numbers of
+// Table 7.
+package workstation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/osmodel"
+	"repro/internal/prog"
+)
+
+// Config parameterizes one workstation run.
+type Config struct {
+	Scheme   core.Scheme
+	Contexts int
+
+	OS    osmodel.Params
+	Cache cache.Params
+	// Core, if non-zero, overrides the derived core configuration.
+	Core *core.Config
+	// YieldOverride, if non-nil, overrides the latency-tolerance
+	// compilation mode derived from the scheme (used by ablations, e.g.
+	// running the interleaved pipeline on code without backoffs).
+	YieldOverride *prog.YieldMode
+
+	// WarmupRotations and MeasureRotations are in full scheduler
+	// rotations (every application runs AffinitySlices slices per
+	// rotation). The paper warms one slice per application and measures
+	// 36 slices; the defaults here are 1 and 1 (12 slices with four
+	// applications), scaled with the slice length.
+	WarmupRotations  int
+	MeasureRotations int
+
+	// AppScale is passed to kernels as their work multiplier.
+	AppScale int
+
+	Seed int64
+}
+
+// DefaultConfig returns the paper's workstation with the given scheme and
+// context count.
+func DefaultConfig(s core.Scheme, contexts int) Config {
+	return Config{
+		Scheme:           s,
+		Contexts:         contexts,
+		OS:               osmodel.DefaultParams(),
+		Cache:            cache.DefaultParams(),
+		WarmupRotations:  1,
+		MeasureRotations: 1,
+		Seed:             1,
+	}
+}
+
+// YieldModeFor maps a scheme to the latency-tolerance instruction its
+// compilation uses.
+func YieldModeFor(s core.Scheme) prog.YieldMode {
+	switch s {
+	case core.Blocked, core.BlockedFast:
+		return prog.YieldSwitch
+	case core.Interleaved:
+		return prog.YieldBackoff
+	default:
+		return prog.YieldNone
+	}
+}
+
+// AppResult reports one application's progress over the measured window.
+type AppResult struct {
+	Name    string
+	Retired int64
+	Devoted int64 // processor cycles attributed to the application
+}
+
+// Result is the outcome of a workstation run.
+type Result struct {
+	Stats core.Stats
+	Apps  []AppResult
+	// Throughput is the raw processor busy fraction over the measured
+	// window — the quantity atop the bars of Figures 6 and 7.
+	Throughput float64
+	// FairThroughput is the fairness-normalized aggregate instruction
+	// rate. The paper observes that both schemes skew processor cycles
+	// toward applications with longer runlengths and therefore assumes
+	// OS feedback scheduling that "evens out the amount of processor
+	// cycles devoted to each application", normalizing "to the case
+	// where each application out of n is given 1/n of the processor"
+	// (§5.1). With every cycle attributed to the application that used
+	// or caused it (core.Thread.Devoted), giving each application C/n
+	// cycles yields
+	//
+	//	(1/n) · Σᵢ retiredᵢ/devotedᵢ
+	//
+	// instructions per cycle, which is what Table 7's throughput ratios
+	// are computed from.
+	FairThroughput float64
+}
+
+// Gain returns this run's fairness-normalized throughput relative to a
+// baseline run (Table 7's metric).
+func (r *Result) Gain(base *Result) float64 {
+	if base == nil || base.FairThroughput <= 0 {
+		return 0
+	}
+	return r.FairThroughput / base.FairThroughput
+}
+
+// Run simulates the kernels as a multiprogrammed workload under cfg.
+func Run(kernels []apps.Kernel, cfg Config) (*Result, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("workstation: empty workload")
+	}
+	if cfg.Contexts < 1 {
+		return nil, fmt.Errorf("workstation: need at least one context")
+	}
+	ccfg := core.DefaultConfig(cfg.Scheme, cfg.Contexts)
+	if cfg.Core != nil {
+		ccfg = *cfg.Core
+	}
+
+	fm := mem.New()
+	h, err := cache.NewHierarchy(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := core.NewProcessor(ccfg, h, fm)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build one process per kernel, each in its own code and data region
+	// (regions collide in the caches — that is the point).
+	yield := YieldModeFor(cfg.Scheme)
+	if cfg.YieldOverride != nil {
+		yield = *cfg.YieldOverride
+	}
+	threads := make([]*core.Thread, len(kernels))
+	for i, k := range kernels {
+		// Bases are staggered within the 64 KB cache-index range so the
+		// processes do not all alias to the same direct-mapped sets (as
+		// real loaders stagger them); they still conflict where their
+		// footprints overlap.
+		p := k.Build(apps.Options{
+			CodeBase:     0x0100_0000*uint32(i+1) + 0x4800*uint32(i),
+			DataBase:     0x4000_0000 + 0x0200_0000*uint32(i) + 0x3800*uint32(i),
+			Yield:        yield,
+			AutoTolerate: yield != prog.YieldNone,
+			Scale:        cfg.AppScale,
+		})
+		p.LoadInit(fm)
+		threads[i] = core.NewThread(fmt.Sprintf("%s.%d", k.Name, i), p)
+	}
+
+	// Scheduling groups of |contexts| applications.
+	var groups [][]*core.Thread
+	for i := 0; i < len(threads); i += cfg.Contexts {
+		end := i + cfg.Contexts
+		if end > len(threads) {
+			end = len(threads)
+		}
+		groups = append(groups, threads[i:end])
+	}
+	groupPeriod := cfg.OS.AffinitySlices * cfg.Contexts // slices per group
+	rotation := len(groups) * groupPeriod               // slices per full rotation
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bind := func(g []*core.Thread) {
+		for c := 0; c < cfg.Contexts; c++ {
+			if c < len(g) {
+				proc.BindThread(c, g[c])
+			} else {
+				proc.BindThread(c, nil)
+			}
+		}
+	}
+
+	measureStart := make([]int64, len(threads))
+	devotedStart := make([]int64, len(threads))
+	totalSlices := (cfg.WarmupRotations + cfg.MeasureRotations) * rotation
+	warmupSlices := cfg.WarmupRotations * rotation
+	for slice := 0; slice < totalSlices; slice++ {
+		// Scheduler invocation at every slice boundary; process switches
+		// only at group boundaries (affinity).
+		switched := 0
+		if slice%groupPeriod == 0 {
+			g := groups[(slice/groupPeriod)%len(groups)]
+			if len(groups) > 1 || slice == 0 {
+				bind(g)
+				if len(groups) > 1 {
+					switched = cfg.Contexts
+				}
+			}
+		}
+		inter := osmodel.InterferenceFor(switched)
+		h.DrainFills(proc.Now())
+		h.SchedulerInterference(inter.ILines, inter.DLines, inter.TLBEntries, rng)
+
+		if slice == warmupSlices {
+			proc.Stats = core.Stats{}
+			for i, th := range threads {
+				measureStart[i] = th.Retired
+				devotedStart[i] = th.Devoted
+			}
+		}
+		proc.Run(cfg.OS.SliceCycles)
+	}
+
+	res := &Result{Stats: proc.Stats}
+	res.Throughput = proc.Stats.BusyFraction()
+	// Devoted counts issue slots; convert per-slot efficiency back to
+	// instructions per cycle for superscalar configurations.
+	width := 1.0
+	if ccfg.IssueWidth > 1 {
+		width = float64(ccfg.IssueWidth)
+	}
+	var effSum float64
+	for i, th := range threads {
+		retired := th.Retired - measureStart[i]
+		devoted := th.Devoted - devotedStart[i]
+		res.Apps = append(res.Apps, AppResult{Name: th.Name, Retired: retired, Devoted: devoted})
+		if devoted > 0 {
+			effSum += float64(retired) / float64(devoted) * width
+		}
+	}
+	res.FairThroughput = effSum / float64(len(threads))
+	return res, nil
+}

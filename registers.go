@@ -1,0 +1,79 @@
+package interleave
+
+import "repro/internal/isa"
+
+// Reg names an architectural register: R0-R31 are the integer registers
+// (R0 is hardwired to zero); F0-F31 are the double-precision FP registers.
+type Reg = isa.Reg
+
+// Integer registers.
+const (
+	R0  = isa.R0
+	R1  = isa.R1
+	R2  = isa.R2
+	R3  = isa.R3
+	R4  = isa.R4
+	R5  = isa.R5
+	R6  = isa.R6
+	R7  = isa.R7
+	R8  = isa.R8
+	R9  = isa.R9
+	R10 = isa.R10
+	R11 = isa.R11
+	R12 = isa.R12
+	R13 = isa.R13
+	R14 = isa.R14
+	R15 = isa.R15
+	R16 = isa.R16
+	R17 = isa.R17
+	R18 = isa.R18
+	R19 = isa.R19
+	R20 = isa.R20
+	R21 = isa.R21
+	R22 = isa.R22
+	R23 = isa.R23
+	R24 = isa.R24
+	R25 = isa.R25
+	R26 = isa.R26
+	R27 = isa.R27
+	R28 = isa.R28
+	R29 = isa.R29
+	R30 = isa.R30
+	R31 = isa.R31
+)
+
+// Floating-point registers.
+const (
+	F0  = isa.F0
+	F1  = isa.F1
+	F2  = isa.F2
+	F3  = isa.F3
+	F4  = isa.F4
+	F5  = isa.F5
+	F6  = isa.F6
+	F7  = isa.F7
+	F8  = isa.F8
+	F9  = isa.F9
+	F10 = isa.F10
+	F11 = isa.F11
+	F12 = isa.F12
+	F13 = isa.F13
+	F14 = isa.F14
+	F15 = isa.F15
+	F16 = isa.F16
+	F17 = isa.F17
+	F18 = isa.F18
+	F19 = isa.F19
+	F20 = isa.F20
+	F21 = isa.F21
+	F22 = isa.F22
+	F23 = isa.F23
+	F24 = isa.F24
+	F25 = isa.F25
+	F26 = isa.F26
+	F27 = isa.F27
+	F28 = isa.F28
+	F29 = isa.F29
+	F30 = isa.F30
+	F31 = isa.F31
+)
