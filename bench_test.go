@@ -9,6 +9,7 @@
 package interleave_test
 
 import (
+	"runtime"
 	"testing"
 
 	interleave "repro"
@@ -102,6 +103,26 @@ func BenchmarkFigure7(b *testing.B) {
 	}
 }
 
+// benchUniJ runs the full Table 7 grid at a fixed parallelism level.
+func benchUniJ(b *testing.B, j int) {
+	b.Helper()
+	cfg := experiments.QuickUniConfig()
+	cfg.Parallelism = j
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunUniprocessor(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7Serial vs BenchmarkTable7Parallel compares the experiment
+// engine at -j 1 against -j NumCPU over the full Table 7 grid. The results
+// are byte-identical (see TestTable7DeterministicAcrossParallelism); on a
+// multi-core machine the parallel variant's ns/op is lower by roughly the
+// core count, bounded by the largest single cell.
+func BenchmarkTable7Serial(b *testing.B)   { benchUniJ(b, 1) }
+func BenchmarkTable7Parallel(b *testing.B) { benchUniJ(b, runtime.NumCPU()) }
+
 // benchMP runs the reduced multiprocessor evaluation once per iteration.
 func benchMP(b *testing.B, apps []string) *experiments.MPResult {
 	b.Helper()
@@ -124,6 +145,23 @@ func BenchmarkTable10(b *testing.B) {
 	b.ReportMetric(1000*r.MeanSpeedup(core.Interleaved, 4), "interleaved4-speedup-x1000")
 	b.ReportMetric(1000*r.MeanSpeedup(core.Blocked, 4), "blocked4-speedup-x1000")
 }
+
+// benchMPJ runs the full Table 10 grid at a fixed parallelism level.
+func benchMPJ(b *testing.B, j int) {
+	b.Helper()
+	cfg := experiments.QuickMPConfig()
+	cfg.Parallelism = j
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMultiprocessor(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable10Serial vs BenchmarkTable10Parallel: the multiprocessor
+// grid at -j 1 against -j NumCPU (byte-identical results either way).
+func BenchmarkTable10Serial(b *testing.B)   { benchMPJ(b, 1) }
+func BenchmarkTable10Parallel(b *testing.B) { benchMPJ(b, runtime.NumCPU()) }
 
 // BenchmarkFigure8 produces the blocked-scheme MP execution-time breakdown.
 func BenchmarkFigure8(b *testing.B) {

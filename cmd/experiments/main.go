@@ -2,10 +2,12 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only table7,table10,table4,fig2,fig3,fig6,fig7,fig8,fig9,ablations,sweeps,response]
+//	experiments [-quick] [-j N] [-only table7,table10,table4,fig2,fig3,fig6,fig7,fig8,fig9,ablations,sweeps,response]
 //
 // With no -only flag every experiment runs (a few minutes at full scale;
-// seconds with -quick).
+// seconds with -quick). Independent simulation cells fan out across -j
+// workers (default: all CPUs); -j 1 is the serial path. Output is
+// byte-identical at every -j.
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,6 +27,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
 	jsonOut := flag.String("json", "", "also write raw results as JSON to this file")
+	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulation cells (1 = serial)")
 	flag.Parse()
 
 	jsonBlob := map[string]any{}
@@ -57,6 +61,8 @@ func main() {
 		ucfg = experiments.QuickUniConfig()
 		mcfg = experiments.QuickMPConfig()
 	}
+	ucfg.Parallelism = *jobs
+	mcfg.Parallelism = *jobs
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -156,7 +162,9 @@ func main() {
 	}
 
 	if sel("response") {
-		r, err := experiments.RunResponse(experiments.DefaultResponseConfig())
+		rcfg := experiments.DefaultResponseConfig()
+		rcfg.Parallelism = *jobs
+		r, err := experiments.RunResponse(rcfg)
 		if err != nil {
 			fail(err)
 		}

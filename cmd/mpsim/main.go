@@ -5,14 +5,23 @@
 // Usage:
 //
 //	mpsim -app mp3d -scheme interleaved -contexts 4 -procs 8
+//	mpsim -app mp3d -scheme interleaved -contexts 1,2,4,8 -j 4
+//
+// A comma-separated -contexts list fans the runs out across -j workers
+// (default: all CPUs) and prints them in list order; -j 1 runs serially.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/mp"
 	"repro/internal/prog"
 	"repro/internal/splash"
@@ -42,10 +51,11 @@ func yieldFor(s core.Scheme) prog.YieldMode {
 func main() {
 	appName := flag.String("app", "mp3d", "application (mp3d barnes water ocean locus pthor cholesky)")
 	scheme := flag.String("scheme", "interleaved", "context scheme")
-	contexts := flag.Int("contexts", 4, "hardware contexts per processor")
+	contexts := flag.String("contexts", "4", "hardware contexts per processor (comma-separated list fans out)")
 	procs := flag.Int("procs", 8, "processors")
 	steps := flag.Int("steps", 0, "time steps (0 = app default)")
 	limit := flag.Int64("limit", 200_000_000, "cycle limit")
+	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulations for a -contexts list (1 = serial)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -57,45 +67,68 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	if sc == core.Single {
-		*contexts = 1
+	var counts []int
+	for _, c := range strings.Split(*contexts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil || n < 1 {
+			die(fmt.Errorf("bad -contexts value %q", c))
+		}
+		if sc == core.Single {
+			n = 1
+		}
+		counts = append(counts, n)
 	}
 	app, err := splash.Lookup(*appName)
 	if err != nil {
 		die(err)
 	}
 
-	cfg := mp.DefaultConfig(sc, *contexts)
-	cfg.Processors = *procs
-	cfg.LimitCycles = *limit
-	p := app.Build(splash.Options{
-		CodeBase:     0x0100_0000,
-		DataBase:     0x5000_0000,
-		Yield:        yieldFor(sc),
-		AutoTolerate: sc != core.Single,
-		NumThreads:   *procs * *contexts,
-		Steps:        *steps,
+	// Fan the configurations out; results land in run order so the report
+	// below is independent of completion order.
+	results := make([]*mp.Result, len(counts))
+	err = experiments.NewPool(*jobs).Run(context.Background(), len(counts), func(_ context.Context, i int) error {
+		cfg := mp.DefaultConfig(sc, counts[i])
+		cfg.Processors = *procs
+		cfg.LimitCycles = *limit
+		p := app.Build(splash.Options{
+			CodeBase:     0x0100_0000,
+			DataBase:     0x5000_0000,
+			Yield:        yieldFor(sc),
+			AutoTolerate: sc != core.Single,
+			NumThreads:   *procs * counts[i],
+			Steps:        *steps,
+		})
+		res, err := mp.Run(p, cfg)
+		if err != nil {
+			return err
+		}
+		if !res.Completed {
+			return fmt.Errorf("%s did not complete within %d cycles", *appName, *limit)
+		}
+		results[i] = res
+		return nil
 	})
-	res, err := mp.Run(p, cfg)
 	if err != nil {
 		die(err)
 	}
-	if !res.Completed {
-		die(fmt.Errorf("%s did not complete within %d cycles", *appName, *limit))
+
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("%s: %d processors x %d context(s) (%d threads), scheme %v\n",
+			*appName, *procs, counts[i], res.Threads, sc)
+		fmt.Printf("execution time: %d cycles\n\n", res.Cycles)
+
+		bd := res.Stats.Breakdown()
+		t := stats.NewTable("category", "fraction")
+		t.AddRow("busy", stats.Pct(bd.Busy))
+		t.AddRow("instruction (short)", stats.Pct(bd.InstrShort))
+		t.AddRow("instruction (long)", stats.Pct(bd.InstrLong))
+		t.AddRow("memory", stats.Pct(bd.DataMem))
+		t.AddRow("synchronization", stats.Pct(bd.Sync))
+		t.AddRow("context switch", stats.Pct(bd.Switch))
+		t.AddRow("idle", stats.Pct(bd.Idle))
+		fmt.Println(t.String())
 	}
-
-	fmt.Printf("%s: %d processors x %d context(s) (%d threads), scheme %v\n",
-		*appName, *procs, *contexts, res.Threads, sc)
-	fmt.Printf("execution time: %d cycles\n\n", res.Cycles)
-
-	bd := res.Stats.Breakdown()
-	t := stats.NewTable("category", "fraction")
-	t.AddRow("busy", stats.Pct(bd.Busy))
-	t.AddRow("instruction (short)", stats.Pct(bd.InstrShort))
-	t.AddRow("instruction (long)", stats.Pct(bd.InstrLong))
-	t.AddRow("memory", stats.Pct(bd.DataMem))
-	t.AddRow("synchronization", stats.Pct(bd.Sync))
-	t.AddRow("context switch", stats.Pct(bd.Switch))
-	t.AddRow("idle", stats.Pct(bd.Idle))
-	fmt.Println(t.String())
 }

@@ -1,17 +1,24 @@
 // Command uniprog runs one multiprogrammed workstation workload under one
-// scheme/context configuration and prints the utilization breakdown — the
-// building block of the paper's Table 7 and Figures 6-7.
+// or more scheme/context configurations and prints the utilization
+// breakdown — the building block of the paper's Table 7 and Figures 6-7.
 //
 // Usage:
 //
 //	uniprog -workload DC -scheme interleaved -contexts 4
 //	uniprog -apps doduc,emit -scheme blocked -contexts 2
+//	uniprog -workload DC -scheme interleaved -contexts 1,2,4 -j 4
+//
+// A comma-separated -contexts list fans the runs out across -j workers
+// (default: all CPUs) and prints them in list order; -j 1 runs serially.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 
 	"repro/internal/apps"
@@ -34,18 +41,31 @@ func main() {
 	workload := flag.String("workload", "DC", "Table 5 workload (IC DC DT FP R0 R1 SP)")
 	appList := flag.String("apps", "", "comma-separated kernel names (overrides -workload)")
 	scheme := flag.String("scheme", "interleaved", "context scheme")
-	contexts := flag.Int("contexts", 4, "hardware contexts")
+	contexts := flag.String("contexts", "4", "hardware contexts (comma-separated list fans out)")
 	slice := flag.Int64("slice", 60_000, "scheduler time slice in cycles")
 	rotations := flag.Int("rotations", 2, "measured scheduler rotations")
+	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulations for a -contexts list (1 = serial)")
 	flag.Parse()
 
-	sc, err := parseScheme(*scheme)
-	if err != nil {
+	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "uniprog:", err)
 		os.Exit(1)
 	}
-	if sc == core.Single {
-		*contexts = 1
+
+	sc, err := parseScheme(*scheme)
+	if err != nil {
+		die(err)
+	}
+	var counts []int
+	for _, c := range strings.Split(*contexts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil || n < 1 {
+			die(fmt.Errorf("bad -contexts value %q", c))
+		}
+		if sc == core.Single {
+			n = 1
+		}
+		counts = append(counts, n)
 	}
 
 	var kernels []apps.Kernel
@@ -53,30 +73,46 @@ func main() {
 		for _, n := range strings.Split(*appList, ",") {
 			k, err := apps.Lookup(strings.TrimSpace(n))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "uniprog:", err)
-				os.Exit(1)
+				die(err)
 			}
 			kernels = append(kernels, k)
 		}
 	} else {
 		kernels, err = experiments.ResolveWorkload(*workload)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "uniprog:", err)
-			os.Exit(1)
+			die(err)
 		}
 	}
 
-	cfg := workstation.DefaultConfig(sc, *contexts)
-	cfg.OS.SliceCycles = *slice
-	cfg.MeasureRotations = *rotations
-	res, err := workstation.Run(kernels, cfg)
+	// Fan the configurations out; results land in run order so the report
+	// below is independent of completion order.
+	results := make([]*workstation.Result, len(counts))
+	err = experiments.NewPool(*jobs).Run(context.Background(), len(counts), func(_ context.Context, i int) error {
+		cfg := workstation.DefaultConfig(sc, counts[i])
+		cfg.OS.SliceCycles = *slice
+		cfg.MeasureRotations = *rotations
+		r, err := workstation.Run(kernels, cfg)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "uniprog:", err)
-		os.Exit(1)
+		die(err)
 	}
 
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		report(len(kernels), sc, counts[i], res)
+	}
+}
+
+func report(nkernels int, sc core.Scheme, contexts int, res *workstation.Result) {
 	fmt.Printf("workload: %d applications, scheme %v, %d context(s), %d cycles measured\n\n",
-		len(kernels), sc, *contexts, res.Stats.Cycles)
+		nkernels, sc, contexts, res.Stats.Cycles)
 	bd := res.Stats.Breakdown()
 	t := stats.NewTable("category", "fraction")
 	t.AddRow("busy", stats.Pct(bd.Busy+bd.Sync))

@@ -227,6 +227,9 @@ func DefaultMPConfig(s Scheme, contexts int) MPConfig { return mp.DefaultConfig(
 func RunMultiprocessor(p *Program, cfg MPConfig) (*MPResult, error) { return mp.Run(p, cfg) }
 
 // Experiment drivers: each regenerates a table or figure of the paper.
+// Both evaluation configs carry a Parallelism field: the grid's
+// simulation cells fan out across that many workers (0 = all CPUs,
+// 1 = serial) with byte-identical results at every setting.
 type (
 	// UniConfig parameterizes the workstation evaluation (Table 7,
 	// Figures 6-7).

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"math/rand"
+	"slices"
 
 	"repro/internal/mem"
 	"repro/internal/memsys"
@@ -91,11 +92,24 @@ const fillHoldCycles = 256
 // sees settled state; the access path holds fresh fills for their faulting
 // access instead (see fillHoldCycles).
 func (h *Hierarchy) DrainFills(now int64) {
+	h.installReady(now, 0)
+}
+
+// installReady installs every pending fill that is ready at now (shifted
+// by grace), in ascending line order. Installs evict conflicting victims,
+// so the order must not follow Go's randomized map iteration: a fixed
+// order keeps whole-simulation results bit-reproducible run to run.
+func (h *Hierarchy) installReady(now, grace int64) {
+	var ready []uint32
 	for line, pf := range h.pending {
-		if pf.fill <= now {
-			h.removePending(line, pf)
-			h.installL1D(line)
+		if pf.fill+grace <= now {
+			ready = append(ready, line)
 		}
+	}
+	slices.Sort(ready)
+	for _, line := range ready {
+		h.removePending(line, h.pending[line])
+		h.installL1D(line)
 	}
 }
 
@@ -111,12 +125,7 @@ func (h *Hierarchy) removePending(line uint32, pf pendingFill) {
 // expireFills installs fills whose faulting access never returned (the OS
 // switched the thread away mid-miss), freeing their miss registers.
 func (h *Hierarchy) expireFills(now int64) {
-	for line, pf := range h.pending {
-		if pf.fill+fillHoldCycles <= now {
-			h.removePending(line, pf)
-			h.installL1D(line)
-		}
-	}
+	h.installReady(now, fillHoldCycles)
 }
 
 func (h *Hierarchy) installL1D(line uint32) {

@@ -15,6 +15,7 @@ package coherence
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"repro/internal/cache"
 	"repro/internal/memsys"
@@ -204,12 +205,19 @@ func (n *Node) AccessData(addr uint32, write bool, pc uint32, now int64) memsys.
 	f := n.fab
 	line := addr / uint32(f.P.LineSize)
 
-	// Expire abandoned fills.
+	// Expire abandoned fills, in ascending line order: installs evict
+	// conflicting victims, so following Go's randomized map iteration
+	// here would make whole-simulation results irreproducible.
+	var expired []uint32
 	for l, pf := range n.pending {
 		if pf.fill+fillHoldCycles <= now {
-			n.install(l, pf.exclusive)
-			delete(n.pending, l)
+			expired = append(expired, l)
 		}
+	}
+	slices.Sort(expired)
+	for _, l := range expired {
+		n.install(l, n.pending[l].exclusive)
+		delete(n.pending, l)
 	}
 
 	// Completed fill for this line: serve the replay from the miss

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/prog"
 	"repro/internal/stats"
@@ -63,43 +64,65 @@ func RunAblations(cfg UniConfig) (*AblationResult, error) {
 		{"fine-grained (HEP-style)", core.FineGrained, nil},
 	}
 
-	base := make(map[string]float64)
+	// Flatten the (baseline + variant) × workload grid into independent
+	// cells and fan them out; gains are assembled afterwards in grid
+	// order, so results match the serial path byte for byte.
+	type spec struct {
+		workload string
+		kernels  []apps.Kernel
+		variant  int // -1 = single-context baseline
+	}
+	var specs []spec
 	for _, w := range workloads {
 		kernels, err := ResolveWorkload(w)
 		if err != nil {
 			return nil, err
 		}
-		wcfg := workstation.DefaultConfig(core.Single, 1)
-		wcfg.OS.SliceCycles = cfg.SliceCycles
-		wcfg.WarmupRotations = cfg.WarmupRotations
-		wcfg.MeasureRotations = cfg.MeasureRotations
-		wcfg.Seed = cfg.Seed
-		r, err := workstation.Run(kernels, wcfg)
-		if err != nil {
-			return nil, err
-		}
-		base[w] = r.FairThroughput
+		specs = append(specs, spec{w, kernels, -1})
 	}
-
-	for _, v := range variants {
-		row := AblationRow{Name: v.name}
+	for vi := range variants {
 		for _, w := range workloads {
 			kernels, err := ResolveWorkload(w)
 			if err != nil {
 				return nil, err
 			}
-			wcfg := workstation.DefaultConfig(v.scheme, 4)
-			wcfg.OS.SliceCycles = cfg.SliceCycles
-			wcfg.WarmupRotations = cfg.WarmupRotations
-			wcfg.MeasureRotations = cfg.MeasureRotations
-			wcfg.Seed = cfg.Seed
-			if v.mutate != nil {
-				v.mutate(&wcfg)
-			}
-			r, err := workstation.Run(kernels, wcfg)
-			if err != nil {
-				return nil, err
-			}
+			specs = append(specs, spec{w, kernels, vi})
+		}
+	}
+	runs := make([]*workstation.Result, len(specs))
+	err := runCells(cfg.Parallelism, len(specs), func(i int) error {
+		sp := specs[i]
+		scheme, contexts := core.Single, 1
+		if sp.variant >= 0 {
+			scheme, contexts = variants[sp.variant].scheme, 4
+		}
+		wcfg := workstation.DefaultConfig(scheme, contexts)
+		wcfg.OS.SliceCycles = cfg.SliceCycles
+		wcfg.WarmupRotations = cfg.WarmupRotations
+		wcfg.MeasureRotations = cfg.MeasureRotations
+		wcfg.Seed = DeriveSeed(cfg.Seed, i)
+		if sp.variant >= 0 && variants[sp.variant].mutate != nil {
+			variants[sp.variant].mutate(&wcfg)
+		}
+		r, err := workstation.Run(sp.kernels, wcfg)
+		if err != nil {
+			return err
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	base := make(map[string]float64)
+	for i, w := range workloads {
+		base[w] = runs[i].FairThroughput
+	}
+	for vi, v := range variants {
+		row := AblationRow{Name: v.name}
+		for wi, w := range workloads {
+			r := runs[len(workloads)*(vi+1)+wi]
 			row.Gains = append(row.Gains, r.FairThroughput/base[w])
 		}
 		row.Mean = stats.GeoMean(row.Gains)

@@ -22,6 +22,11 @@ type MPConfig struct {
 	Scale         int
 	LimitCycles   int64
 	Seed          int64
+
+	// Parallelism bounds how many simulation cells run concurrently:
+	// 0 selects DefaultParallelism (GOMAXPROCS), 1 forces the serial
+	// path. Results are byte-identical at every setting.
+	Parallelism int
 }
 
 // DefaultMPConfig reproduces the paper's multiprocessor setup on 8 nodes.
@@ -35,12 +40,15 @@ func DefaultMPConfig() MPConfig {
 	}
 }
 
-// QuickMPConfig is a reduced configuration for tests and benchmarks.
+// QuickMPConfig is a reduced configuration for tests and benchmarks. The
+// seed is set explicitly (not inherited implicitly, and never the zero
+// value) so quick runs are reproducible by construction.
 func QuickMPConfig() MPConfig {
 	c := DefaultMPConfig()
 	c.Processors = 4
 	c.ContextCounts = []int{2, 4}
 	c.Steps = 1
+	c.Seed = 1
 	return c
 }
 
@@ -84,65 +92,85 @@ func (r *MPResult) MeanSpeedup(s core.Scheme, n int) float64 {
 	return stats.GeoMean(xs)
 }
 
-// RunMultiprocessor runs the full multiprocessor evaluation.
+// RunMultiprocessor runs the full multiprocessor evaluation. Like
+// RunUniprocessor, the (app, scheme, contexts) cells are independent
+// simulations, so they fan out across cfg.Parallelism workers with
+// per-cell derived seeds and index-ordered result collection: output is
+// byte-identical at every parallelism level.
 func RunMultiprocessor(cfg MPConfig) (*MPResult, error) {
 	appNames := cfg.Apps
 	if appNames == nil {
 		appNames = MPAppOrder
 	}
-	res := &MPResult{Cfg: cfg}
+	type spec struct {
+		name     string
+		app      splash.App
+		scheme   core.Scheme
+		contexts int
+	}
+	var specs []spec
 	for _, name := range appNames {
 		app, err := splash.Lookup(name)
 		if err != nil {
 			return nil, err
 		}
-		run := func(s core.Scheme, n int) (*mp.Result, error) {
-			mcfg := mp.DefaultConfig(s, n)
-			mcfg.Processors = cfg.Processors
-			mcfg.LimitCycles = cfg.LimitCycles
-			mcfg.Coherence.Seed = cfg.Seed
-			p := app.Build(splash.Options{
-				CodeBase:     0x0100_0000,
-				DataBase:     0x5000_0000,
-				Yield:        workstationYield(s),
-				AutoTolerate: s != core.Single,
-				NumThreads:   cfg.Processors * n,
-				Steps:        cfg.Steps,
-				Scale:        cfg.Scale,
-			})
-			r, err := mp.Run(p, mcfg)
-			if err != nil {
-				return nil, err
-			}
-			if !r.Completed {
-				return nil, fmt.Errorf("experiments: %s under %v/%d exceeded the cycle limit", name, s, n)
-			}
-			return r, nil
-		}
-		base, err := run(core.Single, 1)
-		if err != nil {
-			return nil, err
-		}
-		res.Cells = append(res.Cells, MPCell{
-			App: name, Scheme: core.Single, Contexts: 1,
-			Cycles: base.Cycles, Speedup: 1,
-			Breakdown: base.Stats.Breakdown(), Completed: true,
-		})
+		specs = append(specs, spec{name, app, core.Single, 1})
 		for _, s := range cfg.Schemes {
 			for _, n := range cfg.ContextCounts {
-				r, err := run(s, n)
-				if err != nil {
-					return nil, err
-				}
-				res.Cells = append(res.Cells, MPCell{
-					App: name, Scheme: s, Contexts: n,
-					Cycles:    r.Cycles,
-					Speedup:   float64(base.Cycles) / float64(r.Cycles),
-					Breakdown: r.Stats.Breakdown(),
-					Completed: true,
-				})
+				specs = append(specs, spec{name, app, s, n})
 			}
 		}
+	}
+	runs := make([]*mp.Result, len(specs))
+	err := runCells(cfg.Parallelism, len(specs), func(i int) error {
+		sp := specs[i]
+		mcfg := mp.DefaultConfig(sp.scheme, sp.contexts)
+		mcfg.Processors = cfg.Processors
+		mcfg.LimitCycles = cfg.LimitCycles
+		mcfg.Coherence.Seed = DeriveSeed(cfg.Seed, i)
+		p := sp.app.Build(splash.Options{
+			CodeBase:     0x0100_0000,
+			DataBase:     0x5000_0000,
+			Yield:        workstationYield(sp.scheme),
+			AutoTolerate: sp.scheme != core.Single,
+			NumThreads:   cfg.Processors * sp.contexts,
+			Steps:        cfg.Steps,
+			Scale:        cfg.Scale,
+		})
+		r, err := mp.Run(p, mcfg)
+		if err != nil {
+			return err
+		}
+		if !r.Completed {
+			return fmt.Errorf("experiments: %s under %v/%d exceeded the cycle limit", sp.name, sp.scheme, sp.contexts)
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MPResult{Cfg: cfg}
+	var base *mp.Result
+	for i, sp := range specs {
+		r := runs[i]
+		if sp.scheme == core.Single && sp.contexts == 1 {
+			base = r
+			res.Cells = append(res.Cells, MPCell{
+				App: sp.name, Scheme: core.Single, Contexts: 1,
+				Cycles: r.Cycles, Speedup: 1,
+				Breakdown: r.Stats.Breakdown(), Completed: true,
+			})
+			continue
+		}
+		res.Cells = append(res.Cells, MPCell{
+			App: sp.name, Scheme: sp.scheme, Contexts: sp.contexts,
+			Cycles:    r.Cycles,
+			Speedup:   float64(base.Cycles) / float64(r.Cycles),
+			Breakdown: r.Stats.Breakdown(),
+			Completed: true,
+		})
 	}
 	return res, nil
 }

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// The parallel experiment engine. Every experiment in this package is a
+// grid of independent simulation cells — one (workload, scheme, contexts)
+// or (app, scheme, contexts) configuration per cell — and each cell owns
+// a private seeded PRNG, so cells can run on separate OS threads without
+// sharing any mutable state. The pool fans cells out across a bounded set
+// of workers and collects results by cell index, never by completion
+// order, so a parallel run is byte-identical to a serial one. This mirrors
+// the paper's own theme: fill idle issue slots (here, idle cores) with
+// independent work.
+
+// DefaultParallelism is the worker count used when a config's Parallelism
+// field is zero: the scheduler's GOMAXPROCS, i.e. one worker per core the
+// runtime will actually use.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// DeriveSeed deterministically derives the seed of cell i from a config's
+// base seed. The derivation depends only on (base, cell) — never on
+// execution order or worker identity — so every cell sees the same PRNG
+// stream at any parallelism level. Cells are decorrelated by a splitmix64
+// finalizer rather than by consecutive integers, which many PRNGs map to
+// correlated streams.
+func DeriveSeed(base int64, cell int) int64 {
+	z := uint64(base) + uint64(cell+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Pool runs independent experiment cells across a bounded set of workers.
+// The zero value is not useful; use NewPool.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool with the given parallelism; values <= 0 select
+// DefaultParallelism. A parallelism of 1 runs every task inline on the
+// caller's goroutine — exactly the pre-pool serial path.
+func NewPool(parallelism int) *Pool {
+	if parallelism <= 0 {
+		parallelism = DefaultParallelism()
+	}
+	return &Pool{workers: parallelism}
+}
+
+// Workers reports the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// poolError carries the failing cell's index so Run can report the
+// lowest-indexed failure — the same error a serial run would hit first —
+// regardless of completion order.
+type poolError struct {
+	index int
+	err   error
+}
+
+// Run executes task(ctx, i) for every i in [0, n), at most p.workers at a
+// time. The task for cell i must write its result into slot i of a
+// caller-owned pre-sized slice; Run itself imposes no result type.
+//
+// The lowest-indexed failure observed — the error a serial run would hit
+// first — cancels the context handed to the remaining tasks and is
+// returned after all started workers drain; queued cells that have not
+// started are skipped. A panicking task
+// is recovered and surfaced as that cell's error, so one diverging
+// simulation cannot take down the whole experiment run.
+func (p *Pool) Run(ctx context.Context, n int, task func(ctx context.Context, i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	call := func(ctx context.Context, i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("experiments: cell %d panicked: %v", i, r)
+			}
+		}()
+		return task(ctx, i)
+	}
+
+	if p.workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := call(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first *poolError
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if first == nil || i < first.index {
+			first = &poolError{index: i, err: err}
+		}
+		mu.Unlock()
+		cancel()
+	}
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain without running
+				}
+				if err := call(ctx, i); err != nil {
+					fail(i, err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	if first != nil {
+		return first.err
+	}
+	return ctx.Err()
+}
+
+// runCells is the package-internal convenience used by every experiment
+// driver: fan the n cells of a grid out at the given parallelism and
+// return the lowest-indexed error, with results landing in the caller's
+// pre-sized, index-addressed slices.
+func runCells(parallelism, n int, task func(i int) error) error {
+	return NewPool(parallelism).Run(context.Background(), n, func(_ context.Context, i int) error {
+		return task(i)
+	})
+}

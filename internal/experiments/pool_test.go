@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolOrderedResults(t *testing.T) {
+	const n = 100
+	for _, j := range []int{1, 2, 8, 0} {
+		got := make([]int, n)
+		err := NewPool(j).Run(context.Background(), n, func(_ context.Context, i int) error {
+			got[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("j=%d: slot %d = %d, want %d", j, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestPoolErrorCancelsAndDrains(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	err := NewPool(4).Run(context.Background(), 64, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 3 {
+			return fmt.Errorf("cell %d: %w", i, boom)
+		}
+		// Cells after the failure should see a canceled context once the
+		// error lands; just run briefly.
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got := started.Load(); got == 64 {
+		t.Log("all cells started before cancellation (slow machine); cancellation still propagated")
+	}
+}
+
+func TestPoolSerialReturnsFirstError(t *testing.T) {
+	err := NewPool(1).Run(context.Background(), 10, func(_ context.Context, i int) error {
+		return fmt.Errorf("cell %d failed", i)
+	})
+	if err == nil || err.Error() != "cell 0 failed" {
+		t.Fatalf("serial pool returned %v, want the first cell's error", err)
+	}
+}
+
+// The ISSUE's pool property test: injected panics and errors are recovered
+// and surfaced as errors, the remaining workers drain, and no goroutines
+// leak.
+func TestPoolPanicRecoveryAndNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	for trial := 0; trial < 5; trial++ {
+		err := NewPool(8).Run(context.Background(), 40, func(_ context.Context, i int) error {
+			switch {
+			case i%13 == 5:
+				panic(fmt.Sprintf("injected panic in cell %d", i))
+			case i%17 == 7:
+				return fmt.Errorf("injected error in cell %d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("injected failures produced no error")
+		}
+		if !strings.Contains(err.Error(), "panicked") && !strings.Contains(err.Error(), "injected error") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+
+	// Workers exit once Run returns; give the scheduler a moment before
+	// declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before %d, after %d — pool leaked workers",
+				before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPoolHonorsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := NewPool(4).Run(ctx, 16, func(_ context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d cells ran under a pre-canceled context", ran.Load())
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	// Deterministic: same (base, cell) always maps to the same seed.
+	if DeriveSeed(1, 0) != DeriveSeed(1, 0) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+	// Decorrelated: nearby cells and nearby bases must not collide.
+	seen := map[int64]string{}
+	for base := int64(0); base < 8; base++ {
+		for cell := 0; cell < 64; cell++ {
+			s := DeriveSeed(base, cell)
+			key := fmt.Sprintf("base=%d cell=%d", base, cell)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both map to %d", prev, key, s)
+			}
+			seen[s] = key
+			if s == 0 {
+				t.Fatalf("%s derived the zero seed", key)
+			}
+		}
+	}
+}
+
+func TestQuickConfigsHaveExplicitSeeds(t *testing.T) {
+	if s := QuickUniConfig().Seed; s == 0 {
+		t.Error("QuickUniConfig has a zero seed")
+	}
+	if s := QuickMPConfig().Seed; s == 0 {
+		t.Error("QuickMPConfig has a zero seed")
+	}
+}

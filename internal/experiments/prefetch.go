@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/apps"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -62,36 +63,60 @@ func RunPrefetchComparison(cfg UniConfig) (*PrefetchResult, error) {
 		{"interleaved 4 ctx + stride", core.Interleaved, 4, cache.PrefetchStride},
 	}
 
+	// One baseline plus len(variants) cells per workload, fanned out and
+	// collected by grid index so parallel runs match serial ones exactly.
+	type spec struct {
+		workload string
+		kernels  []apps.Kernel
+		variant  int // -1 = single-context, no-prefetch baseline
+	}
+	var specs []spec
 	for _, w := range workloads {
 		kernels, err := ResolveWorkload(w)
 		if err != nil {
 			return nil, err
 		}
-		run := func(s core.Scheme, n int, mode cache.PrefetchMode) (*workstation.Result, *cache.Params, error) {
-			wc := workstation.DefaultConfig(s, n)
-			wc.OS.SliceCycles = cfg.SliceCycles
-			wc.WarmupRotations = cfg.WarmupRotations
-			wc.MeasureRotations = cfg.MeasureRotations
-			wc.Seed = cfg.Seed
-			wc.Cache.Prefetch = mode
-			r, err := workstation.Run(kernels, wc)
-			return r, &wc.Cache, err
+		specs = append(specs, spec{w, kernels, -1})
+		for vi := range variants {
+			specs = append(specs, spec{w, kernels, vi})
 		}
-		base, _, err := run(core.Single, 1, cache.PrefetchOff)
+	}
+	runs := make([]*workstation.Result, len(specs))
+	err := runCells(cfg.Parallelism, len(specs), func(i int) error {
+		sp := specs[i]
+		scheme, contexts, mode := core.Single, 1, cache.PrefetchOff
+		if sp.variant >= 0 {
+			v := variants[sp.variant]
+			scheme, contexts, mode = v.scheme, v.contexts, v.mode
+		}
+		wc := workstation.DefaultConfig(scheme, contexts)
+		wc.OS.SliceCycles = cfg.SliceCycles
+		wc.WarmupRotations = cfg.WarmupRotations
+		wc.MeasureRotations = cfg.MeasureRotations
+		wc.Seed = DeriveSeed(cfg.Seed, i)
+		wc.Cache.Prefetch = mode
+		r, err := workstation.Run(sp.kernels, wc)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, v := range variants {
-			r, _, err := run(v.scheme, v.contexts, v.mode)
-			if err != nil {
-				return nil, err
-			}
-			res.Cells = append(res.Cells, PrefetchCell{
-				Workload: w,
-				Variant:  v.name,
-				Gain:     r.Gain(base),
-			})
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var base *workstation.Result
+	for i, sp := range specs {
+		if sp.variant < 0 {
+			base = runs[i]
+			continue
 		}
+		res.Cells = append(res.Cells, PrefetchCell{
+			Workload: sp.workload,
+			Variant:  variants[sp.variant].name,
+			Gain:     runs[i].Gain(base),
+		})
 	}
 	return res, nil
 }

@@ -42,6 +42,9 @@ type ResponseConfig struct {
 	Bursts int
 	// Background names the batch kernel.
 	Background string
+	// Parallelism bounds how many designs run concurrently: 0 selects
+	// DefaultParallelism (GOMAXPROCS), 1 forces the serial path.
+	Parallelism int
 }
 
 // DefaultResponseConfig returns a foreground job that wakes every 6000
@@ -111,11 +114,17 @@ func RunResponse(cfg ResponseConfig) (*ResponseResult, error) {
 		scheme   core.Scheme
 		contexts int
 	}
-	for _, d := range []design{
+	designs := []design{
 		{"single (OS timeshares)", core.Single, 1},
 		{"blocked, 2 contexts", core.Blocked, 2},
 		{"interleaved, 2 contexts", core.Interleaved, 2},
-	} {
+	}
+	// Each design is a self-contained simulation (own memory, hierarchy,
+	// processor), so the three run concurrently; cells[i] keeps the
+	// design order stable regardless of completion order.
+	cells := make([]ResponseCell, len(designs))
+	err = runCells(cfg.Parallelism, len(designs), func(i int) error {
+		d := designs[i]
 		fg := foregroundProgram(cfg)
 		bgProg := bg.Build(apps.Options{
 			CodeBase: 0x0100_0000,
@@ -128,11 +137,11 @@ func RunResponse(cfg ResponseConfig) (*ResponseResult, error) {
 		bgProg.LoadInit(fm)
 		h, err := cache.NewHierarchy(cache.DefaultParams())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		proc, err := core.NewProcessor(core.DefaultConfig(d.scheme, d.contexts), h, fm)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		var stamps []int64
@@ -151,7 +160,7 @@ func RunResponse(cfg ResponseConfig) (*ResponseResult, error) {
 			for len(stamps) < cfg.Bursts+2 {
 				proc.Run(cfg.SliceCycles)
 				if proc.Now() > 1_000_000_000 {
-					return nil, fmt.Errorf("experiments: response run did not converge")
+					return fmt.Errorf("experiments: response run did not converge")
 				}
 			}
 		} else {
@@ -167,7 +176,7 @@ func RunResponse(cfg ResponseConfig) (*ResponseResult, error) {
 				proc.Run(cfg.SliceCycles)
 				turn++
 				if proc.Now() > 1_000_000_000 {
-					return nil, fmt.Errorf("experiments: response run did not converge")
+					return fmt.Errorf("experiments: response run did not converge")
 				}
 			}
 		}
@@ -183,20 +192,25 @@ func RunResponse(cfg ResponseConfig) (*ResponseResult, error) {
 			lat = append(lat, l)
 		}
 		if len(lat) == 0 {
-			return nil, fmt.Errorf("experiments: no responses measured for %s", d.name)
+			return fmt.Errorf("experiments: no responses measured for %s", d.name)
 		}
-		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
 		var sum int64
 		for _, l := range lat {
 			sum += l
 		}
-		res.Cells = append(res.Cells, ResponseCell{
+		cells[i] = ResponseCell{
 			Name:   d.name,
 			Mean:   float64(sum) / float64(len(lat)),
 			Median: lat[len(lat)/2],
 			P90:    lat[len(lat)*9/10],
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Cells = cells
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/mp"
 	"repro/internal/splash"
@@ -35,47 +36,65 @@ func SwitchCostSweep(cfg UniConfig, workload string) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := func(w workstation.Config) (float64, error) {
+	// Sweep cells deliberately share cfg.Seed (common random numbers):
+	// every point sees the same scheduler-interference stream, so the
+	// curve isolates the swept parameter. The cells are still
+	// independent simulations and fan out through the pool.
+	var configs []workstation.Config
+	add := func(w workstation.Config) {
 		w.OS.SliceCycles = cfg.SliceCycles
 		w.WarmupRotations = cfg.WarmupRotations
 		w.MeasureRotations = cfg.MeasureRotations
 		w.Seed = cfg.Seed
-		r, err := workstation.Run(kernels, w)
-		if err != nil {
-			return 0, err
-		}
-		return r.FairThroughput, nil
+		configs = append(configs, w)
 	}
+	add(workstation.DefaultConfig(core.Single, 1))
+	costs := []int{1, 3, 5, 7, 9}
+	for _, cost := range costs {
+		w := workstation.DefaultConfig(core.Blocked, 4)
+		cc := core.DefaultConfig(core.Blocked, 4)
+		cc.BlockedFlushCost = cost
+		w.Core = &cc
+		add(w)
+	}
+	add(workstation.DefaultConfig(core.Interleaved, 4))
 
-	base, err := run(workstation.DefaultConfig(core.Single, 1))
+	thr, err := sweepThroughputs(cfg.Parallelism, kernels, configs)
 	if err != nil {
 		return nil, err
 	}
+	base := thr[0]
 	res := &SweepResult{
 		Name:   fmt.Sprintf("blocked switch cost on %s (4 contexts)", workload),
 		XLabel: "flush cost (cycles)",
 		Series: map[string][]SweepPoint{},
 	}
-
-	for cost := 1; cost <= 9; cost += 2 {
-		w := workstation.DefaultConfig(core.Blocked, 4)
-		cc := core.DefaultConfig(core.Blocked, 4)
-		cc.BlockedFlushCost = cost
-		w.Core = &cc
-		g, err := run(w)
-		if err != nil {
-			return nil, err
-		}
+	for ci, cost := range costs {
 		res.Series["blocked"] = append(res.Series["blocked"], SweepPoint{
-			X: float64(cost), Label: fmt.Sprintf("%d", cost), Gain: g / base,
+			X: float64(cost), Label: fmt.Sprintf("%d", cost), Gain: thr[1+ci] / base,
 		})
 	}
-	gi, err := run(workstation.DefaultConfig(core.Interleaved, 4))
+	res.Series["interleaved (reference)"] = []SweepPoint{{X: 7, Label: "7", Gain: thr[len(thr)-1] / base}}
+	return res, nil
+}
+
+// sweepThroughputs runs one workstation simulation per config, fanned out
+// across the pool, and returns the fairness-normalized throughputs in
+// config order.
+func sweepThroughputs(parallelism int, kernels []apps.Kernel, configs []workstation.Config) ([]float64, error) {
+	thr := make([]float64, len(configs))
+	err := runCells(parallelism, len(configs), func(i int) error {
+		r, err := workstation.Run(kernels, configs[i])
+		if err != nil {
+			return err
+		}
+		thr[i] = r.FairThroughput
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	res.Series["interleaved (reference)"] = []SweepPoint{{X: 7, Label: "7", Gain: gi / base}}
-	return res, nil
+	return thr, nil
 }
 
 // ContextCountSweep varies the number of hardware contexts from 2 to 8 for
@@ -86,36 +105,39 @@ func ContextCountSweep(cfg UniConfig, workload string) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := func(s core.Scheme, n int) (float64, error) {
+	mk := func(s core.Scheme, n int) workstation.Config {
 		w := workstation.DefaultConfig(s, n)
 		w.OS.SliceCycles = cfg.SliceCycles
 		w.WarmupRotations = cfg.WarmupRotations
 		w.MeasureRotations = cfg.MeasureRotations
 		w.Seed = cfg.Seed
-		r, err := workstation.Run(kernels, w)
-		if err != nil {
-			return 0, err
-		}
-		return r.FairThroughput, nil
+		return w
 	}
-	base, err := run(core.Single, 1)
+	schemes := []core.Scheme{core.Blocked, core.Interleaved}
+	counts := []int{2, 4, 8}
+	configs := []workstation.Config{mk(core.Single, 1)}
+	for _, s := range schemes {
+		for _, n := range counts {
+			configs = append(configs, mk(s, n))
+		}
+	}
+	thr, err := sweepThroughputs(cfg.Parallelism, kernels, configs)
 	if err != nil {
 		return nil, err
 	}
+	base := thr[0]
 	res := &SweepResult{
 		Name:   fmt.Sprintf("context count on %s", workload),
 		XLabel: "hardware contexts",
 		Series: map[string][]SweepPoint{},
 	}
-	for _, s := range []core.Scheme{core.Blocked, core.Interleaved} {
-		for _, n := range []int{2, 4, 8} {
-			g, err := run(s, n)
-			if err != nil {
-				return nil, err
-			}
+	i := 1
+	for _, s := range schemes {
+		for _, n := range counts {
 			res.Series[s.String()] = append(res.Series[s.String()], SweepPoint{
-				X: float64(n), Label: fmt.Sprintf("%d", n), Gain: g / base,
+				X: float64(n), Label: fmt.Sprintf("%d", n), Gain: thr[i] / base,
 			})
+			i++
 		}
 	}
 	return res, nil
@@ -129,32 +151,52 @@ func RemoteLatencySweep(cfg MPConfig, app string) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := func(s core.Scheme, n int, scale float64) (int64, error) {
-		mcfg := mp.DefaultConfig(s, n)
+	type spec struct {
+		scheme   core.Scheme
+		contexts int
+		scale    float64
+	}
+	scales := []float64{0.5, 1, 2, 4}
+	schemes := []core.Scheme{core.Blocked, core.Interleaved}
+	var specs []spec
+	for _, scale := range scales {
+		specs = append(specs, spec{core.Single, 1, scale})
+		for _, s := range schemes {
+			specs = append(specs, spec{s, 4, scale})
+		}
+	}
+	cycles := make([]int64, len(specs))
+	err = runCells(cfg.Parallelism, len(specs), func(i int) error {
+		sp := specs[i]
+		mcfg := mp.DefaultConfig(sp.scheme, sp.contexts)
 		mcfg.Processors = cfg.Processors
 		mcfg.LimitCycles = cfg.LimitCycles
 		mcfg.Coherence.Seed = cfg.Seed
-		mcfg.Coherence.RemoteLow = int(float64(mcfg.Coherence.RemoteLow) * scale)
-		mcfg.Coherence.RemoteHigh = int(float64(mcfg.Coherence.RemoteHigh) * scale)
-		mcfg.Coherence.DirtyLow = int(float64(mcfg.Coherence.DirtyLow) * scale)
-		mcfg.Coherence.DirtyHigh = int(float64(mcfg.Coherence.DirtyHigh) * scale)
+		mcfg.Coherence.RemoteLow = int(float64(mcfg.Coherence.RemoteLow) * sp.scale)
+		mcfg.Coherence.RemoteHigh = int(float64(mcfg.Coherence.RemoteHigh) * sp.scale)
+		mcfg.Coherence.DirtyLow = int(float64(mcfg.Coherence.DirtyLow) * sp.scale)
+		mcfg.Coherence.DirtyHigh = int(float64(mcfg.Coherence.DirtyHigh) * sp.scale)
 		p := a.Build(splash.Options{
 			CodeBase:     0x0100_0000,
 			DataBase:     0x5000_0000,
-			Yield:        workstationYield(s),
-			AutoTolerate: s != core.Single,
-			NumThreads:   cfg.Processors * n,
+			Yield:        workstationYield(sp.scheme),
+			AutoTolerate: sp.scheme != core.Single,
+			NumThreads:   cfg.Processors * sp.contexts,
 			Steps:        cfg.Steps,
 			Scale:        cfg.Scale,
 		})
 		r, err := mp.Run(p, mcfg)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		if !r.Completed {
-			return 0, fmt.Errorf("experiments: %s at scale %.1f did not complete", app, scale)
+			return fmt.Errorf("experiments: %s at scale %.1f did not complete", app, sp.scale)
 		}
-		return r.Cycles, nil
+		cycles[i] = r.Cycles
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res := &SweepResult{
@@ -162,16 +204,10 @@ func RemoteLatencySweep(cfg MPConfig, app string) (*SweepResult, error) {
 		XLabel: "remote latency scale",
 		Series: map[string][]SweepPoint{},
 	}
-	for _, scale := range []float64{0.5, 1, 2, 4} {
-		base, err := run(core.Single, 1, scale)
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range []core.Scheme{core.Blocked, core.Interleaved} {
-			c, err := run(s, 4, scale)
-			if err != nil {
-				return nil, err
-			}
+	for si, scale := range scales {
+		base := cycles[si*(1+len(schemes))]
+		for j, s := range schemes {
+			c := cycles[si*(1+len(schemes))+1+j]
 			res.Series[s.String()] = append(res.Series[s.String()], SweepPoint{
 				X: scale, Label: fmt.Sprintf("%.1fx", scale), Gain: float64(base) / float64(c),
 			})
@@ -188,35 +224,33 @@ func MSHRSweep(cfg UniConfig, workload string) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := func(s core.Scheme, n, mshrs int) (float64, error) {
+	mk := func(s core.Scheme, n, mshrs int) workstation.Config {
 		w := workstation.DefaultConfig(s, n)
 		w.OS.SliceCycles = cfg.SliceCycles
 		w.WarmupRotations = cfg.WarmupRotations
 		w.MeasureRotations = cfg.MeasureRotations
 		w.Seed = cfg.Seed
 		w.Cache.MSHRs = mshrs
-		r, err := workstation.Run(kernels, w)
-		if err != nil {
-			return 0, err
-		}
-		return r.FairThroughput, nil
+		return w
 	}
-	base, err := run(core.Single, 1, 4)
+	mshrs := []int{1, 2, 4, 8}
+	configs := []workstation.Config{mk(core.Single, 1, 4)}
+	for _, m := range mshrs {
+		configs = append(configs, mk(core.Interleaved, 4, m))
+	}
+	thr, err := sweepThroughputs(cfg.Parallelism, kernels, configs)
 	if err != nil {
 		return nil, err
 	}
+	base := thr[0]
 	res := &SweepResult{
 		Name:   fmt.Sprintf("miss registers on %s (interleaved, 4 contexts)", workload),
 		XLabel: "MSHRs",
 		Series: map[string][]SweepPoint{},
 	}
-	for _, m := range []int{1, 2, 4, 8} {
-		g, err := run(core.Interleaved, 4, m)
-		if err != nil {
-			return nil, err
-		}
+	for mi, m := range mshrs {
 		res.Series["interleaved"] = append(res.Series["interleaved"], SweepPoint{
-			X: float64(m), Label: fmt.Sprintf("%d", m), Gain: g / base,
+			X: float64(m), Label: fmt.Sprintf("%d", m), Gain: thr[1+mi] / base,
 		})
 	}
 	return res, nil
@@ -277,7 +311,7 @@ func IssueWidthSweep(cfg UniConfig, workload string) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := func(s core.Scheme, n, width int) (float64, error) {
+	mk := func(s core.Scheme, n, width int) workstation.Config {
 		w := workstation.DefaultConfig(s, n)
 		w.OS.SliceCycles = cfg.SliceCycles
 		w.WarmupRotations = cfg.WarmupRotations
@@ -286,35 +320,30 @@ func IssueWidthSweep(cfg UniConfig, workload string) (*SweepResult, error) {
 		cc := core.DefaultConfig(s, n)
 		cc.IssueWidth = width
 		w.Core = &cc
-		r, err := workstation.Run(kernels, w)
-		if err != nil {
-			return 0, err
-		}
-		return r.FairThroughput, nil
+		return w
 	}
-	base, err := run(core.Single, 1, 1)
+	widths := []int{1, 2, 4}
+	configs := []workstation.Config{mk(core.Single, 1, 1)}
+	for _, width := range widths {
+		configs = append(configs, mk(core.Single, 1, width))
+		configs = append(configs, mk(core.Interleaved, 4, width))
+	}
+	thr, err := sweepThroughputs(cfg.Parallelism, kernels, configs)
 	if err != nil {
 		return nil, err
 	}
+	base := thr[0]
 	res := &SweepResult{
 		Name:   fmt.Sprintf("issue width on %s (superscalar extension, paper §7)", workload),
 		XLabel: "issue width",
 		Series: map[string][]SweepPoint{},
 	}
-	for _, width := range []int{1, 2, 4} {
-		g, err := run(core.Single, 1, width)
-		if err != nil {
-			return nil, err
-		}
+	for wi, width := range widths {
 		res.Series["single"] = append(res.Series["single"], SweepPoint{
-			X: float64(width), Label: fmt.Sprintf("%d", width), Gain: g / base,
+			X: float64(width), Label: fmt.Sprintf("%d", width), Gain: thr[1+2*wi] / base,
 		})
-		gi, err := run(core.Interleaved, 4, width)
-		if err != nil {
-			return nil, err
-		}
 		res.Series["interleaved (4 ctx)"] = append(res.Series["interleaved (4 ctx)"], SweepPoint{
-			X: float64(width), Label: fmt.Sprintf("%d", width), Gain: gi / base,
+			X: float64(width), Label: fmt.Sprintf("%d", width), Gain: thr[2+2*wi] / base,
 		})
 	}
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/workstation"
@@ -23,6 +24,11 @@ type UniConfig struct {
 	WarmupRotations  int
 	MeasureRotations int
 	Seed             int64
+
+	// Parallelism bounds how many simulation cells run concurrently:
+	// 0 selects DefaultParallelism (GOMAXPROCS), 1 forces the serial
+	// path. Results are byte-identical at every setting.
+	Parallelism int
 }
 
 // DefaultUniConfig reproduces the paper's setup (time-scaled).
@@ -37,11 +43,14 @@ func DefaultUniConfig() UniConfig {
 	}
 }
 
-// QuickUniConfig is a reduced configuration for tests and benchmarks.
+// QuickUniConfig is a reduced configuration for tests and benchmarks. The
+// seed is set explicitly (not inherited implicitly, and never the zero
+// value) so quick runs are reproducible by construction.
 func QuickUniConfig() UniConfig {
 	c := DefaultUniConfig()
 	c.SliceCycles = 8_000
 	c.MeasureRotations = 1
+	c.Seed = 1
 	return c
 }
 
@@ -88,53 +97,77 @@ func (r *UniResult) MeanGain(s core.Scheme, n int) float64 {
 	return stats.GeoMean(gs)
 }
 
-// RunUniprocessor runs the full workstation evaluation.
+// RunUniprocessor runs the full workstation evaluation. The cells — one
+// (workload, scheme, contexts) simulation each — are independent, so they
+// fan out across cfg.Parallelism workers; every cell derives its seed
+// from its grid position, and results land in a pre-sized slice indexed
+// by cell, so the output is byte-identical at every parallelism level.
 func RunUniprocessor(cfg UniConfig) (*UniResult, error) {
 	workloads := cfg.Workloads
 	if workloads == nil {
 		workloads = WorkloadOrder
 	}
-	res := &UniResult{Cfg: cfg}
+	type spec struct {
+		workload string
+		kernels  []apps.Kernel
+		scheme   core.Scheme
+		contexts int
+	}
+	var specs []spec
 	for _, w := range workloads {
 		kernels, err := ResolveWorkload(w)
 		if err != nil {
 			return nil, err
 		}
-		run := func(s core.Scheme, n int) (*workstation.Result, error) {
-			wcfg := workstation.DefaultConfig(s, n)
-			wcfg.OS.SliceCycles = cfg.SliceCycles
-			wcfg.WarmupRotations = cfg.WarmupRotations
-			wcfg.MeasureRotations = cfg.MeasureRotations
-			wcfg.Seed = cfg.Seed
-			return workstation.Run(kernels, wcfg)
-		}
-		base, err := run(core.Single, 1)
-		if err != nil {
-			return nil, err
-		}
-		res.Cells = append(res.Cells, UniCell{
-			Workload: w, Scheme: core.Single, Contexts: 1,
-			Busy: base.Throughput, Gain: 1,
-			Breakdown: base.Stats.Breakdown(),
-		})
+		specs = append(specs, spec{w, kernels, core.Single, 1})
 		for _, s := range cfg.Schemes {
 			for _, n := range cfg.ContextCounts {
-				r, err := run(s, n)
-				if err != nil {
-					return nil, err
-				}
-				gain := 0.0
-				if base.FairThroughput > 0 {
-					gain = r.FairThroughput / base.FairThroughput
-				}
-				res.Cells = append(res.Cells, UniCell{
-					Workload: w, Scheme: s, Contexts: n,
-					Busy:      r.Throughput,
-					Gain:      gain,
-					Breakdown: r.Stats.Breakdown(),
-				})
+				specs = append(specs, spec{w, kernels, s, n})
 			}
 		}
+	}
+	runs := make([]*workstation.Result, len(specs))
+	err := runCells(cfg.Parallelism, len(specs), func(i int) error {
+		sp := specs[i]
+		wcfg := workstation.DefaultConfig(sp.scheme, sp.contexts)
+		wcfg.OS.SliceCycles = cfg.SliceCycles
+		wcfg.WarmupRotations = cfg.WarmupRotations
+		wcfg.MeasureRotations = cfg.MeasureRotations
+		wcfg.Seed = DeriveSeed(cfg.Seed, i)
+		r, err := workstation.Run(sp.kernels, wcfg)
+		if err != nil {
+			return err
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &UniResult{Cfg: cfg}
+	var base *workstation.Result
+	for i, sp := range specs {
+		r := runs[i]
+		if sp.scheme == core.Single && sp.contexts == 1 {
+			base = r
+			res.Cells = append(res.Cells, UniCell{
+				Workload: sp.workload, Scheme: core.Single, Contexts: 1,
+				Busy: r.Throughput, Gain: 1,
+				Breakdown: r.Stats.Breakdown(),
+			})
+			continue
+		}
+		gain := 0.0
+		if base.FairThroughput > 0 {
+			gain = r.FairThroughput / base.FairThroughput
+		}
+		res.Cells = append(res.Cells, UniCell{
+			Workload: sp.workload, Scheme: sp.scheme, Contexts: sp.contexts,
+			Busy:      r.Throughput,
+			Gain:      gain,
+			Breakdown: r.Stats.Breakdown(),
+		})
 	}
 	return res, nil
 }

@@ -104,6 +104,7 @@ type Builder struct {
 	autoTol  bool
 	dataNext uint32
 	dataEnd  uint32
+	syncSeq  int
 	err      error
 }
 

@@ -30,11 +30,13 @@ const (
 // sense probes.
 const SpinYieldCycles = 16
 
-var syncSeq int
-
-func uniq(prefix string) string {
-	syncSeq++
-	return fmt.Sprintf("%s$%d", prefix, syncSeq)
+// uniq returns a label name unique within this builder. The counter is
+// per-Builder (not package-level) so concurrent program builds — the
+// experiment engine constructs cells in parallel — share no mutable state
+// and every build of the same program emits the same labels.
+func (b *Builder) uniq(prefix string) string {
+	b.syncSeq++
+	return fmt.Sprintf("%s$%d", prefix, b.syncSeq)
 }
 
 // AllocLock reserves a cache-line-aligned lock word and returns its
@@ -56,9 +58,9 @@ func (b *Builder) LockAcquire(addrReg, tmp isa.Reg) {
 	b.SetRegion(isa.RegionSync)
 	defer b.SetRegion(prev)
 
-	try := uniq("lock_try")
-	spin := uniq("lock_spin")
-	got := uniq("lock_got")
+	try := b.uniq("lock_try")
+	spin := b.uniq("lock_spin")
+	got := b.uniq("lock_got")
 
 	b.Label(try)
 	b.Tas(tmp, addrReg, 0)
@@ -91,9 +93,9 @@ func (b *Builder) Barrier(baseReg, nthreadsReg, senseReg, tmp1, tmp2 isa.Reg) {
 	b.SetRegion(isa.RegionSync)
 	defer b.SetRegion(prev)
 
-	spin := uniq("bar_spin")
-	last := uniq("bar_last")
-	done := uniq("bar_done")
+	spin := b.uniq("bar_spin")
+	last := b.uniq("bar_last")
+	done := b.uniq("bar_done")
 
 	// Flip local sense: this episode completes when the global sense
 	// equals the new local sense.

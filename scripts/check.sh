@@ -1,0 +1,12 @@
+#!/bin/sh
+# Full verification: vet, build, and the whole test suite under the race
+# detector (the experiment engine fans simulation cells out across
+# goroutines, so races here are correctness bugs, not just flakes).
+# Tier-1 (ROADMAP.md) is the subset `go build ./... && go test ./...`.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
