@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/guard"
 )
 
 func main() {
@@ -28,7 +29,18 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
 	jsonOut := flag.String("json", "", "also write raw results as JSON to this file")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulation cells (1 = serial)")
+	gopts := guard.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	// Failed grid cells degrade gracefully (their cells print FAIL) but
+	// still make the command exit non-zero, after all output and the JSON
+	// dump are written. Registered before the JSON defer so it runs last.
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
 
 	jsonBlob := map[string]any{}
 	defer func() {
@@ -63,9 +75,11 @@ func main() {
 	}
 	ucfg.Parallelism = *jobs
 	mcfg.Parallelism = *jobs
+	ucfg.Guard = *gopts
+	mcfg.Guard = *gopts
 
 	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+		fmt.Fprintln(os.Stderr, "experiments:", guard.Report(err))
 		os.Exit(1)
 	}
 
@@ -116,6 +130,18 @@ func main() {
 		uni = r
 		jsonBlob["workstation"] = r
 		fmt.Fprintf(os.Stderr, "[workstation evaluation: %v]\n", time.Since(start).Round(time.Millisecond))
+		if r.Failures > 0 {
+			for _, c := range r.Cells {
+				if c.Failed {
+					fmt.Fprintf(os.Stderr, "experiments: workstation cell %s/%v/%d FAILED: %s\n",
+						c.Workload, c.Scheme, c.Contexts, c.Failure)
+					if c.Diagnostic != "" {
+						fmt.Fprintln(os.Stderr, c.Diagnostic)
+					}
+				}
+			}
+			exitCode = 1
+		}
 	}
 	if sel("table7") {
 		fmt.Println(experiments.FormatTable7(uni))
@@ -139,6 +165,18 @@ func main() {
 		mpr = r
 		jsonBlob["multiprocessor"] = r
 		fmt.Fprintf(os.Stderr, "[multiprocessor evaluation: %v]\n", time.Since(start).Round(time.Millisecond))
+		if r.Failures > 0 {
+			for _, c := range r.Cells {
+				if c.Failed {
+					fmt.Fprintf(os.Stderr, "experiments: multiprocessor cell %s/%v/%d FAILED: %s\n",
+						c.App, c.Scheme, c.Contexts, c.Failure)
+					if c.Diagnostic != "" {
+						fmt.Fprintln(os.Stderr, c.Diagnostic)
+					}
+				}
+			}
+			exitCode = 1
+		}
 	}
 	if sel("table10") {
 		fmt.Println(experiments.FormatTable10(mpr))

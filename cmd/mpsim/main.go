@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/guard"
 	"repro/internal/mp"
 	"repro/internal/prog"
 	"repro/internal/splash"
@@ -56,10 +57,13 @@ func main() {
 	steps := flag.Int("steps", 0, "time steps (0 = app default)")
 	limit := flag.Int64("limit", 200_000_000, "cycle limit")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulations for a -contexts list (1 = serial)")
+	gopts := guard.BindFlags(flag.CommandLine)
 	flag.Parse()
 
+	// On failure, print the structured diagnostic (when the error carries
+	// one) instead of a raw panic stack, and exit non-zero.
 	die := func(err error) {
-		fmt.Fprintln(os.Stderr, "mpsim:", err)
+		fmt.Fprintln(os.Stderr, "mpsim:", guard.Report(err))
 		os.Exit(1)
 	}
 
@@ -84,12 +88,17 @@ func main() {
 	}
 
 	// Fan the configurations out; results land in run order so the report
-	// below is independent of completion order.
+	// below is independent of completion order. With -chaos, each
+	// configuration also runs unperturbed and the final memory is asserted
+	// byte-identical: timing faults must never leak into functional state.
+	// (Racy apps — mp3d's unsynchronized scatter — are exempt: their memory
+	// results are scheduling-dependent by construction.)
 	results := make([]*mp.Result, len(counts))
 	err = experiments.NewPool(*jobs).Run(context.Background(), len(counts), func(_ context.Context, i int) error {
 		cfg := mp.DefaultConfig(sc, counts[i])
 		cfg.Processors = *procs
 		cfg.LimitCycles = *limit
+		cfg.Guard = *gopts
 		p := app.Build(splash.Options{
 			CodeBase:     0x0100_0000,
 			DataBase:     0x5000_0000,
@@ -105,6 +114,18 @@ func main() {
 		if !res.Completed {
 			return fmt.Errorf("%s did not complete within %d cycles", *appName, *limit)
 		}
+		if gopts.ChaosSeed != 0 && !app.Racy {
+			baseCfg := cfg
+			baseCfg.Guard.ChaosSeed = 0
+			base, err := mp.Run(p, baseCfg)
+			if err != nil {
+				return fmt.Errorf("chaos reference run: %w", err)
+			}
+			if base.MemHash != res.MemHash {
+				return fmt.Errorf("chaos divergence with %d context(s): perturbed memory hash %#x != reference %#x — timing state leaked into functional state",
+					counts[i], res.MemHash, base.MemHash)
+			}
+		}
 		results[i] = res
 		return nil
 	})
@@ -118,7 +139,17 @@ func main() {
 		}
 		fmt.Printf("%s: %d processors x %d context(s) (%d threads), scheme %v\n",
 			*appName, *procs, counts[i], res.Threads, sc)
-		fmt.Printf("execution time: %d cycles\n\n", res.Cycles)
+		fmt.Printf("execution time: %d cycles\n", res.Cycles)
+		if gopts.ChaosSeed != 0 {
+			if app.Racy {
+				fmt.Printf("chaos seed %d: byte-identity not checked (%s has unsynchronized shared writes)\n",
+					gopts.ChaosSeed, *appName)
+			} else {
+				fmt.Printf("chaos seed %d: memory results byte-identical to unperturbed run (hash %#x)\n",
+					gopts.ChaosSeed, res.MemHash)
+			}
+		}
+		fmt.Println()
 
 		bd := res.Stats.Breakdown()
 		t := stats.NewTable("category", "fraction")

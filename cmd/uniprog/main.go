@@ -24,6 +24,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/guard"
 	"repro/internal/stats"
 	"repro/internal/workstation"
 )
@@ -45,10 +46,13 @@ func main() {
 	slice := flag.Int64("slice", 60_000, "scheduler time slice in cycles")
 	rotations := flag.Int("rotations", 2, "measured scheduler rotations")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulations for a -contexts list (1 = serial)")
+	gopts := guard.BindFlags(flag.CommandLine)
 	flag.Parse()
 
+	// On failure, print the structured diagnostic (when the error carries
+	// one) instead of a raw panic stack, and exit non-zero.
 	die := func(err error) {
-		fmt.Fprintln(os.Stderr, "uniprog:", err)
+		fmt.Fprintln(os.Stderr, "uniprog:", guard.Report(err))
 		os.Exit(1)
 	}
 
@@ -91,6 +95,7 @@ func main() {
 		cfg := workstation.DefaultConfig(sc, counts[i])
 		cfg.OS.SliceCycles = *slice
 		cfg.MeasureRotations = *rotations
+		cfg.Guard = *gopts
 		r, err := workstation.Run(kernels, cfg)
 		if err != nil {
 			return err

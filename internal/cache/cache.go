@@ -12,6 +12,8 @@ package cache
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/guard"
 )
 
 // Params collects every hierarchy parameter. Defaults reproduce paper
@@ -52,6 +54,11 @@ type Params struct {
 	// Prefetch selects the hardware prefetcher (off by default; the
 	// paper's machine has none).
 	Prefetch PrefetchMode
+
+	// Chaos, when non-nil, perturbs every secondary-cache, memory and TLB
+	// latency by a seeded deterministic jitter (guard fault-injection
+	// mode). Timing-only: architectural results must not change.
+	Chaos *guard.Chaos
 }
 
 // DefaultParams returns the paper's workstation configuration.

@@ -1,0 +1,93 @@
+package cache
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/guard"
+)
+
+// This file is the hierarchy's side of the simulation-hardening layer:
+// structural invariant checking and outstanding-miss reporting for
+// diagnostics.
+
+// checkPlacement verifies a direct-mapped cache's tag array: every valid
+// tag must map to the set it occupies. A violation means a fill or
+// invalidation corrupted the placement function.
+func checkPlacement(name string, c *Cache) error {
+	for s, v := range c.valid {
+		if v && c.tags[s]&(c.sets-1) != uint32(s) {
+			return fmt.Errorf("%s: set %d holds line %#x, which maps to set %d",
+				name, s, c.tags[s], c.tags[s]&(c.sets-1))
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies the hierarchy's structural sanity:
+//
+//   - every valid tag in L1I/L1D/L2 sits in the set it maps to;
+//   - demand misses never exceed the configured MSHR count;
+//   - the prefetch-buffer occupancy count matches the pending map;
+//   - no line is simultaneously pending (in a miss register) and
+//     resident in the data cache.
+//
+// Violations come back as *guard.SimError.
+func (h *Hierarchy) CheckInvariants() error {
+	fail := func(err error) error {
+		return guard.NewSimError("cache.invariant", err)
+	}
+	for _, c := range []struct {
+		name string
+		c    *Cache
+	}{{"L1I", h.L1I}, {"L1D", h.L1D}, {"L2", h.L2}} {
+		if err := checkPlacement(c.name, c.c); err != nil {
+			return fail(err)
+		}
+	}
+	prefetches := 0
+	for line, pf := range h.pending {
+		if pf.prefetch {
+			prefetches++
+		}
+		if h.L1D.Present(line << uint32(h.L1D.lineShift)) {
+			return fail(fmt.Errorf("line %#x both pending and resident in L1D", line))
+		}
+	}
+	if prefetches != h.prefetchOutstanding {
+		return fail(fmt.Errorf("prefetch occupancy count %d, but %d prefetches pending",
+			h.prefetchOutstanding, prefetches))
+	}
+	if demand := len(h.pending) - prefetches; demand > h.P.MSHRs {
+		return fail(fmt.Errorf("%d demand misses outstanding with %d MSHRs", demand, h.P.MSHRs))
+	}
+	if h.prefetchOutstanding > prefetchBufEntries {
+		return fail(fmt.Errorf("%d prefetches outstanding with %d buffer entries",
+			h.prefetchOutstanding, prefetchBufEntries))
+	}
+	return nil
+}
+
+// OutstandingMisses reports the occupied miss registers, in ascending
+// line order, for watchdog diagnostics.
+func (h *Hierarchy) OutstandingMisses() []guard.MissState {
+	lines := make([]uint32, 0, len(h.pending))
+	for line := range h.pending {
+		lines = append(lines, line)
+	}
+	slices.Sort(lines)
+	out := make([]guard.MissState, 0, len(lines))
+	for _, line := range lines {
+		out = append(out, guard.MissState{
+			Line:   line,
+			Addr:   line << uint32(h.L1D.lineShift),
+			FillAt: h.pending[line].fill,
+		})
+	}
+	return out
+}
+
+var (
+	_ guard.InvariantChecker = (*Hierarchy)(nil)
+	_ guard.MissReporter     = (*Hierarchy)(nil)
+)

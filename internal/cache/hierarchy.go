@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"fmt"
 	"math/rand"
 	"slices"
 
@@ -73,7 +74,7 @@ func NewHierarchy(p Params) (*Hierarchy, error) {
 func MustNewHierarchy(p Params) *Hierarchy {
 	h, err := NewHierarchy(p)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("cache: MustNewHierarchy: %w", err))
 	}
 	return h
 }
@@ -159,7 +160,7 @@ func (h *Hierarchy) l2Access(addr uint32, now int64) (fillAt int64, class memsys
 	}
 	h.l2Free = start + int64(h.P.L2ReadOcc)
 	if h.L2.Present(addr) {
-		return start + int64(h.P.L2HitLatency), memsys.HitL2
+		return start + h.P.Chaos.Perturb(int64(h.P.L2HitLatency)), memsys.HitL2
 	}
 	line := h.L2.Line(addr)
 	b := int(line) % h.P.NumBanks
@@ -168,7 +169,7 @@ func (h *Hierarchy) l2Access(addr uint32, now int64) (fillAt int64, class memsys
 		mstart = h.bankFree[b]
 	}
 	h.bankFree[b] = mstart + int64(h.P.BankOcc)
-	fillAt = mstart + int64(h.P.MemLatency)
+	fillAt = mstart + h.P.Chaos.Perturb(int64(h.P.MemLatency))
 	// Install in L2; a dirty L2 victim goes back to its bank.
 	if victim, vd, ok := h.L2.Fill(addr, false); ok && vd {
 		vb := int(victim) % h.P.NumBanks
@@ -197,9 +198,10 @@ func (h *Hierarchy) AccessData(addr uint32, write bool, pc uint32, now int64) me
 					}
 				}
 			}
-			h.tlbHold[page] = now + int64(h.P.TLBPenalty) + fillHoldCycles
+			refill := h.P.Chaos.Perturb(int64(h.P.TLBPenalty))
+			h.tlbHold[page] = now + refill + fillHoldCycles
 			h.Stats.DataByClass[memsys.TLBMiss]++
-			return memsys.DataResult{FillAt: now + int64(h.P.TLBPenalty), Class: memsys.TLBMiss}
+			return memsys.DataResult{FillAt: now + refill, Class: memsys.TLBMiss}
 		}
 		// Refill in hold: the Lookup above reinstalled the entry; the
 		// access proceeds as translated.

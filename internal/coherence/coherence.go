@@ -18,6 +18,7 @@ import (
 	"slices"
 
 	"repro/internal/cache"
+	"repro/internal/guard"
 	"repro/internal/memsys"
 )
 
@@ -34,6 +35,11 @@ type Params struct {
 	DirtyLow, DirtyHigh   int // reply from remote cache (dirty)
 
 	Seed int64
+
+	// Chaos, when non-nil, perturbs every reply latency by a seeded
+	// deterministic jitter (guard fault-injection mode). Timing-only:
+	// architectural results must not change.
+	Chaos *guard.Chaos
 }
 
 // DefaultParams returns the paper's multiprocessor node configuration.
@@ -133,7 +139,7 @@ func NewFabric(p Params, n int) (*Fabric, error) {
 func MustNewFabric(p Params, n int) *Fabric {
 	f, err := NewFabric(p, n)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("coherence: MustNewFabric(%d nodes): %w", n, err))
 	}
 	return f
 }
@@ -168,11 +174,11 @@ func (f *Fabric) uniform(lo, hi int) int64 {
 func (f *Fabric) latency(c memsys.MissClass) int64 {
 	switch c {
 	case memsys.LocalMem:
-		return f.uniform(f.P.LocalLow, f.P.LocalHigh)
+		return f.P.Chaos.Perturb(f.uniform(f.P.LocalLow, f.P.LocalHigh))
 	case memsys.RemoteMem:
-		return f.uniform(f.P.RemoteLow, f.P.RemoteHigh)
+		return f.P.Chaos.Perturb(f.uniform(f.P.RemoteLow, f.P.RemoteHigh))
 	case memsys.RemoteCache:
-		return f.uniform(f.P.DirtyLow, f.P.DirtyHigh)
+		return f.P.Chaos.Perturb(f.uniform(f.P.DirtyLow, f.P.DirtyHigh))
 	}
 	return 1
 }

@@ -1,0 +1,113 @@
+package coherence
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"repro/internal/guard"
+)
+
+// This file is the fabric's side of the simulation-hardening layer:
+// protocol invariant checking (single-owner, directory consistency,
+// transaction serialization) and hot-line / outstanding-miss reporting
+// for watchdog diagnostics.
+
+// CheckInvariants verifies the directory protocol:
+//
+//   - DirectoryInvariants: a dirty owner excludes other sharers, and
+//     every resident copy is recorded in the directory;
+//   - at most one node has an exclusive request in flight per line
+//     (transaction serialization), and that node is the recorded owner —
+//     ownership transfers at request time.
+//
+// Violations come back as *guard.SimError.
+func (f *Fabric) CheckInvariants() error {
+	if s := f.DirectoryInvariants(); s != "" {
+		return guard.NewSimError("coherence.invariant", errors.New(s))
+	}
+	exclusive := make(map[uint32]int)
+	for _, n := range f.nodes {
+		for line, pf := range n.pending {
+			if !pf.exclusive {
+				continue
+			}
+			if prev, ok := exclusive[line]; ok {
+				return guard.NewSimError("coherence.invariant",
+					fmt.Errorf("line %#x: exclusive requests in flight from nodes %d and %d", line, prev, n.id)).
+					WithAddr(f.lineAddr(line))
+			}
+			exclusive[line] = n.id
+			if e := f.dir[line]; e == nil || e.owner != n.id {
+				owner := -1
+				if e != nil {
+					owner = e.owner
+				}
+				return guard.NewSimError("coherence.invariant",
+					fmt.Errorf("line %#x: node %d fetching exclusive but directory owner is %d", line, n.id, owner)).
+					WithAddr(f.lineAddr(line))
+			}
+		}
+	}
+	return nil
+}
+
+// HotLines reports the directory state of every line with an outstanding
+// transaction, in ascending line order, up to max entries (unlimited when
+// max <= 0). These are the lines a wedged machine is fighting over, so
+// watchdog diagnostics include them.
+func (f *Fabric) HotLines(max int) []guard.LineState {
+	var lines []uint32
+	for _, n := range f.nodes {
+		for line := range n.pending {
+			lines = append(lines, line)
+		}
+	}
+	slices.Sort(lines)
+	lines = slices.Compact(lines)
+	if max > 0 && len(lines) > max {
+		lines = lines[:max]
+	}
+	out := make([]guard.LineState, 0, len(lines))
+	for _, line := range lines {
+		ls := guard.LineState{Line: line, Addr: f.lineAddr(line), Owner: -1}
+		if e := f.dir[line]; e != nil {
+			ls.Owner = e.owner
+			ls.Sharers = e.sharers
+		}
+		out = append(out, ls)
+	}
+	return out
+}
+
+// OutstandingMisses reports node n's in-flight directory transactions, in
+// ascending line order, for watchdog diagnostics.
+func (n *Node) OutstandingMisses() []guard.MissState {
+	lines := make([]uint32, 0, len(n.pending))
+	for line := range n.pending {
+		lines = append(lines, line)
+	}
+	slices.Sort(lines)
+	out := make([]guard.MissState, 0, len(lines))
+	for _, line := range lines {
+		pf := n.pending[line]
+		out = append(out, guard.MissState{
+			Line:      line,
+			Addr:      n.fab.lineAddr(line),
+			FillAt:    pf.fill,
+			Exclusive: pf.exclusive,
+		})
+	}
+	return out
+}
+
+// CheckInvariants on a node delegates to its fabric, so a node standing
+// in as a processor's memory system is checkable through the same
+// interface as the workstation hierarchy.
+func (n *Node) CheckInvariants() error { return n.fab.CheckInvariants() }
+
+var (
+	_ guard.InvariantChecker = (*Fabric)(nil)
+	_ guard.InvariantChecker = (*Node)(nil)
+	_ guard.MissReporter     = (*Node)(nil)
+)

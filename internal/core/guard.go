@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/guard"
+)
+
+// This file is the processor's side of the simulation-hardening layer
+// (internal/guard): state snapshots for structured diagnostics, pipeline
+// invariant checking, and a guarded run loop with a liveness watchdog.
+
+// HashArchState folds the thread's architectural state — registers, PC,
+// and halt status — into a running FNV-1a digest h (seed with
+// guard-style callers' mem.Memory Hash, or the FNV offset basis).
+// Chaos-mode tests combine these with the memory digest to assert that
+// timing perturbation never changes architectural results.
+func (t *Thread) HashArchState(h uint64) uint64 {
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= 1099511628211 // FNV prime
+			v >>= 8
+		}
+	}
+	mix(uint64(uint32(t.PC)))
+	if t.Halted {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	for _, r := range t.Regs {
+		mix(r)
+	}
+	return h
+}
+
+// UsefulProgress is the watchdog's progress counter: issue slots spent on
+// useful (non-synchronization) instructions. Spin-wait code retires
+// synchronization instructions forever, so a deadlocked machine still
+// "retires" — but it stops retiring useful work, which is what this
+// counter tracks.
+func (p *Processor) UsefulProgress() int64 { return p.Stats.Slots[SlotBusy] }
+
+// Snapshot captures the processor's architectural position for a
+// diagnostic: per-context thread, PC, current instruction, availability
+// and cause, the nonzero slot breakdown, and — when the memory system can
+// report them — its outstanding misses.
+func (p *Processor) Snapshot() guard.ProcState {
+	ps := guard.ProcState{ID: p.ID, Cycle: p.cycle, Slots: map[string]int64{}}
+	for cls, n := range p.Stats.Slots {
+		if n != 0 {
+			ps.Slots[SlotClass(cls).String()] = n
+		}
+	}
+	for _, c := range p.ctxs {
+		cs := guard.CtxState{Ctx: c.idx}
+		if th := c.thread; th != nil {
+			cs.Thread = th.Name
+			cs.PC = th.PC
+			cs.Halted = th.Halted
+			cs.Retired = th.Retired
+			cs.AvailableAt = c.availableAt
+			cs.Cause = c.availCause.String()
+			if th.PC >= 0 && th.PC < len(th.Prog.Insts) {
+				cs.PCAddr = th.Prog.PCAddr(th.PC)
+				cs.Inst = th.Prog.Insts[th.PC].String()
+			}
+		}
+		ps.Ctxs = append(ps.Ctxs, cs)
+	}
+	if mr, ok := p.Mem.(guard.MissReporter); ok {
+		ps.Misses = mr.OutstandingMisses()
+	}
+	return ps
+}
+
+// CheckInvariants verifies the pipeline's interlock bookkeeping:
+//
+//   - every issue slot is accounted to exactly one class (the slot sum
+//     equals cycles × issue width);
+//   - the blocked-scheme current context, round-robin pointer and forced
+//     fetch target are in range;
+//   - every bound thread's PC addresses a real instruction;
+//   - the zero register never acquires a scoreboard dependency;
+//   - a halted thread is never the blocked scheme's current context.
+//
+// Violations come back as *guard.SimError with a full snapshot attached.
+func (p *Processor) CheckInvariants() error {
+	fail := func(ctx, pc int, format string, args ...any) error {
+		return guard.NewSimError("core.invariant", fmt.Errorf(format, args...)).
+			At(p.cycle).On(p.ID, ctx, pc).
+			WithDiag(&guard.Diagnostic{
+				Reason: "pipeline invariant violation",
+				Cycle:  p.cycle,
+				Scheme: p.Cfg.Scheme.String(),
+				Procs:  []guard.ProcState{p.Snapshot()},
+			})
+	}
+	width := int64(p.Cfg.IssueWidth)
+	if width < 1 {
+		width = 1
+	}
+	if got, want := p.Stats.TotalSlots(), p.Stats.Cycles*width; got != want {
+		return fail(-1, -1, "slot accounting: %d slots for %d cycles × width %d (want %d)",
+			got, p.Stats.Cycles, width, want)
+	}
+	n := len(p.ctxs)
+	if p.cur < -1 || p.cur >= n {
+		return fail(-1, -1, "blocked current context %d out of range [-1,%d)", p.cur, n)
+	}
+	if p.rr < -1 || p.rr >= n {
+		return fail(-1, -1, "round-robin pointer %d out of range [-1,%d)", p.rr, n)
+	}
+	if p.forceNext < -1 || p.forceNext >= n {
+		return fail(-1, -1, "forced fetch context %d out of range [-1,%d)", p.forceNext, n)
+	}
+	for _, c := range p.ctxs {
+		th := c.thread
+		if th == nil {
+			continue
+		}
+		if th.PC < 0 || th.PC >= len(th.Prog.Insts) {
+			return fail(c.idx, th.PC, "thread %s PC %d outside program %s [0,%d)",
+				th.Name, th.PC, th.Prog.Name, len(th.Prog.Insts))
+		}
+		if th.regReady[0] != 0 {
+			return fail(c.idx, th.PC, "thread %s: scoreboard dependency on R0", th.Name)
+		}
+		if th.Halted && p.cur == c.idx {
+			return fail(c.idx, th.PC, "halted thread %s is the blocked scheme's current context", th.Name)
+		}
+	}
+	return nil
+}
+
+// RunGuarded is the hardened uniprocessor runner: it steps until every
+// bound thread halts or limit cycles elapse (returning the cycles run and
+// whether everything halted, like RunUntilHalted), while polling the
+// liveness watchdog and — when enabled — the pipeline and memory-system
+// invariant checkers every opts.CheckEvery cycles. A watchdog trip or an
+// invariant violation returns a *guard.SimError carrying a structured
+// diagnostic. opts.WatchdogWindow zero leaves the watchdog off: a
+// cycle-bounded uniprocessor run cannot hang, so the watchdog is an
+// opt-in early-abort for stuck programs.
+func (p *Processor) RunGuarded(limit int64, opts guard.Options) (int64, bool, error) {
+	every := opts.CheckCadence()
+	wd := guard.NewWatchdog(opts.ResolveWatchdog(0))
+	checks := opts.InvariantsOn()
+	start := p.cycle
+	for {
+		if p.AllHalted() {
+			return p.cycle - start, true, nil
+		}
+		ran := p.cycle - start
+		if ran >= limit {
+			return ran, false, nil
+		}
+		chunk := every
+		if rem := limit - ran; chunk > rem {
+			chunk = rem
+		}
+		// RunUntilHalted, not Run: the chunked loop must stop on the exact
+		// halt cycle, or guarded runs would overshoot to the next chunk
+		// boundary and report inflated cycle counts.
+		p.RunUntilHalted(chunk)
+		if wd.Observe(p.cycle, p.UsefulProgress()) {
+			d := &guard.Diagnostic{
+				Reason: fmt.Sprintf("watchdog: no useful instruction retired in %d cycles", wd.Stalled(p.cycle)),
+				Cycle:  p.cycle,
+				Scheme: p.Cfg.Scheme.String(),
+				Window: wd.Window(),
+				Procs:  []guard.ProcState{p.Snapshot()},
+			}
+			return p.cycle - start, false, guard.NewSimError("guard.watchdog",
+				fmt.Errorf("livelock/deadlock: no useful instruction retired in %d cycles", wd.Stalled(p.cycle))).
+				At(p.cycle).On(p.ID, -1, -1).WithDiag(d)
+		}
+		if checks {
+			if err := p.CheckInvariants(); err != nil {
+				return p.cycle - start, false, err
+			}
+			if ic, ok := p.Mem.(guard.InvariantChecker); ok {
+				if err := ic.CheckInvariants(); err != nil {
+					return p.cycle - start, false, err
+				}
+			}
+		}
+	}
+}
+
+var _ guard.InvariantChecker = (*Processor)(nil)

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/guard"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// storeWalkProgram writes then re-reads a buffer far larger than the L1,
+// accumulating into R2 — enough memory traffic that chaos perturbation of
+// L2/memory/TLB latencies actually lands on the critical path.
+func storeWalkProgram(t *testing.T, words int, base uint32) *prog.Program {
+	return buildProg(t, "storewalk", func(b *prog.Builder) {
+		b.Li(isa.R1, uint32(words))
+		b.La(isa.R3, base)
+		b.Li(isa.R2, 0)
+		b.Label("wr")
+		b.Sw(isa.R1, isa.R3, 0)
+		b.Addi(isa.R3, isa.R3, 64)
+		b.Addi(isa.R1, isa.R1, -1)
+		b.Bgtz(isa.R1, "wr")
+		b.Li(isa.R1, uint32(words))
+		b.La(isa.R3, base)
+		b.Label("rd")
+		b.Lw(isa.R4, isa.R3, 0)
+		b.Add(isa.R2, isa.R2, isa.R4)
+		b.Addi(isa.R3, isa.R3, 64)
+		b.Addi(isa.R1, isa.R1, -1)
+		b.Bgtz(isa.R1, "rd")
+		b.Sw(isa.R2, isa.R3, 0)
+		b.Halt()
+	})
+}
+
+// spinProgram loops forever on a synchronization-region load — the shape
+// of a spin-wait whose release never comes. It retires sync instructions
+// at full rate but never a useful one.
+func spinProgram(t *testing.T) *prog.Program {
+	return buildProg(t, "spin", func(b *prog.Builder) {
+		b.La(isa.R3, 0x100000)
+		b.SetRegion(isa.RegionSync)
+		b.Label("spin")
+		b.Lw(isa.R2, isa.R3, 0)
+		b.J("spin")
+	})
+}
+
+// Chaos on a uniprocessor must be invisible to architectural state: a
+// single thread's instruction stream is data-dependent only, so across
+// seeds the final memory AND every register must match the unperturbed
+// run, while execution time moves.
+func TestChaosByteIdentityUniprocessor(t *testing.T) {
+	const base = 0x200000
+	run := func(seed int64) (uint64, int64) {
+		params := cache.DefaultParams()
+		params.Chaos = guard.Options{ChaosSeed: seed}.NewChaos()
+		h := cache.MustNewHierarchy(params)
+		fm := mem.New()
+		p := MustNewProcessor(DefaultConfig(Interleaved, 2), h, fm)
+		th := NewThread("walk", storeWalkProgram(t, 4096, base))
+		p.BindThread(0, th)
+		cycles, done, err := p.RunGuarded(50_000_000, guard.Options{ChaosSeed: seed})
+		if err != nil || !done {
+			t.Fatalf("seed %d: done=%v err=%v", seed, done, err)
+		}
+		return th.HashArchState(fm.Hash()), cycles
+	}
+
+	refHash, refCycles := run(0)
+	perturbed := false
+	for _, seed := range []int64{5, 77, 900001} {
+		hash, cycles := run(seed)
+		if hash != refHash {
+			t.Errorf("seed %d: architectural hash %#x != unperturbed %#x", seed, hash, refHash)
+		}
+		if cycles != refCycles {
+			perturbed = true
+		}
+	}
+	if !perturbed {
+		t.Error("chaos never changed execution time — perturbation is not reaching the hierarchy")
+	}
+}
+
+// RunGuarded must behave exactly like the unguarded runner on the happy
+// path: same completion, same cycle count, same results — with invariant
+// checking on.
+func TestRunGuardedMatchesRunUntilHalted(t *testing.T) {
+	build := func() (*Processor, *Thread) {
+		fm := mem.New()
+		p := MustNewProcessor(DefaultConfig(Interleaved, 2), newFakeMem(40), fm)
+		th := NewThread("sum", sumProgram(t, 500, 0x100000))
+		p.BindThread(0, th)
+		return p, th
+	}
+	p1, th1 := build()
+	c1, done1 := p1.RunUntilHalted(1_000_000)
+	p2, th2 := build()
+	c2, done2, err := p2.RunGuarded(1_000_000, guard.Options{CheckInvariants: true, CheckEvery: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done1 || !done2 || c1 != c2 {
+		t.Fatalf("guarded run diverged: (%d,%v) vs (%d,%v)", c1, done1, c2, done2)
+	}
+	if th1.HashArchState(0) != th2.HashArchState(0) {
+		t.Error("guarded run changed architectural results")
+	}
+}
+
+// A cycle budget that runs out mid-program is not an error: RunGuarded
+// reports completed=false and exactly the budgeted cycles.
+func TestRunGuardedLimitExceeded(t *testing.T) {
+	fm := mem.New()
+	p := MustNewProcessor(DefaultConfig(Single, 1), perfectMem{}, fm)
+	p.BindThread(0, NewThread("spin", spinProgram(t)))
+	ran, done, err := p.RunGuarded(10_000, guard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Error("endless spin reported completed")
+	}
+	if ran < 10_000 {
+		t.Errorf("ran %d cycles, want the full 10000 budget", ran)
+	}
+}
+
+// With a window configured, the uniprocessor watchdog catches the spin
+// well before the budget and the diagnostic names the spinning PC.
+func TestRunGuardedWatchdogTripsOnSpin(t *testing.T) {
+	sp := spinProgram(t)
+	spin, ok := sp.Labels["spin"]
+	if !ok {
+		t.Fatal("no spin label")
+	}
+	fm := mem.New()
+	p := MustNewProcessor(DefaultConfig(Interleaved, 2), perfectMem{}, fm)
+	p.BindThread(0, NewThread("spin", sp))
+	const limit = 1_000_000
+	ran, done, err := p.RunGuarded(limit, guard.Options{WatchdogWindow: 20_000})
+	if done || err == nil {
+		t.Fatalf("ran=%d done=%v err=%v", ran, done, err)
+	}
+	se := guard.AsSimError(err)
+	if se == nil || se.Op != "guard.watchdog" {
+		t.Fatalf("want a guard.watchdog SimError, got %v", err)
+	}
+	if se.Cycle >= limit/10 {
+		t.Errorf("tripped at %d, want < %d", se.Cycle, limit/10)
+	}
+	if se.Diag == nil {
+		t.Fatal("no diagnostic")
+	}
+	stuck := se.Diag.StuckContexts()
+	if len(stuck) != 1 {
+		t.Fatalf("stuck contexts = %d, want 1", len(stuck))
+	}
+	// The stuck PC is inside the two-instruction spin loop.
+	if pc := stuck[0].PC; pc < spin || pc > spin+1 {
+		t.Errorf("stuck pc = %d, want in [%d,%d]", pc, spin, spin+1)
+	}
+	if !strings.Contains(se.Diag.String(), "no useful instruction retired") {
+		t.Errorf("diagnostic: %s", se.Diag)
+	}
+}
+
+// CheckInvariants on a live, healthy processor returns nil at every point
+// we can poll it; a corrupted scoreboard is reported as a typed SimError.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	fm := mem.New()
+	p := MustNewProcessor(DefaultConfig(Interleaved, 2), perfectMem{}, fm)
+	th := NewThread("sum", sumProgram(t, 50, 0x100000))
+	p.BindThread(0, th)
+	for i := 0; i < 5; i++ {
+		p.Run(100)
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("healthy processor failed invariants: %v", err)
+		}
+	}
+	// Corrupt the scoreboard: R0 must never carry a dependency.
+	th.regReady[0] = p.Now() + 100
+	err := p.CheckInvariants()
+	se := guard.AsSimError(err)
+	if se == nil || se.Op != "core.invariant" {
+		t.Fatalf("want core.invariant SimError, got %v", err)
+	}
+	if se.Diag == nil {
+		t.Error("invariant violation carries no diagnostic")
+	}
+	th.regReady[0] = 0
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/memsys"
@@ -164,6 +165,10 @@ type Processor struct {
 	Mem  memsys.System // timing memory system
 	FMem *mem.Memory   // functional memory (shared across MP nodes)
 
+	// ID is the processor's index in a multiprocessor (0 on a
+	// workstation); it only attributes diagnostics and errors.
+	ID int
+
 	ctxs []*hwContext
 	btb  *BTB
 
@@ -216,7 +221,7 @@ func NewProcessor(cfg Config, m memsys.System, fm *mem.Memory) (*Processor, erro
 func MustNewProcessor(cfg Config, m memsys.System, fm *mem.Memory) *Processor {
 	p, err := NewProcessor(cfg, m, fm)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("core: MustNewProcessor(%v, %d contexts): %w", cfg.Scheme, cfg.Contexts, err))
 	}
 	return p
 }
@@ -643,7 +648,8 @@ func (p *Processor) execute(c *hwContext, th *Thread, in *isa.Inst, now int64) {
 		return
 
 	default:
-		panic(fmt.Sprintf("core: unimplemented op %v", in.Op))
+		panic(guard.NewSimError("core.execute", fmt.Errorf("unimplemented op %v", in.Op)).
+			At(now).On(p.ID, c.idx, th.PC))
 	}
 
 	th.PC++
@@ -779,7 +785,8 @@ func (p *Processor) executeMem(c *hwContext, th *Thread, in *isa.Inst, now int64
 		p.count(now, SlotSwitch, c.idx)
 		return false
 	}
-	panic("core: unreachable miss scheme")
+	panic(guard.NewSimError("core.executeMem", fmt.Errorf("unreachable miss scheme %v", p.Cfg.Scheme)).
+		At(now).On(p.ID, c.idx, th.PC).WithAddr(addr))
 }
 
 // memFunctional applies the functional semantics of a memory instruction.

@@ -1,0 +1,28 @@
+package experiments
+
+import "repro/internal/guard"
+
+// cellGuard resolves the grid-level hardening options for one cell: a
+// non-zero chaos seed is decorrelated per cell with DeriveSeed, so each
+// cell perturbs a private stream and results stay independent of
+// execution order.
+func cellGuard(o guard.Options, cell int) guard.Options {
+	if o.ChaosSeed != 0 {
+		o.ChaosSeed = DeriveSeed(o.ChaosSeed, cell)
+	}
+	return o
+}
+
+// failureStrings renders a cell failure: the one-line error, plus the
+// structured diagnostic when the error chain carries one (watchdog trips
+// and invariant violations do).
+func failureStrings(err error) (failure, diagnostic string) {
+	if err == nil {
+		return "", ""
+	}
+	failure = err.Error()
+	if se := guard.AsSimError(err); se != nil && se.Diag != nil {
+		diagnostic = se.Diag.String()
+	}
+	return failure, diagnostic
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guard"
+)
+
+// RunAll must never cancel: every cell runs to its own conclusion even
+// when earlier cells fail, at every parallelism level.
+func TestRunAllNeverCancels(t *testing.T) {
+	for _, j := range []int{1, 4} {
+		var ran atomic.Int64
+		failures := NewPool(j).RunAll(context.Background(), 32, func(_ context.Context, i int) error {
+			ran.Add(1)
+			if i%8 == 2 {
+				return fmt.Errorf("cell %d diverged", i)
+			}
+			return nil
+		})
+		if got := ran.Load(); got != 32 {
+			t.Fatalf("j=%d: only %d/32 cells ran — RunAll canceled", j, got)
+		}
+		if len(failures) != 4 {
+			t.Fatalf("j=%d: %d failures, want 4", j, len(failures))
+		}
+		for k, f := range failures {
+			if want := k*8 + 2; f.Index != want {
+				t.Errorf("j=%d: failure %d has index %d, want %d (ascending cell order)", j, k, f.Index, want)
+			}
+			if !strings.Contains(f.Error(), "diverged") {
+				t.Errorf("j=%d: failure %d = %v", j, k, f)
+			}
+		}
+	}
+}
+
+// A panicking cell with a typed *guard.SimError payload must surface that
+// error — diagnostic and all — through the pool's recovery, reachable via
+// errors.As.
+func TestRunAllRecoversSimErrorPanic(t *testing.T) {
+	boom := guard.NewSimError("test.op", errors.New("injected")).
+		At(42).WithDiag(&guard.Diagnostic{Reason: "injected failure", Cycle: 42})
+	failures := NewPool(2).RunAll(context.Background(), 8, func(_ context.Context, i int) error {
+		if i == 5 {
+			panic(boom)
+		}
+		return nil
+	})
+	if len(failures) != 1 || failures[0].Index != 5 {
+		t.Fatalf("failures = %v", failures)
+	}
+	var se *guard.SimError
+	if !errors.As(failures[0].Err, &se) {
+		t.Fatalf("errors.As cannot reach the SimError through recovery: %v", failures[0].Err)
+	}
+	if se.Op != "test.op" || se.Diag == nil {
+		t.Fatalf("recovered SimError lost state: %+v", se)
+	}
+	failure, diag := failureStrings(failures[0].Err)
+	if !strings.Contains(failure, "injected") || !strings.Contains(diag, "injected failure") {
+		t.Fatalf("failureStrings = (%q, %q)", failure, diag)
+	}
+}
+
+// cellGuard decorrelates the chaos seed per cell and leaves everything
+// else (and the zero seed) alone.
+func TestCellGuardSeedDerivation(t *testing.T) {
+	base := guard.Options{ChaosSeed: 9, CheckInvariants: true}
+	a, b := cellGuard(base, 0), cellGuard(base, 1)
+	if a.ChaosSeed == b.ChaosSeed || a.ChaosSeed == 9 {
+		t.Errorf("cells share a chaos stream: %d %d", a.ChaosSeed, b.ChaosSeed)
+	}
+	if !a.CheckInvariants {
+		t.Error("cellGuard dropped CheckInvariants")
+	}
+	if off := cellGuard(guard.Options{}, 3); off.ChaosSeed != 0 {
+		t.Errorf("chaos off turned into seed %d", off.ChaosSeed)
+	}
+}
+
+// One cell blowing its cycle budget must cost exactly that cell: the grid
+// completes, reports Failures, renders FAIL, and keeps valid geomeans.
+func TestGridSurvivesCellBudgetExhaustion(t *testing.T) {
+	cfg := MPConfig{
+		Processors:    2,
+		Schemes:       []core.Scheme{core.Interleaved},
+		ContextCounts: []int{2},
+		Apps:          []string{"mp3d"},
+		Steps:         1,
+		LimitCycles:   50_000_000,
+		Seed:          1,
+		Parallelism:   2,
+	}
+	full, err := RunMultiprocessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Failures != 0 || len(full.Cells) != 2 {
+		t.Fatalf("calibration run: %+v", full)
+	}
+	c0, c1 := full.Cells[0].Cycles, full.Cells[1].Cycles
+	if c0 == c1 {
+		t.Skip("both cells take the same time; cannot split them with a budget")
+	}
+	slow := 0
+	if c1 > c0 {
+		slow = 1
+	}
+
+	// A budget between the two execution times fails exactly the slow cell.
+	if c0 > c1 {
+		c0, c1 = c1, c0
+	}
+	cfg.LimitCycles = (c0 + c1) / 2
+	r, err := RunMultiprocessor(cfg)
+	if err != nil {
+		t.Fatalf("grid aborted instead of degrading: %v", err)
+	}
+	if r.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", r.Failures)
+	}
+	for i, c := range r.Cells {
+		if i == slow {
+			if !c.Failed || c.Completed {
+				t.Errorf("slow cell %d: %+v", i, c)
+			}
+			if !strings.Contains(c.Failure, "exceeded the cycle limit") {
+				t.Errorf("slow cell failure = %q", c.Failure)
+			}
+		} else if c.Failed || !c.Completed {
+			t.Errorf("healthy cell %d was dragged down: %+v", i, c)
+		}
+	}
+
+	// The failed cell renders as FAIL (scheme cell in Table 10, baseline in
+	// the figure's per-app header) and never poisons the geomean.
+	if r.Cells[slow].Scheme == core.Single {
+		fig := FormatMPFigure(r, core.Interleaved, 8)
+		if !strings.Contains(fig, "baseline FAILED") {
+			t.Errorf("figure does not flag the failed baseline:\n%s", fig)
+		}
+	} else {
+		table := FormatTable10(r)
+		if !strings.Contains(table, "FAIL") {
+			t.Errorf("Table 10 does not flag the failed cell:\n%s", table)
+		}
+	}
+	if m := r.MeanSpeedup(core.Interleaved, 2); m != m || m < 0 {
+		t.Errorf("MeanSpeedup = %v after a failure", m)
+	}
+}
+
+// Arming every guard at once — watchdog, invariant checks, chaos — must
+// not fail any healthy cell of the workstation grid.
+func TestGridHealthyUnderGuards(t *testing.T) {
+	cfg := QuickUniConfig()
+	cfg.Workloads = []string{"R0"}
+	cfg.ContextCounts = []int{2}
+	cfg.Parallelism = 2
+	cfg.Guard = guard.Options{WatchdogWindow: 10_000, CheckInvariants: true, ChaosSeed: 3}
+	r, err := RunUniprocessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failures != 0 {
+		for _, c := range r.Cells {
+			if c.Failed {
+				t.Errorf("cell %s/%v/%d failed under guards: %s", c.Workload, c.Scheme, c.Contexts, c.Failure)
+			}
+		}
+	}
+}

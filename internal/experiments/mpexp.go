@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/mp"
 	"repro/internal/prog"
 	"repro/internal/splash"
@@ -27,6 +28,11 @@ type MPConfig struct {
 	// 0 selects DefaultParallelism (GOMAXPROCS), 1 forces the serial
 	// path. Results are byte-identical at every setting.
 	Parallelism int
+
+	// Guard is the per-cell hardening configuration. A non-zero ChaosSeed
+	// is decorrelated per cell with DeriveSeed, so every cell perturbs its
+	// own private stream.
+	Guard guard.Options
 }
 
 // DefaultMPConfig reproduces the paper's multiprocessor setup on 8 nodes.
@@ -63,12 +69,23 @@ type MPCell struct {
 	Speedup   float64
 	Breakdown core.Breakdown
 	Completed bool
+
+	// Failed marks a cell whose simulation errored (watchdog trip,
+	// invariant violation, cycle-budget exhaustion, panic); Failure is
+	// the one-line error and Diagnostic the structured dump when one was
+	// attached. The rest of the grid is unaffected (graceful degradation).
+	Failed     bool
+	Failure    string
+	Diagnostic string
 }
 
 // MPResult holds the full multiprocessor evaluation.
 type MPResult struct {
 	Cfg   MPConfig
 	Cells []MPCell
+	// Failures counts failed cells; drivers exit non-zero when any cell
+	// failed even though the rest of the grid completed.
+	Failures int
 }
 
 // Cell returns the measurement for (app, scheme, contexts).
@@ -85,7 +102,7 @@ func (r *MPResult) Cell(app string, s core.Scheme, n int) (MPCell, bool) {
 func (r *MPResult) MeanSpeedup(s core.Scheme, n int) float64 {
 	var xs []float64
 	for _, c := range r.Cells {
-		if c.Scheme == s && c.Contexts == n {
+		if c.Scheme == s && c.Contexts == n && !c.Failed && c.Speedup > 0 {
 			xs = append(xs, c.Speedup)
 		}
 	}
@@ -122,12 +139,13 @@ func RunMultiprocessor(cfg MPConfig) (*MPResult, error) {
 		}
 	}
 	runs := make([]*mp.Result, len(specs))
-	err := runCells(cfg.Parallelism, len(specs), func(i int) error {
+	failures := runCellsAll(cfg.Parallelism, len(specs), func(i int) error {
 		sp := specs[i]
 		mcfg := mp.DefaultConfig(sp.scheme, sp.contexts)
 		mcfg.Processors = cfg.Processors
 		mcfg.LimitCycles = cfg.LimitCycles
 		mcfg.Coherence.Seed = DeriveSeed(cfg.Seed, i)
+		mcfg.Guard = cellGuard(cfg.Guard, i)
 		p := sp.app.Build(splash.Options{
 			CodeBase:     0x0100_0000,
 			DataBase:     0x5000_0000,
@@ -147,30 +165,38 @@ func RunMultiprocessor(cfg MPConfig) (*MPResult, error) {
 		runs[i] = r
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	failByIdx := make(map[int]error, len(failures))
+	for _, f := range failures {
+		failByIdx[f.Index] = f.Err
 	}
 
-	res := &MPResult{Cfg: cfg}
+	res := &MPResult{Cfg: cfg, Failures: len(failures)}
 	var base *mp.Result
 	for i, sp := range specs {
 		r := runs[i]
-		if sp.scheme == core.Single && sp.contexts == 1 {
-			base = r
-			res.Cells = append(res.Cells, MPCell{
-				App: sp.name, Scheme: core.Single, Contexts: 1,
-				Cycles: r.Cycles, Speedup: 1,
-				Breakdown: r.Stats.Breakdown(), Completed: true,
-			})
+		cell := MPCell{App: sp.name, Scheme: sp.scheme, Contexts: sp.contexts}
+		if r == nil {
+			// The cell failed (watchdog, invariant, cycle budget, panic):
+			// record it and keep going. A failed baseline zeroes its app's
+			// speedups but costs nothing else.
+			cell.Failed = true
+			cell.Failure, cell.Diagnostic = failureStrings(failByIdx[i])
+			if sp.scheme == core.Single && sp.contexts == 1 {
+				base = nil
+			}
+			res.Cells = append(res.Cells, cell)
 			continue
 		}
-		res.Cells = append(res.Cells, MPCell{
-			App: sp.name, Scheme: sp.scheme, Contexts: sp.contexts,
-			Cycles:    r.Cycles,
-			Speedup:   float64(base.Cycles) / float64(r.Cycles),
-			Breakdown: r.Stats.Breakdown(),
-			Completed: true,
-		})
+		cell.Cycles = r.Cycles
+		cell.Breakdown = r.Stats.Breakdown()
+		cell.Completed = true
+		if sp.scheme == core.Single && sp.contexts == 1 {
+			base = r
+			cell.Speedup = 1
+		} else if base != nil && r.Cycles > 0 {
+			cell.Speedup = float64(base.Cycles) / float64(r.Cycles)
+		}
+		res.Cells = append(res.Cells, cell)
 	}
 	return res, nil
 }
@@ -205,7 +231,11 @@ func FormatTable10(r *MPResult) string {
 			found := false
 			for _, a := range appNames {
 				if c, ok := r.Cell(a, s, n); ok {
-					row = append(row, stats.Ratio(c.Speedup))
+					if c.Failed {
+						row = append(row, "FAIL")
+					} else {
+						row = append(row, stats.Ratio(c.Speedup))
+					}
 					found = true
 				} else {
 					row = append(row, "-")
@@ -234,7 +264,10 @@ func FormatMPFigure(r *MPResult, scheme core.Scheme, figure int) string {
 	}
 	for _, a := range appNames {
 		base, ok := r.Cell(a, core.Single, 1)
-		if !ok {
+		if !ok || base.Failed || base.Cycles == 0 {
+			if ok && base.Failed {
+				fmt.Fprintf(&b, "%s: baseline FAILED: %s\n", a, base.Failure)
+			}
 			continue
 		}
 		fmt.Fprintf(&b, "%s:\n", a)
@@ -245,6 +278,10 @@ func FormatMPFigure(r *MPResult, scheme core.Scheme, figure int) string {
 			}
 		}
 		for _, c := range configs {
+			if c.Failed {
+				fmt.Fprintf(&b, "  %d ctx FAILED: %s\n", c.Contexts, c.Failure)
+				continue
+			}
 			rel := float64(c.Cycles) / float64(base.Cycles)
 			bd := c.Breakdown
 			width := int(rel*40 + 0.5)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -80,14 +81,7 @@ func (p *Pool) Run(ctx context.Context, n int, task func(ctx context.Context, i 
 	if n <= 0 {
 		return ctx.Err()
 	}
-	call := func(ctx context.Context, i int) (err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("experiments: cell %d panicked: %v", i, r)
-			}
-		}()
-		return task(ctx, i)
-	}
+	call := callRecovered(task)
 
 	if p.workers == 1 {
 		for i := 0; i < n; i++ {
@@ -148,12 +142,107 @@ func (p *Pool) Run(ctx context.Context, n int, task func(ctx context.Context, i 
 	return ctx.Err()
 }
 
+// callRecovered wraps a task so a panic becomes that cell's error. A
+// panic value that is already an error (e.g. a *guard.SimError thrown by
+// a simulator hot path) is wrapped with %w, so errors.As still reaches
+// the typed error and its diagnostic through the recovery.
+func callRecovered(task func(ctx context.Context, i int) error) func(ctx context.Context, i int) error {
+	return func(ctx context.Context, i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if cause, ok := r.(error); ok {
+					err = fmt.Errorf("experiments: cell %d panicked: %w", i, cause)
+				} else {
+					err = fmt.Errorf("experiments: cell %d panicked: %v", i, r)
+				}
+			}
+		}()
+		return task(ctx, i)
+	}
+}
+
+// CellError records one failed cell of a RunAll sweep.
+type CellError struct {
+	Index int
+	Err   error
+}
+
+// Error renders the failure with its cell index.
+func (e CellError) Error() string { return fmt.Sprintf("cell %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e CellError) Unwrap() error { return e.Err }
+
+// RunAll executes task(ctx, i) for every i in [0, n) like Run, but never
+// cancels on failure: every cell runs to its own conclusion and the
+// failures come back in ascending cell order. This is the graceful-
+// degradation mode the experiment grids use — one diverging or
+// deadlocked cell costs that cell, not the whole grid.
+func (p *Pool) RunAll(ctx context.Context, n int, task func(ctx context.Context, i int) error) []CellError {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return nil
+	}
+	call := callRecovered(task)
+
+	var failures []CellError
+	if p.workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := call(ctx, i); err != nil {
+				failures = append(failures, CellError{Index: i, Err: err})
+			}
+		}
+		return failures
+	}
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := call(ctx, i); err != nil {
+					mu.Lock()
+					failures = append(failures, CellError{Index: i, Err: err})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	sort.Slice(failures, func(a, b int) bool { return failures[a].Index < failures[b].Index })
+	return failures
+}
+
 // runCells is the package-internal convenience used by every experiment
 // driver: fan the n cells of a grid out at the given parallelism and
 // return the lowest-indexed error, with results landing in the caller's
 // pre-sized, index-addressed slices.
 func runCells(parallelism, n int, task func(i int) error) error {
 	return NewPool(parallelism).Run(context.Background(), n, func(_ context.Context, i int) error {
+		return task(i)
+	})
+}
+
+// runCellsAll is runCells without first-failure cancellation: the whole
+// grid runs and the per-cell failures come back in cell order.
+func runCellsAll(parallelism, n int, task func(i int) error) []CellError {
+	return NewPool(parallelism).RunAll(context.Background(), n, func(_ context.Context, i int) error {
 		return task(i)
 	})
 }

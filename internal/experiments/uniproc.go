@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/stats"
 	"repro/internal/workstation"
 )
@@ -29,6 +30,11 @@ type UniConfig struct {
 	// 0 selects DefaultParallelism (GOMAXPROCS), 1 forces the serial
 	// path. Results are byte-identical at every setting.
 	Parallelism int
+
+	// Guard is the per-cell hardening configuration. A non-zero ChaosSeed
+	// is decorrelated per cell with DeriveSeed, so every cell perturbs its
+	// own private stream.
+	Guard guard.Options
 }
 
 // DefaultUniConfig reproduces the paper's setup (time-scaled).
@@ -66,6 +72,14 @@ type UniCell struct {
 	Busy      float64
 	Gain      float64
 	Breakdown core.Breakdown
+
+	// Failed marks a cell whose simulation errored (watchdog trip,
+	// invariant violation, panic); Failure is the one-line error and
+	// Diagnostic the structured dump when one was attached. The rest of
+	// the grid is unaffected (graceful degradation).
+	Failed     bool
+	Failure    string
+	Diagnostic string
 }
 
 // UniResult holds every cell of the workstation evaluation, including the
@@ -73,6 +87,9 @@ type UniCell struct {
 type UniResult struct {
 	Cfg   UniConfig
 	Cells []UniCell
+	// Failures counts failed cells; drivers exit non-zero when any cell
+	// failed even though the rest of the grid completed.
+	Failures int
 }
 
 // Cell returns the measurement for (workload, scheme, contexts).
@@ -90,7 +107,7 @@ func (r *UniResult) Cell(w string, s core.Scheme, n int) (UniCell, bool) {
 func (r *UniResult) MeanGain(s core.Scheme, n int) float64 {
 	var gs []float64
 	for _, c := range r.Cells {
-		if c.Scheme == s && c.Contexts == n {
+		if c.Scheme == s && c.Contexts == n && !c.Failed && c.Gain > 0 {
 			gs = append(gs, c.Gain)
 		}
 	}
@@ -127,13 +144,14 @@ func RunUniprocessor(cfg UniConfig) (*UniResult, error) {
 		}
 	}
 	runs := make([]*workstation.Result, len(specs))
-	err := runCells(cfg.Parallelism, len(specs), func(i int) error {
+	failures := runCellsAll(cfg.Parallelism, len(specs), func(i int) error {
 		sp := specs[i]
 		wcfg := workstation.DefaultConfig(sp.scheme, sp.contexts)
 		wcfg.OS.SliceCycles = cfg.SliceCycles
 		wcfg.WarmupRotations = cfg.WarmupRotations
 		wcfg.MeasureRotations = cfg.MeasureRotations
 		wcfg.Seed = DeriveSeed(cfg.Seed, i)
+		wcfg.Guard = cellGuard(cfg.Guard, i)
 		r, err := workstation.Run(sp.kernels, wcfg)
 		if err != nil {
 			return err
@@ -141,33 +159,37 @@ func RunUniprocessor(cfg UniConfig) (*UniResult, error) {
 		runs[i] = r
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	failByIdx := make(map[int]error, len(failures))
+	for _, f := range failures {
+		failByIdx[f.Index] = f.Err
 	}
 
-	res := &UniResult{Cfg: cfg}
+	res := &UniResult{Cfg: cfg, Failures: len(failures)}
 	var base *workstation.Result
 	for i, sp := range specs {
 		r := runs[i]
-		if sp.scheme == core.Single && sp.contexts == 1 {
-			base = r
-			res.Cells = append(res.Cells, UniCell{
-				Workload: sp.workload, Scheme: core.Single, Contexts: 1,
-				Busy: r.Throughput, Gain: 1,
-				Breakdown: r.Stats.Breakdown(),
-			})
+		cell := UniCell{Workload: sp.workload, Scheme: sp.scheme, Contexts: sp.contexts}
+		if r == nil {
+			// The cell failed (watchdog, invariant, panic): record it and
+			// keep going. A failed baseline zeroes its workload's gains but
+			// costs nothing else.
+			cell.Failed = true
+			cell.Failure, cell.Diagnostic = failureStrings(failByIdx[i])
+			if sp.scheme == core.Single && sp.contexts == 1 {
+				base = nil
+			}
+			res.Cells = append(res.Cells, cell)
 			continue
 		}
-		gain := 0.0
-		if base.FairThroughput > 0 {
-			gain = r.FairThroughput / base.FairThroughput
+		cell.Busy = r.Throughput
+		cell.Breakdown = r.Stats.Breakdown()
+		if sp.scheme == core.Single && sp.contexts == 1 {
+			base = r
+			cell.Gain = 1
+		} else if base != nil && base.FairThroughput > 0 {
+			cell.Gain = r.FairThroughput / base.FairThroughput
 		}
-		res.Cells = append(res.Cells, UniCell{
-			Workload: sp.workload, Scheme: sp.scheme, Contexts: sp.contexts,
-			Busy:      r.Throughput,
-			Gain:      gain,
-			Breakdown: r.Stats.Breakdown(),
-		})
+		res.Cells = append(res.Cells, cell)
 	}
 	return res, nil
 }
@@ -191,7 +213,11 @@ func FormatTable7(r *UniResult) string {
 			row := []string{fmt.Sprintf("%d", n), s.String()}
 			for _, w := range workloads {
 				if c, ok := r.Cell(w, s, n); ok {
-					row = append(row, stats.Ratio(c.Gain))
+					if c.Failed {
+						row = append(row, "FAIL")
+					} else {
+						row = append(row, stats.Ratio(c.Gain))
+					}
 					found = true
 				} else {
 					row = append(row, "-")
@@ -234,6 +260,10 @@ func FormatFigure(r *UniResult, scheme core.Scheme, figure int) string {
 		for _, cf := range configs {
 			c, ok := r.Cell(w, cf.s, cf.n)
 			if !ok {
+				continue
+			}
+			if c.Failed {
+				fmt.Fprintf(&b, "  %d ctx FAILED: %s\n", cf.n, c.Failure)
 				continue
 			}
 			bd := c.Breakdown

@@ -1,0 +1,57 @@
+package guard
+
+// Chaos is the fault injector: a deterministic latency perturber. The
+// memory systems add Jitter() cycles to each miss or network latency
+// they compute, shifting every timing decision in the run while leaving
+// functional semantics untouched. Because the functional/timing split is
+// sound, a perturbed run must produce byte-identical architectural
+// results (final memory, register state) to an unperturbed one — which
+// tests assert across seeds. A divergence means timing state has leaked
+// into functional state: exactly the class of bug chaos mode exists to
+// catch.
+//
+// The PRNG is a self-contained splitmix64 (not math/rand) so guard stays
+// a leaf package and each simulation cell can own a private, seeded
+// stream with no shared state.
+type Chaos struct {
+	state uint64
+	seed  int64
+	skew  int64
+}
+
+// NewChaos returns a perturber seeded with seed whose Jitter values lie
+// in [0, skew].
+func NewChaos(seed, skew int64) *Chaos {
+	if skew < 0 {
+		skew = 0
+	}
+	return &Chaos{state: uint64(seed), seed: seed, skew: skew}
+}
+
+// Seed returns the seed the perturber was built with.
+func (c *Chaos) Seed() int64 { return c.seed }
+
+// Skew returns the maximum jitter in cycles.
+func (c *Chaos) Skew() int64 { return c.skew }
+
+// next advances the splitmix64 state.
+func (c *Chaos) next() uint64 {
+	c.state += 0x9E3779B97F4A7C15
+	z := c.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Jitter returns the next perturbation in [0, Skew] cycles. A nil Chaos
+// returns 0, so call sites need no mode check.
+func (c *Chaos) Jitter() int64 {
+	if c == nil || c.skew == 0 {
+		return 0
+	}
+	return int64(c.next() % uint64(c.skew+1))
+}
+
+// Perturb returns lat plus jitter: the common "stretch this latency"
+// call. Nil-safe.
+func (c *Chaos) Perturb(lat int64) int64 { return lat + c.Jitter() }

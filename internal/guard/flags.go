@@ -1,0 +1,34 @@
+package guard
+
+import "flag"
+
+// BindFlags registers the hardening flags every simulator command exposes
+// and returns the Options they populate:
+//
+//	-watchdog N          liveness window in cycles (0 = runner default, -1 = off)
+//	-check-invariants    run the invariant checkers while simulating
+//	-chaos SEED          deterministic fault injection with this seed (0 = off)
+//	-chaos-skew N        max per-latency perturbation in cycles (0 = default)
+func BindFlags(fs *flag.FlagSet) *Options {
+	o := &Options{}
+	fs.Int64Var(&o.WatchdogWindow, "watchdog", 0,
+		"deadlock watchdog window in cycles (0 = runner default, negative = off)")
+	fs.BoolVar(&o.CheckInvariants, "check-invariants", false,
+		"check coherence/cache/pipeline invariants while simulating")
+	fs.Int64Var(&o.ChaosSeed, "chaos", 0,
+		"fault-injection seed: deterministically perturb memory/network latencies (0 = off)")
+	fs.Int64Var(&o.ChaosSkew, "chaos-skew", 0,
+		"max chaos perturbation per latency in cycles (0 = default)")
+	return o
+}
+
+// Report renders an error for a command-line tool: the one-line message,
+// followed by the structured diagnostic when the error chain carries one.
+// Commands print this and exit non-zero instead of surfacing a raw panic
+// stack.
+func Report(err error) string {
+	if se := AsSimError(err); se != nil && se.Diag != nil {
+		return err.Error() + "\n" + se.Diag.String()
+	}
+	return err.Error()
+}

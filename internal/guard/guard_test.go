@@ -1,0 +1,186 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSimErrorRendering(t *testing.T) {
+	base := errors.New("boom")
+	e := NewSimError("core.execute", base).At(1234).On(2, 1, 42).WithAddr(0x5000_0040)
+	s := e.Error()
+	for _, want := range []string{"core.execute", "cycle=1234", "proc=2", "ctx=1", "pc=42", "addr=0x50000040", "boom"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Error() = %q, missing %q", s, want)
+		}
+	}
+	if !errors.Is(e, base) {
+		t.Error("SimError does not unwrap to its cause")
+	}
+	if AsSimError(fmt.Errorf("wrapped: %w", e)) == nil {
+		t.Error("AsSimError failed through a wrapping layer")
+	}
+	if AsSimError(errors.New("plain")) != nil {
+		t.Error("AsSimError invented a SimError")
+	}
+}
+
+func TestSimErrorOmitsUnsetFields(t *testing.T) {
+	e := NewSimError("guard.watchdog", errors.New("stuck"))
+	s := e.Error()
+	for _, bad := range []string{"cycle=", "proc=", "ctx=", "pc=", "addr="} {
+		if strings.Contains(s, bad) {
+			t.Errorf("Error() = %q, should omit %q for unset field", s, bad)
+		}
+	}
+}
+
+func TestWatchdogTripsAfterWindow(t *testing.T) {
+	w := NewWatchdog(100)
+	if w.Observe(0, 5) {
+		t.Fatal("tripped on the priming observation")
+	}
+	// Progress keeps it quiet.
+	if w.Observe(90, 6) {
+		t.Fatal("tripped despite progress")
+	}
+	// No progress, but window not yet elapsed since last progress (90).
+	if w.Observe(150, 6) {
+		t.Fatal("tripped before the window elapsed")
+	}
+	if !w.Observe(190, 6) {
+		t.Fatal("did not trip after the window elapsed")
+	}
+	if got := w.Stalled(190); got != 100 {
+		t.Errorf("Stalled = %d, want 100", got)
+	}
+}
+
+func TestWatchdogCounterResetIsProgress(t *testing.T) {
+	// Stat resets (measurement-window start) shrink the counter; the
+	// watchdog must treat any change as progress, not just growth.
+	w := NewWatchdog(100)
+	w.Observe(0, 1000)
+	if w.Observe(99, 0) {
+		t.Fatal("tripped on a counter reset")
+	}
+	if w.Observe(150, 0) {
+		t.Fatal("tripped before window elapsed after reset")
+	}
+}
+
+func TestWatchdogNilSafe(t *testing.T) {
+	var w *Watchdog
+	if w.Observe(1_000_000, 0) {
+		t.Fatal("nil watchdog tripped")
+	}
+	if NewWatchdog(0) != nil || NewWatchdog(-5) != nil {
+		t.Fatal("non-positive window should disable the watchdog")
+	}
+}
+
+func TestChaosDeterministicPerSeed(t *testing.T) {
+	a := NewChaos(7, 24)
+	b := NewChaos(7, 24)
+	other := NewChaos(8, 24)
+	same, differ := true, false
+	for i := 0; i < 1000; i++ {
+		ja, jb, jo := a.Jitter(), b.Jitter(), other.Jitter()
+		if ja != jb {
+			same = false
+		}
+		if ja != jo {
+			differ = true
+		}
+		if ja < 0 || ja > 24 {
+			t.Fatalf("jitter %d out of [0,24]", ja)
+		}
+	}
+	if !same {
+		t.Error("equal seeds produced different jitter streams")
+	}
+	if !differ {
+		t.Error("different seeds produced identical jitter streams")
+	}
+}
+
+func TestChaosNilSafe(t *testing.T) {
+	var c *Chaos
+	if c.Jitter() != 0 || c.Perturb(34) != 34 {
+		t.Fatal("nil Chaos must be a no-op")
+	}
+}
+
+func TestOptionsResolution(t *testing.T) {
+	var o Options
+	if o.CheckCadence() != DefaultCheckEvery {
+		t.Errorf("CheckCadence = %d, want %d", o.CheckCadence(), DefaultCheckEvery)
+	}
+	if got := o.ResolveWatchdog(500); got != 500 {
+		t.Errorf("zero window: ResolveWatchdog = %d, want default 500", got)
+	}
+	o.WatchdogWindow = -1
+	if got := o.ResolveWatchdog(500); got != 0 {
+		t.Errorf("negative window: ResolveWatchdog = %d, want disabled 0", got)
+	}
+	o.WatchdogWindow = 123
+	if got := o.ResolveWatchdog(500); got != 123 {
+		t.Errorf("explicit window: ResolveWatchdog = %d, want 123", got)
+	}
+	if o.NewChaos() != nil {
+		t.Error("zero seed must not enable chaos")
+	}
+	o.ChaosSeed = 3
+	c := o.NewChaos()
+	if c == nil || c.Skew() != DefaultChaosSkew {
+		t.Errorf("chaos = %+v, want skew %d", c, DefaultChaosSkew)
+	}
+}
+
+func TestDiagnosticRendering(t *testing.T) {
+	d := &Diagnostic{
+		Reason: "watchdog: no useful instruction retired",
+		Cycle:  200_000,
+		Scheme: "interleaved",
+		Window: 50_000,
+		Procs: []ProcState{{
+			ID:    0,
+			Cycle: 200_000,
+			Ctxs: []CtxState{
+				{Ctx: 0, Thread: "dead.t0", PC: 17, PCAddr: 0x1044, Inst: "LW   r2, 0(r16)", AvailableAt: 200_016, Cause: "sync"},
+				{Ctx: 1, Thread: "dead.t1", PC: 30, Halted: true, Retired: 12},
+				{Ctx: 2},
+			},
+			Slots:  map[string]int64{"sync": 1000, "busy": 12},
+			Misses: []MissState{{Line: 0x280_0000, Addr: 0x5000_0000, FillAt: 200_040, Exclusive: true}},
+		}},
+		Lines: []LineState{{Line: 0x280_0000, Addr: 0x5000_0000, Owner: 1, Sharers: 0b10}},
+		Notes: []string{"lock word at 0x50000000 reads 1"},
+	}
+	s := d.String()
+	for _, want := range []string{
+		"watchdog: no useful instruction retired",
+		"scheme interleaved",
+		"watchdog window 50000",
+		"ctx 0 dead.t0: pc=17",
+		"cause=sync",
+		"halted",
+		"ctx 2: unbound",
+		"busy=12 sync=1000",
+		"outstanding miss",
+		"exclusive",
+		"hot lines",
+		"owner=1",
+		"lock word",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnostic missing %q in:\n%s", want, s)
+		}
+	}
+	stuck := d.StuckContexts()
+	if len(stuck) != 1 || stuck[0].PC != 17 {
+		t.Errorf("StuckContexts = %+v, want the one live context at pc 17", stuck)
+	}
+}

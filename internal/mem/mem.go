@@ -7,7 +7,10 @@
 // this package only stores values.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 const (
 	// PageShift selects 4 KiB pages — the page size assumed by the data
@@ -111,6 +114,38 @@ func (m *Memory) TestAndSet(addr uint32) (old uint32) {
 // PageCount reports how many 4 KiB pages have been touched; used by tests
 // and by memory-footprint reporting.
 func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Hash returns a deterministic FNV-1a digest of the memory *contents*:
+// only nonzero cells contribute, keyed by address, so two memories that
+// read identically hash identically even if one touched (and zeroed)
+// pages the other never allocated. Chaos-mode tests compare these digests
+// to assert that timing perturbation never changes architectural state.
+func (m *Memory) Hash() uint64 {
+	pns := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	h := uint64(14695981039346656037) // FNV offset basis
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= 1099511628211 // FNV prime
+			v >>= 8
+		}
+	}
+	for _, pn := range pns {
+		p := m.pages[pn]
+		for i, cell := range p {
+			if cell == 0 {
+				continue
+			}
+			mix(uint64(pn)<<16 | uint64(i))
+			mix(cell)
+		}
+	}
+	return h
+}
 
 // Reset drops all pages, returning the memory to all-zeroes.
 func (m *Memory) Reset() { m.pages = make(map[uint32]*page) }

@@ -1,0 +1,196 @@
+package mp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guard"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// deadlockProgram: every thread tries to acquire the shared lock and then
+// halts WITHOUT releasing it. The first winner halts holding the lock;
+// every other thread spins in the acquire loop forever — a textbook
+// deadlock that still retires (synchronization) instructions at full rate.
+func deadlockProgram() *prog.Program {
+	b := prog.NewBuilder("deadlock", 0x1000, 0x4000_0000, 1<<20)
+	b.SetYield(prog.YieldBackoff)
+	lock := b.AllocLock()
+	b.La(isa.R16, lock)
+	b.LockAcquire(isa.R16, isa.R2)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// lockSpinRange returns the [start, end) instruction-index range of the
+// acquire spin loop (lock_try up to lock_got) in p.
+func lockSpinRange(t *testing.T, p *prog.Program) (int, int) {
+	t.Helper()
+	start, end := -1, -1
+	for name, pc := range p.Labels {
+		if strings.HasPrefix(name, "lock_try") {
+			start = pc
+		}
+		if strings.HasPrefix(name, "lock_got") {
+			end = pc
+		}
+	}
+	if start < 0 || end < 0 || start >= end {
+		t.Fatalf("lock labels not found: %v", p.Labels)
+	}
+	return start, end
+}
+
+// The watchdog must catch a deliberately deadlocked SPMD program well
+// inside its cycle budget (the acceptance bar is 1/10 of LimitCycles) and
+// name the stuck contexts' PCs inside the lock spin loop.
+func TestWatchdogCatchesDeadlock(t *testing.T) {
+	p := deadlockProgram()
+	spinStart, spinEnd := lockSpinRange(t, p)
+
+	const limit = 10_000_000
+	cfg := DefaultConfig(core.Interleaved, 2)
+	cfg.Processors = 2
+	cfg.LimitCycles = limit
+	res, err := Run(p, cfg)
+	if err == nil {
+		t.Fatalf("deadlock completed?! res=%+v", res)
+	}
+	se := guard.AsSimError(err)
+	if se == nil {
+		t.Fatalf("error is not a SimError: %v", err)
+	}
+	if se.Op != "guard.watchdog" {
+		t.Fatalf("op = %q, want guard.watchdog", se.Op)
+	}
+	if se.Cycle <= 0 || se.Cycle >= limit/10 {
+		t.Errorf("watchdog tripped at cycle %d, want (0, %d)", se.Cycle, limit/10)
+	}
+	if se.Diag == nil {
+		t.Fatal("no diagnostic attached")
+	}
+
+	// One thread halted holding the lock; all others are parked inside the
+	// acquire spin loop.
+	stuck := se.Diag.StuckContexts()
+	if len(stuck) != 3 {
+		t.Fatalf("stuck contexts = %d, want 3 (4 threads - 1 lock holder)", len(stuck))
+	}
+	for _, c := range stuck {
+		if c.PC < spinStart || c.PC >= spinEnd {
+			t.Errorf("stuck ctx %s at pc=%d, outside the lock spin loop [%d,%d)",
+				c.Thread, c.PC, spinStart, spinEnd)
+		}
+	}
+
+	// The rendered report names the trip, the spinning PCs, and the
+	// interconnect state: a pure spin deadlock has no directory
+	// transactions in flight, and the report says so explicitly.
+	text := se.Diag.String()
+	for _, want := range []string{"watchdog", "ctx", "pc=", "spinning on locally cached data"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// With the watchdog disabled, a stuck program must still be contained by
+// LimitCycles: Run returns Completed=false and no error.
+func TestLimitCyclesWithWatchdogOff(t *testing.T) {
+	cfg := DefaultConfig(core.Interleaved, 2)
+	cfg.Processors = 2
+	cfg.LimitCycles = 100_000
+	cfg.Guard.WatchdogWindow = -1
+	res, err := Run(deadlockProgram(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Error("deadlocked program reported Completed")
+	}
+}
+
+// Chaos fault injection must be timing-only: across seeds the final shared
+// memory is byte-identical to the unperturbed run and the lock-protected
+// counter is exact. Registers are NOT compared across seeds — spin-loop
+// and barrier scratch registers legitimately depend on arrival order — but
+// the same seed must reproduce the identical run, registers and all.
+func TestChaosByteIdentityMP(t *testing.T) {
+	p := counterProgram(25, prog.YieldBackoff)
+	run := func(seed int64) *Result {
+		cfg := DefaultConfig(core.Interleaved, 4)
+		cfg.Processors = 4
+		cfg.LimitCycles = 5_000_000
+		cfg.Guard = guard.Options{ChaosSeed: seed}
+		res, err := Run(p, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: did not complete", seed)
+		}
+		return res
+	}
+
+	ref := run(0)
+	perturbedTiming := false
+	for _, seed := range []int64{3, 11, 12345} {
+		res := run(seed)
+		if res.MemHash != ref.MemHash {
+			t.Errorf("seed %d: memory hash %#x != unperturbed %#x — timing leaked into functional state",
+				seed, res.MemHash, ref.MemHash)
+		}
+		if got := res.Mem.LoadW(counterAddr); got != 16*25 {
+			t.Errorf("seed %d: counter = %d, want %d", seed, got, 16*25)
+		}
+		if res.Cycles != ref.Cycles {
+			perturbedTiming = true
+		}
+
+		// Determinism of the fault injection itself: the same seed twice is
+		// the same run, down to every register.
+		again := run(seed)
+		if again.ArchHash != res.ArchHash || again.Cycles != res.Cycles {
+			t.Errorf("seed %d not reproducible: arch %#x/%#x cycles %d/%d",
+				seed, res.ArchHash, again.ArchHash, res.Cycles, again.Cycles)
+		}
+	}
+	if !perturbedTiming {
+		t.Error("chaos never changed execution time — fault injection is not reaching the fabric")
+	}
+}
+
+// Invariant checking enabled on a healthy run must pass and not change
+// results; on the watchdog error path the SimError chain must expose the
+// typed error through errors.As.
+func TestInvariantChecksCleanRun(t *testing.T) {
+	p := counterProgram(10, prog.YieldBackoff)
+	base := DefaultConfig(core.Interleaved, 2)
+	base.Processors = 2
+	base.LimitCycles = 2_000_000
+
+	plain, err := Run(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := base
+	checked.Guard = guard.Options{CheckInvariants: true, CheckEvery: 512}
+	res, err := Run(p, checked)
+	if err != nil {
+		t.Fatalf("invariant checking failed a healthy run: %v", err)
+	}
+	if res.ArchHash != plain.ArchHash || res.Cycles != plain.Cycles {
+		t.Error("enabling invariant checks changed simulation results")
+	}
+
+	wedged := base
+	wedged.LimitCycles = 10_000_000
+	_, err = Run(deadlockProgram(), wedged)
+	var se *guard.SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("errors.As failed on %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/prog"
@@ -34,6 +35,11 @@ type Config struct {
 
 	// LimitCycles bounds the run; exceeded means Result.Completed false.
 	LimitCycles int64
+
+	// Guard is the hardening configuration: watchdog, invariant checking,
+	// fault injection. The zero value arms the watchdog at the default
+	// policy (LimitCycles/20) with everything else off.
+	Guard guard.Options
 }
 
 // DefaultConfig returns the paper's 8-node multiprocessor with the given
@@ -57,6 +63,17 @@ type Result struct {
 	Threads   int
 	// Mem is the final shared functional memory, for checking results.
 	Mem *mem.Memory
+	// MemHash digests the final shared memory alone. For every data-race-
+	// free program it is byte-identical across chaos perturbations: timing
+	// faults must never leak into memory results. (Apps marked Racy, like
+	// mp3d's unsynchronized cell scatter, are exempt by construction.)
+	MemHash uint64
+	// ArchHash additionally folds in every thread's registers, PC and halt
+	// state — the strictest identity. Spin-loop scratch registers (backoff
+	// counters, last-observed lock words) are legitimately timing-dependent
+	// in lock-based apps, so chaos tests assert ArchHash only on workloads
+	// whose final register state is deterministic.
+	ArchHash uint64
 }
 
 // Run executes program p as an SPMD application with Processors×Contexts
@@ -74,6 +91,9 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 	if cfg.Core != nil {
 		ccfg = *cfg.Core
 	}
+	if cfg.Coherence.Chaos == nil {
+		cfg.Coherence.Chaos = cfg.Guard.NewChaos()
+	}
 	fab, err := coherence.NewFabric(cfg.Coherence, cfg.Processors)
 	if err != nil {
 		return nil, err
@@ -90,6 +110,7 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		proc.ID = i
 		procs[i] = proc
 		for c := 0; c < cfg.Contexts; c++ {
 			tid := i*cfg.Contexts + c
@@ -100,6 +121,14 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 			threads = append(threads, th)
 		}
 	}
+
+	// Hardening: the watchdog defaults to LimitCycles/20 — a wedged run is
+	// reported within 5% of its cycle budget, with a diagnostic, instead of
+	// silently burning the remaining 95% and returning Completed=false.
+	wd := guard.NewWatchdog(cfg.Guard.ResolveWatchdog(cfg.LimitCycles / 20))
+	checks := cfg.Guard.InvariantsOn()
+	cadence := cfg.Guard.CheckCadence()
+	nextGuard := cadence
 
 	// Lockstep execution until every thread halts.
 	const checkEvery = 64
@@ -121,9 +150,36 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 			completed = true
 			break
 		}
+		now := cycle + checkEvery
+		if now < nextGuard {
+			continue
+		}
+		nextGuard = now + cadence
+		var progress int64
+		for _, proc := range procs {
+			progress += proc.UsefulProgress()
+		}
+		if wd.Observe(now, progress) {
+			return nil, watchdogError(now, wd, cfg, procs, fab)
+		}
+		if checks {
+			for _, proc := range procs {
+				if err := proc.CheckInvariants(); err != nil {
+					return nil, err
+				}
+			}
+			if err := fab.CheckInvariants(); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	res := &Result{Completed: completed, Threads: nThreads, Mem: fm}
+	res.MemHash = fm.Hash()
+	res.ArchHash = res.MemHash
+	for _, th := range threads {
+		res.ArchHash = th.HashArchState(res.ArchHash)
+	}
 	for _, th := range threads {
 		if th.HaltedAt+1 > res.Cycles {
 			res.Cycles = th.HaltedAt + 1
@@ -134,4 +190,30 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 		res.Stats.Add(&proc.Stats)
 	}
 	return res, nil
+}
+
+// watchdogError assembles the structured deadlock/livelock report: the
+// trip, every processor's per-context position, and the directory state
+// of the lines with transactions in flight.
+func watchdogError(now int64, wd *guard.Watchdog, cfg Config, procs []*core.Processor, fab *coherence.Fabric) error {
+	d := &guard.Diagnostic{
+		Reason: fmt.Sprintf("watchdog: no useful instruction retired machine-wide in %d cycles", wd.Stalled(now)),
+		Cycle:  now,
+		Scheme: cfg.Scheme.String(),
+		Window: wd.Window(),
+		Lines:  fab.HotLines(16),
+	}
+	if len(d.Lines) == 0 {
+		// Distinguishes software deadlock from protocol livelock: spinning
+		// on a held lock hits the local cache, so nothing is in flight.
+		d.Notes = append(d.Notes,
+			"no directory transactions in flight: contexts are spinning on locally cached data (software deadlock), not stuck in the protocol")
+	}
+	for _, proc := range procs {
+		d.Procs = append(d.Procs, proc.Snapshot())
+	}
+	return guard.NewSimError("guard.watchdog",
+		fmt.Errorf("livelock/deadlock on %d processors: no useful instruction retired in %d cycles",
+			cfg.Processors, wd.Stalled(now))).
+		At(now).WithDiag(d)
 }

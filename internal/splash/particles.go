@@ -10,7 +10,7 @@ import (
 // array written by every thread — the highest communication miss rate in
 // the suite.
 func MP3D() App {
-	return App{Name: "mp3d", Build: func(o Options) *prog.Program {
+	return App{Name: "mp3d", Racy: true, Build: func(o Options) *prog.Program {
 		o = o.normalize(4)
 		const np = 16384
 		const nc = 4096

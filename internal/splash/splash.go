@@ -65,6 +65,12 @@ func (o Options) normalize(defaultSteps int) Options {
 type App struct {
 	Name  string
 	Build func(Options) *prog.Program
+
+	// Racy marks apps with deliberately unsynchronized shared writes
+	// (mp3d's cell scatter). Their final memory is scheduling-dependent,
+	// so chaos-mode byte-identity checks do not apply to them; for every
+	// other app, timing perturbation must leave final memory unchanged.
+	Racy bool
 }
 
 // Registry returns the seven apps by name.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/mem"
 	"repro/internal/osmodel"
 	"repro/internal/prog"
@@ -44,6 +45,12 @@ type Config struct {
 	AppScale int
 
 	Seed int64
+
+	// Guard is the hardening configuration. The workstation's watchdog
+	// default is off — a run is a fixed number of slices, so it cannot
+	// hang — but an explicit window catches workloads that stop retiring
+	// useful work (all applications wedged on sync or trap loops).
+	Guard guard.Options
 }
 
 // DefaultConfig returns the paper's workstation with the given scheme and
@@ -126,6 +133,9 @@ func Run(kernels []apps.Kernel, cfg Config) (*Result, error) {
 		ccfg = *cfg.Core
 	}
 
+	if cfg.Cache.Chaos == nil {
+		cfg.Cache.Chaos = cfg.Guard.NewChaos()
+	}
 	fm := mem.New()
 	h, err := cache.NewHierarchy(cfg.Cache)
 	if err != nil {
@@ -182,6 +192,49 @@ func Run(kernels []apps.Kernel, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Hardening: stepping a slice in guard-cadence chunks is timing-
+	// identical to one Run call (Run(n) is n Step calls), so polling the
+	// watchdog and invariant checkers between chunks never perturbs
+	// results.
+	wd := guard.NewWatchdog(cfg.Guard.ResolveWatchdog(0))
+	checks := cfg.Guard.InvariantsOn()
+	cadence := cfg.Guard.CheckCadence()
+	runSlice := func() error {
+		if wd == nil && !checks {
+			proc.Run(int64(cfg.OS.SliceCycles))
+			return nil
+		}
+		for remaining := int64(cfg.OS.SliceCycles); remaining > 0; {
+			chunk := cadence
+			if chunk > remaining {
+				chunk = remaining
+			}
+			proc.Run(chunk)
+			remaining -= chunk
+			if wd.Observe(proc.Now(), proc.UsefulProgress()) {
+				d := &guard.Diagnostic{
+					Reason: fmt.Sprintf("watchdog: no useful instruction retired in %d cycles", wd.Stalled(proc.Now())),
+					Cycle:  proc.Now(),
+					Scheme: cfg.Scheme.String(),
+					Window: wd.Window(),
+					Procs:  []guard.ProcState{proc.Snapshot()},
+				}
+				return guard.NewSimError("guard.watchdog",
+					fmt.Errorf("workload wedged: no useful instruction retired in %d cycles", wd.Stalled(proc.Now()))).
+					At(proc.Now()).WithDiag(d)
+			}
+			if checks {
+				if err := proc.CheckInvariants(); err != nil {
+					return err
+				}
+				if err := h.CheckInvariants(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
 	measureStart := make([]int64, len(threads))
 	devotedStart := make([]int64, len(threads))
 	totalSlices := (cfg.WarmupRotations + cfg.MeasureRotations) * rotation
@@ -210,7 +263,9 @@ func Run(kernels []apps.Kernel, cfg Config) (*Result, error) {
 				devotedStart[i] = th.Devoted
 			}
 		}
-		proc.Run(cfg.OS.SliceCycles)
+		if err := runSlice(); err != nil {
+			return nil, err
+		}
 	}
 
 	res := &Result{Stats: proc.Stats}

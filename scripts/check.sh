@@ -10,3 +10,15 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Second pass with the invariant checkers armed (GUARD_CHECKS=1 turns on
+# the coherence/cache/pipeline audits in every guarded run). The env gate
+# is read once per process, so this must be a separate test invocation.
+GUARD_CHECKS=1 go test ./...
+
+# Chaos-mode determinism: perturb all memory/network latencies on a
+# race-free app and assert the final memory is byte-identical to the
+# unperturbed run (mpsim runs the reference config itself and fails on
+# divergence).
+go run ./cmd/mpsim -app ocean -scheme interleaved -contexts 2 -procs 2 -steps 1 -chaos 20260805 >/dev/null
+go run ./cmd/mpsim -app barnes -scheme blocked -contexts 2 -procs 2 -steps 1 -chaos 7 -check-invariants >/dev/null
