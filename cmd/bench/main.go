@@ -1,0 +1,265 @@
+// Command bench measures simulator throughput — simulated cycles per
+// wall-clock second — on a fixed grid of multiprocessor cells and writes
+// the measurements as machine-readable JSON (BENCH_<n>.json).
+//
+// The grid covers every execution scheme at several context counts on two
+// workloads:
+//
+//   - mp-stall: a streaming-miss kernel in which every load and store
+//     misses the coherent cache (stride = line size, lines dirtied to
+//     force ownership traffic). This is the memory-stall-heavy cell where
+//     the event-driven fast-forward engine matters most.
+//   - mp-ocean: the SPLASH Ocean grid relaxation, a high-utilization
+//     paper cell (Table 10 flavor) that bounds the worst case: busy
+//     slots cannot be skipped, so gains here come only from cheaper
+//     stepping.
+//
+// Deliberately self-contained (no test-only helpers) so the identical
+// source can be dropped into a checkout of an older revision and built
+// there, producing an apples-to-apples baseline:
+//
+//	git worktree add /tmp/base <rev>
+//	cp -r cmd/bench /tmp/base/cmd/
+//	(cd /tmp/base && go run ./cmd/bench -label baseline -out base.json)
+//	go run ./cmd/bench -baseline base.json -out BENCH_1.json
+//
+// With -baseline, the older run is embedded verbatim and a per-cell
+// speedup table (current cycles/sec ÷ baseline cycles/sec) is added.
+// scripts/bench.sh automates the whole sequence.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mp"
+	"repro/internal/prog"
+	"repro/internal/splash"
+)
+
+// stallProgram is the streaming-miss kernel: each thread sweeps a private
+// 128 KiB region at line stride — twice the node cache — loading and then
+// dirtying every line, for the given number of passes. Every pass
+// thrashes, so nearly all issue slots are memory or switch stalls at any
+// context count.
+func stallProgram(passes, threads int) *prog.Program {
+	b := prog.NewBuilder("stall", 0x1000, 0x4000_0000, 1<<23)
+	b.SetYield(prog.YieldBackoff)
+	arr := b.Alloc(uint32(threads)*(128<<10), 64)
+	res := b.Alloc(uint32(4*threads), 64)
+	b.La(isa.R1, arr)
+	b.Sll(isa.R11, mp.TidReg, 17) // tid * 128 KiB
+	b.Add(isa.R1, isa.R1, isa.R11)
+	b.Li(isa.R2, uint32(passes))
+	b.Li(isa.R7, 0)
+	b.Label("pass")
+	b.Move(isa.R3, isa.R1)
+	b.Li(isa.R6, (128<<10)/64)
+	b.Label("loop")
+	b.Lw(isa.R8, isa.R3, 0)
+	b.Add(isa.R7, isa.R7, isa.R8)
+	b.Sw(isa.R7, isa.R3, 32) // dirty the line: ownership traffic
+	b.Addi(isa.R3, isa.R3, 64)
+	b.Addi(isa.R6, isa.R6, -1)
+	b.Bgtz(isa.R6, "loop")
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bgtz(isa.R2, "pass")
+	b.Sll(isa.R11, mp.TidReg, 2)
+	b.La(isa.R10, res)
+	b.Add(isa.R10, isa.R10, isa.R11)
+	b.Sw(isa.R7, isa.R10, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+type cellSpec struct {
+	Workload string
+	Scheme   core.Scheme
+	Contexts int
+}
+
+type measurement struct {
+	Workload     string  `json:"workload"`
+	Scheme       string  `json:"scheme"`
+	Contexts     int     `json:"contexts"`
+	Processors   int     `json:"processors"`
+	Cycles       int64   `json:"sim_cycles"`
+	Seconds      float64 `json:"wall_seconds"`
+	CyclesPerSec float64 `json:"sim_cycles_per_sec"`
+}
+
+type runReport struct {
+	Label     string        `json:"label"`
+	Commit    string        `json:"commit,omitempty"`
+	Go        string        `json:"go"`
+	Date      string        `json:"date"`
+	Repeats   int           `json:"repeats"`
+	Cells     []measurement `json:"cells"`
+}
+
+type benchFile struct {
+	// Baseline, when present, is a run of this same tool built from the
+	// pre-change revision named in its label/commit fields.
+	Baseline *runReport         `json:"baseline,omitempty"`
+	Current  runReport          `json:"current"`
+	// Speedup maps "workload/scheme/contexts" to current ÷ baseline
+	// sim-cycles-per-sec.
+	Speedup map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+func grid() []cellSpec {
+	var cells []cellSpec
+	for _, sc := range []struct {
+		s core.Scheme
+		c []int
+	}{
+		{core.Single, []int{1}},
+		{core.Blocked, []int{1, 2, 4}},
+		{core.Interleaved, []int{2, 4}},
+	} {
+		for _, c := range sc.c {
+			cells = append(cells, cellSpec{"mp-stall", sc.s, c})
+		}
+	}
+	cells = append(cells,
+		cellSpec{"mp-ocean", core.Blocked, 2},
+		cellSpec{"mp-ocean", core.Interleaved, 4},
+	)
+	return cells
+}
+
+func buildProgram(spec cellSpec, processors int) *prog.Program {
+	threads := processors * spec.Contexts
+	switch spec.Workload {
+	case "mp-stall":
+		// Scale the pass count down with the context count so every cell
+		// simulates enough cycles for stable wall-clock measurement:
+		// fewer contexts finish their sweeps in far fewer machine cycles.
+		return stallProgram(16/spec.Contexts, threads)
+	case "mp-ocean":
+		app, err := splash.Lookup("ocean")
+		if err != nil {
+			panic(err)
+		}
+		yield := prog.YieldSwitch
+		if spec.Scheme == core.Interleaved {
+			yield = prog.YieldBackoff
+		}
+		return app.Build(splash.Options{
+			CodeBase: 0x0100_0000, DataBase: 0x5000_0000,
+			Yield: yield, AutoTolerate: true,
+			NumThreads: threads, Steps: 10,
+		})
+	}
+	panic("unknown workload " + spec.Workload)
+}
+
+func measure(spec cellSpec, processors, repeats int) (measurement, error) {
+	p := buildProgram(spec, processors)
+	cfg := mp.DefaultConfig(spec.Scheme, spec.Contexts)
+	cfg.Processors = processors
+	cfg.LimitCycles = 500_000_000
+	m := measurement{
+		Workload:   spec.Workload,
+		Scheme:     spec.Scheme.String(),
+		Contexts:   spec.Contexts,
+		Processors: processors,
+	}
+	best := -1.0
+	for r := 0; r < repeats; r++ {
+		t0 := time.Now()
+		res, err := mp.Run(p, cfg)
+		if err != nil {
+			return m, fmt.Errorf("%s/%s/%dctx: %w", spec.Workload, spec.Scheme, spec.Contexts, err)
+		}
+		if !res.Completed {
+			return m, fmt.Errorf("%s/%s/%dctx: hit cycle limit", spec.Workload, spec.Scheme, spec.Contexts)
+		}
+		sec := time.Since(t0).Seconds()
+		if cps := float64(res.Cycles) / sec; cps > best {
+			best = cps
+			m.Cycles = res.Cycles
+			m.Seconds = sec
+			m.CyclesPerSec = cps
+		}
+	}
+	return m, nil
+}
+
+func main() {
+	out := flag.String("out", "-", "output file (- for stdout)")
+	label := flag.String("label", "current", "label recorded for this run")
+	commit := flag.String("commit", "", "revision id recorded for this run")
+	baseline := flag.String("baseline", "", "JSON file from a run of this tool at the pre-change revision; embedded, with per-cell speedups computed")
+	repeats := flag.Int("repeat", 3, "runs per cell; best is kept")
+	processors := flag.Int("processors", 8, "multiprocessor node count")
+	flag.Parse()
+
+	rep := runReport{
+		Label:   *label,
+		Commit:  *commit,
+		Go:      runtime.Version(),
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Repeats: *repeats,
+	}
+	for _, spec := range grid() {
+		m, err := measure(spec, *processors, *repeats)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%-10s %-12s %dctx: %9.0f sim-cycles/sec (%d cycles in %.2fs)\n",
+			m.Workload, m.Scheme, m.Contexts, m.CyclesPerSec, m.Cycles, m.Seconds)
+		rep.Cells = append(rep.Cells, m)
+	}
+
+	file := benchFile{Current: rep}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		var base runReport
+		// Accept either a bare runReport or a previous combined file.
+		var prev benchFile
+		if err := json.Unmarshal(raw, &base); err != nil || len(base.Cells) == 0 {
+			if err2 := json.Unmarshal(raw, &prev); err2 != nil || len(prev.Current.Cells) == 0 {
+				fmt.Fprintf(os.Stderr, "bench: %s: not a bench report\n", *baseline)
+				os.Exit(1)
+			}
+			base = prev.Current
+		}
+		file.Baseline = &base
+		file.Speedup = map[string]float64{}
+		for _, b := range base.Cells {
+			key := fmt.Sprintf("%s/%s/%dctx", b.Workload, b.Scheme, b.Contexts)
+			for _, c := range rep.Cells {
+				if c.Workload == b.Workload && c.Scheme == b.Scheme && c.Contexts == b.Contexts {
+					file.Speedup[key] = c.CyclesPerSec / b.CyclesPerSec
+				}
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

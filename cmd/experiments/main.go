@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/guard"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	jsonOut := flag.String("json", "", "also write raw results as JSON to this file")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulation cells (1 = serial)")
 	gopts := guard.BindFlags(flag.CommandLine)
+	prof := profiling.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Failed grid cells degrade gracefully (their cells print FAIL) but
@@ -41,6 +43,15 @@ func main() {
 			os.Exit(exitCode)
 		}
 	}()
+
+	// Registered after the exit defer so profiles are flushed (LIFO)
+	// before a failing grid exits non-zero.
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	jsonBlob := map[string]any{}
 	defer func() {

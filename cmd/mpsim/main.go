@@ -24,6 +24,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/guard"
 	"repro/internal/mp"
+	"repro/internal/profiling"
 	"repro/internal/prog"
 	"repro/internal/splash"
 	"repro/internal/stats"
@@ -58,6 +59,7 @@ func main() {
 	limit := flag.Int64("limit", 200_000_000, "cycle limit")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulations for a -contexts list (1 = serial)")
 	gopts := guard.BindFlags(flag.CommandLine)
+	prof := profiling.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	// On failure, print the structured diagnostic (when the error carries
@@ -65,6 +67,11 @@ func main() {
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "mpsim:", guard.Report(err))
 		os.Exit(1)
+	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		die(err)
 	}
 
 	sc, err := parseScheme(*scheme)
@@ -162,4 +169,5 @@ func main() {
 		t.AddRow("idle", stats.Pct(bd.Idle))
 		fmt.Println(t.String())
 	}
+	stopProf()
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/guard"
+	"repro/internal/profiling"
 	"repro/internal/stats"
 	"repro/internal/workstation"
 )
@@ -47,6 +48,7 @@ func main() {
 	rotations := flag.Int("rotations", 2, "measured scheduler rotations")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulations for a -contexts list (1 = serial)")
 	gopts := guard.BindFlags(flag.CommandLine)
+	prof := profiling.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	// On failure, print the structured diagnostic (when the error carries
@@ -54,6 +56,11 @@ func main() {
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "uniprog:", guard.Report(err))
 		os.Exit(1)
+	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		die(err)
 	}
 
 	sc, err := parseScheme(*scheme)
@@ -113,6 +120,7 @@ func main() {
 		}
 		report(len(kernels), sc, counts[i], res)
 	}
+	stopProf()
 }
 
 func report(nkernels int, sc core.Scheme, contexts int, res *workstation.Result) {

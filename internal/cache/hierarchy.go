@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"slices"
 
@@ -128,6 +129,28 @@ func (h *Hierarchy) removePending(line uint32, pf pendingFill) {
 func (h *Hierarchy) expireFills(now int64) {
 	h.installReady(now, fillHoldCycles)
 }
+
+// NextCompletion implements memsys.Completer: the earliest pending fill
+// (demand or prefetch) completing strictly after now, or math.MaxInt64
+// when nothing is outstanding. The core's fast-forward engine uses it to
+// bound bulk clock advances; fills themselves still install lazily on the
+// next access, as always.
+func (h *Hierarchy) NextCompletion(now int64) int64 {
+	next := int64(math.MaxInt64)
+	for _, pf := range h.pending {
+		if pf.fill > now && pf.fill < next {
+			next = pf.fill
+		}
+	}
+	return next
+}
+
+// PullBasedTiming implements memsys.Completer: every state transition in
+// the hierarchy (fill install, expiry, TLB hold cleanup, occupancy
+// frontier advance, chaos draw) happens inside AccessData/FetchInst and
+// depends only on the access cycle, so access-free regions may be skipped
+// whole.
+func (h *Hierarchy) PullBasedTiming() bool { return true }
 
 func (h *Hierarchy) installL1D(line uint32) {
 	addr := line << uint32(h.L1D.lineShift)
@@ -297,3 +320,5 @@ func (h *Hierarchy) SchedulerInterference(iLines, dLines, tlbEntries int, rng *r
 }
 
 var _ memsys.System = (*Hierarchy)(nil)
+
+var _ memsys.Completer = (*Hierarchy)(nil)

@@ -14,6 +14,7 @@ package coherence
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"slices"
 
@@ -75,9 +76,25 @@ type dirEntry struct {
 	sharers uint64 // bitmask of nodes with (possibly in-flight) shared copies
 }
 
+// The directory is a two-level radix: a map of fixed-size pages, each
+// covering a contiguous run of lines, fronted by a last-page memo and a
+// small direct-mapped page cache (the same layout internal/mem uses for
+// data pages). Every data access consults the directory several times
+// (rights check, transition, victim bookkeeping); streaming workloads made
+// the per-line map lookups the hottest fabric operation, and replays land
+// on the just-missed line, so the memo absorbs most of them.
+const (
+	dirPageShift = 11 // 2048 lines per page
+	dirPageLines = 1 << dirPageShift
+	dirPageMask  = dirPageLines - 1
+)
+
+type dirPage [dirPageLines]dirEntry
+
 type pendingFill struct {
-	fill      int64
+	line      uint32
 	exclusive bool
+	fill      int64
 }
 
 // fillHoldCycles mirrors internal/cache: a completed fill is held for its
@@ -96,10 +113,16 @@ type Stats struct {
 
 // Node is one processor's view of the fabric; it implements memsys.System.
 type Node struct {
-	fab     *Fabric
-	id      int
-	cache   *cache.Cache
-	pending map[uint32]pendingFill
+	fab   *Fabric
+	id    int
+	cache *cache.Cache
+	// pending holds this node's in-flight fills (its miss registers), in
+	// request order. It is a slice, not a map: it has at most a handful of
+	// entries, every access scans it (fill service, merge, and each miss
+	// probes every other node's set for transaction serialization), and a
+	// linear scan of a tiny slice beats map hashing while giving
+	// deterministic iteration for free.
+	pending []pendingFill
 	Stats   Stats
 }
 
@@ -107,8 +130,15 @@ type Node struct {
 type Fabric struct {
 	P     Params
 	nodes []*Node
-	dir   map[uint32]*dirEntry
+	dir   map[uint32]*dirPage
 	rng   *rand.Rand
+
+	lastPageNo uint32
+	lastPage   *dirPage
+	pageCache  [64]struct {
+		no uint32
+		pg *dirPage
+	}
 }
 
 // NewFabric builds a fabric with n nodes.
@@ -121,15 +151,14 @@ func NewFabric(p Params, n int) (*Fabric, error) {
 	}
 	f := &Fabric{
 		P:   p,
-		dir: make(map[uint32]*dirEntry),
+		dir: make(map[uint32]*dirPage),
 		rng: rand.New(rand.NewSource(p.Seed)),
 	}
 	for i := 0; i < n; i++ {
 		f.nodes = append(f.nodes, &Node{
-			fab:     f,
-			id:      i,
-			cache:   cache.NewCache(p.CacheSize, p.LineSize),
-			pending: make(map[uint32]pendingFill),
+			fab:   f,
+			id:    i,
+			cache: cache.NewCache(p.CacheSize, p.LineSize),
 		})
 	}
 	return f, nil
@@ -154,13 +183,53 @@ func (f *Fabric) Node(i int) *Node { return f.nodes[i] }
 // uniform distribution of shared data across node memories.
 func (f *Fabric) home(line uint32) int { return int(line) % len(f.nodes) }
 
-func (f *Fabric) entry(line uint32) *dirEntry {
-	e := f.dir[line]
-	if e == nil {
-		e = &dirEntry{owner: -1}
-		f.dir[line] = e
+// page returns the directory page covering line, or nil if no line in it
+// has ever been touched. The last-page memo catches miss/replay pairs and
+// loop-local accesses; the direct-mapped cache catches alternation between
+// a few hot regions; the map is the slow path.
+func (f *Fabric) page(line uint32) *dirPage {
+	no := line >> dirPageShift
+	if f.lastPage != nil && f.lastPageNo == no {
+		return f.lastPage
 	}
-	return e
+	slot := &f.pageCache[no&uint32(len(f.pageCache)-1)]
+	pg := slot.pg
+	if pg == nil || slot.no != no {
+		pg = f.dir[no]
+		if pg == nil {
+			return nil
+		}
+		slot.no, slot.pg = no, pg
+	}
+	f.lastPageNo, f.lastPage = no, pg
+	return pg
+}
+
+// entry returns line's directory entry, allocating its page on first touch
+// (fresh entries have no owner and no sharers).
+func (f *Fabric) entry(line uint32) *dirEntry {
+	pg := f.page(line)
+	if pg == nil {
+		pg = new(dirPage)
+		for i := range pg {
+			pg[i].owner = -1
+		}
+		no := line >> dirPageShift
+		f.dir[no] = pg
+		f.lastPageNo, f.lastPage = no, pg
+	}
+	return &pg[line&dirPageMask]
+}
+
+// peekEntry returns line's directory entry without allocating, or nil if
+// the line's page has never been touched (equivalent to an entry with no
+// owner and no sharers).
+func (f *Fabric) peekEntry(line uint32) *dirEntry {
+	pg := f.page(line)
+	if pg == nil {
+		return nil
+	}
+	return &pg[line&dirPageMask]
 }
 
 func (f *Fabric) uniform(lo, hi int) int64 {
@@ -191,7 +260,7 @@ func (f *Fabric) lineAddr(line uint32) uint32 {
 
 // evicted is called by a node when installing a line displaced victim.
 func (f *Fabric) evicted(n int, victimLine uint32) {
-	e := f.dir[victimLine]
+	e := f.peekEntry(victimLine)
 	if e == nil {
 		return
 	}
@@ -205,6 +274,25 @@ func (f *Fabric) evicted(n int, victimLine uint32) {
 // the instruction cache as ideal (§5.2).
 func (n *Node) FetchInst(addr uint32, now int64) (int64, bool) { return now, false }
 
+// InstFetchIsIdeal implements memsys.IdealInstFetch: FetchInst above is
+// pure, so the core may fast-forward interlock stalls across it.
+func (n *Node) InstFetchIsIdeal() bool { return true }
+
+// findPending returns the index of line in n.pending, or -1.
+func (n *Node) findPending(line uint32) int {
+	for i := range n.pending {
+		if n.pending[i].line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// removePending deletes entry i, preserving request order.
+func (n *Node) removePending(i int) {
+	n.pending = append(n.pending[:i], n.pending[i+1:]...)
+}
+
 // AccessData implements memsys.DataMemory with MSI directory coherence.
 func (n *Node) AccessData(addr uint32, write bool, pc uint32, now int64) memsys.DataResult {
 	n.Stats.Accesses++
@@ -212,28 +300,34 @@ func (n *Node) AccessData(addr uint32, write bool, pc uint32, now int64) memsys.
 	line := addr / uint32(f.P.LineSize)
 
 	// Expire abandoned fills, in ascending line order: installs evict
-	// conflicting victims, so following Go's randomized map iteration
-	// here would make whole-simulation results irreproducible.
-	var expired []uint32
-	for l, pf := range n.pending {
-		if pf.fill+fillHoldCycles <= now {
-			expired = append(expired, l)
+	// conflicting victims, so the processing order must not depend on
+	// request arrival order.
+	if len(n.pending) > 0 {
+		var expired []uint32
+		for i := range n.pending {
+			if n.pending[i].fill+fillHoldCycles <= now {
+				expired = append(expired, n.pending[i].line)
+			}
 		}
-	}
-	slices.Sort(expired)
-	for _, l := range expired {
-		n.install(l, n.pending[l].exclusive)
-		delete(n.pending, l)
+		if len(expired) > 0 {
+			slices.Sort(expired)
+			for _, l := range expired {
+				i := n.findPending(l)
+				n.install(l, n.pending[i].exclusive)
+				n.removePending(i)
+			}
+		}
 	}
 
 	// Completed fill for this line: serve the replay from the miss
 	// register and install.
-	if pf, ok := n.pending[line]; ok && pf.fill <= now {
-		delete(n.pending, line)
+	if i := n.findPending(line); i >= 0 && n.pending[i].fill <= now {
+		exclusive := n.pending[i].exclusive
+		n.removePending(i)
 		// The request may have been invalidated while in flight (another
 		// node wrote the line): if so, the replay must re-request.
 		if n.hasRight(line, write) {
-			n.install(line, pf.exclusive)
+			n.install(line, exclusive)
 		}
 	}
 
@@ -252,9 +346,9 @@ func (n *Node) AccessData(addr uint32, write bool, pc uint32, now int64) memsys.
 		return memsys.DataResult{Hit: true, ReadyAt: now + int64(f.P.LoadUseCycles), Class: memsys.HitL1}
 	}
 
-	if pf, ok := n.pending[line]; ok {
+	if i := n.findPending(line); i >= 0 {
 		// Still in flight: merge.
-		return memsys.DataResult{FillAt: pf.fill, Class: memsys.MSHRFull}
+		return memsys.DataResult{FillAt: n.pending[i].fill, Class: memsys.MSHRFull}
 	}
 
 	return n.miss(line, addr, write, now)
@@ -263,7 +357,7 @@ func (n *Node) AccessData(addr uint32, write bool, pc uint32, now int64) memsys.
 // hasRight reports whether node n's copy of line is good for the access:
 // reads need the line not to be dirty elsewhere; writes need ownership.
 func (n *Node) hasRight(line uint32, write bool) bool {
-	e := n.fab.dir[line]
+	e := n.fab.peekEntry(line)
 	if e == nil {
 		return !write
 	}
@@ -285,7 +379,8 @@ func (n *Node) miss(line, addr uint32, write bool, now int64) memsys.DataResult 
 		if i == n.id {
 			continue
 		}
-		if pf, ok := other.pending[line]; ok && pf.exclusive {
+		if j := other.findPending(line); j >= 0 && other.pending[j].exclusive {
+			pf := other.pending[j]
 			// Retry well after the transaction should complete, with a
 			// per-node stagger: aggressive retries turn contended lines
 			// into a flush storm on blocked processors.
@@ -320,7 +415,9 @@ func (n *Node) miss(line, addr uint32, write bool, now int64) memsys.DataResult 
 			}
 			if e.owner == i || e.sharers&(1<<uint(i)) != 0 {
 				other.cache.Invalidate(f.lineAddr(line))
-				delete(other.pending, line)
+				if j := other.findPending(line); j >= 0 {
+					other.removePending(j)
+				}
 				other.Stats.Invalidations++
 			}
 		}
@@ -336,10 +433,38 @@ func (n *Node) miss(line, addr uint32, write bool, now int64) memsys.DataResult 
 	}
 
 	fill := now + f.latency(class)
-	n.pending[line] = pendingFill{fill: fill, exclusive: write}
+	if j := n.findPending(line); j >= 0 {
+		// Upgrade issued while a request for the line was in flight:
+		// replace the miss-register entry rather than duplicating it.
+		n.pending[j] = pendingFill{line: line, fill: fill, exclusive: write}
+	} else {
+		n.pending = append(n.pending, pendingFill{line: line, fill: fill, exclusive: write})
+	}
 	n.Stats.ByClass[class]++
 	return memsys.DataResult{FillAt: fill, Class: class}
 }
+
+// NextCompletion implements memsys.Completer: the earliest of this node's
+// in-flight fills completing strictly after now, or math.MaxInt64 when
+// none are outstanding.
+func (n *Node) NextCompletion(now int64) int64 {
+	next := int64(math.MaxInt64)
+	for i := range n.pending {
+		if pf := &n.pending[i]; pf.fill > now && pf.fill < next {
+			next = pf.fill
+		}
+	}
+	return next
+}
+
+// PullBasedTiming implements memsys.Completer: directory state, sharer
+// sets, pending fills (this node's and the cross-node exclusive-pending
+// probes) and chaos draws all change only inside AccessData calls, so the
+// lockstep driver may jump every processor across an access-free region
+// in one step. Cross-processor ordering is unaffected: a skip only
+// happens when every processor is access-free, and the (cycle, processor)
+// transaction order resumes identically at the region's end.
+func (n *Node) PullBasedTiming() bool { return true }
 
 // install places a line in the node's cache, handling the victim's
 // directory state.
@@ -356,23 +481,27 @@ func (n *Node) install(line uint32, exclusive bool) {
 // every resident cache copy is recorded in the directory. It returns an
 // error description or "" if clean.
 func (f *Fabric) DirectoryInvariants() string {
-	for line, e := range f.dir {
-		owners := 0
-		for i := range f.nodes {
-			if e.owner == i {
-				owners++
+	for pageNo, pg := range f.dir {
+		for idx := range pg {
+			e := &pg[idx]
+			line := pageNo<<dirPageShift | uint32(idx)
+			owners := 0
+			for i := range f.nodes {
+				if e.owner == i {
+					owners++
+				}
 			}
-		}
-		if e.owner >= 0 && owners != 1 {
-			return fmt.Sprintf("line %#x: owner %d not a node", line, e.owner)
-		}
-		if e.owner >= 0 && e.sharers&^(1<<uint(e.owner)) != 0 {
-			return fmt.Sprintf("line %#x: dirty owner %d with sharers %b", line, e.owner, e.sharers)
-		}
-		for i, node := range f.nodes {
-			if node.cache.Present(f.lineAddr(line)) {
-				if e.owner != i && e.sharers&(1<<uint(i)) == 0 {
-					return fmt.Sprintf("line %#x: node %d resident but not in directory", line, i)
+			if e.owner >= 0 && owners != 1 {
+				return fmt.Sprintf("line %#x: owner %d not a node", line, e.owner)
+			}
+			if e.owner >= 0 && e.sharers&^(1<<uint(e.owner)) != 0 {
+				return fmt.Sprintf("line %#x: dirty owner %d with sharers %b", line, e.owner, e.sharers)
+			}
+			for i, node := range f.nodes {
+				if node.cache.Present(f.lineAddr(line)) {
+					if e.owner != i && e.sharers&(1<<uint(i)) == 0 {
+						return fmt.Sprintf("line %#x: node %d resident but not in directory", line, i)
+					}
 				}
 			}
 		}
@@ -381,3 +510,5 @@ func (f *Fabric) DirectoryInvariants() string {
 }
 
 var _ memsys.System = (*Node)(nil)
+
+var _ memsys.Completer = (*Node)(nil)

@@ -28,21 +28,23 @@ func (f *Fabric) CheckInvariants() error {
 	}
 	exclusive := make(map[uint32]int)
 	for _, n := range f.nodes {
-		for line, pf := range n.pending {
+		for i := range n.pending {
+			pf := &n.pending[i]
 			if !pf.exclusive {
 				continue
 			}
+			line := pf.line
 			if prev, ok := exclusive[line]; ok {
 				return guard.NewSimError("coherence.invariant",
 					fmt.Errorf("line %#x: exclusive requests in flight from nodes %d and %d", line, prev, n.id)).
 					WithAddr(f.lineAddr(line))
 			}
 			exclusive[line] = n.id
-			if e := f.dir[line]; e == nil || e.owner != n.id {
-				owner := -1
-				if e != nil {
-					owner = e.owner
-				}
+			owner := -1
+			if e := f.peekEntry(line); e != nil {
+				owner = e.owner
+			}
+			if owner != n.id {
 				return guard.NewSimError("coherence.invariant",
 					fmt.Errorf("line %#x: node %d fetching exclusive but directory owner is %d", line, n.id, owner)).
 					WithAddr(f.lineAddr(line))
@@ -59,8 +61,8 @@ func (f *Fabric) CheckInvariants() error {
 func (f *Fabric) HotLines(max int) []guard.LineState {
 	var lines []uint32
 	for _, n := range f.nodes {
-		for line := range n.pending {
-			lines = append(lines, line)
+		for i := range n.pending {
+			lines = append(lines, n.pending[i].line)
 		}
 	}
 	slices.Sort(lines)
@@ -71,7 +73,7 @@ func (f *Fabric) HotLines(max int) []guard.LineState {
 	out := make([]guard.LineState, 0, len(lines))
 	for _, line := range lines {
 		ls := guard.LineState{Line: line, Addr: f.lineAddr(line), Owner: -1}
-		if e := f.dir[line]; e != nil {
+		if e := f.peekEntry(line); e != nil {
 			ls.Owner = e.owner
 			ls.Sharers = e.sharers
 		}
@@ -83,17 +85,15 @@ func (f *Fabric) HotLines(max int) []guard.LineState {
 // OutstandingMisses reports node n's in-flight directory transactions, in
 // ascending line order, for watchdog diagnostics.
 func (n *Node) OutstandingMisses() []guard.MissState {
-	lines := make([]uint32, 0, len(n.pending))
-	for line := range n.pending {
-		lines = append(lines, line)
-	}
-	slices.Sort(lines)
-	out := make([]guard.MissState, 0, len(lines))
-	for _, line := range lines {
-		pf := n.pending[line]
+	sorted := slices.Clone(n.pending)
+	slices.SortFunc(sorted, func(a, b pendingFill) int {
+		return int(int64(a.line) - int64(b.line))
+	})
+	out := make([]guard.MissState, 0, len(sorted))
+	for _, pf := range sorted {
 		out = append(out, guard.MissState{
-			Line:      line,
-			Addr:      n.fab.lineAddr(line),
+			Line:      pf.line,
+			Addr:      n.fab.lineAddr(pf.line),
 			FillAt:    pf.fill,
 			Exclusive: pf.exclusive,
 		})

@@ -42,7 +42,7 @@ func TestWriteSerializationOrder(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		now = settle(f.Node(i%2), 0x40, true, now)
 	}
-	e := f.dir[0x40/uint32(f.P.LineSize)]
+	e := f.peekEntry(0x40 / uint32(f.P.LineSize))
 	if e == nil || e.owner < 0 {
 		t.Fatal("no owner after write storm")
 	}

@@ -86,6 +86,13 @@ type Config struct {
 	// FineGrainedMemLatency is the fixed memory latency of the
 	// fine-grained scheme, which supports no data cache.
 	FineGrainedMemLatency int
+
+	// NoFastForward disables the event-driven stall fast-forward
+	// (fastforward.go) and steps every cycle individually. The results
+	// are identical either way — the equivalence tests assert it — so
+	// this exists for those tests and for benchmarking the skip engine
+	// itself.
+	NoFastForward bool
 }
 
 // DefaultConfig returns the paper's processor with the given scheme and
@@ -192,6 +199,29 @@ type Processor struct {
 
 	fuFree [isa.NumUnits]int64
 
+	// completer is Mem's memsys.Completer view when it has one, resolved
+	// once at construction. capCompletions records whether the memory
+	// system declined to declare pull-based timing, in which case the
+	// fast-forward engine conservatively bounds every skip by the earliest
+	// in-flight completion.
+	completer      memsys.Completer
+	capCompletions bool
+
+	// idealIF records that Mem's instruction fetch is pure (the MP's
+	// ideal I-cache), which lets the fast-forward engine skip dependency
+	// and functional-unit stall regions on monopolizing schemes.
+	idealIF bool
+
+	// Memo of the last depRegion classification, so the Step immediately
+	// following the NextEvent that computed it does not redo the hazard
+	// walk. Valid only for (depTh, depPC) at cycle depCycle; execute
+	// clears depTh because issuing writes the scoreboard.
+	depTh    *Thread
+	depPC    int
+	depCycle int64
+	depCls   SlotClass
+	depUntil int64
+
 	Stats Stats
 	Trace func(TraceEvent) // optional per-cycle hook
 	// MemWatch, if set, observes every retired word-width memory
@@ -208,6 +238,13 @@ func NewProcessor(cfg Config, m memsys.System, fm *mem.Memory) (*Processor, erro
 	}
 	// rr starts at -1 so the first round-robin pick is context 0.
 	p := &Processor{Cfg: cfg, Mem: m, FMem: fm, cur: -1, rr: -1, forceNext: -1}
+	if c, ok := m.(memsys.Completer); ok {
+		p.completer = c
+		p.capCompletions = !c.PullBasedTiming()
+	}
+	if f, ok := m.(memsys.IdealInstFetch); ok {
+		p.idealIF = f.InstFetchIsIdeal()
+	}
 	for i := 0; i < cfg.Contexts; i++ {
 		p.ctxs = append(p.ctxs, &hwContext{idx: i, replayPC: -1})
 	}
@@ -277,22 +314,45 @@ func (p *Processor) count(now int64, cls SlotClass, ctx int) {
 	}
 }
 
-// Run steps the processor n cycles.
+// Run advances the processor n cycles, fast-forwarding through stall
+// regions (fastforward.go) unless Cfg.NoFastForward or a Trace hook
+// forces cycle-by-cycle stepping.
 func (p *Processor) Run(n int64) {
-	for i := int64(0); i < n; i++ {
-		p.Step()
+	end := p.cycle + n
+	for p.cycle < end {
+		cls, ctx, until := p.NextEvent()
+		if until <= p.cycle {
+			p.Step()
+			continue
+		}
+		if until > end {
+			until = end
+		}
+		p.SkipTo(until, cls, ctx)
 	}
 }
 
-// RunUntilHalted steps until all bound threads halt, up to limit cycles.
-// It returns the cycles executed and whether everything halted.
+// RunUntilHalted advances until all bound threads halt, up to limit
+// cycles, fast-forwarding through stall regions. It returns the cycles
+// executed and whether everything halted. Halt status cannot change
+// inside a skipped region (nothing retires there), so checking it per
+// region is equivalent to the per-cycle check.
 func (p *Processor) RunUntilHalted(limit int64) (int64, bool) {
 	start := p.cycle
-	for p.cycle-start < limit {
+	end := start + limit
+	for p.cycle < end {
 		if p.AllHalted() {
 			return p.cycle - start, true
 		}
-		p.Step()
+		cls, ctx, until := p.NextEvent()
+		if until <= p.cycle {
+			p.Step()
+			continue
+		}
+		if until > end {
+			until = end
+		}
+		p.SkipTo(until, cls, ctx)
 	}
 	return p.cycle - start, p.AllHalted()
 }
@@ -349,11 +409,11 @@ func (p *Processor) issueSlot(now int64) {
 	}
 
 	th := c.thread
-	in := &th.Prog.Insts[th.PC]
+	in := &th.insts[th.PC]
 
 	// Instruction fetch. The I-cache is blocking: a miss stalls the
 	// whole processor regardless of scheme (paper §4.1).
-	if ready, miss := p.Mem.FetchInst(th.Prog.PCAddr(th.PC), now); miss {
+	if ready, miss := p.Mem.FetchInst(th.pcAddr(th.PC), now); miss {
 		p.ifetchUntil = ready
 		p.ifetchCtx = c.idx
 		p.forceNext = c.idx // the stalled fetch completes first
@@ -368,7 +428,7 @@ func (p *Processor) issueSlot(now int64) {
 	}
 
 	// Functional-unit conflict (non-pipelined units).
-	tm := in.Op.Timing()
+	tm := in.TM
 	if tm.Unit != isa.UnitNone && p.fuFree[tm.Unit] > now {
 		p.count(now, stallClass(int(p.fuFree[tm.Unit]-now), in.Region), c.idx)
 		return
@@ -404,8 +464,11 @@ func (p *Processor) selectContext(now int64) *hwContext {
 			p.cur = -1
 		}
 		// Pick the next available context round-robin.
-		for i := 1; i <= len(p.ctxs); i++ {
-			c := p.ctxs[(p.rr+i)%len(p.ctxs)]
+		for i, j := 0, p.rr+1; i < len(p.ctxs); i, j = i+1, j+1 {
+			if j >= len(p.ctxs) {
+				j = 0
+			}
+			c := p.ctxs[j]
 			if c.runnable() && c.availableAt <= now {
 				p.rr = c.idx
 				p.cur = c.idx
@@ -418,8 +481,11 @@ func (p *Processor) selectContext(now int64) *hwContext {
 		// Strict round-robin across available contexts. A context inside
 		// its miss shadow still takes its slot (the slot is charged to
 		// switch overhead by the caller).
-		for i := 1; i <= len(p.ctxs); i++ {
-			c := p.ctxs[(p.rr+i)%len(p.ctxs)]
+		for i, j := 0, p.rr+1; i < len(p.ctxs); i, j = i+1, j+1 {
+			if j >= len(p.ctxs) {
+				j = 0
+			}
+			c := p.ctxs[j]
 			if !c.runnable() {
 				continue
 			}
@@ -450,36 +516,75 @@ func (p *Processor) idleCause() (SlotClass, int) {
 }
 
 // depStall checks source and WAW dependencies; on a stall it returns the
-// class to charge.
+// class to charge. It reuses the classification NextEvent memoized this
+// cycle when one is valid: depRegion is a pure function of the scoreboard,
+// which nothing touches between the classification and the issue slot.
 func (p *Processor) depStall(th *Thread, in *isa.Inst, now int64) (SlotClass, bool) {
+	if p.depTh == th && p.depCycle == now && p.depPC == th.PC {
+		return p.depCls, p.depUntil > now
+	}
+	cls, until := depRegion(th, in, now)
+	return cls, until > now
+}
+
+// depRegion computes the current dependency-stall sub-region of in at
+// cycle now: the class every cycle in [now, until) charges, with
+// until <= now meaning no dependency stalls the instruction. The charged
+// class is that of the hazard with the latest writeback, so it can change
+// when an earlier hazard clears mid-stall; until is therefore the nearest
+// hazard-clear cycle, not the end of the whole stall — callers re-evaluate
+// there. Nothing on this thread executes while it is stalled, so regReady
+// and regStall are constant over the region and the per-cycle depStall
+// answer is provably (cls) for every cycle in it.
+// The operand checks are unrolled and compare against isa.NumRegs (the
+// regReady array length) so the bounds checks vanish: this runs once per
+// NextEvent classification and once per issued instruction, which makes it
+// one of the hottest leaves in the whole simulator.
+func depRegion(th *Thread, in *isa.Inst, now int64) (cls SlotClass, until int64) {
 	worst := int64(0)
-	cls := SlotStallShort
-	a, b := in.Srcs()
-	for _, r := range [2]isa.Reg{a, b} {
-		if r == isa.NoReg || r == isa.R0 {
-			continue
-		}
-		if rdy := th.regReady[r]; rdy > now && rdy > worst {
+	cls = SlotStallShort
+	until = int64(math.MaxInt64)
+	active := false
+	if r := in.SrcA; r < isa.NumRegs && r != isa.R0 {
+		if rdy := th.regReady[r]; rdy > now {
+			active = true
 			worst = rdy
 			cls = th.regStall[r]
+			until = rdy
+		}
+	}
+	if r := in.SrcB; r < isa.NumRegs && r != isa.R0 {
+		if rdy := th.regReady[r]; rdy > now {
+			active = true
+			if rdy > worst {
+				worst = rdy
+				cls = th.regStall[r]
+			}
+			if rdy < until {
+				until = rdy
+			}
 		}
 	}
 	// WAW: in-order writeback — a write may issue only if it completes
 	// no earlier than the previous write to the same register.
-	if d := in.Dest(); d != isa.NoReg && d != isa.R0 {
-		lat := int64(in.Op.Timing().Latency)
-		if need := th.regReady[d] - lat; need > now && th.regReady[d] > worst {
-			worst = th.regReady[d]
-			cls = th.regStall[d]
+	if d := in.Dst; d < isa.NumRegs && d != isa.R0 {
+		if need := th.regReady[d] - int64(in.TM.Latency); need > now {
+			active = true
+			if th.regReady[d] > worst {
+				cls = th.regStall[d]
+			}
+			if need < until {
+				until = need
+			}
 		}
 	}
-	if worst <= now {
-		return 0, false
+	if !active {
+		return 0, now
 	}
 	if in.Region == isa.RegionSync {
-		return SlotSync, true
+		cls = SlotSync
 	}
-	return cls, true
+	return cls, until
 }
 
 // stallClass classifies a pipeline stall by its remaining length and the
@@ -496,11 +601,11 @@ func stallClass(remaining int, region isa.Region) SlotClass {
 
 // producerClass gives the slot class charged to stalls on the result of an
 // instruction that completed normally.
-func producerClass(op isa.Op, region isa.Region) SlotClass {
-	if region == isa.RegionSync {
+func producerClass(in *isa.Inst) SlotClass {
+	if in.Region == isa.RegionSync {
 		return SlotSync
 	}
-	if op.Timing().Latency-1 > isa.LongLatencyThreshold {
+	if in.TM.Latency-1 > isa.LongLatencyThreshold {
 		return SlotStallLong
 	}
 	return SlotStallShort
@@ -533,7 +638,8 @@ func (p *Processor) busySlot(now int64, c *hwContext, th *Thread, in *isa.Inst) 
 // execute issues instruction in from context c at cycle now: functional
 // semantics plus timing bookkeeping.
 func (p *Processor) execute(c *hwContext, th *Thread, in *isa.Inst, now int64) {
-	tm := in.Op.Timing()
+	p.depTh = nil // issuing writes the scoreboard: drop the depRegion memo
+	tm := in.TM
 	if tm.Unit != isa.UnitNone && tm.Issue > 1 {
 		p.fuFree[tm.Unit] = now + int64(tm.Issue)
 	}
@@ -548,13 +654,13 @@ func (p *Processor) execute(c *hwContext, th *Thread, in *isa.Inst, now int64) {
 		isa.MUL, isa.DIV, isa.REM, isa.DIVU:
 		v := evalInt(in, th)
 		th.writeInt(in.Rd, v)
-		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in.Op, in.Region))
+		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in))
 
 	case isa.FADD, isa.FSUB, isa.FMUL, isa.FNEG, isa.FABS, isa.FCVTIW,
 		isa.FDIVS, isa.FDIVD, isa.FSQRT:
 		v := evalFP(in, th)
 		th.writeFP(in.Rd, v)
-		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in.Op, in.Region))
+		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in))
 
 	case isa.FCMPLT:
 		v := uint32(0)
@@ -562,7 +668,7 @@ func (p *Processor) execute(c *hwContext, th *Thread, in *isa.Inst, now int64) {
 			v = 1
 		}
 		th.writeInt(in.Rd, v)
-		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in.Op, in.Region))
+		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in))
 
 	case isa.FCMPLE:
 		v := uint32(0)
@@ -570,15 +676,15 @@ func (p *Processor) execute(c *hwContext, th *Thread, in *isa.Inst, now int64) {
 			v = 1
 		}
 		th.writeInt(in.Rd, v)
-		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in.Op, in.Region))
+		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in))
 
 	case isa.MTC1:
 		th.writeFP(in.Rd, float64(int32(th.readInt(in.Rs))))
-		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in.Op, in.Region))
+		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in))
 
 	case isa.MFC1:
 		th.writeInt(in.Rd, uint32(int32(th.readFP(in.Rs))))
-		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in.Op, in.Region))
+		th.setReady(in.Rd, now+int64(tm.Latency), producerClass(in))
 
 	case isa.LW, isa.SW, isa.FLD, isa.FSD, isa.TAS:
 		if done := p.executeMem(c, th, in, now); !done {
@@ -686,7 +792,7 @@ func (p *Processor) executeMem(c *hwContext, th *Thread, in *isa.Inst, now int64
 	if p.Cfg.Scheme == FineGrained {
 		p.memFunctional(th, in, c.idx, now)
 		fill := now + int64(p.Cfg.FineGrainedMemLatency)
-		if d := in.Dest(); d != isa.NoReg {
+		if d := in.Dst; d != isa.NoReg {
 			th.setReady(d, fill, missSlot(memsys.Memory, in.Region))
 		}
 		c.availableAt = fill
@@ -696,11 +802,11 @@ func (p *Processor) executeMem(c *hwContext, th *Thread, in *isa.Inst, now int64
 		return false
 	}
 
-	res := p.Mem.AccessData(addr, in.IsStore(), th.Prog.PCAddr(th.PC), now)
+	res := p.Mem.AccessData(addr, in.IsStore(), th.pcAddr(th.PC), now)
 	if res.Hit {
 		p.memFunctional(th, in, c.idx, now)
-		if d := in.Dest(); d != isa.NoReg {
-			th.setReady(d, res.ReadyAt, producerClass(in.Op, in.Region))
+		if d := in.Dst; d != isa.NoReg {
+			th.setReady(d, res.ReadyAt, producerClass(in))
 		}
 		return true
 	}
@@ -747,7 +853,7 @@ func (p *Processor) executeMem(c *hwContext, th *Thread, in *isa.Inst, now int64
 		// Lockup-free: execute under the miss; consumers wait for the
 		// fill through the scoreboard.
 		p.memFunctional(th, in, c.idx, now)
-		if d := in.Dest(); d != isa.NoReg {
+		if d := in.Dst; d != isa.NoReg {
 			th.setReady(d, res.FillAt, cause)
 		}
 		th.PC++
@@ -844,7 +950,7 @@ func (p *Processor) executeBranch(c *hwContext, th *Thread, in *isa.Inst, now in
 		next = th.PC + 1
 	}
 
-	pcAddr := th.Prog.PCAddr(th.PC)
+	pcAddr := th.pcAddr(th.PC)
 	predicted := th.PC + 1 // fall-through on BTB miss
 	btbHit := false
 	if p.btb != nil {

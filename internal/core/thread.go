@@ -47,13 +47,23 @@ type Thread struct {
 	// be charged to.
 	regReady [isa.NumRegs]int64
 	regStall [isa.NumRegs]SlotClass
+
+	// insts and codeBase cache Prog.Insts and Prog.Base: the issue stage
+	// touches both every slot, and going through the Prog pointer costs
+	// an extra dependent load each time.
+	insts    []isa.Inst
+	codeBase uint32
 }
 
 // NewThread returns a thread at the entry of p with zeroed registers and
 // no trap handler.
 func NewThread(name string, p *prog.Program) *Thread {
-	return &Thread{Name: name, Prog: p, TrapHandler: -1}
+	p.EnsureDecoded()
+	return &Thread{Name: name, Prog: p, TrapHandler: -1, insts: p.Insts, codeBase: p.Base}
 }
+
+// pcAddr is the byte address of instruction index idx (== Prog.PCAddr).
+func (t *Thread) pcAddr(idx int) uint32 { return t.codeBase + uint32(idx)*4 }
 
 // SetTrapHandler installs the trap handler at the named label of the
 // thread's program; it panics if the label does not exist.

@@ -264,6 +264,23 @@ type Inst struct {
 	Imm    int32 // immediate / displacement / unavailability cycles
 	Target int32 // branch/jump target (instruction index), resolved by the linker
 	Region Region
+
+	// Decoded fields, filled once by Decode (prog.Builder.Build decodes
+	// every program it links). The issue stage reads these instead of
+	// re-deriving timing and operands from Op on every slot.
+	TM         Timing // == Op.Timing()
+	SrcA, SrcB Reg    // == Srcs()
+	Dst        Reg    // == Dest()
+}
+
+// Decode fills the precomputed issue-stage fields (TM, SrcA/SrcB, Dst)
+// from the architectural ones. Idempotent; a zero Inst is NOT decoded —
+// its Dst would wrongly read as R0 — so every execution path must go
+// through a decoded Program.
+func (i *Inst) Decode() {
+	i.TM = i.Op.Timing()
+	i.SrcA, i.SrcB = i.Srcs()
+	i.Dst = i.Dest()
 }
 
 var opWritesDest = func() (w [NumOps]bool) {

@@ -23,10 +23,36 @@ const (
 
 type page [pageCells]uint64
 
+// pageCacheSize is the direct-mapped page-translation cache: simulated
+// working sets touch a handful of pages per inner loop, so a small
+// power-of-two cache absorbs almost every map lookup.
+const (
+	pageCacheSize = 64
+	pageCacheMask = pageCacheSize - 1
+)
+
+type pageCacheEntry struct {
+	pn uint32
+	p  *page
+}
+
 // Memory is a sparse functional memory. The zero value is an empty memory
-// ready to use; all bytes read as zero until written.
+// ready to use; all bytes read as zero until written. A Memory is not safe
+// for concurrent use: even loads update the internal page-lookup caches.
 type Memory struct {
 	pages map[uint32]*page
+
+	// lastPN/lastPage memoize the most recently touched page (valid when
+	// lastPage != nil) and cache backs it up direct-mapped; both skip the
+	// map on the sequential and small-working-set accesses that dominate
+	// simulated memory traffic.
+	lastPN   uint32
+	lastPage *page
+	cache    [pageCacheSize]pageCacheEntry
+
+	// hashScratch is reused across Hash calls (per-cell chaos identity
+	// checks call Hash repeatedly).
+	hashScratch []uint32
 }
 
 // New returns an empty memory.
@@ -34,14 +60,26 @@ func New() *Memory { return &Memory{pages: make(map[uint32]*page)} }
 
 func (m *Memory) page(addr uint32, create bool) *page {
 	pn := addr >> PageShift
+	if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage
+	}
+	if e := &m.cache[pn&pageCacheMask]; e.p != nil && e.pn == pn {
+		m.lastPN, m.lastPage = pn, e.p
+		return e.p
+	}
 	p := m.pages[pn]
-	if p == nil && create {
+	if p == nil {
+		if !create {
+			return nil
+		}
 		if m.pages == nil {
 			m.pages = make(map[uint32]*page)
 		}
 		p = new(page)
 		m.pages[pn] = p
 	}
+	m.lastPN, m.lastPage = pn, p
+	m.cache[pn&pageCacheMask] = pageCacheEntry{pn: pn, p: p}
 	return p
 }
 
@@ -121,10 +159,11 @@ func (m *Memory) PageCount() int { return len(m.pages) }
 // pages the other never allocated. Chaos-mode tests compare these digests
 // to assert that timing perturbation never changes architectural state.
 func (m *Memory) Hash() uint64 {
-	pns := make([]uint32, 0, len(m.pages))
+	pns := m.hashScratch[:0]
 	for pn := range m.pages {
 		pns = append(pns, pn)
 	}
+	m.hashScratch = pns
 	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
 	h := uint64(14695981039346656037) // FNV offset basis
 	mix := func(v uint64) {
@@ -148,4 +187,8 @@ func (m *Memory) Hash() uint64 {
 }
 
 // Reset drops all pages, returning the memory to all-zeroes.
-func (m *Memory) Reset() { m.pages = make(map[uint32]*page) }
+func (m *Memory) Reset() {
+	m.pages = make(map[uint32]*page)
+	m.lastPage = nil
+	m.cache = [pageCacheSize]pageCacheEntry{}
+}

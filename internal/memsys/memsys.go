@@ -79,3 +79,40 @@ type System interface {
 	DataMemory
 	InstMemory
 }
+
+// IdealInstFetch is implemented by instruction memories whose FetchInst
+// is pure: it always hits, returns readyAt == now, mutates no state and
+// keeps no statistics (the multiprocessor models its I-cache as ideal).
+// The core's fast-forward engine may then reason about the repeated
+// re-fetches of a stalled instruction without performing them, which
+// turns multi-cycle dependency-interlock and functional-unit stalls into
+// skippable regions on single-context and blocked-scheme processors.
+type IdealInstFetch interface {
+	// InstFetchIsIdeal reports whether FetchInst is pure as defined above.
+	InstFetchIsIdeal() bool
+}
+
+// Completer is implemented by memory systems that can report their
+// earliest outstanding completion. The core's stall fast-forward engine
+// consults it when deciding how far the clock may bulk-advance.
+type Completer interface {
+	// NextCompletion returns the cycle of the earliest in-flight fill
+	// completing strictly after now, or math.MaxInt64 when nothing is in
+	// flight.
+	NextCompletion(now int64) int64
+
+	// PullBasedTiming reports whether every observable state change in
+	// this memory system happens inside AccessData/FetchInst calls — i.e.
+	// a completed fill has no effect until the next access touches it
+	// (lazy install), and no background machinery acts on its own clock.
+	//
+	// When true, the fast-forward engine may skip an access-free region
+	// in one jump even if fills complete inside it: the completions are
+	// already priced into the waiters' wake-up times (DataResult.FillAt
+	// flows into context availability), and un-awaited completions are
+	// invisible until the next access, which lands on the same cycle
+	// either way. When false, the engine conservatively stops every skip
+	// at NextCompletion, which is exact for any memory system at the cost
+	// of shorter skips. Both systems in this repository are pull-based.
+	PullBasedTiming() bool
+}

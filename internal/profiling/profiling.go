@@ -1,0 +1,65 @@
+// Package profiling wires the standard -cpuprofile/-memprofile pprof
+// flags into the simulator commands, so hot-path regressions can be
+// diagnosed on any grid run without code edits:
+//
+//	experiments -quick -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the parsed profile destinations.
+type Flags struct {
+	CPU *string
+	Mem *string
+}
+
+// BindFlags registers -cpuprofile and -memprofile on fs.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		CPU: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		Mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling if requested and returns a stop function
+// that finishes the CPU profile and writes the heap profile. Call the
+// stop function on the command's success path (defers are skipped by
+// os.Exit error paths; a profile of a failed run is not useful anyway).
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *f.CPU != "" {
+		cpuFile, err = os.Create(*f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *f.Mem != "" {
+			mf, err := os.Create(*f.Mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		}
+	}, nil
+}

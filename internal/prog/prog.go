@@ -10,6 +10,7 @@ package prog
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -31,6 +32,20 @@ type Program struct {
 	Insts  []isa.Inst
 	Labels map[string]int
 	Init   []DataInit
+
+	decodeOnce sync.Once
+}
+
+// EnsureDecoded fills every instruction's precomputed issue-stage fields
+// (isa.Inst.Decode). Build calls it, so linked programs arrive decoded;
+// core.NewThread calls it again to cover hand-assembled Programs built as
+// struct literals. Safe under concurrent thread creation.
+func (p *Program) EnsureDecoded() {
+	p.decodeOnce.Do(func() {
+		for i := range p.Insts {
+			p.Insts[i].Decode()
+		}
+	})
 }
 
 // PCAddr returns the byte address of instruction index idx.
@@ -528,13 +543,15 @@ func (b *Builder) Build() (*Program, error) {
 	for k, v := range b.labels {
 		labels[k] = v
 	}
-	return &Program{
+	p := &Program{
 		Name:   b.name,
 		Base:   b.base,
 		Insts:  append([]isa.Inst(nil), b.insts...),
 		Labels: labels,
 		Init:   append([]DataInit(nil), b.inits...),
-	}, nil
+	}
+	p.EnsureDecoded()
+	return p, nil
 }
 
 // MustBuild is Build that panics on error; kernels use it because their

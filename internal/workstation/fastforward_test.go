@@ -1,0 +1,53 @@
+package workstation
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The workstation runner goes through Processor.Run in slice-sized
+// chunks, with scheduler interference and fill-draining at slice
+// boundaries — exactly the environment in which a fast-forward skip must
+// stop at a slice boundary and leave the hierarchy in the same state as
+// cycle-by-cycle stepping. Full-result identity pins that.
+func TestFastForwardEquivalenceWorkstation(t *testing.T) {
+	ks := testWorkload(t, "cfft2d", "gmtry", "tomcatv", "vpenta") // DC workload
+
+	for _, tc := range []struct {
+		scheme core.Scheme
+		ctx    int
+	}{
+		{core.Single, 1},
+		{core.Blocked, 2},
+		{core.Interleaved, 4},
+	} {
+		label := fmt.Sprintf("%v/%dctx", tc.scheme, tc.ctx)
+		cfg := quickConfig(tc.scheme, tc.ctx)
+		ff, err := Run(ks, cfg)
+		if err != nil {
+			t.Fatalf("%s fast-forward: %v", label, err)
+		}
+		ccfg := core.DefaultConfig(tc.scheme, tc.ctx)
+		ccfg.NoFastForward = true
+		offCfg := cfg
+		offCfg.Core = &ccfg
+		off, err := Run(ks, offCfg)
+		if err != nil {
+			t.Fatalf("%s stepped: %v", label, err)
+		}
+		if ff.Stats != off.Stats {
+			t.Errorf("%s: stats diverge\n fast-forwarded: %+v\n stepped:        %+v",
+				label, ff.Stats, off.Stats)
+		}
+		if ff.FairThroughput != off.FairThroughput {
+			t.Errorf("%s: fair throughput %v fast-forwarded, %v stepped",
+				label, ff.FairThroughput, off.FairThroughput)
+		}
+		if ff.Throughput != off.Throughput {
+			t.Errorf("%s: throughput %v fast-forwarded, %v stepped",
+				label, ff.Throughput, off.Throughput)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Performance measurement: Go micro/macro benchmarks plus the throughput
+# grid (cmd/bench), written to BENCH_<n>.json for regression tracking.
+#
+# Usage:
+#   scripts/bench.sh                    # benchmarks + current-grid JSON
+#   BASE_REF=<rev> scripts/bench.sh     # also rebuild cmd/bench at <rev>
+#                                       # in a throwaway worktree and embed
+#                                       # that run as the baseline, with
+#                                       # per-cell speedups
+#   BENCH_OUT=BENCH_2.json scripts/bench.sh   # choose the output file
+#
+# The committed BENCH_1.json was produced with BASE_REF set to the
+# revision preceding the fast-forward engine, so its speedup_vs_baseline
+# table measures the whole optimization stack.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${BENCH_OUT:-BENCH_1.json}
+
+# Go benchmarks: the serial-vs-parallel experiment grids, simulator
+# throughput, the fast-forward engine A/B, and the functional-memory
+# fast path.
+go test -run='^$' -bench='Table7|Table10|SimulatorThroughput|MPSimulatorThroughput' -benchtime=1x .
+go test -run='^$' -bench='BenchmarkStepFastForward' -benchtime=2s ./internal/core/
+go test -run='^$' -bench='BenchmarkMemAccess' -benchtime=1s ./internal/mem/
+
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+if [ -n "${BASE_REF:-}" ]; then
+    BASEDIR=$(mktemp -d /tmp/bench-base.XXXXXX)
+    BASEJSON=$BASEDIR/baseline.json
+    trap 'git worktree remove --force "$BASEDIR/wt" 2>/dev/null || true; rm -rf "$BASEDIR"' EXIT
+    git worktree add --detach "$BASEDIR/wt" "$BASE_REF"
+    # The bench tool is self-contained so the identical source builds
+    # against the old revision's internals.
+    cp -r cmd/bench "$BASEDIR/wt/cmd/"
+    (cd "$BASEDIR/wt" && go run ./cmd/bench \
+        -label "baseline-$BASE_REF" -commit "$(git rev-parse --short "$BASE_REF")" \
+        -out "$BASEJSON")
+    go run ./cmd/bench -commit "$COMMIT" -baseline "$BASEJSON" -out "$OUT"
+else
+    go run ./cmd/bench -commit "$COMMIT" -out "$OUT"
+fi
+
+echo "wrote $OUT"

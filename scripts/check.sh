@@ -22,3 +22,10 @@ GUARD_CHECKS=1 go test ./...
 # divergence).
 go run ./cmd/mpsim -app ocean -scheme interleaved -contexts 2 -procs 2 -steps 1 -chaos 20260805 >/dev/null
 go run ./cmd/mpsim -app barnes -scheme blocked -contexts 2 -procs 2 -steps 1 -chaos 7 -check-invariants >/dev/null
+
+# Optional performance pass: BENCH=1 scripts/check.sh additionally runs
+# the benchmark suite and regenerates the throughput grid JSON
+# (see scripts/bench.sh for BASE_REF / BENCH_OUT knobs).
+if [ -n "${BENCH:-}" ]; then
+    sh scripts/bench.sh
+fi
