@@ -22,50 +22,60 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/guard"
+	"repro/internal/metrics"
 	"repro/internal/profiling"
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
-	only := flag.String("only", "", "comma-separated subset of experiments to run")
-	jsonOut := flag.String("json", "", "also write raw results as JSON to this file")
-	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulation cells (1 = serial)")
-	gopts := guard.BindFlags(flag.CommandLine)
-	prof := profiling.BindFlags(flag.CommandLine)
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
 
-	// Failed grid cells degrade gracefully (their cells print FAIL) but
-	// still make the command exit non-zero, after all output and the JSON
-	// dump are written. Registered before the JSON defer so it runs last.
-	exitCode := 0
-	defer func() {
-		if exitCode != 0 {
-			os.Exit(exitCode)
-		}
-	}()
+// run is main with an explicit exit code so failure paths are testable:
+// every error — including a failed -json write, which used to os.Exit
+// from inside a defer and skip the profile flush — propagates a non-zero
+// code through the normal return path, after all defers have run.
+func run(args []string) (code int) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
+	only := fs.String("only", "", "comma-separated subset of experiments to run")
+	jsonOut := fs.String("json", "", "also write raw results as JSON to this file")
+	jobs := fs.Int("j", runtime.NumCPU(), "concurrent simulation cells (1 = serial)")
+	gopts := guard.BindFlags(fs)
+	prof := profiling.BindFlags(fs)
+	obs := metrics.BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
-	// Registered after the exit defer so profiles are flushed (LIFO)
-	// before a failing grid exits non-zero.
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "experiments:", guard.Report(err))
+		return 1
+	}
+
 	stopProf, err := prof.Start()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	defer stopProf()
 
+	// The JSON dump is written last (but before the profile flush above,
+	// defers being LIFO), so a failing grid still records every completed
+	// cell; a failed write makes the command exit non-zero.
 	jsonBlob := map[string]any{}
 	defer func() {
 		if *jsonOut == "" || len(jsonBlob) == 0 {
 			return
 		}
 		data, err := json.MarshalIndent(jsonBlob, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, data, 0o644)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: json:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: json:", err)
-			os.Exit(1)
+			if code == 0 {
+				code = 1
+			}
+			return
 		}
 		fmt.Fprintf(os.Stderr, "[raw results written to %s]\n", *jsonOut)
 	}()
@@ -88,17 +98,15 @@ func main() {
 	mcfg.Parallelism = *jobs
 	ucfg.Guard = *gopts
 	mcfg.Guard = *gopts
-
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "experiments:", guard.Report(err))
-		os.Exit(1)
-	}
+	ucfg.Obs = obs.Options()
+	mcfg.Obs = obs.Options()
 
 	if sel("table4") {
 		r, err := experiments.Table4()
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
+		jsonBlob["table4"] = r
 		fmt.Println(experiments.FormatTable4(r))
 		fmt.Println()
 	}
@@ -107,7 +115,7 @@ func main() {
 		if sel("fig2") {
 			b, i, err := experiments.Figure2()
 			if err != nil {
-				fail(err)
+				return fail(err)
 			}
 			fmt.Println("Figure 2: switch cost of a data miss with four active contexts")
 			fmt.Printf("(blocked pays %d switch slots, interleaved %d)\n\n",
@@ -119,7 +127,7 @@ func main() {
 		if sel("fig3") {
 			b, i, err := experiments.Figure3()
 			if err != nil {
-				fail(err)
+				return fail(err)
 			}
 			fmt.Println("Figure 3: four example threads (A:2, B:3 with dependency, C:4, D:6 insns),")
 			fmt.Println("each ending in a cache miss")
@@ -136,7 +144,7 @@ func main() {
 		start := time.Now()
 		r, err := experiments.RunUniprocessor(ucfg)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		uni = r
 		jsonBlob["workstation"] = r
@@ -151,7 +159,17 @@ func main() {
 					}
 				}
 			}
-			exitCode = 1
+			code = 1
+		}
+		var cells []obsCell
+		for _, c := range r.Cells {
+			cells = append(cells, obsCell{
+				label: fmt.Sprintf("%s-%v-%dctx", c.Workload, c.Scheme, c.Contexts),
+				m:     c.Metrics,
+			})
+		}
+		if err := writeGridMetrics(obs, "workstation", cells); err != nil {
+			return fail(err)
 		}
 	}
 	if sel("table7") {
@@ -171,7 +189,7 @@ func main() {
 		start := time.Now()
 		r, err := experiments.RunMultiprocessor(mcfg)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		mpr = r
 		jsonBlob["multiprocessor"] = r
@@ -186,7 +204,17 @@ func main() {
 					}
 				}
 			}
-			exitCode = 1
+			code = 1
+		}
+		var cells []obsCell
+		for _, c := range r.Cells {
+			cells = append(cells, obsCell{
+				label: fmt.Sprintf("%s-%v-%dctx", c.App, c.Scheme, c.Contexts),
+				m:     c.Metrics,
+			})
+		}
+		if err := writeGridMetrics(obs, "multiprocessor", cells); err != nil {
+			return fail(err)
 		}
 	}
 	if sel("table10") {
@@ -204,7 +232,7 @@ func main() {
 		start := time.Now()
 		r, err := experiments.RunAblations(ucfg)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "[ablations: %v]\n", time.Since(start).Round(time.Millisecond))
 		fmt.Println(experiments.FormatAblations(r))
@@ -215,7 +243,7 @@ func main() {
 		rcfg.Parallelism = *jobs
 		r, err := experiments.RunResponse(rcfg)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Println(experiments.FormatResponse(r))
 		fmt.Println()
@@ -224,40 +252,92 @@ func main() {
 	if sel("sweeps") {
 		start := time.Now()
 		if r, err := experiments.SwitchCostSweep(ucfg, "DC"); err != nil {
-			fail(err)
+			return fail(err)
 		} else {
 			fmt.Println(experiments.FormatSweep(r))
 			fmt.Println()
 		}
 		if r, err := experiments.ContextCountSweep(ucfg, "DC"); err != nil {
-			fail(err)
+			return fail(err)
 		} else {
 			fmt.Println(experiments.FormatSweep(r))
 			fmt.Println()
 		}
 		if r, err := experiments.MSHRSweep(ucfg, "DC"); err != nil {
-			fail(err)
+			return fail(err)
 		} else {
 			fmt.Println(experiments.FormatSweep(r))
 			fmt.Println()
 		}
 		if r, err := experiments.RemoteLatencySweep(mcfg, "ocean"); err != nil {
-			fail(err)
+			return fail(err)
 		} else {
 			fmt.Println(experiments.FormatSweep(r))
 			fmt.Println()
 		}
 		if r, err := experiments.IssueWidthSweep(ucfg, "R1"); err != nil {
-			fail(err)
+			return fail(err)
 		} else {
 			fmt.Println(experiments.FormatSweep(r))
 			fmt.Println()
 		}
 		if r, err := experiments.RunPrefetchComparison(ucfg); err != nil {
-			fail(err)
+			return fail(err)
 		} else {
 			fmt.Println(experiments.FormatPrefetchComparison(r))
 		}
 		fmt.Fprintf(os.Stderr, "[sweeps: %v]\n", time.Since(start).Round(time.Millisecond))
 	}
+	return code
+}
+
+// obsCell pairs one grid cell's observability record with its label.
+type obsCell struct {
+	label string
+	m     *metrics.CellMetrics
+}
+
+// writeGridMetrics exports a grid's observability records: every cell
+// concatenates into one JSON-lines file (each introduced by its "cell"
+// delimiter line), while traces — one Chrome trace JSON object per cell —
+// go to individually suffixed files. prefix keeps the workstation and
+// multiprocessor grids from overwriting each other's output.
+func writeGridMetrics(f *metrics.Flags, prefix string, cells []obsCell) error {
+	if f.MetricsOut != "" {
+		file, err := os.Create(metrics.SuffixPath(f.MetricsOut, prefix))
+		if err != nil {
+			return err
+		}
+		for _, c := range cells {
+			if c.m == nil {
+				continue
+			}
+			if err := metrics.WriteJSONL(file, c.m, c.label); err != nil {
+				file.Close()
+				return err
+			}
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+	}
+	if f.TraceOut != "" {
+		for _, c := range cells {
+			if c.m == nil {
+				continue
+			}
+			file, err := os.Create(metrics.SuffixPath(f.TraceOut, prefix+"."+c.label))
+			if err != nil {
+				return err
+			}
+			if err := metrics.WriteChromeTrace(file, c.m); err != nil {
+				file.Close()
+				return err
+			}
+			if err := file.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

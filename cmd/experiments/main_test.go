@@ -1,0 +1,43 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Regression: a failed -json write used to call os.Exit from inside a
+// defer, which skipped the remaining defers AND (on the marshal-error
+// path) could exit zero from a run whose output was never written. The
+// write error must surface as a non-zero return from run.
+func TestJSONWriteErrorPropagatesExitCode(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out.json")
+	if code := run([]string{"-only", "table4", "-json", bad, "-j", "1"}); code == 0 {
+		t.Errorf("run with unwritable -json path returned %d, want non-zero", code)
+	}
+}
+
+func TestJSONWriteSuccessExitsZero(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.json")
+	if code := run([]string{"-only", "table4", "-json", out, "-j", "1"}); code != 0 {
+		t.Fatalf("run returned %d, want 0", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("json output not written: %v", err)
+	}
+	var blob map[string]any
+	if err := json.Unmarshal(data, &blob); err != nil {
+		t.Fatalf("json output does not parse: %v", err)
+	}
+	if _, ok := blob["table4"]; !ok {
+		t.Errorf("json blob missing table4 section: %v", blob)
+	}
+}
+
+func TestBadFlagExitsNonZero(t *testing.T) {
+	if code := run([]string{"-no-such-flag"}); code == 0 {
+		t.Error("run with an unknown flag returned 0")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/guard"
+	"repro/internal/metrics"
 	"repro/internal/mp"
 	"repro/internal/profiling"
 	"repro/internal/prog"
@@ -60,6 +61,7 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulations for a -contexts list (1 = serial)")
 	gopts := guard.BindFlags(flag.CommandLine)
 	prof := profiling.BindFlags(flag.CommandLine)
+	obs := metrics.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	// On failure, print the structured diagnostic (when the error carries
@@ -106,6 +108,7 @@ func main() {
 		cfg.Processors = *procs
 		cfg.LimitCycles = *limit
 		cfg.Guard = *gopts
+		cfg.Obs = obs.Options()
 		p := app.Build(splash.Options{
 			CodeBase:     0x0100_0000,
 			DataBase:     0x5000_0000,
@@ -168,6 +171,17 @@ func main() {
 		t.AddRow("context switch", stats.Pct(bd.Switch))
 		t.AddRow("idle", stats.Pct(bd.Idle))
 		fmt.Println(t.String())
+
+		// With a -contexts list, each configuration gets its own suffixed
+		// output file; a single run writes the paths as given.
+		suffix := ""
+		if len(counts) > 1 {
+			suffix = fmt.Sprintf("%dctx", counts[i])
+		}
+		label := fmt.Sprintf("%s-%v-%dctx", *appName, sc, counts[i])
+		if err := obs.Write(res.Metrics, label, suffix); err != nil {
+			die(err)
+		}
 	}
 	stopProf()
 }

@@ -1,0 +1,65 @@
+// Command obscheck validates observability exports: JSON-lines metrics
+// files (-metrics-out) against the schema documented in
+// internal/metrics/export.go, and Chrome trace_event files (-trace-out)
+// against the phase set the exporter emits. scripts/check.sh runs it over
+// a small grid so schema drift fails CI instead of silently breaking
+// downstream consumers.
+//
+// Usage:
+//
+//	obscheck file.jsonl trace.json ...
+//
+// Files ending in .jsonl are checked as JSON-lines metrics; everything
+// else is checked as a Chrome trace. Exits non-zero on the first invalid
+// file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: obscheck file.jsonl trace.json ...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range flag.Args() {
+		file, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck:", err)
+			code = 1
+			continue
+		}
+		var n int
+		kind := "trace"
+		if strings.HasSuffix(path, ".jsonl") {
+			kind = "jsonl"
+			n, err = metrics.ValidateJSONL(file)
+		} else {
+			n, err = metrics.ValidateChromeTrace(file)
+		}
+		file.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		unit := "events"
+		if kind == "jsonl" {
+			unit = "lines"
+		}
+		fmt.Printf("ok %s (%d %s)\n", path, n, unit)
+	}
+	os.Exit(code)
+}

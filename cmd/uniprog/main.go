@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/guard"
+	"repro/internal/metrics"
 	"repro/internal/profiling"
 	"repro/internal/stats"
 	"repro/internal/workstation"
@@ -49,6 +50,7 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulations for a -contexts list (1 = serial)")
 	gopts := guard.BindFlags(flag.CommandLine)
 	prof := profiling.BindFlags(flag.CommandLine)
+	obs := metrics.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	// On failure, print the structured diagnostic (when the error carries
@@ -103,6 +105,7 @@ func main() {
 		cfg.OS.SliceCycles = *slice
 		cfg.MeasureRotations = *rotations
 		cfg.Guard = *gopts
+		cfg.Obs = obs.Options()
 		r, err := workstation.Run(kernels, cfg)
 		if err != nil {
 			return err
@@ -119,6 +122,16 @@ func main() {
 			fmt.Println()
 		}
 		report(len(kernels), sc, counts[i], res)
+		// With a -contexts list, each configuration gets its own suffixed
+		// output file; a single run writes the paths as given.
+		suffix := ""
+		if len(counts) > 1 {
+			suffix = fmt.Sprintf("%dctx", counts[i])
+		}
+		label := fmt.Sprintf("%s-%v-%dctx", *workload, sc, counts[i])
+		if err := obs.Write(res.Metrics, label, suffix); err != nil {
+			die(err)
+		}
 	}
 	stopProf()
 }

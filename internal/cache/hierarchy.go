@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/memsys"
+	"repro/internal/metrics"
 )
 
 // Stats counts hierarchy events by miss class plus fetch traffic.
@@ -50,7 +51,33 @@ type Hierarchy struct {
 	l2Free   int64
 	bankFree []int64
 
+	// obsSink, when non-nil, receives miss-start/miss-fill events. Every
+	// emission happens inside an access (or a fixed-cycle drain), so the
+	// stream is identical whether the core fast-forwards or steps.
+	obsSink *metrics.Sink
+
 	Stats Stats
+}
+
+// AttachMetrics registers the hierarchy's counters with the owning
+// processor's registry and installs its event sink. All counters here are
+// mutated only by this processor's own accesses, so they are safe to
+// sample at per-processor sample points. Nil is a no-op.
+func (h *Hierarchy) AttachMetrics(m *metrics.ProcMetrics) {
+	if m == nil {
+		return
+	}
+	h.obsSink = m.Sink
+	reg := m.Reg
+	reg.Register("cache/data-accesses", &h.Stats.DataAccesses)
+	for c := 0; c < memsys.NumMissClasses; c++ {
+		reg.Register("cache/data/"+memsys.MissClass(c).String(), &h.Stats.DataByClass[c])
+	}
+	reg.Register("cache/inst-fetches", &h.Stats.InstFetches)
+	reg.Register("cache/inst-misses", &h.Stats.InstMisses)
+	reg.Register("cache/writebacks", &h.Stats.Writebacks)
+	reg.Register("cache/prefetches-issued", &h.Stats.PrefetchesIssued)
+	reg.Register("cache/prefetches-useful", &h.Stats.PrefetchesUseful)
 }
 
 // NewHierarchy builds a hierarchy with parameters p.
@@ -110,8 +137,15 @@ func (h *Hierarchy) installReady(now, grace int64) {
 	}
 	slices.Sort(ready)
 	for _, line := range ready {
-		h.removePending(line, h.pending[line])
+		pf := h.pending[line]
+		h.removePending(line, pf)
 		h.installL1D(line)
+		if h.obsSink != nil {
+			h.obsSink.Emit(metrics.Event{
+				Cycle: now, Kind: metrics.KindMissFill, Ctx: -1,
+				Addr: line << uint32(h.L1D.lineShift), Arg: pf.fill,
+			})
+		}
 	}
 }
 
@@ -224,6 +258,12 @@ func (h *Hierarchy) AccessData(addr uint32, write bool, pc uint32, now int64) me
 			refill := h.P.Chaos.Perturb(int64(h.P.TLBPenalty))
 			h.tlbHold[page] = now + refill + fillHoldCycles
 			h.Stats.DataByClass[memsys.TLBMiss]++
+			if h.obsSink != nil {
+				h.obsSink.Emit(metrics.Event{
+					Cycle: now, Kind: metrics.KindMissStart, Ctx: -1,
+					Class: memsys.TLBMiss.String(), Addr: addr, PC: pc, Arg: now + refill,
+				})
+			}
 			return memsys.DataResult{FillAt: now + refill, Class: memsys.TLBMiss}
 		}
 		// Refill in hold: the Lookup above reinstalled the entry; the
@@ -237,6 +277,12 @@ func (h *Hierarchy) AccessData(addr uint32, write bool, pc uint32, now int64) me
 		h.removePending(line, pf)
 		h.installL1D(line)
 		h.notePrefetchUse(line)
+		if h.obsSink != nil {
+			h.obsSink.Emit(metrics.Event{
+				Cycle: now, Kind: metrics.KindMissFill, Ctx: -1,
+				Addr: line << uint32(h.L1D.lineShift), Arg: pf.fill,
+			})
+		}
 	}
 
 	if h.L1D.Present(addr) {
@@ -284,6 +330,12 @@ func (h *Hierarchy) AccessData(addr uint32, write bool, pc uint32, now int64) me
 	h.pending[line] = pendingFill{fill: fillAt}
 	h.Stats.DataByClass[class]++
 	h.maybePrefetch(line, pc, now)
+	if h.obsSink != nil {
+		h.obsSink.Emit(metrics.Event{
+			Cycle: now, Kind: metrics.KindMissStart, Ctx: -1,
+			Class: class.String(), Addr: addr, PC: pc, Arg: fillAt,
+		})
+	}
 	return memsys.DataResult{FillAt: fillAt, Class: class}
 }
 

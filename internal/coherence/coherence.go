@@ -21,6 +21,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/guard"
 	"repro/internal/memsys"
+	"repro/internal/metrics"
 )
 
 // Params configures the fabric. The paper's Table 8 ranges are garbled in
@@ -124,6 +125,28 @@ type Node struct {
 	// deterministic iteration for free.
 	pending []pendingFill
 	Stats   Stats
+	obsSink *metrics.Sink
+}
+
+// AttachMetrics registers the counters this node mutates through its own
+// execution with m's registry and installs its event sink. Stats.
+// Invalidations is deliberately absent: other nodes increment it, so at a
+// sample point its value depends on how far those nodes have advanced —
+// which fast-forwarding reorders within a block. Cross-node counters
+// belong in a cell-scope registry sampled where all processors settle
+// (internal/mp does this at guard-check boundaries).
+func (n *Node) AttachMetrics(m *metrics.ProcMetrics) {
+	if m == nil {
+		return
+	}
+	n.obsSink = m.Sink
+	reg := m.Reg
+	reg.Register("coh/accesses", &n.Stats.Accesses)
+	for c := 0; c < memsys.NumMissClasses; c++ {
+		reg.Register("coh/"+memsys.MissClass(c).String(), &n.Stats.ByClass[c])
+	}
+	reg.Register("coh/upgrades", &n.Stats.Upgrades)
+	reg.Register("coh/deferred", &n.Stats.Deferred)
 }
 
 // Fabric is the shared directory and interconnect for all nodes.
@@ -323,6 +346,12 @@ func (n *Node) AccessData(addr uint32, write bool, pc uint32, now int64) memsys.
 	// register and install.
 	if i := n.findPending(line); i >= 0 && n.pending[i].fill <= now {
 		exclusive := n.pending[i].exclusive
+		if n.obsSink != nil {
+			n.obsSink.Emit(metrics.Event{
+				Cycle: now, Kind: metrics.KindMissFill, Ctx: -1,
+				Addr: n.fab.lineAddr(line), Arg: n.pending[i].fill,
+			})
+		}
 		n.removePending(i)
 		// The request may have been invalidated while in flight (another
 		// node wrote the line): if so, the replay must re-request.
@@ -338,7 +367,7 @@ func (n *Node) AccessData(addr uint32, write bool, pc uint32, now int64) memsys.
 				// request time; the invalidation-acknowledgement latency
 				// makes the context wait like a miss.
 				n.Stats.Upgrades++
-				return n.miss(line, addr, write, now)
+				return n.miss(line, addr, write, pc, now)
 			}
 			n.cache.MarkDirty(addr)
 		}
@@ -351,7 +380,7 @@ func (n *Node) AccessData(addr uint32, write bool, pc uint32, now int64) memsys.
 		return memsys.DataResult{FillAt: n.pending[i].fill, Class: memsys.MSHRFull}
 	}
 
-	return n.miss(line, addr, write, now)
+	return n.miss(line, addr, write, pc, now)
 }
 
 // hasRight reports whether node n's copy of line is good for the access:
@@ -368,7 +397,7 @@ func (n *Node) hasRight(line uint32, write bool) bool {
 }
 
 // miss performs a directory transaction and returns the miss result.
-func (n *Node) miss(line, addr uint32, write bool, now int64) memsys.DataResult {
+func (n *Node) miss(line, addr uint32, write bool, pc uint32, now int64) memsys.DataResult {
 	f := n.fab
 
 	// Transaction serialization: while another node has an exclusive
@@ -388,6 +417,12 @@ func (n *Node) miss(line, addr uint32, write bool, now int64) memsys.DataResult 
 			retry := pf.fill + int64(32+5*n.id)
 			if min := now + int64(32+5*n.id); retry < min {
 				retry = min
+			}
+			if n.obsSink != nil {
+				n.obsSink.Emit(metrics.Event{
+					Cycle: now, Kind: metrics.KindSyncRetry, Ctx: -1,
+					Addr: addr, PC: pc, Arg: retry,
+				})
 			}
 			return memsys.DataResult{FillAt: retry, Class: memsys.RemoteCache}
 		}
@@ -419,6 +454,15 @@ func (n *Node) miss(line, addr uint32, write bool, now int64) memsys.DataResult 
 					other.removePending(j)
 				}
 				other.Stats.Invalidations++
+				// Attributed to the causing node's stream (its execution
+				// reaches this point identically in both run modes); the
+				// victim rides in Arg.
+				if n.obsSink != nil {
+					n.obsSink.Emit(metrics.Event{
+						Cycle: now, Kind: metrics.KindInval, Ctx: -1,
+						Addr: f.lineAddr(line), Arg: int64(i),
+					})
+				}
 			}
 		}
 		e.owner = n.id
@@ -441,6 +485,12 @@ func (n *Node) miss(line, addr uint32, write bool, now int64) memsys.DataResult 
 		n.pending = append(n.pending, pendingFill{line: line, fill: fill, exclusive: write})
 	}
 	n.Stats.ByClass[class]++
+	if n.obsSink != nil {
+		n.obsSink.Emit(metrics.Event{
+			Cycle: now, Kind: metrics.KindMissStart, Ctx: -1,
+			Class: class.String(), Addr: addr, PC: pc, Arg: fill,
+		})
+	}
 	return memsys.DataResult{FillAt: fill, Class: class}
 }
 

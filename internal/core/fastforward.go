@@ -171,6 +171,12 @@ func (p *Processor) boundEvent(until int64) int64 {
 // skipped issue slot to (cls, ctx) — the charge NextEvent reported for
 // the region. Calling it with a (target, cls, ctx) not obtained from
 // NextEvent breaks cycle accounting.
+//
+// SkipTo is deliberately branch-free with respect to observability so
+// the fast-forward loops can inline it: when Observed() is true, callers
+// must route skips through ObservedSkipTo instead (metrics.go), or the
+// skipped region never reaches the event trace and counter series. The
+// golden fast-forward-identity tests catch a missed dispatch.
 func (p *Processor) SkipTo(target int64, cls SlotClass, ctx int) {
 	n := target - p.cycle
 	if n <= 0 {

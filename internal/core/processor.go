@@ -8,6 +8,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/memsys"
+	"repro/internal/metrics"
 )
 
 // Scheme selects the context-multiplexing policy (paper §2-3).
@@ -228,6 +229,18 @@ type Processor struct {
 	// operation (functional value flow); used by tests to audit
 	// synchronization protocols.
 	MemWatch func(op isa.Op, addr, value uint32, ctx int, now int64)
+
+	// Observability (metrics.go). obs is nil when disabled, which keeps
+	// the hot path to one nil check; nextSample is MaxInt64 whenever
+	// sampling is off so Step pays a single always-false compare. The
+	// block sits at the end of the struct so the uninstrumented layout —
+	// which fields share a cache line on the stepping and fast-forward
+	// hot paths — is unchanged from the pre-observability processor.
+	obs         *metrics.ProcMetrics
+	obsSink     *metrics.Sink
+	ctxSlots    []int64 // per-context slot-class counters, Contexts × NumSlotClasses
+	nextSample  int64
+	sampleEvery int64
 }
 
 // NewProcessor builds a processor with config cfg over the given timing and
@@ -237,7 +250,7 @@ func NewProcessor(cfg Config, m memsys.System, fm *mem.Memory) (*Processor, erro
 		return nil, err
 	}
 	// rr starts at -1 so the first round-robin pick is context 0.
-	p := &Processor{Cfg: cfg, Mem: m, FMem: fm, cur: -1, rr: -1, forceNext: -1}
+	p := &Processor{Cfg: cfg, Mem: m, FMem: fm, cur: -1, rr: -1, forceNext: -1, nextSample: noSample}
 	if c, ok := m.(memsys.Completer); ok {
 		p.completer = c
 		p.capCompletions = !c.PullBasedTiming()
@@ -309,6 +322,9 @@ func (p *Processor) count(now int64, cls SlotClass, ctx int) {
 			th.Devoted++
 		}
 	}
+	if p.obs != nil {
+		p.obsCount(now, cls, ctx)
+	}
 	if p.Trace != nil {
 		p.Trace(TraceEvent{Cycle: now, Ctx: ctx, Class: cls})
 	}
@@ -328,7 +344,11 @@ func (p *Processor) Run(n int64) {
 		if until > end {
 			until = end
 		}
-		p.SkipTo(until, cls, ctx)
+		if p.obs != nil {
+			p.ObservedSkipTo(until, cls, ctx)
+		} else {
+			p.SkipTo(until, cls, ctx)
+		}
 	}
 }
 
@@ -352,7 +372,11 @@ func (p *Processor) RunUntilHalted(limit int64) (int64, bool) {
 		if until > end {
 			until = end
 		}
-		p.SkipTo(until, cls, ctx)
+		if p.obs != nil {
+			p.ObservedSkipTo(until, cls, ctx)
+		} else {
+			p.SkipTo(until, cls, ctx)
+		}
 	}
 	return p.cycle - start, p.AllHalted()
 }
@@ -369,6 +393,9 @@ func (p *Processor) Step() {
 	}
 	for w := 0; w < width; w++ {
 		p.issueSlot(now)
+	}
+	if p.cycle >= p.nextSample {
+		p.obsSampleTick()
 	}
 }
 
@@ -630,6 +657,9 @@ func (p *Processor) busySlot(now int64, c *hwContext, th *Thread, in *isa.Inst) 
 	th.Devoted++
 	th.Retired++
 	p.Stats.Retired++
+	if p.obs != nil {
+		p.obsIssue(now, cls, c, th)
+	}
 	if p.Trace != nil {
 		p.Trace(TraceEvent{Cycle: now, Ctx: c.idx, Class: cls, PC: th.PC, Inst: in.String()})
 	}
@@ -706,6 +736,9 @@ func (p *Processor) execute(c *hwContext, th *Thread, in *isa.Inst, now int64) {
 		p.shadowUntil = now + int64(p.Cfg.ExplicitSwitchCost)
 		p.shadowCtx = c.idx
 		p.cur = -1
+		if p.obsSink != nil {
+			p.obsCtxSwitch(now, c.idx, c.availCause, c.availableAt)
+		}
 		p.count(now, SlotSwitch, c.idx)
 		return
 
@@ -715,6 +748,9 @@ func (p *Processor) execute(c *hwContext, th *Thread, in *isa.Inst, now int64) {
 		th.PC++
 		c.availableAt = now + int64(in.Imm)
 		c.availCause = yieldCause(in.Region)
+		if p.obsSink != nil {
+			p.obsCtxSwitch(now, c.idx, c.availCause, c.availableAt)
+		}
 		p.count(now, SlotSwitch, c.idx)
 		return
 
@@ -877,6 +913,9 @@ func (p *Processor) executeMem(c *hwContext, th *Thread, in *isa.Inst, now int64
 		c.availableAt = maxI64(res.FillAt, now+depth)
 		c.availCause = cause
 		p.cur = -1
+		if p.obsSink != nil {
+			p.obsCtxSwitch(now, c.idx, cause, c.availableAt)
+		}
 		p.count(now, SlotSwitch, c.idx)
 		return false
 
@@ -888,6 +927,9 @@ func (p *Processor) executeMem(c *hwContext, th *Thread, in *isa.Inst, now int64
 		c.shadowUntil = now + depth
 		c.availableAt = maxI64(res.FillAt, now+depth)
 		c.availCause = cause
+		if p.obsSink != nil {
+			p.obsCtxSwitch(now, c.idx, cause, c.availableAt)
+		}
 		p.count(now, SlotSwitch, c.idx)
 		return false
 	}

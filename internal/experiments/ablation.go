@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 
 	"repro/internal/apps"
@@ -19,11 +20,14 @@ type AblationResult struct {
 	Rows      []AblationRow
 }
 
-// AblationRow is one variant's gains per workload.
+// AblationRow is one variant's gains per workload. Used of Total cells
+// entered the mean (cells without a positive gain are excluded).
 type AblationRow struct {
 	Name  string
 	Gains []float64
 	Mean  float64
+	Used  int
+	Total int
 }
 
 // RunAblations evaluates, at four contexts on the given workloads:
@@ -125,7 +129,10 @@ func RunAblations(cfg UniConfig) (*AblationResult, error) {
 			r := runs[len(workloads)*(vi+1)+wi]
 			row.Gains = append(row.Gains, r.FairThroughput/base[w])
 		}
-		row.Mean = stats.GeoMean(row.Gains)
+		var skipped int
+		row.Mean, skipped = stats.GeoMean(row.Gains)
+		row.Used = len(row.Gains) - skipped
+		row.Total = len(row.Gains)
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
@@ -138,6 +145,7 @@ func FormatAblations(r *AblationResult) string {
 	header := append([]string{"Variant"}, r.Workloads...)
 	header = append(header, "Mean")
 	t := stats.NewTable(header...)
+	var usedSum, totalSum int
 	for _, row := range r.Rows {
 		cells := []string{row.Name}
 		for _, g := range row.Gains {
@@ -145,7 +153,10 @@ func FormatAblations(r *AblationResult) string {
 		}
 		cells = append(cells, stats.Ratio(row.Mean))
 		t.AddRow(cells...)
+		usedSum += row.Used
+		totalSum += row.Total
 	}
 	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nMean: geometric mean over cells with a positive gain (%d of %d cells).\n", usedSum, totalSum)
 	return b.String()
 }

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The full degraded-cell reporting path: a grid with exactly one failed
+// cell must render FAIL in Table 10, exclude the cell from every
+// geometric mean (the GeoMean skip fix — a zero speedup must not crush
+// the mean), report the exclusion in the table footer, and still produce
+// valid JSON with the cell's Diagnostic attached.
+func TestDegradedCellReporting(t *testing.T) {
+	cfg := MPConfig{
+		Processors:    2,
+		Schemes:       []core.Scheme{core.Interleaved},
+		ContextCounts: []int{2},
+		Apps:          []string{"mp3d"},
+		Steps:         1,
+		LimitCycles:   50_000_000,
+		Seed:          1,
+		Parallelism:   2,
+	}
+	full, err := RunMultiprocessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Failures != 0 || len(full.Cells) != 2 {
+		t.Fatalf("calibration run: %+v", full)
+	}
+	c0, c1 := full.Cells[0].Cycles, full.Cells[1].Cycles
+	if c0 == c1 {
+		t.Skip("both cells take the same time; cannot split them with a budget")
+	}
+	// A budget between the two execution times fails exactly the slow cell.
+	lo, hi := c0, c1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	cfg.LimitCycles = (lo + hi) / 2
+	r, err := RunMultiprocessor(cfg)
+	if err != nil {
+		t.Fatalf("grid aborted instead of degrading: %v", err)
+	}
+	if r.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", r.Failures)
+	}
+
+	var failed *MPCell
+	for i := range r.Cells {
+		if r.Cells[i].Failed {
+			failed = &r.Cells[i]
+		}
+	}
+	if failed == nil {
+		t.Fatal("no failed cell recorded despite Failures=1")
+	}
+
+	// The failed cell carries the structured limit-time machine dump.
+	if failed.Diagnostic == "" {
+		t.Error("failed cell has no Diagnostic attached")
+	} else if !strings.Contains(failed.Diagnostic, "cycle budget") {
+		t.Errorf("Diagnostic does not explain the budget failure:\n%s", failed.Diagnostic)
+	}
+
+	// Excluded from every geomean: whichever cell failed, the measured
+	// (scheme, contexts) mean must cover fewer cells than the grid holds,
+	// and the mean itself must stay positive (not crushed toward zero by
+	// a 0.0 speedup).
+	mean, used, total := r.MeanSpeedupN(core.Interleaved, 2)
+	if used >= total {
+		t.Errorf("MeanSpeedupN used=%d total=%d: failed cell entered the mean", used, total)
+	}
+	if mean <= 0 || mean != mean {
+		t.Errorf("mean speedup %v after a failure", mean)
+	}
+
+	// Rendered FAIL, and the footer reports the exclusion.
+	table := FormatTable10(r)
+	if failed.Scheme != core.Single && !strings.Contains(table, "FAIL") {
+		t.Errorf("Table 10 does not flag the failed cell:\n%s", table)
+	}
+	if !strings.Contains(table, "of 1 cells") {
+		t.Errorf("Table 10 footer does not report coverage:\n%s", table)
+	}
+
+	// The result — Diagnostic and all — survives a JSON round trip.
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("degraded grid does not marshal: %v", err)
+	}
+	var back MPResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("degraded grid JSON does not parse: %v", err)
+	}
+	found := false
+	for _, c := range back.Cells {
+		if c.Failed {
+			found = true
+			if c.Failure == "" || c.Diagnostic != failed.Diagnostic {
+				t.Errorf("JSON round trip lost failure detail: %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Error("JSON round trip lost the failed cell")
+	}
+}

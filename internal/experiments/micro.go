@@ -8,6 +8,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/memsys"
+	"repro/internal/metrics"
 	"repro/internal/prog"
 	"repro/internal/stats"
 )
@@ -77,11 +78,13 @@ func Figure3Threads(dm *demoMem) []*prog.Program {
 	return []*prog.Program{a, bb, c, d}
 }
 
-// TimelineResult is a recorded micro-experiment run.
+// TimelineResult is a recorded micro-experiment run. Trace is the
+// structured event record (charge spans and issue events from the
+// observability layer) the timeline is rendered from.
 type TimelineResult struct {
 	Scheme core.Scheme
 	Cycles int64
-	Events []core.TraceEvent
+	Trace  *metrics.CellMetrics
 	Stats  core.Stats
 }
 
@@ -98,7 +101,8 @@ func Figure2() (blocked, interleaved *TimelineResult, err error) {
 			return nil, err
 		}
 		res := &TimelineResult{Scheme: s}
-		p.Trace = func(ev core.TraceEvent) { res.Events = append(res.Events, ev) }
+		col := metrics.NewCollector(metrics.Options{Events: true}, 1)
+		p.AttachMetrics(col.Proc(0))
 		mk := func(name string, f func(b *prog.Builder)) *core.Thread {
 			b := prog.NewBuilder(name, 0x1000, 0x100000, 1<<20)
 			f(b)
@@ -124,6 +128,7 @@ func Figure2() (blocked, interleaved *TimelineResult, err error) {
 		}
 		res.Cycles = cycles
 		res.Stats = p.Stats
+		res.Trace = col.Result()
 		return res, nil
 	}
 	if blocked, err = run(core.Blocked); err != nil {
@@ -146,7 +151,8 @@ func Figure3() (blocked, interleaved *TimelineResult, err error) {
 			return nil, err
 		}
 		res := &TimelineResult{Scheme: s}
-		p.Trace = func(ev core.TraceEvent) { res.Events = append(res.Events, ev) }
+		col := metrics.NewCollector(metrics.Options{Events: true}, 1)
+		p.AttachMetrics(col.Proc(0))
 		for i, pr := range progs {
 			p.BindThread(i, core.NewThread(pr.Name, pr))
 		}
@@ -156,6 +162,7 @@ func Figure3() (blocked, interleaved *TimelineResult, err error) {
 		}
 		res.Cycles = cycles
 		res.Stats = p.Stats
+		res.Trace = col.Result()
 		return res, nil
 	}
 	if blocked, err = run(core.Blocked); err != nil {
@@ -167,30 +174,58 @@ func Figure3() (blocked, interleaved *TimelineResult, err error) {
 	return blocked, interleaved, nil
 }
 
+// timelineChar maps a charged slot class (by its metrics name) to the
+// timeline marker: * switch overhead, m memory wait, I icache, _ idle,
+// . any pipeline stall.
+func timelineChar(class string) byte {
+	switch class {
+	case "switch":
+		return '*'
+	case "dmem":
+		return 'm'
+	case "icache":
+		return 'I'
+	case "idle":
+		return '_'
+	default:
+		return '.'
+	}
+}
+
 // FormatTimeline renders a Figure 2/3-style issue-slot timeline: one
 // letter per cycle naming the issuing context (A-D), or a marker for
 // non-issue slots (. stall, * switch overhead, m memory wait, I icache).
+// The timeline is reconstructed from the event trace — issue events mark
+// single cycles, charge spans paint stall regions — and assumes a
+// single-issue pipeline (one slot per cycle), which the micro experiments
+// use.
 func FormatTimeline(r *TimelineResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s scheme (%d cycles):\n  ", r.Scheme, r.Cycles)
-	for i, ev := range r.Events {
+	buf := make([]byte, r.Cycles)
+	for i := range buf {
+		buf[i] = '.'
+	}
+	if r.Trace != nil {
+		for _, ev := range r.Trace.Events {
+			switch ev.Kind {
+			case metrics.KindIssue:
+				if ev.Cycle < int64(len(buf)) {
+					buf[ev.Cycle] = byte('A' + ev.Ctx)
+				}
+			case metrics.KindCharge:
+				ch := timelineChar(ev.Class)
+				for c := ev.Cycle; c < ev.Cycle+ev.Span && c < int64(len(buf)); c++ {
+					buf[c] = ch
+				}
+			}
+		}
+	}
+	for i, ch := range buf {
 		if i > 0 && i%80 == 0 {
 			b.WriteString("\n  ")
 		}
-		switch {
-		case ev.Class == core.SlotBusy || ev.Class == core.SlotSyncBusy:
-			b.WriteByte(byte('A' + ev.Ctx))
-		case ev.Class == core.SlotSwitch:
-			b.WriteByte('*')
-		case ev.Class == core.SlotDMem:
-			b.WriteByte('m')
-		case ev.Class == core.SlotICache:
-			b.WriteByte('I')
-		case ev.Class == core.SlotIdle:
-			b.WriteByte('_')
-		default:
-			b.WriteByte('.')
-		}
+		b.WriteByte(ch)
 	}
 	b.WriteByte('\n')
 	return b.String()

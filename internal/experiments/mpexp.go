@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/guard"
+	"repro/internal/metrics"
 	"repro/internal/mp"
 	"repro/internal/prog"
 	"repro/internal/splash"
@@ -33,6 +34,10 @@ type MPConfig struct {
 	// is decorrelated per cell with DeriveSeed, so every cell perturbs its
 	// own private stream.
 	Guard guard.Options
+
+	// Obs configures per-cell observability; enabled, every cell carries
+	// its sampled counter series and event trace in MPCell.Metrics.
+	Obs metrics.Options
 }
 
 // DefaultMPConfig reproduces the paper's multiprocessor setup on 8 nodes.
@@ -77,6 +82,10 @@ type MPCell struct {
 	Failed     bool
 	Failure    string
 	Diagnostic string
+
+	// Metrics is the cell's observability record, nil unless MPConfig.Obs
+	// enabled instrumentation.
+	Metrics *metrics.CellMetrics `json:",omitempty"`
 }
 
 // MPResult holds the full multiprocessor evaluation.
@@ -100,13 +109,26 @@ func (r *MPResult) Cell(app string, s core.Scheme, n int) (MPCell, bool) {
 
 // MeanSpeedup is the geometric mean across apps for (scheme, contexts).
 func (r *MPResult) MeanSpeedup(s core.Scheme, n int) float64 {
+	m, _, _ := r.MeanSpeedupN(s, n)
+	return m
+}
+
+// MeanSpeedupN additionally reports coverage: used is the number of cells
+// that entered the mean, total the number of (s, n) cells in the grid.
+// Failed cells and cells without a positive speedup (e.g. a lost
+// baseline) are excluded from the mean rather than dragged in as zeros.
+func (r *MPResult) MeanSpeedupN(s core.Scheme, n int) (mean float64, used, total int) {
 	var xs []float64
 	for _, c := range r.Cells {
-		if c.Scheme == s && c.Contexts == n && !c.Failed && c.Speedup > 0 {
-			xs = append(xs, c.Speedup)
+		if c.Scheme == s && c.Contexts == n {
+			total++
+			if !c.Failed {
+				xs = append(xs, c.Speedup)
+			}
 		}
 	}
-	return stats.GeoMean(xs)
+	mean, skipped := stats.GeoMean(xs)
+	return mean, len(xs) - skipped, total
 }
 
 // RunMultiprocessor runs the full multiprocessor evaluation. Like
@@ -146,6 +168,7 @@ func RunMultiprocessor(cfg MPConfig) (*MPResult, error) {
 		mcfg.LimitCycles = cfg.LimitCycles
 		mcfg.Coherence.Seed = DeriveSeed(cfg.Seed, i)
 		mcfg.Guard = cellGuard(cfg.Guard, i)
+		mcfg.Obs = cfg.Obs
 		p := sp.app.Build(splash.Options{
 			CodeBase:     0x0100_0000,
 			DataBase:     0x5000_0000,
@@ -160,7 +183,14 @@ func RunMultiprocessor(cfg MPConfig) (*MPResult, error) {
 			return err
 		}
 		if !r.Completed {
-			return fmt.Errorf("experiments: %s under %v/%d exceeded the cycle limit", sp.name, sp.scheme, sp.contexts)
+			err := fmt.Errorf("%s under %v/%d exceeded the cycle limit", sp.name, sp.scheme, sp.contexts)
+			if r.Diag != nil {
+				// Carry the limit-time machine dump into the cell's
+				// Diagnostic so the degraded grid reports where the cell
+				// was wedged.
+				return guard.NewSimError("experiments.budget", err).At(r.Diag.Cycle).WithDiag(r.Diag)
+			}
+			return fmt.Errorf("experiments: %w", err)
 		}
 		runs[i] = r
 		return nil
@@ -190,6 +220,7 @@ func RunMultiprocessor(cfg MPConfig) (*MPResult, error) {
 		cell.Cycles = r.Cycles
 		cell.Breakdown = r.Stats.Breakdown()
 		cell.Completed = true
+		cell.Metrics = r.Metrics
 		if sp.scheme == core.Single && sp.contexts == 1 {
 			base = r
 			cell.Speedup = 1
@@ -225,6 +256,7 @@ func FormatTable10(r *MPResult) string {
 	header := append([]string{"Contexts", "Scheme"}, appNames...)
 	header = append(header, "Mean")
 	t := stats.NewTable(header...)
+	var usedSum, totalSum int
 	for _, n := range r.Cfg.ContextCounts {
 		for _, s := range []core.Scheme{core.Interleaved, core.Blocked} {
 			row := []string{fmt.Sprintf("%d", n), s.String()}
@@ -244,11 +276,15 @@ func FormatTable10(r *MPResult) string {
 			if !found {
 				continue
 			}
-			row = append(row, stats.Ratio(r.MeanSpeedup(s, n)))
+			mean, used, total := r.MeanSpeedupN(s, n)
+			usedSum += used
+			totalSum += total
+			row = append(row, stats.Ratio(mean))
 			t.AddRow(row...)
 		}
 	}
 	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nMean: geometric mean over cells with a positive speedup (%d of %d cells).\n", usedSum, totalSum)
 	return b.String()
 }
 

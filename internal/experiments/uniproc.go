@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/guard"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workstation"
 )
@@ -35,6 +36,10 @@ type UniConfig struct {
 	// is decorrelated per cell with DeriveSeed, so every cell perturbs its
 	// own private stream.
 	Guard guard.Options
+
+	// Obs configures per-cell observability; enabled, every cell carries
+	// its sampled counter series and event trace in UniCell.Metrics.
+	Obs metrics.Options
 }
 
 // DefaultUniConfig reproduces the paper's setup (time-scaled).
@@ -80,6 +85,10 @@ type UniCell struct {
 	Failed     bool
 	Failure    string
 	Diagnostic string
+
+	// Metrics is the cell's observability record, nil unless UniConfig.Obs
+	// enabled instrumentation.
+	Metrics *metrics.CellMetrics `json:",omitempty"`
 }
 
 // UniResult holds every cell of the workstation evaluation, including the
@@ -105,13 +114,26 @@ func (r *UniResult) Cell(w string, s core.Scheme, n int) (UniCell, bool) {
 // MeanGain returns the geometric-mean throughput gain across workloads for
 // (scheme, contexts) — the Mean column of Table 7.
 func (r *UniResult) MeanGain(s core.Scheme, n int) float64 {
+	m, _, _ := r.MeanGainN(s, n)
+	return m
+}
+
+// MeanGainN additionally reports coverage: used is the number of cells
+// that entered the mean, total the number of (s, n) cells in the grid.
+// Failed cells and cells without a positive gain (e.g. a lost baseline)
+// are excluded from the mean rather than dragged in as zeros.
+func (r *UniResult) MeanGainN(s core.Scheme, n int) (mean float64, used, total int) {
 	var gs []float64
 	for _, c := range r.Cells {
-		if c.Scheme == s && c.Contexts == n && !c.Failed && c.Gain > 0 {
-			gs = append(gs, c.Gain)
+		if c.Scheme == s && c.Contexts == n {
+			total++
+			if !c.Failed {
+				gs = append(gs, c.Gain)
+			}
 		}
 	}
-	return stats.GeoMean(gs)
+	mean, skipped := stats.GeoMean(gs)
+	return mean, len(gs) - skipped, total
 }
 
 // RunUniprocessor runs the full workstation evaluation. The cells — one
@@ -152,6 +174,7 @@ func RunUniprocessor(cfg UniConfig) (*UniResult, error) {
 		wcfg.MeasureRotations = cfg.MeasureRotations
 		wcfg.Seed = DeriveSeed(cfg.Seed, i)
 		wcfg.Guard = cellGuard(cfg.Guard, i)
+		wcfg.Obs = cfg.Obs
 		r, err := workstation.Run(sp.kernels, wcfg)
 		if err != nil {
 			return err
@@ -183,6 +206,7 @@ func RunUniprocessor(cfg UniConfig) (*UniResult, error) {
 		}
 		cell.Busy = r.Throughput
 		cell.Breakdown = r.Stats.Breakdown()
+		cell.Metrics = r.Metrics
 		if sp.scheme == core.Single && sp.contexts == 1 {
 			base = r
 			cell.Gain = 1
@@ -207,6 +231,7 @@ func FormatTable7(r *UniResult) string {
 	header := append([]string{"Contexts", "Scheme"}, workloads...)
 	header = append(header, "Mean")
 	t := stats.NewTable(header...)
+	var usedSum, totalSum int
 	for _, n := range r.Cfg.ContextCounts {
 		for _, s := range []core.Scheme{core.Interleaved, core.Blocked} {
 			found := false
@@ -226,11 +251,15 @@ func FormatTable7(r *UniResult) string {
 			if !found {
 				continue
 			}
-			row = append(row, stats.Ratio(r.MeanGain(s, n)))
+			mean, used, total := r.MeanGainN(s, n)
+			usedSum += used
+			totalSum += total
+			row = append(row, stats.Ratio(mean))
 			t.AddRow(row...)
 		}
 	}
 	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nMean: geometric mean over cells with a positive gain (%d of %d cells).\n", usedSum, totalSum)
 	return b.String()
 }
 

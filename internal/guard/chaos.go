@@ -17,6 +17,11 @@ type Chaos struct {
 	state uint64
 	seed  int64
 	skew  int64
+
+	// Draws counts the perturbations drawn. Exported as a field (not a
+	// method) so an observability registry can register its address; the
+	// drivers surface it as the "chaos/draws" cell counter.
+	Draws int64
 }
 
 // NewChaos returns a perturber seeded with seed whose Jitter values lie
@@ -49,6 +54,7 @@ func (c *Chaos) Jitter() int64 {
 	if c == nil || c.skew == 0 {
 		return 0
 	}
+	c.Draws++
 	return int64(c.next() % uint64(c.skew+1))
 }
 

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// JSON-lines export. Every line is one JSON object with a "type" field:
+//
+//	{"type":"meta","sample_every":N}
+//	{"type":"cell","label":"..."}                      — optional grid-cell delimiter
+//	{"type":"series","scope":"proc"|"cell","proc":i,"every":N,"names":[...]}
+//	{"type":"sample","scope":"proc"|"cell","proc":i,"cycle":C,"values":[...]}
+//	{"type":"event","kind":"...","cycle":C,"proc":i,"ctx":k,...}
+//
+// Sample lines follow their series line and carry exactly len(names)
+// values: the counter readings after every cycle < C completed. Cycles are
+// non-decreasing within one (scope, proc) stream and within the event
+// stream. cmd/obscheck validates all of this.
+
+type metaLine struct {
+	Type        string `json:"type"`
+	SampleEvery int64  `json:"sample_every,omitempty"`
+}
+
+type cellLine struct {
+	Type  string `json:"type"`
+	Label string `json:"label"`
+}
+
+type seriesLine struct {
+	Type  string   `json:"type"`
+	Scope string   `json:"scope"`
+	Proc  int      `json:"proc"`
+	Every int64    `json:"every"`
+	Names []string `json:"names"`
+}
+
+type sampleLine struct {
+	Type   string  `json:"type"`
+	Scope  string  `json:"scope"`
+	Proc   int     `json:"proc"`
+	Cycle  int64   `json:"cycle"`
+	Values []int64 `json:"values"`
+}
+
+type eventLine struct {
+	Type string `json:"type"`
+	Event
+}
+
+// WriteJSONL writes m as JSON-lines. label, when non-empty, prefixes the
+// records with a cell-delimiter line so several cells can share one file.
+func WriteJSONL(w io.Writer, m *CellMetrics, label string) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if label != "" {
+		if err := enc.Encode(cellLine{Type: "cell", Label: label}); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(metaLine{Type: "meta", SampleEvery: m.SampleEvery}); err != nil {
+		return err
+	}
+	series := func(scope string, s *Series) error {
+		if err := enc.Encode(seriesLine{Type: "series", Scope: scope, Proc: s.Proc, Every: s.Every, Names: s.Names}); err != nil {
+			return err
+		}
+		for _, sm := range s.Samples {
+			if err := enc.Encode(sampleLine{Type: "sample", Scope: scope, Proc: s.Proc, Cycle: sm.Cycle, Values: sm.Values}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range m.Procs {
+		if err := series("proc", &m.Procs[i]); err != nil {
+			return err
+		}
+	}
+	if m.Cell != nil {
+		if err := series("cell", m.Cell); err != nil {
+			return err
+		}
+	}
+	for _, ev := range m.Events {
+		if err := enc.Encode(eventLine{Type: "event", Event: ev}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Chrome trace_event export: the JSON object format ("traceEvents"),
+// loadable directly in Perfetto / chrome://tracing. Simulated cycles are
+// mapped onto trace microseconds. Charge spans and issues become complete
+// ("X") events on track (pid=proc, tid=ctx); other records become instant
+// ("i") events; counter samples become counter ("C") tracks carrying the
+// per-class slot counters.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes m in Chrome trace_event format.
+func WriteChromeTrace(w io.Writer, m *CellMetrics) error {
+	var tr chromeTrace
+	tr.DisplayTimeUnit = "ms"
+	for _, ev := range m.Events {
+		ce := chromeEvent{Ts: ev.Cycle, Pid: ev.Proc, Tid: ev.Ctx}
+		switch ev.Kind {
+		case KindCharge:
+			span := ev.Span
+			ce.Ph, ce.Name, ce.Cat, ce.Dur = "X", ev.Class, "slots", &span
+		case KindIssue:
+			one := int64(1)
+			ce.Ph, ce.Name, ce.Cat, ce.Dur = "X", ev.Class, "issue", &one
+		default:
+			ce.Ph, ce.Name, ce.Cat, ce.S = "i", ev.Kind, "events", "t"
+			args := map[string]any{}
+			if ev.Class != "" {
+				args["class"] = ev.Class
+			}
+			if ev.Addr != 0 {
+				args["addr"] = fmt.Sprintf("%#x", ev.Addr)
+			}
+			if ev.Arg != 0 {
+				args["arg"] = ev.Arg
+			}
+			if len(args) > 0 {
+				ce.Args = args
+			}
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ce)
+	}
+	for _, s := range m.Procs {
+		tr.TraceEvents = append(tr.TraceEvents, counterEvents(&s)...)
+	}
+	if m.Cell != nil {
+		tr.TraceEvents = append(tr.TraceEvents, counterEvents(m.Cell)...)
+	}
+	enc, err := json.Marshal(&tr)
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// counterEvents renders a series' slot-class counters (names beginning
+// "slots/") as one stacked counter track, and every other counter as an
+// individually named track.
+func counterEvents(s *Series) []chromeEvent {
+	var out []chromeEvent
+	for _, sm := range s.Samples {
+		slots := map[string]any{}
+		for i, name := range s.Names {
+			if i >= len(sm.Values) {
+				break
+			}
+			if rest, ok := strings.CutPrefix(name, "slots/"); ok {
+				slots[rest] = sm.Values[i]
+				continue
+			}
+			out = append(out, chromeEvent{
+				Name: name, Ph: "C", Ts: sm.Cycle, Pid: s.Proc,
+				Args: map[string]any{"value": sm.Values[i]},
+			})
+		}
+		if len(slots) > 0 {
+			out = append(out, chromeEvent{Name: "slots", Ph: "C", Ts: sm.Cycle, Pid: s.Proc, Args: slots})
+		}
+	}
+	return out
+}

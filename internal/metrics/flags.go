@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Flags carries the observability command-line surface shared by
+// cmd/experiments, cmd/uniprog and cmd/mpsim.
+type Flags struct {
+	MetricsOut  string
+	TraceOut    string
+	SampleEvery int64
+}
+
+// DefaultSampleEvery is the sampling period used when -metrics-out is
+// given without an explicit -sample-every.
+const DefaultSampleEvery = 4096
+
+// BindFlags registers the observability flags on fs.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write sampled metric series (and any recorded events) as JSON-lines to this file")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write the event trace in Chrome trace_event format (Perfetto-loadable) to this file")
+	fs.Int64Var(&f.SampleEvery, "sample-every", 0, "sampling period in simulated cycles (default 4096 when -metrics-out is set)")
+	return f
+}
+
+// Options resolves the flags into simulation options: -trace-out turns on
+// the event trace, -metrics-out turns on sampling (defaulting the period),
+// and an explicit -sample-every turns on sampling even when the series are
+// only consumed through a -json blob.
+func (f *Flags) Options() Options {
+	o := Options{SampleEvery: f.SampleEvery, Events: f.TraceOut != ""}
+	if f.MetricsOut != "" && o.SampleEvery == 0 {
+		o.SampleEvery = DefaultSampleEvery
+	}
+	return o
+}
+
+// Write exports m to the configured files. label tags the cell inside the
+// JSON-lines output; suffix (when non-empty) is inserted before each file
+// extension so multi-cell commands can emit one file per cell.
+func (f *Flags) Write(m *CellMetrics, label, suffix string) error {
+	if m == nil {
+		return nil
+	}
+	if f.MetricsOut != "" {
+		file, err := os.Create(SuffixPath(f.MetricsOut, suffix))
+		if err != nil {
+			return err
+		}
+		if err := WriteJSONL(file, m, label); err != nil {
+			file.Close()
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+	}
+	if f.TraceOut != "" {
+		file, err := os.Create(SuffixPath(f.TraceOut, suffix))
+		if err != nil {
+			return err
+		}
+		if err := WriteChromeTrace(file, m); err != nil {
+			file.Close()
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SuffixPath inserts ".suffix" before path's extension: SuffixPath("a/b.jsonl",
+// "4ctx") is "a/b.4ctx.jsonl". An empty suffix returns path unchanged.
+func SuffixPath(path, suffix string) string {
+	if suffix == "" {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + suffix + ext
+}

@@ -1,0 +1,413 @@
+// Package metrics is the simulator's observability layer: a counter
+// registry sampled into cycle-keyed time series, plus a structured event
+// trace, in the periodic-stat-dump style of gem5-like simulators.
+//
+// The design constraints come from the fast-forward engine (PR 3):
+//
+//   - Zero allocation, ~zero cost on the hot path when disabled. Counters
+//     are plain *int64 pointers at existing stats fields; the simulator
+//     core pays one nil check per cycle when observability is off.
+//   - Mode independence. A fast-forwarded run and a cycle-by-cycle run of
+//     the same cell must produce byte-identical series and event streams.
+//     Samples are keyed to simulated cycles (never to how the simulator
+//     reached them), and bulk charges from SkipTo feed the same span
+//     coalescer as per-cycle charges, so both modes emit identical
+//     charge-span events.
+//
+// Scope matters for mode independence on the multiprocessor: a counter may
+// be registered with a per-processor registry only if it is mutated
+// exclusively by that processor's own execution (its slot accounting, its
+// cache counters). Counters mutated across processors (directory
+// invalidations, the shared chaos draw counter) live in a cell-scope
+// registry that the MP driver samples only at lockstep block boundaries,
+// where every processor has settled to the same cycle in both modes.
+package metrics
+
+import (
+	"sort"
+)
+
+// Options configures observability for one simulated cell.
+type Options struct {
+	// SampleEvery is the sampling period in simulated cycles; 0 disables
+	// time-series sampling.
+	SampleEvery int64
+	// Events enables the structured event trace.
+	Events bool
+	// RingCap caps the number of retained samples per series (ring
+	// semantics: oldest samples are dropped first). 0 means DefaultRingCap.
+	RingCap int
+	// EventCap caps the number of retained events per processor sink
+	// (newest events beyond the cap are dropped and counted). 0 means
+	// DefaultEventCap.
+	EventCap int
+}
+
+// Defaults for the ring-buffer capacities.
+const (
+	DefaultRingCap  = 1 << 13
+	DefaultEventCap = 1 << 19
+)
+
+// Enabled reports whether the options ask for any instrumentation.
+func (o Options) Enabled() bool { return o.SampleEvery > 0 || o.Events }
+
+func (o Options) ringCap() int {
+	if o.RingCap > 0 {
+		return o.RingCap
+	}
+	return DefaultRingCap
+}
+
+func (o Options) eventCap() int {
+	if o.EventCap > 0 {
+		return o.EventCap
+	}
+	return DefaultEventCap
+}
+
+// A Registry holds named counters. Registration stores a pointer to the
+// owner's existing int64 field, so updating a registered counter is the
+// ordinary field increment the simulator already performs — the registry
+// only reads through the pointers at sample time.
+type Registry struct {
+	names []string
+	ptrs  []*int64
+}
+
+// Register adds a named counter backed by ptr.
+func (r *Registry) Register(name string, ptr *int64) {
+	r.names = append(r.names, name)
+	r.ptrs = append(r.ptrs, ptr)
+}
+
+// Names returns the registered counter names in registration order.
+func (r *Registry) Names() []string { return r.names }
+
+// read snapshots every counter into a fresh slice.
+func (r *Registry) read() []int64 {
+	vals := make([]int64, len(r.ptrs))
+	for i, p := range r.ptrs {
+		vals[i] = *p
+	}
+	return vals
+}
+
+// A Sample is one snapshot of a registry: the counter values after every
+// cycle < Cycle has completed.
+type Sample struct {
+	Cycle  int64   `json:"cycle"`
+	Values []int64 `json:"values"`
+}
+
+// A Sampler snapshots a registry into a ring-buffered time series.
+type Sampler struct {
+	reg     *Registry
+	cap     int
+	start   int // ring head in samples
+	samples []Sample
+	dropped int64
+}
+
+// NewSampler returns a sampler over reg retaining up to ringCap samples.
+func NewSampler(reg *Registry, ringCap int) *Sampler {
+	if ringCap < 1 {
+		ringCap = 1
+	}
+	return &Sampler{reg: reg, cap: ringCap}
+}
+
+// SampleAt records a snapshot keyed to the given cycle. Callers must
+// invoke it at exactly the cycles the sampling period dictates; the
+// sampler itself has no notion of simulated time.
+func (s *Sampler) SampleAt(cycle int64) {
+	sm := Sample{Cycle: cycle, Values: s.reg.read()}
+	if len(s.samples) < s.cap {
+		s.samples = append(s.samples, sm)
+		return
+	}
+	s.samples[s.start] = sm
+	s.start = (s.start + 1) % s.cap
+	s.dropped++
+}
+
+// Samples returns the retained samples in cycle order.
+func (s *Sampler) Samples() []Sample {
+	if s.start == 0 {
+		return s.samples
+	}
+	out := make([]Sample, 0, len(s.samples))
+	out = append(out, s.samples[s.start:]...)
+	out = append(out, s.samples[:s.start]...)
+	return out
+}
+
+// Dropped returns how many old samples the ring discarded.
+func (s *Sampler) Dropped() int64 { return s.dropped }
+
+// Event kinds. Stored as the strings the exporters emit; assignments of
+// these constants never allocate.
+const (
+	KindCharge       = "charge"        // a span of issue slots charged to one class
+	KindIssue        = "issue"         // an instruction issued (busy / sync-busy slot)
+	KindMissStart    = "miss-start"    // a memory access missed; Arg is the scheduled fill cycle
+	KindMissFill     = "miss-fill"     // a miss's fill was consumed; Arg is the scheduled fill cycle
+	KindCtxSwitch    = "ctx-switch"    // a context switch began (miss, SWITCH or BACKOFF)
+	KindSyncRetry    = "sync-retry"    // a coherence request was NAKed and will retry; Arg is the retry cycle
+	KindInval        = "inval"         // this processor's write invalidated another node's copy; Arg is the victim node
+	KindWatchdogArm  = "watchdog-arm"  // the liveness watchdog saw a window with no useful progress
+	KindWatchdogTrip = "watchdog-trip" // the watchdog declared the simulation stalled
+)
+
+// An Event is one structured trace record. Class carries a slot-class or
+// miss-class name depending on Kind. Ctx is -1 when no hardware context is
+// involved.
+type Event struct {
+	Cycle int64  `json:"cycle"`
+	Kind  string `json:"kind"`
+	Proc  int    `json:"proc"`
+	Ctx   int    `json:"ctx"`
+	Class string `json:"class,omitempty"`
+	Addr  uint32 `json:"addr,omitempty"`
+	PC    uint32 `json:"pc,omitempty"`
+	Span  int64  `json:"span,omitempty"`
+	Arg   int64  `json:"arg,omitempty"`
+}
+
+// A Sink records one processor's event stream. Slot charges pass through a
+// span coalescer: contiguous charges of the same (class, context) merge
+// into a single KindCharge event, and any other emission flushes the
+// pending span first. A fast-forward SkipTo that bulk-charges a region
+// therefore produces exactly the event a cycle-by-cycle run of the same
+// region produces.
+type Sink struct {
+	proc    int
+	cap     int
+	events  []Event
+	dropped int64
+
+	pending    Event
+	hasPending bool
+}
+
+// NewSink returns a sink for processor proc retaining up to eventCap
+// events.
+func NewSink(proc, eventCap int) *Sink {
+	if eventCap < 1 {
+		eventCap = 1
+	}
+	return &Sink{proc: proc, cap: eventCap}
+}
+
+// Charge accounts span cycles starting at cycle to (class, ctx). Multiple
+// same-cycle calls (one per issue slot on a wide pipeline) collapse into
+// the cycle's single charge; contiguous cycles extend the pending span.
+func (s *Sink) Charge(cycle int64, class string, ctx int, span int64) {
+	if s.hasPending && s.pending.Class == class && s.pending.Ctx == ctx {
+		end := s.pending.Cycle + s.pending.Span
+		if cycle == end {
+			s.pending.Span += span
+			return
+		}
+		if cycle+span <= end {
+			// Another issue slot of an already-charged cycle.
+			return
+		}
+	}
+	s.flush()
+	s.pending = Event{Cycle: cycle, Kind: KindCharge, Proc: s.proc, Ctx: ctx, Class: class, Span: span}
+	s.hasPending = true
+}
+
+// Emit records a non-charge event, flushing any pending charge span first
+// so the stream stays in cycle order.
+func (s *Sink) Emit(ev Event) {
+	s.flush()
+	ev.Proc = s.proc
+	s.append(ev)
+}
+
+// Flush closes the pending charge span. Call once when the run ends.
+func (s *Sink) Flush() { s.flush() }
+
+func (s *Sink) flush() {
+	if s.hasPending {
+		s.hasPending = false
+		s.append(s.pending)
+	}
+}
+
+func (s *Sink) append(ev Event) {
+	if len(s.events) >= s.cap {
+		s.dropped++
+		return
+	}
+	s.events = append(s.events, ev)
+}
+
+// Events returns the recorded events; call Flush first.
+func (s *Sink) Events() []Event { return s.events }
+
+// Dropped returns how many events were discarded once the cap was hit.
+func (s *Sink) Dropped() int64 { return s.dropped }
+
+// ProcMetrics bundles one processor's observability hooks: its private
+// counter registry, the sampler over it, and its event sink. Sampler and
+// Sink are nil when the corresponding Options half is disabled.
+type ProcMetrics struct {
+	ID      int
+	Every   int64 // sampling period; 0 when sampling is off
+	Reg     *Registry
+	Sampler *Sampler
+	Sink    *Sink
+}
+
+// A Collector owns the metrics of one simulated cell: per-processor
+// ProcMetrics plus the cell-scope registry for counters mutated across
+// processors (sampled by the driver only at cycles where all processors
+// have settled, so fast-forwarded and stepped runs agree).
+type Collector struct {
+	opts        Options
+	procs       []*ProcMetrics
+	cellReg     Registry
+	cellSampler *Sampler
+	cellEvery   int64
+}
+
+// NewCollector builds a collector for procs processors, or returns nil
+// when opts enable nothing (callers pass the nil straight through).
+func NewCollector(opts Options, procs int) *Collector {
+	if !opts.Enabled() {
+		return nil
+	}
+	c := &Collector{opts: opts}
+	for i := 0; i < procs; i++ {
+		pm := &ProcMetrics{ID: i, Reg: &Registry{}}
+		if opts.SampleEvery > 0 {
+			pm.Every = opts.SampleEvery
+			pm.Sampler = NewSampler(pm.Reg, opts.ringCap())
+		}
+		if opts.Events {
+			pm.Sink = NewSink(i, opts.eventCap())
+		}
+		c.procs = append(c.procs, pm)
+	}
+	if opts.SampleEvery > 0 {
+		c.cellSampler = NewSampler(&c.cellReg, opts.ringCap())
+	}
+	return c
+}
+
+// Proc returns processor i's hooks (nil-safe on a nil collector).
+func (c *Collector) Proc(i int) *ProcMetrics {
+	if c == nil {
+		return nil
+	}
+	return c.procs[i]
+}
+
+// CellRegistry returns the cell-scope registry (nil on a nil collector).
+func (c *Collector) CellRegistry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return &c.cellReg
+}
+
+// SampleEvery returns the configured sampling period (0 when disabled or
+// the collector is nil).
+func (c *Collector) SampleEvery() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.opts.SampleEvery
+}
+
+// SetCellCadence records the period the driver actually samples the cell
+// registry at, when settle points force it to round the configured period
+// up (the MP driver rounds to its lockstep block size). Nil-safe.
+func (c *Collector) SetCellCadence(every int64) {
+	if c == nil {
+		return
+	}
+	c.cellEvery = every
+}
+
+// SampleCell snapshots the cell-scope registry at the given cycle. The
+// driver must call it only at cycles where every processor has settled
+// exactly to cycle — on the MP that is a lockstep block boundary.
+func (c *Collector) SampleCell(cycle int64) {
+	if c == nil || c.cellSampler == nil {
+		return
+	}
+	c.cellSampler.SampleAt(cycle)
+}
+
+// Series is one exported time series: the counter names and the sampled
+// values. Proc is -1 for the cell-scope series.
+type Series struct {
+	Proc    int      `json:"proc"`
+	Every   int64    `json:"every"`
+	Names   []string `json:"names"`
+	Samples []Sample `json:"samples"`
+	Dropped int64    `json:"dropped_samples,omitempty"`
+}
+
+// CellMetrics is the complete, export-ready observability record of one
+// simulated cell.
+type CellMetrics struct {
+	SampleEvery   int64    `json:"sample_every,omitempty"`
+	Procs         []Series `json:"procs,omitempty"`
+	Cell          *Series  `json:"cell,omitempty"`
+	Events        []Event  `json:"events,omitempty"`
+	DroppedEvents int64    `json:"dropped_events,omitempty"`
+}
+
+// Result flushes every sink and assembles the cell's metrics. Events from
+// all processors are merged into a single stream ordered by (cycle, proc);
+// each per-processor stream is already cycle-ordered, so a stable sort
+// keeps same-cycle events of one processor in emission order.
+func (c *Collector) Result() *CellMetrics {
+	if c == nil {
+		return nil
+	}
+	m := &CellMetrics{SampleEvery: c.opts.SampleEvery}
+	var events []Event
+	for _, pm := range c.procs {
+		if pm.Sampler != nil {
+			m.Procs = append(m.Procs, Series{
+				Proc:    pm.ID,
+				Every:   pm.Every,
+				Names:   pm.Reg.Names(),
+				Samples: pm.Sampler.Samples(),
+				Dropped: pm.Sampler.Dropped(),
+			})
+		}
+		if pm.Sink != nil {
+			pm.Sink.Flush()
+			events = append(events, pm.Sink.Events()...)
+			m.DroppedEvents += pm.Sink.Dropped()
+		}
+	}
+	if c.cellSampler != nil && len(c.cellReg.Names()) > 0 {
+		cellEvery := c.opts.SampleEvery
+		if c.cellEvery > 0 {
+			cellEvery = c.cellEvery
+		}
+		m.Cell = &Series{
+			Proc:    -1,
+			Every:   cellEvery,
+			Names:   c.cellReg.Names(),
+			Samples: c.cellSampler.Samples(),
+			Dropped: c.cellSampler.Dropped(),
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Cycle != events[j].Cycle {
+			return events[i].Cycle < events[j].Cycle
+		}
+		return events[i].Proc < events[j].Proc
+	})
+	m.Events = events
+	return m
+}

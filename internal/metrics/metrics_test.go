@@ -1,0 +1,235 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"reflect"
+	"testing"
+)
+
+// A bulk charge from a fast-forward skip and the equivalent per-cycle,
+// per-slot charges must coalesce into the identical event stream — this is
+// the property the FF on/off golden tests lean on.
+func TestSinkCoalescesChargesModeIndependently(t *testing.T) {
+	const width = 2
+	stepped := NewSink(0, 1024)
+	for cyc := int64(10); cyc < 20; cyc++ {
+		for w := 0; w < width; w++ {
+			stepped.Charge(cyc, "dmem", 1, 1)
+		}
+	}
+	stepped.Emit(Event{Cycle: 20, Kind: KindMissFill, Ctx: 1})
+	stepped.Charge(20, "dmem", 1, 1)
+	stepped.Flush()
+
+	skipped := NewSink(0, 1024)
+	skipped.Charge(10, "dmem", 1, 10) // SkipTo(20) bulk charge
+	skipped.Emit(Event{Cycle: 20, Kind: KindMissFill, Ctx: 1})
+	skipped.Charge(20, "dmem", 1, 1)
+	skipped.Flush()
+
+	if !reflect.DeepEqual(stepped.Events(), skipped.Events()) {
+		t.Fatalf("stepped %+v\nskipped %+v", stepped.Events(), skipped.Events())
+	}
+	want := []Event{
+		{Cycle: 10, Kind: KindCharge, Ctx: 1, Class: "dmem", Span: 10},
+		{Cycle: 20, Kind: KindMissFill, Ctx: 1},
+		{Cycle: 20, Kind: KindCharge, Ctx: 1, Class: "dmem", Span: 1},
+	}
+	if !reflect.DeepEqual(stepped.Events(), want) {
+		t.Fatalf("events %+v, want %+v", stepped.Events(), want)
+	}
+}
+
+// A class or context change must break the span; an emission must flush
+// the pending span before itself.
+func TestSinkSpanBreaks(t *testing.T) {
+	s := NewSink(3, 1024)
+	s.Charge(0, "idle", -1, 1)
+	s.Charge(1, "idle", -1, 1)
+	s.Charge(2, "dmem", 0, 1)  // class change
+	s.Charge(3, "dmem", 1, 1)  // ctx change
+	s.Charge(10, "dmem", 1, 1) // gap
+	s.Flush()
+	want := []Event{
+		{Cycle: 0, Kind: KindCharge, Proc: 3, Ctx: -1, Class: "idle", Span: 2},
+		{Cycle: 2, Kind: KindCharge, Proc: 3, Ctx: 0, Class: "dmem", Span: 1},
+		{Cycle: 3, Kind: KindCharge, Proc: 3, Ctx: 1, Class: "dmem", Span: 1},
+		{Cycle: 10, Kind: KindCharge, Proc: 3, Ctx: 1, Class: "dmem", Span: 1},
+	}
+	if !reflect.DeepEqual(s.Events(), want) {
+		t.Fatalf("events %+v", s.Events())
+	}
+}
+
+func TestSinkEventCap(t *testing.T) {
+	s := NewSink(0, 2)
+	for i := int64(0); i < 5; i++ {
+		s.Emit(Event{Cycle: i, Kind: KindIssue})
+	}
+	if len(s.Events()) != 2 || s.Dropped() != 3 {
+		t.Fatalf("events %d dropped %d", len(s.Events()), s.Dropped())
+	}
+}
+
+func TestSamplerRing(t *testing.T) {
+	var c int64
+	reg := &Registry{}
+	reg.Register("c", &c)
+	s := NewSampler(reg, 3)
+	for i := int64(1); i <= 5; i++ {
+		c = i * 10
+		s.SampleAt(i * 100)
+	}
+	got := s.Samples()
+	if len(got) != 3 || s.Dropped() != 2 {
+		t.Fatalf("samples %v dropped %d", got, s.Dropped())
+	}
+	for i, want := range []int64{300, 400, 500} {
+		if got[i].Cycle != want || got[i].Values[0] != want/10 {
+			t.Fatalf("sample %d = %+v", i, got[i])
+		}
+	}
+}
+
+// The registry reads through pointers at sample time, so samples see the
+// owner's current field values without any update-path coupling.
+func TestRegistryReadsThroughPointers(t *testing.T) {
+	var a, b int64
+	reg := &Registry{}
+	reg.Register("a", &a)
+	reg.Register("b", &b)
+	a, b = 7, 9
+	if got := reg.read(); got[0] != 7 || got[1] != 9 {
+		t.Fatalf("read %v", got)
+	}
+	if !reflect.DeepEqual(reg.Names(), []string{"a", "b"}) {
+		t.Fatalf("names %v", reg.Names())
+	}
+}
+
+func TestCollectorDisabled(t *testing.T) {
+	if c := NewCollector(Options{}, 4); c != nil {
+		t.Fatal("zero options built a collector")
+	}
+	var c *Collector
+	if c.Proc(0) != nil || c.Result() != nil || c.SampleEvery() != 0 {
+		t.Fatal("nil collector accessors not nil-safe")
+	}
+	c.SampleCell(100) // must not panic
+}
+
+// Result merges per-processor event streams by (cycle, proc) while
+// keeping each processor's same-cycle emission order.
+func TestCollectorMergesEventStreams(t *testing.T) {
+	c := NewCollector(Options{Events: true}, 2)
+	c.Proc(1).Sink.Emit(Event{Cycle: 5, Kind: KindMissStart})
+	c.Proc(0).Sink.Emit(Event{Cycle: 5, Kind: KindMissStart})
+	c.Proc(0).Sink.Emit(Event{Cycle: 5, Kind: KindMissFill})
+	c.Proc(1).Sink.Emit(Event{Cycle: 2, Kind: KindIssue})
+	m := c.Result()
+	var got []struct {
+		p int
+		k string
+	}
+	for _, ev := range m.Events {
+		got = append(got, struct {
+			p int
+			k string
+		}{ev.Proc, ev.Kind})
+	}
+	want := []struct {
+		p int
+		k string
+	}{{1, KindIssue}, {0, KindMissStart}, {0, KindMissFill}, {1, KindMissStart}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged order %v", got)
+	}
+}
+
+func TestWriteJSONLSchema(t *testing.T) {
+	c := NewCollector(Options{SampleEvery: 100, Events: true}, 1)
+	var n int64
+	c.Proc(0).Reg.Register("x", &n)
+	n = 4
+	c.Proc(0).Sampler.SampleAt(100)
+	c.Proc(0).Sink.Charge(0, "idle", -1, 100)
+	c.CellRegistry().Register("y", &n)
+	c.SampleCell(100)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, c.Result(), "demo"); err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		typ, _ := line["type"].(string)
+		types[typ]++
+	}
+	want := map[string]int{"cell": 1, "meta": 1, "series": 2, "sample": 2, "event": 1}
+	if !reflect.DeepEqual(types, want) {
+		t.Fatalf("line types %v, want %v", types, want)
+	}
+}
+
+func TestWriteChromeTraceParses(t *testing.T) {
+	c := NewCollector(Options{SampleEvery: 10, Events: true}, 1)
+	var slots, other int64 = 3, 8
+	c.Proc(0).Reg.Register("slots/busy", &slots)
+	c.Proc(0).Reg.Register("cache/data-accesses", &other)
+	c.Proc(0).Sampler.SampleAt(10)
+	c.Proc(0).Sink.Emit(Event{Cycle: 1, Kind: KindIssue, Ctx: 0, Class: "busy"})
+	c.Proc(0).Sink.Charge(2, "dmem", 0, 5)
+	c.Proc(0).Sink.Emit(Event{Cycle: 7, Kind: KindMissFill, Ctx: 0, Addr: 0x40, Arg: 7})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, c.Result()); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+	}
+	// issue X + charge X, miss-fill i, slots C + cache counter C.
+	if phases["X"] != 2 || phases["i"] != 1 || phases["C"] != 2 {
+		t.Fatalf("phases %v", phases)
+	}
+}
+
+func TestFlagsResolution(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.PanicOnError)
+	f := BindFlags(fs)
+	if err := fs.Parse([]string{"-metrics-out", "m.jsonl"}); err != nil {
+		t.Fatal(err)
+	}
+	o := f.Options()
+	if o.SampleEvery != DefaultSampleEvery || o.Events {
+		t.Fatalf("options %+v", o)
+	}
+	fs2 := flag.NewFlagSet("t", flag.PanicOnError)
+	f2 := BindFlags(fs2)
+	if err := fs2.Parse([]string{"-trace-out", "t.json", "-sample-every", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	if o := f2.Options(); o.SampleEvery != 64 || !o.Events {
+		t.Fatalf("options %+v", o)
+	}
+	if got := SuffixPath("a/b.jsonl", "4ctx"); got != "a/b.4ctx.jsonl" {
+		t.Fatalf("SuffixPath = %q", got)
+	}
+	if got := SuffixPath("plain", "x"); got != "plain.x" {
+		t.Fatalf("SuffixPath = %q", got)
+	}
+}

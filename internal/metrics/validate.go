@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// knownKinds is the closed set of event kinds the exporters emit;
+// cmd/obscheck rejects anything else.
+var knownKinds = map[string]bool{
+	KindCharge:       true,
+	KindIssue:        true,
+	KindMissStart:    true,
+	KindMissFill:     true,
+	KindCtxSwitch:    true,
+	KindSyncRetry:    true,
+	KindInval:        true,
+	KindWatchdogArm:  true,
+	KindWatchdogTrip: true,
+}
+
+// ValidateJSONL checks a JSON-lines metrics export against the schema
+// documented in export.go: every line is a JSON object of a known type;
+// sample lines follow a series line for their (scope, proc) stream and
+// carry exactly len(names) values; cycles are non-decreasing within each
+// sample stream and within the event stream; event kinds come from the
+// closed Kind* set. A "cell" delimiter line resets all stream state.
+// It returns the number of lines read alongside the first violation.
+func ValidateJSONL(r io.Reader) (lines int, err error) {
+	type streamState struct {
+		names     int
+		lastCycle int64
+	}
+	streams := map[string]*streamState{}
+	var lastEvent int64
+	sawMeta := false
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		lines++
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("line %d: %s", lines, fmt.Sprintf(format, args...))
+		}
+		var line struct {
+			Type   string   `json:"type"`
+			Label  string   `json:"label"`
+			Scope  string   `json:"scope"`
+			Proc   int      `json:"proc"`
+			Every  int64    `json:"every"`
+			Names  []string `json:"names"`
+			Cycle  int64    `json:"cycle"`
+			Values []int64  `json:"values"`
+			Kind   string   `json:"kind"`
+			Span   int64    `json:"span"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return lines, fail("not a JSON object: %v", err)
+		}
+		key := fmt.Sprintf("%s/%d", line.Scope, line.Proc)
+		switch line.Type {
+		case "cell":
+			if line.Label == "" {
+				return lines, fail("cell delimiter without a label")
+			}
+			streams = map[string]*streamState{}
+			lastEvent = 0
+			sawMeta = false
+		case "meta":
+			sawMeta = true
+		case "series":
+			if !sawMeta {
+				return lines, fail("series before the meta line")
+			}
+			if line.Scope != "proc" && line.Scope != "cell" {
+				return lines, fail("unknown series scope %q", line.Scope)
+			}
+			if line.Every < 0 {
+				return lines, fail("negative sampling period %d", line.Every)
+			}
+			streams[key] = &streamState{names: len(line.Names)}
+		case "sample":
+			st := streams[key]
+			if st == nil {
+				return lines, fail("sample for stream %s before its series line", key)
+			}
+			if len(line.Values) != st.names {
+				return lines, fail("sample for stream %s has %d values, series declared %d names",
+					key, len(line.Values), st.names)
+			}
+			if line.Cycle < st.lastCycle {
+				return lines, fail("stream %s cycle went backwards: %d after %d",
+					key, line.Cycle, st.lastCycle)
+			}
+			st.lastCycle = line.Cycle
+		case "event":
+			if !knownKinds[line.Kind] {
+				return lines, fail("unknown event kind %q", line.Kind)
+			}
+			if line.Cycle < lastEvent {
+				return lines, fail("event stream cycle went backwards: %d after %d",
+					line.Cycle, lastEvent)
+			}
+			lastEvent = line.Cycle
+			if line.Kind == KindCharge && line.Span < 1 {
+				return lines, fail("charge event with span %d", line.Span)
+			}
+		default:
+			return lines, fail("unknown line type %q", line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return lines, err
+	}
+	if lines == 0 {
+		return 0, fmt.Errorf("empty file")
+	}
+	return lines, nil
+}
+
+// ValidateChromeTrace checks a Chrome trace_event export: the file is one
+// JSON object with a traceEvents array whose entries use the phases the
+// exporter emits (X with a duration, i, C), with non-negative timestamps.
+// It returns the number of trace events alongside the first violation.
+func ValidateChromeTrace(r io.Reader) (events int, err error) {
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  *int64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		return 0, fmt.Errorf("not a JSON trace object: %v", err)
+	}
+	for i, ev := range tr.TraceEvents {
+		switch {
+		case ev.Name == "":
+			return i, fmt.Errorf("traceEvents[%d]: missing name", i)
+		case ev.Ts < 0:
+			return i, fmt.Errorf("traceEvents[%d]: negative timestamp %d", i, ev.Ts)
+		case ev.Ph == "X":
+			if ev.Dur == nil || *ev.Dur < 1 {
+				return i, fmt.Errorf("traceEvents[%d]: complete event without a positive duration", i)
+			}
+		case ev.Ph == "i", ev.Ph == "C":
+			// instant and counter events carry no duration
+		default:
+			return i, fmt.Errorf("traceEvents[%d]: unknown phase %q", i, ev.Ph)
+		}
+	}
+	return len(tr.TraceEvents), nil
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func validationCell() *CellMetrics {
+	return &CellMetrics{
+		SampleEvery: 100,
+		Procs: []Series{{
+			Proc:  0,
+			Every: 100,
+			Names: []string{"cycles", "slots/busy"},
+			Samples: []Sample{
+				{Cycle: 100, Values: []int64{100, 80}},
+				{Cycle: 200, Values: []int64{200, 150}},
+			},
+		}},
+		Cell: &Series{
+			Proc:    -1,
+			Every:   128,
+			Names:   []string{"chaos/draws"},
+			Samples: []Sample{{Cycle: 128, Values: []int64{3}}},
+		},
+		Events: []Event{
+			{Cycle: 5, Kind: KindCharge, Proc: 0, Ctx: 1, Class: "dmem", Span: 10},
+			{Cycle: 20, Kind: KindMissStart, Proc: 0, Ctx: -1, Class: "memory", Addr: 64, Arg: 60},
+			{Cycle: 60, Kind: KindMissFill, Proc: 0, Ctx: -1, Addr: 64, Arg: 60},
+		},
+	}
+}
+
+// Everything the exporters emit must pass the validator — including a
+// multi-cell concatenation, which is how cmd/experiments writes grids.
+func TestValidateJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, validationCell(), "cellA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&buf, validationCell(), "cellB"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateJSONL(&buf)
+	if err != nil {
+		t.Fatalf("valid export rejected: %v", err)
+	}
+	// Per cell: delimiter, meta, proc series + 2 samples, cell series +
+	// 1 sample, 3 events = 10 lines.
+	if want := 2 * 10; n != want {
+		t.Errorf("validated %d lines, want %d", n, want)
+	}
+}
+
+func TestValidateJSONLRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"garbage", "not json\n", "not a JSON object"},
+		{"unknown type", `{"type":"mystery"}` + "\n", "unknown line type"},
+		{"series before meta", `{"type":"series","scope":"proc","proc":0,"names":["a"]}` + "\n", "before the meta"},
+		{"orphan sample", `{"type":"meta"}` + "\n" +
+			`{"type":"sample","scope":"proc","proc":0,"cycle":1,"values":[1]}` + "\n", "before its series"},
+		{"value count", `{"type":"meta"}` + "\n" +
+			`{"type":"series","scope":"proc","proc":0,"names":["a","b"]}` + "\n" +
+			`{"type":"sample","scope":"proc","proc":0,"cycle":1,"values":[1]}` + "\n", "values"},
+		{"backwards sample", `{"type":"meta"}` + "\n" +
+			`{"type":"series","scope":"proc","proc":0,"names":["a"]}` + "\n" +
+			`{"type":"sample","scope":"proc","proc":0,"cycle":9,"values":[1]}` + "\n" +
+			`{"type":"sample","scope":"proc","proc":0,"cycle":4,"values":[2]}` + "\n", "backwards"},
+		{"unknown kind", `{"type":"meta"}` + "\n" +
+			`{"type":"event","kind":"teleport","cycle":1}` + "\n", "unknown event kind"},
+		{"backwards event", `{"type":"meta"}` + "\n" +
+			`{"type":"event","kind":"issue","cycle":9}` + "\n" +
+			`{"type":"event","kind":"issue","cycle":4}` + "\n", "backwards"},
+		{"spanless charge", `{"type":"meta"}` + "\n" +
+			`{"type":"event","kind":"charge","cycle":1}` + "\n", "span"},
+		{"unlabeled cell", `{"type":"cell"}` + "\n", "label"},
+		{"empty", "", "empty"},
+	}
+	for _, c := range cases {
+		_, err := ValidateJSONL(strings.NewReader(c.in))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateChromeTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, validationCell()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if n == 0 {
+		t.Error("trace validated zero events")
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"garbage", "nope", "not a JSON trace"},
+		{"bad phase", `{"traceEvents":[{"name":"x","ph":"Q","ts":1}]}`, "unknown phase"},
+		{"durationless X", `{"traceEvents":[{"name":"x","ph":"X","ts":1}]}`, "duration"},
+		{"negative ts", `{"traceEvents":[{"name":"x","ph":"i","ts":-1}]}`, "negative timestamp"},
+		{"nameless", `{"traceEvents":[{"ph":"i","ts":1}]}`, "missing name"},
+	}
+	for _, c := range cases {
+		_, err := ValidateChromeTrace(strings.NewReader(c.in))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package mp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Golden property of MP observability: the lagging-processor fast-forward
+// driver and cycle-by-cycle lockstep must produce byte-identical metrics —
+// per-processor series sampled mid-block, the cell-scope series sampled at
+// block boundaries, and the merged event stream — with chaos on and off.
+
+func marshalMetrics(t *testing.T, m *metrics.CellMetrics) []byte {
+	t.Helper()
+	if m == nil {
+		t.Fatal("run produced no metrics")
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestMetricsGoldenFastForwardMP(t *testing.T) {
+	for _, chaos := range []int64{0, 4242} {
+		label := fmt.Sprintf("chaos=%d", chaos)
+		cfg := DefaultConfig(core.Interleaved, 2)
+		cfg.Processors = 4
+		cfg.LimitCycles = 20_000_000
+		cfg.Guard.ChaosSeed = chaos
+		// Not a multiple of the driver block: per-proc samples land at
+		// 1000-cycle points inside blocks, the cell series rounds to 1024.
+		cfg.Obs = metrics.Options{SampleEvery: 1000, Events: true}
+
+		ff, off := runPair(t, sweepProgram(2), cfg)
+		if !ff.Completed {
+			t.Fatalf("%s: sweep did not complete", label)
+		}
+		compareResults(t, label, ff, off)
+		ffBlob, offBlob := marshalMetrics(t, ff.Metrics), marshalMetrics(t, off.Metrics)
+		if !bytes.Equal(ffBlob, offBlob) {
+			t.Errorf("%s: metrics diverge between fast-forwarded and stepped runs\n ff:  %.400s\n off: %.400s",
+				label, ffBlob, offBlob)
+		}
+
+		m := ff.Metrics
+		if len(m.Procs) != cfg.Processors {
+			t.Fatalf("%s: %d proc series, want %d", label, len(m.Procs), cfg.Processors)
+		}
+		if m.Cell == nil || len(m.Cell.Samples) == 0 {
+			t.Fatalf("%s: missing cell-scope series", label)
+		}
+		if m.Cell.Every != 1024 {
+			t.Errorf("%s: cell cadence %d, want 1024 (rounded to a driver block)", label, m.Cell.Every)
+		}
+		byName := map[string]int64{}
+		last := m.Cell.Samples[len(m.Cell.Samples)-1]
+		for i, n := range m.Cell.Names {
+			byName[n] = last.Values[i]
+		}
+		var invals int64
+		for i := 0; i < cfg.Processors; i++ {
+			invals += byName[fmt.Sprintf("node%d/invalidations", i)]
+		}
+		if invals == 0 {
+			t.Errorf("%s: sweep dirties shared lines but cell series shows no invalidations", label)
+		}
+		if chaos != 0 && byName["chaos/draws"] == 0 {
+			t.Errorf("%s: chaos enabled but no draws sampled", label)
+		}
+		var missStarts, missFills int
+		for _, ev := range m.Events {
+			switch ev.Kind {
+			case metrics.KindMissStart:
+				missStarts++
+			case metrics.KindMissFill:
+				missFills++
+			}
+		}
+		if missStarts == 0 || missFills == 0 {
+			t.Errorf("%s: expected coherence miss events, got %d starts / %d fills", label, missStarts, missFills)
+		}
+	}
+}
+
+// Attaching the collector must not perturb the simulation: same cycles,
+// stats and hashes as an unobserved run.
+func TestMetricsDoNotPerturbMP(t *testing.T) {
+	cfg := DefaultConfig(core.Blocked, 2)
+	cfg.Processors = 4
+	cfg.LimitCycles = 20_000_000
+	cfg.Guard.ChaosSeed = 7
+
+	plain, err := Run(sweepProgram(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs = metrics.Options{SampleEvery: 512, Events: true}
+	observed, err := Run(sweepProgram(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "observed-vs-plain", observed, plain)
+	if plain.Metrics != nil {
+		t.Error("unobserved run carries metrics")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/prog"
 )
 
@@ -40,6 +41,10 @@ type Config struct {
 	// fault injection. The zero value arms the watchdog at the default
 	// policy (LimitCycles/20) with everything else off.
 	Guard guard.Options
+
+	// Obs configures the observability layer (counter sampling and the
+	// structured event trace); the zero value disables it entirely.
+	Obs metrics.Options
 }
 
 // DefaultConfig returns the paper's 8-node multiprocessor with the given
@@ -58,9 +63,13 @@ func DefaultConfig(s core.Scheme, contexts int) Config {
 type Result struct {
 	Cycles    int64 // execution time: the cycle the last thread halted
 	Completed bool
-	Stats     core.Stats   // aggregate over processors
-	PerProc   []core.Stats // per-processor breakdowns
-	Threads   int
+	// Diag is the machine-state dump taken at the cycle limit when the run
+	// did not complete, so grid drivers can report where an over-budget
+	// cell was wedged — not just that it ran long. Nil on completed runs.
+	Diag    *guard.Diagnostic
+	Stats   core.Stats   // aggregate over processors
+	PerProc []core.Stats // per-processor breakdowns
+	Threads int
 	// Mem is the final shared functional memory, for checking results.
 	Mem *mem.Memory
 	// MemHash digests the final shared memory alone. For every data-race-
@@ -74,6 +83,9 @@ type Result struct {
 	// in lock-based apps, so chaos tests assert ArchHash only on workloads
 	// whose final register state is deterministic.
 	ArchHash uint64
+	// Metrics is the observability record, nil unless Config.Obs enables
+	// instrumentation.
+	Metrics *metrics.CellMetrics
 }
 
 // Run executes program p as an SPMD application with Processors×Contexts
@@ -104,6 +116,7 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 
 	nThreads := cfg.Processors * cfg.Contexts
 	procs := make([]*core.Processor, cfg.Processors)
+	col := metrics.NewCollector(cfg.Obs, cfg.Processors)
 	var threads []*core.Thread
 	for i := range procs {
 		proc, err := core.NewProcessor(ccfg, fab.Node(i), fm)
@@ -112,6 +125,8 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 		}
 		proc.ID = i
 		procs[i] = proc
+		proc.AttachMetrics(col.Proc(i))
+		fab.Node(i).AttachMetrics(col.Proc(i))
 		for c := 0; c < cfg.Contexts; c++ {
 			tid := i*cfg.Contexts + c
 			th := core.NewThread(fmt.Sprintf("%s.t%d", p.Name, tid), p)
@@ -146,6 +161,33 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 	// observations happen at exactly the same cycles as cycle-by-cycle
 	// stepping, making fast-forward ON vs OFF results byte-identical.
 	const checkEvery = 64
+
+	// Cell-scope observability: counters mutated across processors must not
+	// be sampled from inside any one processor's timeline — under fast-
+	// forward a node's invalidation count at an intermediate cycle depends
+	// on how far the OTHER processors have advanced within the block. They
+	// are sampled here instead, at block boundaries, where advanceBlock has
+	// settled every processor to exactly the same cycle in both run modes.
+	// The cadence is the configured period rounded up to a whole block.
+	var wdArms, wdTrips int64
+	cellEvery := int64(0)
+	if col != nil {
+		cellReg := col.CellRegistry()
+		for i := 0; i < cfg.Processors; i++ {
+			cellReg.Register(fmt.Sprintf("node%d/invalidations", i), &fab.Node(i).Stats.Invalidations)
+		}
+		if ch := cfg.Coherence.Chaos; ch != nil {
+			cellReg.Register("chaos/draws", &ch.Draws)
+		}
+		cellReg.Register("watchdog/arms", &wdArms)
+		cellReg.Register("watchdog/trips", &wdTrips)
+		if every := col.SampleEvery(); every > 0 {
+			cellEvery = (every + checkEvery - 1) / checkEvery * checkEvery
+			col.SetCellCadence(cellEvery)
+		}
+	}
+	nextCell := cellEvery
+
 	// Per-processor driver state lives in one struct so the hot loop walks
 	// a single contiguous slice: until is the cached NextEvent horizon
 	// (zero forces a recompute on first touch), (cls, ctx) the charge for
@@ -169,7 +211,18 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 	// accesses, so the classification is independent of its position
 	// relative to other processors' steps in the same cycle — while the
 	// steps themselves retain the lockstep (cycle, processor index) order.
-	advanceBlock := func(start, end int64) {
+	//
+	// The block advancer comes in two copies selected once per run, NOT as
+	// one copy with per-skip `if observed` branches: this loop is the
+	// hottest code in the multiprocessor simulator, and even a perfectly
+	// predicted dispatch branch at the two skip sites costs measurable
+	// throughput (it also pressures the inlining of SkipTo, which is
+	// budgeted to inline here — see core.SkipTo's contract). The copies
+	// must stay structurally identical; the observed one only swaps
+	// SkipTo for ObservedSkipTo so skipped regions land in the event
+	// trace and counter series. The MP fast-forward golden tests compare
+	// the two modes byte-for-byte and catch any drift between the copies.
+	advancePlain := func(start, end int64) {
 		for now := start; now < end; {
 			target := end
 			stepped := false
@@ -211,9 +264,52 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 			}
 		}
 	}
+	advanceObserved := func(start, end int64) {
+		for now := start; now < end; {
+			target := end
+			stepped := false
+			for i := range runners {
+				r := &runners[i]
+				if r.until <= now {
+					if r.proc.Now() < now {
+						r.proc.ObservedSkipTo(now, r.cls, r.ctx)
+					}
+					r.cls, r.ctx, r.until = r.proc.NextEvent()
+					if r.until <= now {
+						r.proc.Step()
+						stepped = true
+						continue
+					}
+				}
+				if r.until < target {
+					target = r.until
+				}
+			}
+			if stepped {
+				now++
+				continue
+			}
+			now = target
+		}
+		for i := range runners {
+			r := &runners[i]
+			if r.proc.Now() < end {
+				r.proc.ObservedSkipTo(end, r.cls, r.ctx)
+			}
+		}
+	}
+	advanceBlock := advancePlain
+	if col != nil {
+		advanceBlock = advanceObserved
+	}
 	completed := false
 	for cycle := int64(0); cycle < cfg.LimitCycles; cycle += checkEvery {
 		advanceBlock(cycle, cycle+checkEvery)
+		now := cycle + checkEvery
+		if cellEvery > 0 && now >= nextCell {
+			col.SampleCell(nextCell)
+			nextCell += cellEvery
+		}
 		done := true
 		for _, proc := range procs {
 			if !proc.AllHalted() {
@@ -225,7 +321,6 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 			completed = true
 			break
 		}
-		now := cycle + checkEvery
 		if now < nextGuard {
 			continue
 		}
@@ -234,7 +329,9 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 		for _, proc := range procs {
 			progress += proc.UsefulProgress()
 		}
+		wdArms++
 		if wd.Observe(now, progress) {
+			wdTrips++
 			return nil, watchdogError(now, wd, cfg, procs, fab)
 		}
 		if checks {
@@ -250,6 +347,9 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Completed: completed, Threads: nThreads, Mem: fm}
+	if !completed {
+		res.Diag = budgetDiagnostic(cfg, procs, fab)
+	}
 	res.MemHash = fm.Hash()
 	res.ArchHash = res.MemHash
 	for _, th := range threads {
@@ -264,7 +364,23 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 		res.PerProc = append(res.PerProc, proc.Stats)
 		res.Stats.Add(&proc.Stats)
 	}
+	res.Metrics = col.Result()
 	return res, nil
+}
+
+// budgetDiagnostic assembles the same machine-state dump as a watchdog
+// trip for a run that exhausted LimitCycles while still making progress.
+func budgetDiagnostic(cfg Config, procs []*core.Processor, fab *coherence.Fabric) *guard.Diagnostic {
+	d := &guard.Diagnostic{
+		Reason: fmt.Sprintf("cycle budget: %d cycles elapsed before all threads halted", cfg.LimitCycles),
+		Cycle:  cfg.LimitCycles,
+		Scheme: cfg.Scheme.String(),
+		Lines:  fab.HotLines(16),
+	}
+	for _, proc := range procs {
+		d.Procs = append(d.Procs, proc.Snapshot())
+	}
+	return d
 }
 
 // watchdogError assembles the structured deadlock/livelock report: the

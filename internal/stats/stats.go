@@ -10,21 +10,25 @@ import (
 	"strings"
 )
 
-// GeoMean returns the geometric mean of xs (1.0 for empty input). Any
-// non-positive value contributes as a tiny epsilon to keep the result
-// defined.
-func GeoMean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 1
-	}
-	sum := 0.0
+// GeoMean returns the geometric mean of the positive values in xs and the
+// number of values it skipped. Non-positive (or NaN) entries are excluded
+// rather than substituted: a cell that legitimately measured 0 — or a
+// failed cell that slipped through as 0.0 — must not contribute log(ε) and
+// crush the mean of the healthy cells. Empty or all-skipped input yields 1.
+func GeoMean(xs []float64) (mean float64, skipped int) {
+	sum, n := 0.0, 0
 	for _, x := range xs {
-		if x <= 0 {
-			x = 1e-9
+		if x <= 0 || math.IsNaN(x) {
+			skipped++
+			continue
 		}
 		sum += math.Log(x)
+		n++
 	}
-	return math.Exp(sum / float64(len(xs)))
+	if n == 0 {
+		return 1, skipped
+	}
+	return math.Exp(sum / float64(n)), skipped
 }
 
 // Table accumulates rows of cells and formats them with aligned columns.
@@ -38,8 +42,14 @@ func NewTable(header ...string) *Table {
 	return &Table{header: header}
 }
 
-// AddRow appends a row; cells beyond the header width are dropped.
+// AddRow appends a row. Rows may be narrower than the header (missing
+// cells render empty) but never wider: an over-wide row means the caller
+// lost a column header, and rendering would silently drop the extra data,
+// so it panics instead.
 func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		panic(fmt.Sprintf("stats: AddRow got %d cells for a %d-column table", len(cells), len(t.header)))
+	}
 	t.rows = append(t.rows, cells)
 }
 
@@ -83,23 +93,66 @@ func (t *Table) String() string {
 }
 
 // Bar renders a stacked horizontal bar of the given width: each segment is
-// a fraction in [0,1] drawn with its rune. Fractions should sum to <= 1.
+// a fraction in [0,1] drawn with its rune. Cells are apportioned by the
+// largest-remainder method, so the drawn total always rounds the summed
+// fractions correctly and no trailing segment is starved by earlier
+// segments each rounding up (the old per-segment rounding could hand the
+// first segments the whole bar). Fractions summing over 1 are normalized;
+// negative or NaN fractions draw nothing.
 func Bar(width int, fracs []float64, runes []rune) string {
+	if width <= 0 {
+		return ""
+	}
+	if len(runes) == 0 || len(fracs) == 0 {
+		return strings.Repeat(" ", width)
+	}
+	total := 0.0
+	clean := make([]float64, len(fracs))
+	for i, f := range fracs {
+		if f < 0 || math.IsNaN(f) {
+			f = 0
+		}
+		clean[i] = f
+		total += f
+	}
+	scale := float64(width)
+	if total > 1 {
+		scale /= total
+	}
+	cells := make([]int, len(clean))
+	rems := make([]float64, len(clean))
+	sumFloor, sumQuota := 0, 0.0
+	for i, f := range clean {
+		q := f * scale
+		cells[i] = int(q)
+		rems[i] = q - float64(cells[i])
+		sumFloor += cells[i]
+		sumQuota += q
+	}
+	target := int(sumQuota + 0.5)
+	if target > width {
+		target = width
+	}
+	for extra := target - sumFloor; extra > 0; extra-- {
+		best := -1
+		for i, r := range rems {
+			if best < 0 || r > rems[best] {
+				best = i
+			}
+		}
+		cells[best]++
+		rems[best] = -1
+	}
 	var b strings.Builder
 	used := 0
-	for i, f := range fracs {
-		n := int(f*float64(width) + 0.5)
-		if used+n > width {
-			n = width - used
-		}
+	for i, n := range cells {
 		for j := 0; j < n; j++ {
 			b.WriteRune(runes[i%len(runes)])
 		}
 		used += n
 	}
-	for used < width {
+	for ; used < width; used++ {
 		b.WriteByte(' ')
-		used++
 	}
 	return b.String()
 }

@@ -8,22 +8,28 @@ import (
 
 func TestGeoMean(t *testing.T) {
 	cases := []struct {
-		in   []float64
-		want float64
+		in          []float64
+		want        float64
+		wantSkipped int
 	}{
-		{nil, 1},
-		{[]float64{2, 8}, 4},
-		{[]float64{1, 1, 1}, 1},
-		{[]float64{10}, 10},
+		{nil, 1, 0},
+		{[]float64{2, 8}, 4, 0},
+		{[]float64{1, 1, 1}, 1, 0},
+		{[]float64{10}, 10, 0},
+		// Regression: a zero (a failed cell recorded as 0.0) used to
+		// contribute log(1e-9) and crush the mean of the healthy cells;
+		// it must be skipped and counted instead.
+		{[]float64{0, 4}, 4, 1},
+		{[]float64{0, 2, 8, -3}, 4, 2},
+		{[]float64{0, 0}, 1, 2},
+		{[]float64{math.NaN(), 9}, 9, 1},
 	}
 	for _, c := range cases {
-		if got := GeoMean(c.in); math.Abs(got-c.want) > 1e-9 {
-			t.Errorf("GeoMean(%v) = %v, want %v", c.in, got, c.want)
+		got, skipped := GeoMean(c.in)
+		if math.Abs(got-c.want) > 1e-9 || skipped != c.wantSkipped {
+			t.Errorf("GeoMean(%v) = %v (skipped %d), want %v (skipped %d)",
+				c.in, got, skipped, c.want, c.wantSkipped)
 		}
-	}
-	// Non-positive inputs must not blow up.
-	if got := GeoMean([]float64{0, 4}); math.IsNaN(got) || math.IsInf(got, 0) {
-		t.Errorf("GeoMean with zero = %v", got)
 	}
 }
 
@@ -53,6 +59,19 @@ func TestTableShortRow(t *testing.T) {
 	}
 }
 
+// Regression: over-wide rows used to be silently truncated at render time
+// (the doc claimed "dropped"); a reporting bug that misaligns a row against
+// its header must be loud.
+func TestTableOverWideRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddRow accepted a row wider than the header")
+		}
+	}()
+	tab := NewTable("a", "b")
+	tab.AddRow("1", "2", "3")
+}
+
 func TestBar(t *testing.T) {
 	out := Bar(10, []float64{0.5, 0.3}, []rune{'A', 'B'})
 	if len([]rune(out)) != 10 {
@@ -61,10 +80,55 @@ func TestBar(t *testing.T) {
 	if strings.Count(out, "A") != 5 || strings.Count(out, "B") != 3 {
 		t.Errorf("bar = %q", out)
 	}
-	// Over-full fractions clamp to the width.
+	// Over-full fractions normalize instead of starving later segments:
+	// the old per-segment rounding rendered {0.9, 0.9} as 9 A's and 1 B.
 	out = Bar(10, []float64{0.9, 0.9}, []rune{'A', 'B'})
 	if len([]rune(out)) != 10 {
 		t.Errorf("overfull bar width = %d", len(out))
+	}
+	if strings.Count(out, "A") != 5 || strings.Count(out, "B") != 5 {
+		t.Errorf("overfull bar = %q, want equal halves", out)
+	}
+}
+
+// Adversarial fractions: many segments each rounding 0.5 up used to
+// overflow the width budget and truncate the tail segments entirely.
+func TestBarAdversarialFractions(t *testing.T) {
+	fracs := []float64{0.25, 0.25, 0.25, 0.25}
+	out := Bar(10, fracs, []rune{'A', 'B', 'C', 'D'})
+	if len([]rune(out)) != 10 {
+		t.Fatalf("bar width = %d", len(out))
+	}
+	// Every segment must be drawn; largest-remainder gives each at least
+	// floor(2.5) = 2 cells and the total exactly 10.
+	for _, r := range []string{"A", "B", "C", "D"} {
+		if n := strings.Count(out, r); n < 2 || n > 3 {
+			t.Errorf("segment %s drew %d cells in %q", r, n, out)
+		}
+	}
+	if strings.Contains(out, " ") {
+		t.Errorf("full bar has padding: %q", out)
+	}
+
+	// Negative and NaN fractions draw nothing and must not panic.
+	out = Bar(8, []float64{-1, math.NaN(), 0.5}, []rune{'A', 'B', 'C'})
+	if len([]rune(out)) != 8 || strings.Count(out, "C") != 4 ||
+		strings.Contains(out, "A") || strings.Contains(out, "B") {
+		t.Errorf("bar with junk fractions = %q", out)
+	}
+}
+
+// Empty rune or fraction sets must render plain padding, not panic with a
+// division by zero on runes[i%len(runes)].
+func TestBarEmptyRunes(t *testing.T) {
+	if out := Bar(5, []float64{0.5}, nil); out != "     " {
+		t.Errorf("Bar with no runes = %q", out)
+	}
+	if out := Bar(5, nil, []rune{'A'}); out != "     " {
+		t.Errorf("Bar with no fractions = %q", out)
+	}
+	if out := Bar(0, []float64{0.5}, []rune{'A'}); out != "" {
+		t.Errorf("Bar with zero width = %q", out)
 	}
 }
 

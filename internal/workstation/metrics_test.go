@@ -1,0 +1,102 @@
+package workstation
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Golden property of workstation observability: a fast-forwarded run and a
+// cycle-by-cycle run produce byte-identical series and event traces, even
+// across slice boundaries (scheduler interference, stat reset at the end
+// of warmup) and with chaos perturbation on.
+func TestMetricsGoldenFastForwardWorkstation(t *testing.T) {
+	ks := testWorkload(t, "cfft2d", "gmtry", "tomcatv", "vpenta")
+
+	for _, tc := range []struct {
+		scheme core.Scheme
+		ctx    int
+		chaos  int64
+	}{
+		{core.Blocked, 2, 0},
+		{core.Interleaved, 4, 0},
+		{core.Interleaved, 4, 31},
+	} {
+		label := fmt.Sprintf("%v/%dctx/chaos=%d", tc.scheme, tc.ctx, tc.chaos)
+		cfg := quickConfig(tc.scheme, tc.ctx)
+		cfg.Guard.ChaosSeed = tc.chaos
+		cfg.Obs = metrics.Options{SampleEvery: 777, Events: true}
+
+		ff, err := Run(ks, cfg)
+		if err != nil {
+			t.Fatalf("%s fast-forward: %v", label, err)
+		}
+		ccfg := core.DefaultConfig(tc.scheme, tc.ctx)
+		ccfg.NoFastForward = true
+		offCfg := cfg
+		offCfg.Core = &ccfg
+		off, err := Run(ks, offCfg)
+		if err != nil {
+			t.Fatalf("%s stepped: %v", label, err)
+		}
+		if ff.Stats != off.Stats {
+			t.Errorf("%s: stats diverge", label)
+		}
+		if ff.Metrics == nil || off.Metrics == nil {
+			t.Fatalf("%s: missing metrics", label)
+		}
+		ffBlob, err := json.Marshal(ff.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offBlob, err := json.Marshal(off.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ffBlob, offBlob) {
+			t.Errorf("%s: metrics diverge between fast-forwarded and stepped runs\n ff:  %.400s\n off: %.400s",
+				label, ffBlob, offBlob)
+		}
+		if len(ff.Metrics.Procs) != 1 || len(ff.Metrics.Procs[0].Samples) == 0 || len(ff.Metrics.Events) == 0 {
+			t.Errorf("%s: empty metrics", label)
+		}
+	}
+}
+
+// The mid-run stats reset at the warmup/measure boundary overwrites the
+// Stats struct in place; the registered pointers must keep reading the
+// live fields, so a post-reset sample shows counters that restarted.
+func TestMetricsSurviveWarmupReset(t *testing.T) {
+	ks := testWorkload(t, "cfft2d", "gmtry", "tomcatv", "vpenta")
+	cfg := quickConfig(core.Interleaved, 4)
+	cfg.Obs = metrics.Options{SampleEvery: 777}
+	res, err := Run(ks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Metrics.Procs[0]
+	idx := -1
+	for i, n := range s.Names {
+		if n == "cycles" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no cycles counter")
+	}
+	drops := 0
+	var prev int64
+	for _, sm := range s.Samples {
+		if sm.Values[idx] < prev {
+			drops++
+		}
+		prev = sm.Values[idx]
+	}
+	if drops != 1 {
+		t.Errorf("cycles counter dropped %d times across samples, want exactly 1 (the warmup reset)", drops)
+	}
+}

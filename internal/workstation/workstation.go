@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/guard"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/osmodel"
 	"repro/internal/prog"
 )
@@ -51,6 +52,10 @@ type Config struct {
 	// hang — but an explicit window catches workloads that stop retiring
 	// useful work (all applications wedged on sync or trap loops).
 	Guard guard.Options
+
+	// Obs configures the observability layer (counter sampling and the
+	// structured event trace); the zero value disables it entirely.
+	Obs metrics.Options
 }
 
 // DefaultConfig returns the paper's workstation with the given scheme and
@@ -109,6 +114,9 @@ type Result struct {
 	// instructions per cycle, which is what Table 7's throughput ratios
 	// are computed from.
 	FairThroughput float64
+	// Metrics is the observability record, nil unless Config.Obs enables
+	// instrumentation.
+	Metrics *metrics.CellMetrics
 }
 
 // Gain returns this run's fairness-normalized throughput relative to a
@@ -144,6 +152,23 @@ func Run(kernels []apps.Kernel, cfg Config) (*Result, error) {
 	proc, err := core.NewProcessor(ccfg, h, fm)
 	if err != nil {
 		return nil, err
+	}
+
+	// Observability: on a single processor every counter is proc-scope.
+	// The watchdog and chaos counters mutate only at guard-chunk and slice
+	// boundaries, which fall at identical cycles whether the core steps or
+	// fast-forwards, so sampling them from the processor's timeline is
+	// mode-independent.
+	col := metrics.NewCollector(cfg.Obs, 1)
+	var wdArms, wdTrips int64
+	if pm := col.Proc(0); pm != nil {
+		proc.AttachMetrics(pm)
+		h.AttachMetrics(pm)
+		pm.Reg.Register("watchdog/arms", &wdArms)
+		pm.Reg.Register("watchdog/trips", &wdTrips)
+		if ch := cfg.Cache.Chaos; ch != nil {
+			pm.Reg.Register("chaos/draws", &ch.Draws)
+		}
 	}
 
 	// Build one process per kernel, each in its own code and data region
@@ -211,7 +236,11 @@ func Run(kernels []apps.Kernel, cfg Config) (*Result, error) {
 			}
 			proc.Run(chunk)
 			remaining -= chunk
+			if wd != nil {
+				wdArms++
+			}
 			if wd.Observe(proc.Now(), proc.UsefulProgress()) {
+				wdTrips++
 				d := &guard.Diagnostic{
 					Reason: fmt.Sprintf("watchdog: no useful instruction retired in %d cycles", wd.Stalled(proc.Now())),
 					Cycle:  proc.Now(),
@@ -286,5 +315,6 @@ func Run(kernels []apps.Kernel, cfg Config) (*Result, error) {
 		}
 	}
 	res.FairThroughput = effSum / float64(len(threads))
+	res.Metrics = col.Result()
 	return res, nil
 }

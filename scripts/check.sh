@@ -23,6 +23,18 @@ GUARD_CHECKS=1 go test ./...
 go run ./cmd/mpsim -app ocean -scheme interleaved -contexts 2 -procs 2 -steps 1 -chaos 20260805 >/dev/null
 go run ./cmd/mpsim -app barnes -scheme blocked -contexts 2 -procs 2 -steps 1 -chaos 7 -check-invariants >/dev/null
 
+# Observability pass: run a small grid with the metrics/trace exporters on
+# and validate every emitted file against the documented schemas
+# (JSON-lines per internal/metrics/export.go; Chrome trace_event phases).
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+go run ./cmd/uniprog -workload R0 -scheme interleaved -contexts 2 \
+    -rotations 1 -slice 8000 \
+    -metrics-out "$OBS_DIR/uni.jsonl" -trace-out "$OBS_DIR/uni.json" >/dev/null
+go run ./cmd/mpsim -app mp3d -scheme interleaved -contexts 2 -procs 2 -steps 1 \
+    -metrics-out "$OBS_DIR/mp.jsonl" -trace-out "$OBS_DIR/mp.json" >/dev/null
+go run ./cmd/obscheck "$OBS_DIR"/*.jsonl "$OBS_DIR"/*.json
+
 # Optional performance pass: BENCH=1 scripts/check.sh additionally runs
 # the benchmark suite and regenerates the throughput grid JSON
 # (see scripts/bench.sh for BASE_REF / BENCH_OUT knobs).
