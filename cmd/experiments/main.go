@@ -8,15 +8,31 @@
 // seconds with -quick). Independent simulation cells fan out across -j
 // workers (default: all CPUs); -j 1 is the serial path. Output is
 // byte-identical at every -j.
+//
+// Crash safety: -journal records every completed grid cell durably
+// (fsync per cell); -resume replays a journal's cells and simulates only
+// the remainder, producing byte-identical output to an uninterrupted
+// run. SIGINT/SIGTERM drain the run gracefully — queued cells are
+// skipped, running cells stop within a bounded number of simulated
+// cycles, completed work is flushed — and the command exits with code 3.
+// Exit codes: 0 success, 1 cell failure or other error, 2 usage,
+// 3 interrupted, 4 journal fingerprint mismatch.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -40,17 +56,39 @@ func run(args []string) (code int) {
 	only := fs.String("only", "", "comma-separated subset of experiments to run")
 	jsonOut := fs.String("json", "", "also write raw results as JSON to this file")
 	jobs := fs.Int("j", runtime.NumCPU(), "concurrent simulation cells (1 = serial)")
+	journalPath := fs.String("journal", "", "record completed grid cells to this journal file (crash-safe; overwrites)")
+	resumePath := fs.String("resume", "", "resume from this journal: replay its cells, run only the remainder, keep appending")
+	interruptAfter := fs.Int("interrupt-after", 0, "testing: raise SIGINT after this many journal appends")
 	gopts := guard.BindFlags(fs)
 	prof := profiling.BindFlags(fs)
 	obs := metrics.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return experiments.ExitUsage
+	}
+	if *journalPath != "" && *resumePath != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -journal and -resume are mutually exclusive (resume keeps appending to the resumed journal)")
+		return experiments.ExitUsage
 	}
 
 	fail := func(err error) int {
+		var fpErr *experiments.FingerprintError
+		switch {
+		case errors.As(err, &fpErr):
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return experiments.ExitFingerprintMismatch
+		case guard.IsCancellation(err):
+			fmt.Fprintln(os.Stderr, "experiments: interrupted:", guard.Report(err))
+			return experiments.ExitInterrupted
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", guard.Report(err))
-		return 1
+		return experiments.ExitFailure
 	}
+
+	// SIGINT/SIGTERM cancel this context: grids drain (running cells stop
+	// within a bounded cycle count, queued ones never start), completed
+	// work is flushed below, and the command exits ExitInterrupted.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -59,8 +97,10 @@ func run(args []string) (code int) {
 	defer stopProf()
 
 	// The JSON dump is written last (but before the profile flush above,
-	// defers being LIFO), so a failing grid still records every completed
-	// cell; a failed write makes the command exit non-zero.
+	// defers being LIFO), so a failing or interrupted grid still records
+	// every completed cell; a failed write makes the command exit
+	// non-zero. The write is atomic (temp + rename), so an existing file
+	// survives any mid-write crash intact.
 	jsonBlob := map[string]any{}
 	defer func() {
 		if *jsonOut == "" || len(jsonBlob) == 0 {
@@ -68,12 +108,15 @@ func run(args []string) (code int) {
 		}
 		data, err := json.MarshalIndent(jsonBlob, "", "  ")
 		if err == nil {
-			err = os.WriteFile(*jsonOut, data, 0o644)
+			err = metrics.WriteFileAtomic(*jsonOut, func(w io.Writer) error {
+				_, werr := w.Write(data)
+				return werr
+			})
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: json:", err)
 			if code == 0 {
-				code = 1
+				code = experiments.ExitFailure
 			}
 			return
 		}
@@ -100,6 +143,63 @@ func run(args []string) (code int) {
 	mcfg.Guard = *gopts
 	ucfg.Obs = obs.Options()
 	mcfg.Obs = obs.Options()
+
+	needUni := sel("table7") || sel("fig6") || sel("fig7")
+	needMP := sel("table10") || sel("fig8") || sel("fig9")
+
+	if *journalPath != "" || *resumePath != "" {
+		// The fingerprint covers everything that determines cell results:
+		// the resolved grid configs (shapes, seeds, guard/chaos flags),
+		// the experiment selection, and the binary. Resuming under any
+		// drift is a hard error — replayed cells would silently disagree
+		// with what this run would simulate.
+		var uniFP *experiments.UniConfig
+		var mpFP *experiments.MPConfig
+		if needUni {
+			uniFP = &ucfg
+		}
+		if needMP {
+			mpFP = &mcfg
+		}
+		onlyList := make([]string, 0, len(want))
+		for n := range want {
+			onlyList = append(onlyList, n)
+		}
+		sort.Strings(onlyList)
+		fp := experiments.NewFingerprint(uniFP, mpFP, onlyList)
+
+		var journal *experiments.Journal
+		var err error
+		if *resumePath != "" {
+			journal, err = experiments.OpenJournal(*resumePath, fp)
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "[resuming from %s: %d completed cells to replay]\n", *resumePath, journal.Cells())
+			}
+		} else {
+			journal, err = experiments.CreateJournal(*journalPath, fp)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		defer journal.Close()
+		if *interruptAfter > 0 {
+			// Test harness for the interrupt-resume determinism check:
+			// deliver a real SIGINT to ourselves partway through the grid,
+			// exercising the same signal path an operator's Ctrl-C does.
+			var once sync.Once
+			n := *interruptAfter
+			journal.SetAppendHook(func(appended int) {
+				if appended >= n {
+					once.Do(func() {
+						p, _ := os.FindProcess(os.Getpid())
+						p.Signal(os.Interrupt)
+					})
+				}
+			})
+		}
+		ucfg.Journal = journal
+		mcfg.Journal = journal
+	}
 
 	if sel("table4") {
 		r, err := experiments.Table4()
@@ -139,10 +239,9 @@ func run(args []string) (code int) {
 	}
 
 	var uni *experiments.UniResult
-	needUni := sel("table7") || sel("fig6") || sel("fig7")
 	if needUni {
 		start := time.Now()
-		r, err := experiments.RunUniprocessor(ucfg)
+		r, err := experiments.RunUniprocessorCtx(ctx, ucfg)
 		if err != nil {
 			return fail(err)
 		}
@@ -159,7 +258,10 @@ func run(args []string) (code int) {
 					}
 				}
 			}
-			code = 1
+			code = experiments.ExitFailure
+		}
+		if r.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: workstation grid interrupted: %d cells skipped\n", r.Skipped)
 		}
 		var cells []obsCell
 		for _, c := range r.Cells {
@@ -184,10 +286,9 @@ func run(args []string) (code int) {
 	}
 
 	var mpr *experiments.MPResult
-	needMP := sel("table10") || sel("fig8") || sel("fig9")
 	if needMP {
 		start := time.Now()
-		r, err := experiments.RunMultiprocessor(mcfg)
+		r, err := experiments.RunMultiprocessorCtx(ctx, mcfg)
 		if err != nil {
 			return fail(err)
 		}
@@ -204,7 +305,10 @@ func run(args []string) (code int) {
 					}
 				}
 			}
-			code = 1
+			code = experiments.ExitFailure
+		}
+		if r.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: multiprocessor grid interrupted: %d cells skipped\n", r.Skipped)
 		}
 		var cells []obsCell
 		for _, c := range r.Cells {
@@ -228,9 +332,20 @@ func run(args []string) (code int) {
 		fmt.Println(experiments.FormatMPFigure(mpr, core.Interleaved, 9))
 	}
 
-	if sel("ablations") {
+	// The remaining sections have no SKIP rendering of their own; once
+	// the run is interrupted, skip them outright rather than starting
+	// work that would drain immediately.
+	skipInterrupted := func(name string) bool {
+		if ctx.Err() == nil {
+			return false
+		}
+		fmt.Fprintf(os.Stderr, "[skipping %s: interrupted]\n", name)
+		return true
+	}
+
+	if sel("ablations") && !skipInterrupted("ablations") {
 		start := time.Now()
-		r, err := experiments.RunAblations(ucfg)
+		r, err := experiments.RunAblationsCtx(ctx, ucfg)
 		if err != nil {
 			return fail(err)
 		}
@@ -238,10 +353,10 @@ func run(args []string) (code int) {
 		fmt.Println(experiments.FormatAblations(r))
 	}
 
-	if sel("response") {
+	if sel("response") && !skipInterrupted("response") {
 		rcfg := experiments.DefaultResponseConfig()
 		rcfg.Parallelism = *jobs
-		r, err := experiments.RunResponse(rcfg)
+		r, err := experiments.RunResponseCtx(ctx, rcfg)
 		if err != nil {
 			return fail(err)
 		}
@@ -249,46 +364,63 @@ func run(args []string) (code int) {
 		fmt.Println()
 	}
 
-	if sel("sweeps") {
+	if sel("sweeps") && !skipInterrupted("sweeps") {
 		start := time.Now()
-		if r, err := experiments.SwitchCostSweep(ucfg, "DC"); err != nil {
+		if r, err := experiments.SwitchCostSweepCtx(ctx, ucfg, "DC"); err != nil {
 			return fail(err)
 		} else {
 			fmt.Println(experiments.FormatSweep(r))
 			fmt.Println()
 		}
-		if r, err := experiments.ContextCountSweep(ucfg, "DC"); err != nil {
+		if r, err := experiments.ContextCountSweepCtx(ctx, ucfg, "DC"); err != nil {
 			return fail(err)
 		} else {
 			fmt.Println(experiments.FormatSweep(r))
 			fmt.Println()
 		}
-		if r, err := experiments.MSHRSweep(ucfg, "DC"); err != nil {
+		if r, err := experiments.MSHRSweepCtx(ctx, ucfg, "DC"); err != nil {
 			return fail(err)
 		} else {
 			fmt.Println(experiments.FormatSweep(r))
 			fmt.Println()
 		}
-		if r, err := experiments.RemoteLatencySweep(mcfg, "ocean"); err != nil {
+		if r, err := experiments.RemoteLatencySweepCtx(ctx, mcfg, "ocean"); err != nil {
 			return fail(err)
 		} else {
 			fmt.Println(experiments.FormatSweep(r))
 			fmt.Println()
 		}
-		if r, err := experiments.IssueWidthSweep(ucfg, "R1"); err != nil {
+		if r, err := experiments.IssueWidthSweepCtx(ctx, ucfg, "R1"); err != nil {
 			return fail(err)
 		} else {
 			fmt.Println(experiments.FormatSweep(r))
 			fmt.Println()
 		}
-		if r, err := experiments.RunPrefetchComparison(ucfg); err != nil {
+		if r, err := experiments.RunPrefetchComparisonCtx(ctx, ucfg); err != nil {
 			return fail(err)
 		} else {
 			fmt.Println(experiments.FormatPrefetchComparison(r))
 		}
 		fmt.Fprintf(os.Stderr, "[sweeps: %v]\n", time.Since(start).Round(time.Millisecond))
 	}
+
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted; completed cells were flushed"+
+			resumeHint(*journalPath, *resumePath))
+		return experiments.ExitInterrupted
+	}
 	return code
+}
+
+// resumeHint names the journal an interrupted run can be resumed from.
+func resumeHint(journalPath, resumePath string) string {
+	switch {
+	case journalPath != "":
+		return fmt.Sprintf(" (resume with -resume %s)", journalPath)
+	case resumePath != "":
+		return fmt.Sprintf(" (resume with -resume %s)", resumePath)
+	}
+	return ""
 }
 
 // obsCell pairs one grid cell's observability record with its label.
@@ -301,23 +433,22 @@ type obsCell struct {
 // concatenates into one JSON-lines file (each introduced by its "cell"
 // delimiter line), while traces — one Chrome trace JSON object per cell —
 // go to individually suffixed files. prefix keeps the workstation and
-// multiprocessor grids from overwriting each other's output.
+// multiprocessor grids from overwriting each other's output. All files
+// are written atomically (temp + rename).
 func writeGridMetrics(f *metrics.Flags, prefix string, cells []obsCell) error {
 	if f.MetricsOut != "" {
-		file, err := os.Create(metrics.SuffixPath(f.MetricsOut, prefix))
+		err := metrics.WriteFileAtomic(metrics.SuffixPath(f.MetricsOut, prefix), func(w io.Writer) error {
+			for _, c := range cells {
+				if c.m == nil {
+					continue
+				}
+				if err := metrics.WriteJSONL(w, c.m, c.label); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 		if err != nil {
-			return err
-		}
-		for _, c := range cells {
-			if c.m == nil {
-				continue
-			}
-			if err := metrics.WriteJSONL(file, c.m, c.label); err != nil {
-				file.Close()
-				return err
-			}
-		}
-		if err := file.Close(); err != nil {
 			return err
 		}
 	}
@@ -326,15 +457,10 @@ func writeGridMetrics(f *metrics.Flags, prefix string, cells []obsCell) error {
 			if c.m == nil {
 				continue
 			}
-			file, err := os.Create(metrics.SuffixPath(f.TraceOut, prefix+"."+c.label))
+			err := metrics.WriteFileAtomic(metrics.SuffixPath(f.TraceOut, prefix+"."+c.label), func(w io.Writer) error {
+				return metrics.WriteChromeTrace(w, c.m)
+			})
 			if err != nil {
-				return err
-			}
-			if err := metrics.WriteChromeTrace(file, c.m); err != nil {
-				file.Close()
-				return err
-			}
-			if err := file.Close(); err != nil {
 				return err
 			}
 		}

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 // Regression: a failed -json write used to call os.Exit from inside a
@@ -37,7 +41,100 @@ func TestJSONWriteSuccessExitsZero(t *testing.T) {
 }
 
 func TestBadFlagExitsNonZero(t *testing.T) {
-	if code := run([]string{"-no-such-flag"}); code == 0 {
-		t.Error("run with an unknown flag returned 0")
+	if code := run([]string{"-no-such-flag"}); code != experiments.ExitUsage {
+		t.Errorf("run with an unknown flag returned %d, want %d", code, experiments.ExitUsage)
+	}
+}
+
+func TestJournalAndResumeAreMutuallyExclusive(t *testing.T) {
+	dir := t.TempDir()
+	code := run([]string{
+		"-journal", filepath.Join(dir, "a.journal"),
+		"-resume", filepath.Join(dir, "b.journal"),
+	})
+	if code != experiments.ExitUsage {
+		t.Errorf("run -journal + -resume returned %d, want %d", code, experiments.ExitUsage)
+	}
+}
+
+func TestResumeMissingJournalFails(t *testing.T) {
+	code := run([]string{"-quick", "-only", "table7",
+		"-resume", filepath.Join(t.TempDir(), "no-such.journal")})
+	if code != experiments.ExitFailure {
+		t.Errorf("resume from a missing journal returned %d, want %d", code, experiments.ExitFailure)
+	}
+}
+
+// absorbInterrupts keeps a test-local handler registered for SIGINT so a
+// self-delivered interrupt that lands after run()'s own handler is
+// unregistered cannot kill the test binary.
+func absorbInterrupts(t *testing.T) {
+	t.Helper()
+	ch := make(chan os.Signal, 8)
+	signal.Notify(ch, os.Interrupt)
+	t.Cleanup(func() { signal.Stop(ch) })
+}
+
+// The end-to-end acceptance path, in-process: a run interrupted by a real
+// SIGINT exits 3 with its completed cells journaled; resuming that
+// journal exits 0 and produces -json output byte-identical to an
+// uninterrupted run.
+func TestInterruptThenResumeMatchesUninterrupted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	absorbInterrupts(t)
+	dir := t.TempDir()
+	fullJSON := filepath.Join(dir, "full.json")
+	partJSON := filepath.Join(dir, "part.json")
+	resumedJSON := filepath.Join(dir, "resumed.json")
+	partJournal := filepath.Join(dir, "part.journal")
+
+	base := []string{"-quick", "-only", "table7", "-j", "2"}
+	if code := run(append(base, "-json", fullJSON, "-journal", filepath.Join(dir, "full.journal"))); code != 0 {
+		t.Fatalf("uninterrupted run returned %d", code)
+	}
+
+	code := run(append(base, "-json", partJSON, "-journal", partJournal, "-interrupt-after", "3"))
+	if code != experiments.ExitInterrupted {
+		t.Fatalf("interrupted run returned %d, want %d", code, experiments.ExitInterrupted)
+	}
+	if _, err := os.Stat(partJSON); err != nil {
+		t.Fatalf("interrupted run did not flush its -json output: %v", err)
+	}
+
+	if code := run(append(base, "-json", resumedJSON, "-resume", partJournal)); code != 0 {
+		t.Fatalf("resumed run returned %d", code)
+	}
+	full, err := os.ReadFile(fullJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(resumedJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, resumed) {
+		t.Error("resumed -json output differs from the uninterrupted run")
+	}
+}
+
+// Resuming under different flags — here, a different -only selection —
+// is the documented hard error with its own exit code.
+func TestResumeFingerprintMismatchExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	absorbInterrupts(t)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "part.journal")
+	code := run([]string{"-quick", "-only", "table7", "-j", "2",
+		"-journal", journal, "-interrupt-after", "1"})
+	if code != experiments.ExitInterrupted {
+		t.Fatalf("interrupted run returned %d, want %d", code, experiments.ExitInterrupted)
+	}
+	code = run([]string{"-quick", "-only", "table7,fig6", "-j", "2", "-resume", journal})
+	if code != experiments.ExitFingerprintMismatch {
+		t.Errorf("resume under different flags returned %d, want %d", code, experiments.ExitFingerprintMismatch)
 	}
 }

@@ -9,6 +9,10 @@
 //
 // A comma-separated -contexts list fans the runs out across -j workers
 // (default: all CPUs) and prints them in list order; -j 1 runs serially.
+//
+// SIGINT/SIGTERM drain the run gracefully: queued configurations are
+// skipped, running simulations stop within one lockstep block, completed
+// configurations are still printed, and the command exits with code 3.
 package main
 
 import (
@@ -16,9 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -71,6 +77,11 @@ func main() {
 		os.Exit(1)
 	}
 
+	// SIGINT/SIGTERM cancel this context; the pool drains and the
+	// simulation loop observes the cancellation at block granularity.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	stopProf, err := prof.Start()
 	if err != nil {
 		die(err)
@@ -103,7 +114,7 @@ func main() {
 	// (Racy apps — mp3d's unsynchronized scatter — are exempt: their memory
 	// results are scheduling-dependent by construction.)
 	results := make([]*mp.Result, len(counts))
-	err = experiments.NewPool(*jobs).Run(context.Background(), len(counts), func(_ context.Context, i int) error {
+	err = experiments.NewPool(*jobs).Run(ctx, len(counts), func(ctx context.Context, i int) error {
 		cfg := mp.DefaultConfig(sc, counts[i])
 		cfg.Processors = *procs
 		cfg.LimitCycles = *limit
@@ -117,7 +128,7 @@ func main() {
 			NumThreads:   *procs * counts[i],
 			Steps:        *steps,
 		})
-		res, err := mp.Run(p, cfg)
+		res, err := mp.RunCtx(ctx, p, cfg)
 		if err != nil {
 			return err
 		}
@@ -127,7 +138,7 @@ func main() {
 		if gopts.ChaosSeed != 0 && !app.Racy {
 			baseCfg := cfg
 			baseCfg.Guard.ChaosSeed = 0
-			base, err := mp.Run(p, baseCfg)
+			base, err := mp.RunCtx(ctx, p, baseCfg)
 			if err != nil {
 				return fmt.Errorf("chaos reference run: %w", err)
 			}
@@ -139,14 +150,20 @@ func main() {
 		results[i] = res
 		return nil
 	})
-	if err != nil {
+	interrupted := err != nil && guard.IsCancellation(err) && ctx.Err() != nil
+	if err != nil && !interrupted {
 		die(err)
 	}
 
+	printed := 0
 	for i, res := range results {
-		if i > 0 {
+		if res == nil {
+			continue // interrupted before this configuration completed
+		}
+		if printed > 0 {
 			fmt.Println()
 		}
+		printed++
 		fmt.Printf("%s: %d processors x %d context(s) (%d threads), scheme %v\n",
 			*appName, *procs, counts[i], res.Threads, sc)
 		fmt.Printf("execution time: %d cycles\n", res.Cycles)
@@ -184,4 +201,8 @@ func main() {
 		}
 	}
 	stopProf()
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "mpsim: interrupted; %d of %d configurations completed\n", printed, len(counts))
+		os.Exit(experiments.ExitInterrupted)
+	}
 }

@@ -10,6 +10,11 @@
 //
 // A comma-separated -contexts list fans the runs out across -j workers
 // (default: all CPUs) and prints them in list order; -j 1 runs serially.
+//
+// SIGINT/SIGTERM drain the run gracefully: queued configurations are
+// skipped, running simulations stop within a bounded number of simulated
+// cycles, completed configurations are still printed, and the command
+// exits with code 3.
 package main
 
 import (
@@ -17,9 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -59,6 +66,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "uniprog:", guard.Report(err))
 		os.Exit(1)
 	}
+
+	// SIGINT/SIGTERM cancel this context; the pool drains and the
+	// simulation loops observe the cancellation at block granularity.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -100,27 +112,33 @@ func main() {
 	// Fan the configurations out; results land in run order so the report
 	// below is independent of completion order.
 	results := make([]*workstation.Result, len(counts))
-	err = experiments.NewPool(*jobs).Run(context.Background(), len(counts), func(_ context.Context, i int) error {
+	err = experiments.NewPool(*jobs).Run(ctx, len(counts), func(ctx context.Context, i int) error {
 		cfg := workstation.DefaultConfig(sc, counts[i])
 		cfg.OS.SliceCycles = *slice
 		cfg.MeasureRotations = *rotations
 		cfg.Guard = *gopts
 		cfg.Obs = obs.Options()
-		r, err := workstation.Run(kernels, cfg)
+		r, err := workstation.RunCtx(ctx, kernels, cfg)
 		if err != nil {
 			return err
 		}
 		results[i] = r
 		return nil
 	})
-	if err != nil {
+	interrupted := err != nil && guard.IsCancellation(err) && ctx.Err() != nil
+	if err != nil && !interrupted {
 		die(err)
 	}
 
+	printed := 0
 	for i, res := range results {
-		if i > 0 {
+		if res == nil {
+			continue // interrupted before this configuration completed
+		}
+		if printed > 0 {
 			fmt.Println()
 		}
+		printed++
 		report(len(kernels), sc, counts[i], res)
 		// With a -contexts list, each configuration gets its own suffixed
 		// output file; a single run writes the paths as given.
@@ -134,6 +152,10 @@ func main() {
 		}
 	}
 	stopProf()
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "uniprog: interrupted; %d of %d configurations completed\n", printed, len(counts))
+		os.Exit(experiments.ExitInterrupted)
+	}
 }
 
 func report(nkernels int, sc core.Scheme, contexts int, res *workstation.Result) {

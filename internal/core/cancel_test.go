@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/mem"
+)
+
+// A canceled context stops a guarded run within one CancelCheckEvery
+// block and surfaces as a typed guard.canceled SimError that errors.Is
+// recognizes as context cancellation.
+func TestRunGuardedCtxCancelsWithinOneBlock(t *testing.T) {
+	fm := mem.New()
+	p := MustNewProcessor(DefaultConfig(Single, 1), perfectMem{}, fm)
+	p.BindThread(0, NewThread("spin", spinProgram(t)))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran, done, err := p.RunGuardedCtx(ctx, 10_000_000, guard.Options{})
+	if done {
+		t.Error("canceled run reported completed")
+	}
+	if err == nil {
+		t.Fatal("canceled run returned no error")
+	}
+	se := guard.AsSimError(err)
+	if se == nil || se.Op != guard.OpCanceled {
+		t.Fatalf("want a %s SimError, got %v", guard.OpCanceled, err)
+	}
+	if !guard.IsCancellation(err) || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation error not recognized by errors.Is: %v", err)
+	}
+	if ran > CancelCheckEvery {
+		t.Errorf("ran %d cycles after cancellation, want <= %d (one block)", ran, CancelCheckEvery)
+	}
+	if se.Cycle != ran {
+		t.Errorf("error cycle %d != cycles run %d", se.Cycle, ran)
+	}
+}
+
+// An attached but never-canceled context must be invisible: same cycle
+// count, same completion, same architectural results as the detached
+// RunGuarded path — the chunked cancelable loop is cycle-exact.
+func TestRunGuardedCtxMatchesDetachedRun(t *testing.T) {
+	build := func() (*Processor, *Thread) {
+		fm := mem.New()
+		p := MustNewProcessor(DefaultConfig(Interleaved, 2), newFakeMem(40), fm)
+		th := NewThread("sum", sumProgram(t, 500, 0x100000))
+		p.BindThread(0, th)
+		return p, th
+	}
+	p1, th1 := build()
+	c1, done1, err1 := p1.RunGuarded(1_000_000, guard.Options{})
+	if err1 != nil {
+		t.Fatal(err1)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p2, th2 := build()
+	c2, done2, err2 := p2.RunGuardedCtx(ctx, 1_000_000, guard.Options{})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if c1 != c2 || done1 != done2 {
+		t.Fatalf("cancelable path diverged: (%d,%v) vs (%d,%v)", c1, done1, c2, done2)
+	}
+	if th1.HashArchState(0) != th2.HashArchState(0) {
+		t.Error("cancelable path changed architectural results")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/guard"
@@ -144,6 +145,28 @@ func (p *Processor) CheckInvariants() error {
 // cycle-bounded uniprocessor run cannot hang, so the watchdog is an
 // opt-in early-abort for stuck programs.
 func (p *Processor) RunGuarded(limit int64, opts guard.Options) (int64, bool, error) {
+	return p.RunGuardedCtx(context.Background(), limit, opts)
+}
+
+// CancelCheckEvery is the cycle granularity at which a cancelable run
+// observes its context: an attached, canceled context stops the
+// processor within one such block instead of after the full cycle
+// budget. Splitting a run into 64-cycle sub-chunks is cycle-exact (a
+// chunked run is byte-identical to an unchunked one — pinned by the
+// fast-forward golden tests), so the plumbing never perturbs results.
+const CancelCheckEvery = 64
+
+// RunGuardedCtx is RunGuarded with cooperative cancellation: when ctx
+// can be canceled, the run additionally polls ctx.Done() every
+// CancelCheckEvery cycles and returns a guard.OpCanceled SimError
+// (wrapping ctx.Err(), so errors.Is sees context.Canceled) within one
+// block of the cancellation. A background/detached context leaves the
+// original single-RunUntilHalted-per-chunk path untouched.
+func (p *Processor) RunGuardedCtx(ctx context.Context, limit int64, opts guard.Options) (int64, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done() // nil for context.Background(): detached fast path
 	every := opts.CheckCadence()
 	wd := guard.NewWatchdog(opts.ResolveWatchdog(0))
 	checks := opts.InvariantsOn()
@@ -163,7 +186,11 @@ func (p *Processor) RunGuarded(limit int64, opts guard.Options) (int64, bool, er
 		// RunUntilHalted, not Run: the chunked loop must stop on the exact
 		// halt cycle, or guarded runs would overshoot to the next chunk
 		// boundary and report inflated cycle counts.
-		p.RunUntilHalted(chunk)
+		if done == nil {
+			p.RunUntilHalted(chunk)
+		} else if err := p.runCancelable(ctx, done, chunk); err != nil {
+			return p.cycle - start, false, err
+		}
 		if wd.Observe(p.cycle, p.UsefulProgress()) {
 			d := &guard.Diagnostic{
 				Reason: fmt.Sprintf("watchdog: no useful instruction retired in %d cycles", wd.Stalled(p.cycle)),
@@ -172,7 +199,7 @@ func (p *Processor) RunGuarded(limit int64, opts guard.Options) (int64, bool, er
 				Window: wd.Window(),
 				Procs:  []guard.ProcState{p.Snapshot()},
 			}
-			return p.cycle - start, false, guard.NewSimError("guard.watchdog",
+			return p.cycle - start, false, guard.NewSimError(guard.OpWatchdog,
 				fmt.Errorf("livelock/deadlock: no useful instruction retired in %d cycles", wd.Stalled(p.cycle))).
 				At(p.cycle).On(p.ID, -1, -1).WithDiag(d)
 		}
@@ -187,6 +214,29 @@ func (p *Processor) RunGuarded(limit int64, opts guard.Options) (int64, bool, er
 			}
 		}
 	}
+}
+
+// runCancelable advances the processor exactly like RunUntilHalted(chunk)
+// — chunked runs are cycle-exact — but observes done between 64-cycle
+// blocks, so a canceled context stops the run within CancelCheckEvery
+// cycles of the block it was canceled in.
+func (p *Processor) runCancelable(ctx context.Context, done <-chan struct{}, chunk int64) error {
+	for rem := chunk; rem > 0; {
+		b := int64(CancelCheckEvery)
+		if b > rem {
+			b = rem
+		}
+		if _, halted := p.RunUntilHalted(b); halted {
+			return nil
+		}
+		rem -= b
+		select {
+		case <-done:
+			return guard.NewSimError(guard.OpCanceled, ctx.Err()).At(p.cycle)
+		default:
+		}
+	}
+	return nil
 }
 
 var _ guard.InvariantChecker = (*Processor)(nil)

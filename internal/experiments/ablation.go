@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -39,6 +40,11 @@ type AblationRow struct {
 //   - interleaved without the backoff instruction
 //   - fine-grained (HEP-style, §2.1)
 func RunAblations(cfg UniConfig) (*AblationResult, error) {
+	return RunAblationsCtx(context.Background(), cfg)
+}
+
+// RunAblationsCtx is RunAblations with cancellation.
+func RunAblationsCtx(ctx context.Context, cfg UniConfig) (*AblationResult, error) {
 	workloads := cfg.Workloads
 	if workloads == nil {
 		workloads = WorkloadOrder
@@ -94,7 +100,7 @@ func RunAblations(cfg UniConfig) (*AblationResult, error) {
 		}
 	}
 	runs := make([]*workstation.Result, len(specs))
-	err := runCells(cfg.Parallelism, len(specs), func(i int) error {
+	err := runCells(ctx, cfg.Parallelism, len(specs), func(ctx context.Context, i int) error {
 		sp := specs[i]
 		scheme, contexts := core.Single, 1
 		if sp.variant >= 0 {
@@ -108,7 +114,7 @@ func RunAblations(cfg UniConfig) (*AblationResult, error) {
 		if sp.variant >= 0 && variants[sp.variant].mutate != nil {
 			variants[sp.variant].mutate(&wcfg)
 		}
-		r, err := workstation.Run(sp.kernels, wcfg)
+		r, err := workstation.RunCtx(ctx, sp.kernels, wcfg)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,443 @@
+package experiments
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workstation"
+)
+
+// Exit codes shared by the simulation commands, documented in
+// EXPERIMENTS.md. Flag-parse failures exit 2 (the flag package's
+// convention); everything else is explicit.
+const (
+	// ExitSuccess: every selected experiment completed with no failed cell.
+	ExitSuccess = 0
+	// ExitFailure: at least one cell failed, or any other error.
+	ExitFailure = 1
+	// ExitUsage: command-line parse error.
+	ExitUsage = 2
+	// ExitInterrupted: a SIGINT/SIGTERM drain stopped the run; completed
+	// cells were flushed (journal, partial tables, -json) and the rest
+	// rendered as SKIP.
+	ExitInterrupted = 3
+	// ExitFingerprintMismatch: -resume was given a journal recorded under
+	// a different configuration or binary.
+	ExitFingerprintMismatch = 4
+)
+
+// JournalVersion is the journal file-format version; OpenJournal refuses
+// files written by a different version.
+const JournalVersion = 1
+
+// Grid names tagging journal cell records, so one journal can hold both
+// grids of a cmd/experiments run without index collisions.
+const (
+	gridWorkstation    = "workstation"
+	gridMultiprocessor = "multiprocessor"
+)
+
+// Fingerprint identifies the configuration a journal was recorded under:
+// grid shapes, seeds, scheme/context axes, chaos/guard flags, experiment
+// selection, and the binary version. Resuming replays simulation results
+// verbatim, so any config drift silently changing what those results
+// would be must be a hard error — the fingerprint is how it is caught.
+type Fingerprint struct {
+	Version int        `json:"version"`
+	Binary  string     `json:"binary"`
+	Only    []string   `json:"only,omitempty"`
+	Uni     *UniConfig `json:"uni,omitempty"`
+	MP      *MPConfig  `json:"mp,omitempty"`
+}
+
+// NewFingerprint builds the fingerprint for a cmd/experiments run over
+// the given configs (either may be nil) and -only selection. Parallelism
+// is zeroed in the copies: results are byte-identical at every -j, so a
+// resume at a different worker count is legitimate.
+func NewFingerprint(uni *UniConfig, mp *MPConfig, only []string) Fingerprint {
+	fp := Fingerprint{Version: JournalVersion, Binary: binaryVersion(), Only: only}
+	if uni != nil {
+		u := *uni
+		u.Parallelism = 0
+		u.Journal = nil
+		fp.Uni = &u
+	}
+	if mp != nil {
+		m := *mp
+		m.Parallelism = 0
+		m.Journal = nil
+		fp.MP = &m
+	}
+	return fp
+}
+
+// Hash digests the fingerprint's canonical JSON encoding.
+func (fp Fingerprint) Hash() string {
+	data, err := json.Marshal(fp)
+	if err != nil {
+		// Fingerprint contents are plain config structs; Marshal cannot
+		// fail on them. Degrade to a never-matching hash just in case.
+		return "unhashable:" + err.Error()
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:12])
+}
+
+// binaryVersion identifies the running binary for the fingerprint: the
+// main module version plus the VCS revision when the build recorded one.
+// Test binaries and `go run` builds without VCS stamping all report
+// "(devel)", which is correct — they are rebuilt from the same tree.
+func binaryVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			v += "+" + s.Value
+		}
+	}
+	if v == "" {
+		v = "unknown"
+	}
+	return v
+}
+
+// FingerprintError is the hard, diagnosable error OpenJournal returns
+// when a journal was recorded under a different configuration or binary;
+// cmd/experiments maps it to ExitFingerprintMismatch.
+type FingerprintError struct {
+	Path string
+	Want string // hash of the current run's configuration
+	Got  string // hash recorded in the journal header
+}
+
+func (e *FingerprintError) Error() string {
+	return fmt.Sprintf("journal %s was recorded under a different configuration: header fingerprint %s, this run's %s — resume with the exact flags (and binary) of the original run, or start a fresh journal with -journal",
+		e.Path, e.Got, e.Want)
+}
+
+// journalLine is one JSONL record: a header (first line) or a completed
+// cell. Cell data is kept raw so replay can decode straight into the
+// grid-specific record type, and Hash guards against torn appends.
+type journalLine struct {
+	Type    string          `json:"type"`
+	Version int             `json:"version,omitempty"`
+	Hash    string          `json:"hash,omitempty"`
+	Grid    string          `json:"grid,omitempty"`
+	Index   int             `json:"index,omitempty"`
+	Data    json.RawMessage `json:"data,omitempty"`
+}
+
+// uniCellRecord is the journaled outcome of one workstation grid cell —
+// everything RunUniprocessorCtx needs to rebuild the cell without
+// re-simulating. Failed cells are journaled too (Result nil), so a
+// resume does not re-run a deterministic failure.
+type uniCellRecord struct {
+	Result     *workstation.Result `json:"result,omitempty"`
+	Failed     bool                `json:"failed,omitempty"`
+	Failure    string              `json:"failure,omitempty"`
+	Diagnostic string              `json:"diagnostic,omitempty"`
+	Retried    bool                `json:"retried,omitempty"`
+}
+
+// mpCellRecord is the journaled outcome of one multiprocessor grid cell.
+// It mirrors mp.Result minus the functional memory image (megabytes per
+// cell, and MPCell only consumes the digest).
+type mpCellRecord struct {
+	Cycles     int64                `json:"cycles,omitempty"`
+	Completed  bool                 `json:"completed,omitempty"`
+	Stats      core.Stats           `json:"stats"`
+	Threads    int                  `json:"threads,omitempty"`
+	MemHash    uint64               `json:"memHash,omitempty"`
+	ArchHash   uint64               `json:"archHash,omitempty"`
+	Metrics    *metrics.CellMetrics `json:"metrics,omitempty"`
+	Failed     bool                 `json:"failed,omitempty"`
+	Failure    string               `json:"failure,omitempty"`
+	Diagnostic string               `json:"diagnostic,omitempty"`
+	Retried    bool                 `json:"retried,omitempty"`
+}
+
+type journalKey struct {
+	grid  string
+	index int
+}
+
+// Journal is the append-only crash-safety log of a grid run: a header
+// fingerprinting the configuration, then one fsynced JSONL record per
+// completed cell. Appends come from concurrent cell workers; replay
+// is keyed by (grid, index), so the on-disk completion order is
+// irrelevant. A nil *Journal is valid everywhere and disables journaling.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	cells    map[journalKey]json.RawMessage
+	appended int
+	replayed int
+	writeErr error
+	onAppend func(appended int)
+}
+
+// CreateJournal starts a fresh journal at path (truncating any previous
+// file) and records the fingerprint header.
+func CreateJournal(path string, fp Fingerprint) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: create journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, cells: map[journalKey]json.RawMessage{}}
+	fpData, err := json.Marshal(fp)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: journal fingerprint: %w", err)
+	}
+	header := journalLine{Type: "header", Version: JournalVersion, Hash: fp.Hash(), Data: fpData}
+	if err := j.writeLine(header); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: journal header: %w", err)
+	}
+	return j, nil
+}
+
+// OpenJournal opens an existing journal for resuming: it validates the
+// header against fp (a mismatch is a *FingerprintError), loads every
+// intact cell record for replay, and positions the file for appending.
+//
+// Corruption tolerance: a crash mid-append leaves at most one torn tail
+// — a truncated line, trailing garbage, or a record whose payload hash
+// does not match. Reading stops at the first such record; the cells
+// before it replay, the torn cell simply re-runs, and the file is
+// truncated back to its last intact record so new appends start on a
+// clean line. A missing or corrupt *header* is not tolerated: there is
+// nothing safe to resume.
+func OpenJournal(path string, fp Fingerprint) (*Journal, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: open journal: %w", err)
+	}
+	defer f.Close()
+
+	cells := map[journalKey]json.RawMessage{}
+	var validOff int64
+	sawHeader := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		var line journalLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			break // torn or garbage line: everything from here on is lost
+		}
+		if !sawHeader {
+			if line.Type != "header" {
+				return nil, fmt.Errorf("experiments: %s is not a journal (first line is %q, want header)", path, line.Type)
+			}
+			if line.Version != JournalVersion {
+				return nil, fmt.Errorf("experiments: journal %s has format version %d, this binary writes %d", path, line.Version, JournalVersion)
+			}
+			if want := fp.Hash(); line.Hash != want {
+				return nil, &FingerprintError{Path: path, Want: want, Got: line.Hash}
+			}
+			sawHeader = true
+			validOff += int64(len(raw)) + 1
+			continue
+		}
+		if line.Type != "cell" || line.Index < 0 || dataHash(line.Data) != line.Hash {
+			break // unknown type or torn payload: treat as incomplete
+		}
+		cells[journalKey{line.Grid, line.Index}] = line.Data
+		validOff += int64(len(raw)) + 1
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("experiments: journal %s has no intact header; cannot resume from it", path)
+	}
+
+	// Drop the torn tail (if any) so appends start on a record boundary,
+	// then reopen for appending.
+	if err := os.Truncate(path, validOff); err != nil {
+		return nil, fmt.Errorf("experiments: truncate journal tail: %w", err)
+	}
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reopen journal: %w", err)
+	}
+	return &Journal{f: af, path: path, cells: cells}, nil
+}
+
+// dataHash digests a cell record's payload (FNV-1a, hex) so a torn
+// append — payload truncated but the line still parsing as JSON — is
+// detected and treated as "cell incomplete".
+func dataHash(data []byte) string {
+	h := fnv.New64a()
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Cells returns how many intact cell records were loaded for replay.
+func (j *Journal) Cells() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.cells)
+}
+
+// Replayed returns how many cells were served from the journal instead
+// of being re-simulated.
+func (j *Journal) Replayed() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replayed
+}
+
+// Appended returns how many cell records this process added.
+func (j *Journal) Appended() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// SetAppendHook installs fn, called (outside the journal lock) after
+// every successful cell append with the running append count. The
+// -interrupt-after test harness uses it to raise SIGINT partway through
+// a grid; fn must not call back into the journal.
+func (j *Journal) SetAppendHook(fn func(appended int)) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.onAppend = fn
+	j.mu.Unlock()
+}
+
+// Err returns the sticky append error, if any write failed. Grid
+// drivers check it once per grid: a journal that cannot record is a
+// hard error (silently continuing would fake crash safety).
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writeErr
+}
+
+// Close fsyncs and closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// replay looks up (grid, index) and decodes it into rec, counting a hit.
+func (j *Journal) replay(grid string, index int, rec any) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	raw, ok := j.cells[journalKey{grid, index}]
+	j.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(raw, rec); err != nil {
+		return false // undecodable record: re-run the cell
+	}
+	j.mu.Lock()
+	j.replayed++
+	j.mu.Unlock()
+	return true
+}
+
+// record appends (grid, index, payload) as one fsynced line. Errors are
+// sticky: after the first failed append the journal stops accepting
+// records and Err() reports the failure.
+func (j *Journal) record(grid string, index int, payload any) {
+	if j == nil {
+		return
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		j.mu.Lock()
+		if j.writeErr == nil {
+			j.writeErr = fmt.Errorf("experiments: journal cell %s/%d: %w", grid, index, err)
+		}
+		j.mu.Unlock()
+		return
+	}
+	line := journalLine{Type: "cell", Hash: dataHash(data), Grid: grid, Index: index, Data: data}
+
+	j.mu.Lock()
+	if j.writeErr != nil || j.f == nil {
+		j.mu.Unlock()
+		return
+	}
+	if err := j.writeLineLocked(line); err != nil {
+		j.writeErr = fmt.Errorf("experiments: journal cell %s/%d: %w", grid, index, err)
+		j.mu.Unlock()
+		return
+	}
+	j.appended++
+	n, hook := j.appended, j.onAppend
+	j.mu.Unlock()
+	if hook != nil {
+		hook(n)
+	}
+}
+
+func (j *Journal) writeLine(line journalLine) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writeLineLocked(line)
+}
+
+// writeLineLocked appends one record and fsyncs — the fsync-per-record
+// policy is what makes a completed cell durable against the very next
+// instruction being a crash.
+func (j *Journal) writeLineLocked(line journalLine) error {
+	data, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}

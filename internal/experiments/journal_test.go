@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// journalTestConfig is the small grid the journal tests run: one workload,
+// 1 baseline + 2 schemes x 2 counts = 5 cells.
+func journalTestConfig() UniConfig {
+	cfg := QuickUniConfig()
+	cfg.Workloads = []string{"DC"}
+	cfg.Parallelism = 2
+	return cfg
+}
+
+func journalLines(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+}
+
+// The tentpole guarantee: a grid resumed from a partial journal is
+// byte-identical — table text AND -json bytes — to the uninterrupted run,
+// and the journaled cells are replayed, never re-simulated.
+func TestJournalResumeByteIdentical(t *testing.T) {
+	// Uninterrupted reference, no journal involved at all.
+	ref, err := RunUniprocessor(journalTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full journaled run.
+	dir := t.TempDir()
+	fullPath := filepath.Join(dir, "full.journal")
+	cfg := journalTestConfig()
+	fp := NewFingerprint(&cfg, nil, nil)
+	j, err := CreateJournal(fullPath, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Journal = j
+	if _, err := RunUniprocessorCtx(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	total := j.Appended()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if total != len(ref.Cells) {
+		t.Fatalf("journaled %d cells, grid has %d", total, len(ref.Cells))
+	}
+
+	// Simulate a crash: keep the header plus the first k cell records.
+	const k = 2
+	lines := journalLines(t, fullPath)
+	if len(lines) != 1+total {
+		t.Fatalf("journal has %d lines, want %d", len(lines), 1+total)
+	}
+	partPath := filepath.Join(dir, "part.journal")
+	part := strings.Join(lines[:1+k], "\n") + "\n"
+	if err := os.WriteFile(partPath, []byte(part), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: the k journaled cells replay, only the remainder simulates.
+	j2, err := OpenJournal(partPath, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Cells() != k {
+		t.Fatalf("opened journal holds %d cells, want %d", j2.Cells(), k)
+	}
+	rcfg := journalTestConfig()
+	rcfg.Journal = j2
+	resumed, err := RunUniprocessorCtx(context.Background(), rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Replayed() != k {
+		t.Errorf("replayed %d cells, want %d (journaled cells must not re-simulate)", j2.Replayed(), k)
+	}
+	if j2.Appended() != total-k {
+		t.Errorf("appended %d cells on resume, want %d", j2.Appended(), total-k)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte identity: formatted tables and the JSON encoding both match the
+	// uninterrupted run exactly.
+	if got, want := FormatTable7(resumed), FormatTable7(ref); got != want {
+		t.Errorf("resumed Table 7 differs from uninterrupted run:\n--- resumed ---\n%s\n--- reference ---\n%s", got, want)
+	}
+	gotJSON, err := json.Marshal(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("resumed JSON differs from uninterrupted run:\n--- resumed ---\n%s\n--- reference ---\n%s", gotJSON, wantJSON)
+	}
+
+	// The resumed journal file is now complete: a second resume replays
+	// everything and simulates nothing.
+	j3, err := OpenJournal(partPath, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg2 := journalTestConfig()
+	rcfg2.Journal = j3
+	again, err := RunUniprocessorCtx(context.Background(), rcfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.Replayed() != total || j3.Appended() != 0 {
+		t.Errorf("complete journal: replayed %d appended %d, want %d/0", j3.Replayed(), j3.Appended(), total)
+	}
+	j3.Close()
+	if FormatTable7(again) != FormatTable7(ref) {
+		t.Error("pure-replay run differs from uninterrupted run")
+	}
+}
+
+// Failed cells are journaled too: a resume must not re-run a
+// deterministic failure, and the failure must survive the round trip.
+func TestJournalReplaysFailedCells(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.journal")
+	fp := Fingerprint{Version: JournalVersion, Binary: "test"}
+	j, err := CreateJournal(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.record(gridWorkstation, 3, uniCellRecord{Failed: true, Failure: "watchdog: wedged", Retried: true})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var rec uniCellRecord
+	if !j2.replay(gridWorkstation, 3, &rec) {
+		t.Fatal("journaled failed cell did not replay")
+	}
+	if !rec.Failed || rec.Failure != "watchdog: wedged" || !rec.Retried {
+		t.Errorf("failure round trip lost fields: %+v", rec)
+	}
+	if j2.replay(gridWorkstation, 0, &rec) {
+		t.Error("replay invented a cell that was never journaled")
+	}
+}
+
+// A crash mid-append leaves a torn tail. Each corruption is either
+// tolerated — the intact prefix replays, the torn cell re-runs — or, when
+// the header itself is unusable, a hard error.
+func TestJournalCorruptionTolerance(t *testing.T) {
+	// A known-good journal: header + 3 intact cell records.
+	fp := Fingerprint{Version: JournalVersion, Binary: "test"}
+	mkLines := func(t *testing.T) []string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "good.journal")
+		j, err := CreateJournal(path, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			j.record(gridWorkstation, i, uniCellRecord{Failed: true, Failure: fmt.Sprintf("cell %d", i)})
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return journalLines(t, path)
+	}
+
+	tests := []struct {
+		name    string
+		mutate  func(lines []string) string // full file content
+		cells   int                         // intact cells expected; -1 = hard error
+		errWant string                      // substring of the hard error
+	}{
+		{
+			name: "intact",
+			mutate: func(l []string) string {
+				return strings.Join(l, "\n") + "\n"
+			},
+			cells: 3,
+		},
+		{
+			name: "truncated mid-line",
+			mutate: func(l []string) string {
+				whole := strings.Join(l[:3], "\n") + "\n"
+				return whole + l[3][:len(l[3])/2] // last record torn in half
+			},
+			cells: 2,
+		},
+		{
+			name: "garbage trailing line",
+			mutate: func(l []string) string {
+				return strings.Join(l, "\n") + "\n{not json at all\n"
+			},
+			cells: 3,
+		},
+		{
+			name: "unknown record type",
+			mutate: func(l []string) string {
+				return strings.Join(l, "\n") + "\n" + `{"type":"bogus"}` + "\n"
+			},
+			cells: 3,
+		},
+		{
+			name: "payload hash mismatch",
+			mutate: func(l []string) string {
+				torn := `{"type":"cell","hash":"deadbeefdeadbeef","grid":"workstation","index":9,"data":{"failed":true}}`
+				return strings.Join(l, "\n") + "\n" + torn + "\n"
+			},
+			cells: 3,
+		},
+		{
+			name: "header only",
+			mutate: func(l []string) string {
+				return l[0] + "\n"
+			},
+			cells: 0,
+		},
+		{
+			name: "empty file",
+			mutate: func(l []string) string {
+				return ""
+			},
+			cells:   -1,
+			errWant: "no intact header",
+		},
+		{
+			name: "not a journal",
+			mutate: func(l []string) string {
+				return `{"type":"cell","index":0}` + "\n"
+			},
+			cells:   -1,
+			errWant: "is not a journal",
+		},
+		{
+			name: "wrong format version",
+			mutate: func(l []string) string {
+				return `{"type":"header","version":99,"hash":"x"}` + "\n"
+			},
+			cells:   -1,
+			errWant: "format version 99",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			lines := mkLines(t)
+			path := filepath.Join(t.TempDir(), "mutated.journal")
+			if err := os.WriteFile(path, []byte(tc.mutate(lines)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j, err := OpenJournal(path, fp)
+			if tc.cells < 0 {
+				if err == nil {
+					j.Close()
+					t.Fatalf("OpenJournal tolerated %s", tc.name)
+				}
+				if !strings.Contains(err.Error(), tc.errWant) {
+					t.Errorf("error %q does not mention %q", err, tc.errWant)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("OpenJournal: %v", err)
+			}
+			if j.Cells() != tc.cells {
+				t.Errorf("intact cells = %d, want %d", j.Cells(), tc.cells)
+			}
+			// The torn tail is gone and the journal accepts appends on a
+			// clean record boundary: append one cell, close, reopen.
+			j.record(gridWorkstation, 40+tc.cells, uniCellRecord{Failed: true, Failure: "appended"})
+			if err := j.Err(); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			j2, err := OpenJournal(path, fp)
+			if err != nil {
+				t.Fatalf("reopen after append: %v", err)
+			}
+			defer j2.Close()
+			if j2.Cells() != tc.cells+1 {
+				t.Errorf("after append: %d cells, want %d", j2.Cells(), tc.cells+1)
+			}
+		})
+	}
+}
+
+// Resuming under a different configuration is a hard, typed error:
+// replaying results recorded under other parameters would silently
+// fabricate data.
+func TestJournalFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.journal")
+	cfg := journalTestConfig()
+	fp := NewFingerprint(&cfg, nil, []string{"table7"})
+	j, err := CreateJournal(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	other := journalTestConfig()
+	other.Seed = cfg.Seed + 1
+	_, err = OpenJournal(path, NewFingerprint(&other, nil, []string{"table7"}))
+	var fe *FingerprintError
+	if !errors.As(err, &fe) {
+		t.Fatalf("got %v, want *FingerprintError", err)
+	}
+	if fe.Path != path || fe.Got != fp.Hash() {
+		t.Errorf("FingerprintError fields: %+v", fe)
+	}
+
+	// Same config at a different parallelism is NOT a mismatch: results
+	// are byte-identical at every -j.
+	sameJ := journalTestConfig()
+	sameJ.Parallelism = 7
+	j2, err := OpenJournal(path, NewFingerprint(&sameJ, nil, []string{"table7"}))
+	if err != nil {
+		t.Fatalf("parallelism changed the fingerprint: %v", err)
+	}
+	j2.Close()
+}
+
+// A nil *Journal must be inert everywhere — the no-journal path of every
+// grid driver goes through these calls.
+func TestNilJournalIsInert(t *testing.T) {
+	var j *Journal
+	if j.Path() != "" || j.Cells() != 0 || j.Replayed() != 0 || j.Appended() != 0 {
+		t.Error("nil journal reports state")
+	}
+	var rec uniCellRecord
+	if j.replay(gridWorkstation, 0, &rec) {
+		t.Error("nil journal replayed a cell")
+	}
+	j.record(gridWorkstation, 0, uniCellRecord{})
+	j.SetAppendHook(func(int) {})
+	if err := j.Err(); err != nil {
+		t.Errorf("nil journal has a sticky error: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("nil journal close: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,6 +39,11 @@ type MPConfig struct {
 	// Obs configures per-cell observability; enabled, every cell carries
 	// its sampled counter series and event trace in MPCell.Metrics.
 	Obs metrics.Options
+
+	// Journal, when non-nil, records every completed cell durably and
+	// replays cells already present (crash-safe resume). Excluded from
+	// JSON so results and fingerprints do not depend on journaling.
+	Journal *Journal `json:"-"`
 }
 
 // DefaultMPConfig reproduces the paper's multiprocessor setup on 8 nodes.
@@ -83,6 +89,16 @@ type MPCell struct {
 	Failure    string
 	Diagnostic string
 
+	// Retried marks a cell whose first attempt tripped the liveness
+	// watchdog and was deterministically re-run at a doubled cycle and
+	// watchdog budget; the recorded outcome is the retry's.
+	Retried bool `json:",omitempty"`
+
+	// Skipped marks a cell that never completed because the run was
+	// interrupted (SIGINT/SIGTERM drain or first-error cancellation).
+	// Skipped cells carry no measurement and no failure diagnosis.
+	Skipped bool `json:",omitempty"`
+
 	// Metrics is the cell's observability record, nil unless MPConfig.Obs
 	// enabled instrumentation.
 	Metrics *metrics.CellMetrics `json:",omitempty"`
@@ -95,6 +111,9 @@ type MPResult struct {
 	// Failures counts failed cells; drivers exit non-zero when any cell
 	// failed even though the rest of the grid completed.
 	Failures int
+	// Skipped counts cells lost to an interrupted (drained) run; they
+	// render as SKIP and re-run on a journal resume.
+	Skipped int `json:",omitempty"`
 }
 
 // Cell returns the measurement for (app, scheme, contexts).
@@ -122,7 +141,7 @@ func (r *MPResult) MeanSpeedupN(s core.Scheme, n int) (mean float64, used, total
 	for _, c := range r.Cells {
 		if c.Scheme == s && c.Contexts == n {
 			total++
-			if !c.Failed {
+			if !c.Failed && !c.Skipped {
 				xs = append(xs, c.Speedup)
 			}
 		}
@@ -131,12 +150,37 @@ func (r *MPResult) MeanSpeedupN(s core.Scheme, n int) (mean float64, used, total
 	return mean, len(xs) - skipped, total
 }
 
+// mpOutcome is one cell's classified result, index-addressed so the
+// assembly pass below is order-independent. A cell with done unset never
+// completed (interrupted before or during its run) and renders as SKIP.
+type mpOutcome struct {
+	rec     mpCellRecord
+	failed  bool
+	retried bool
+	done    bool
+}
+
 // RunMultiprocessor runs the full multiprocessor evaluation. Like
 // RunUniprocessor, the (app, scheme, contexts) cells are independent
 // simulations, so they fan out across cfg.Parallelism workers with
 // per-cell derived seeds and index-ordered result collection: output is
 // byte-identical at every parallelism level.
 func RunMultiprocessor(cfg MPConfig) (*MPResult, error) {
+	return RunMultiprocessorCtx(context.Background(), cfg)
+}
+
+// RunMultiprocessorCtx is RunMultiprocessor with cancellation and
+// journaling: cancelling ctx drains the grid (queued cells never start,
+// running cells stop within one lockstep block, both render as SKIP),
+// and a cfg.Journal replays completed cells from a previous run and
+// records new ones durably. A cell whose first attempt trips the
+// liveness watchdog is retried once at a doubled cycle and watchdog
+// budget with the same derived seed; cycle-budget exhaustion is NOT
+// retried — it already ran to the configured limit.
+func RunMultiprocessorCtx(ctx context.Context, cfg MPConfig) (*MPResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	appNames := cfg.Apps
 	if appNames == nil {
 		appNames = MPAppOrder
@@ -160,15 +204,23 @@ func RunMultiprocessor(cfg MPConfig) (*MPResult, error) {
 			}
 		}
 	}
-	runs := make([]*mp.Result, len(specs))
-	failures := runCellsAll(cfg.Parallelism, len(specs), func(i int) error {
-		sp := specs[i]
+	j := cfg.Journal
+	attempt := func(ctx context.Context, i int, sp spec, escalate bool) (*mp.Result, error) {
 		mcfg := mp.DefaultConfig(sp.scheme, sp.contexts)
 		mcfg.Processors = cfg.Processors
 		mcfg.LimitCycles = cfg.LimitCycles
 		mcfg.Coherence.Seed = DeriveSeed(cfg.Seed, i)
 		mcfg.Guard = cellGuard(cfg.Guard, i)
 		mcfg.Obs = cfg.Obs
+		if escalate {
+			// Double both budgets: the cycle limit (which also doubles the
+			// default LimitCycles/20 watchdog window) and any explicit
+			// window from the flags.
+			mcfg.LimitCycles *= 2
+			if mcfg.Guard.WatchdogWindow > 0 {
+				mcfg.Guard.WatchdogWindow *= 2
+			}
+		}
 		p := sp.app.Build(splash.Options{
 			CodeBase:     0x0100_0000,
 			DataBase:     0x5000_0000,
@@ -178,9 +230,9 @@ func RunMultiprocessor(cfg MPConfig) (*MPResult, error) {
 			Steps:        cfg.Steps,
 			Scale:        cfg.Scale,
 		})
-		r, err := mp.Run(p, mcfg)
+		r, err := mp.RunCtx(ctx, p, mcfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if !r.Completed {
 			err := fmt.Errorf("%s under %v/%d exceeded the cycle limit", sp.name, sp.scheme, sp.contexts)
@@ -188,46 +240,89 @@ func RunMultiprocessor(cfg MPConfig) (*MPResult, error) {
 				// Carry the limit-time machine dump into the cell's
 				// Diagnostic so the degraded grid reports where the cell
 				// was wedged.
-				return guard.NewSimError("experiments.budget", err).At(r.Diag.Cycle).WithDiag(r.Diag)
+				return nil, guard.NewSimError("experiments.budget", err).At(r.Diag.Cycle).WithDiag(r.Diag)
 			}
-			return fmt.Errorf("experiments: %w", err)
+			return nil, fmt.Errorf("experiments: %w", err)
 		}
-		runs[i] = r
+		return r, nil
+	}
+	outs := make([]mpOutcome, len(specs))
+	failures := runCellsAll(ctx, cfg.Parallelism, len(specs), func(ctx context.Context, i int) error {
+		sp := specs[i]
+		var rec mpCellRecord
+		if j.replay(gridMultiprocessor, i, &rec) {
+			outs[i] = mpOutcome{rec: rec, failed: rec.Failed, retried: rec.Retried, done: true}
+			return nil
+		}
+		r, err := attempt(ctx, i, sp, false)
+		retried := false
+		if err != nil && guard.IsWatchdogTrip(err) && ctx.Err() == nil {
+			retried = true
+			r, err = attempt(ctx, i, sp, true)
+		}
+		if err != nil {
+			if guard.IsCancellation(err) && ctx.Err() != nil {
+				return nil // drained mid-cell: renders as SKIP, not journaled
+			}
+			failure, diagnostic := failureStrings(err)
+			rec = mpCellRecord{Failed: true, Failure: failure, Diagnostic: diagnostic, Retried: retried}
+		} else {
+			rec = mpCellRecord{Cycles: r.Cycles, Completed: r.Completed, Stats: r.Stats,
+				Threads: r.Threads, MemHash: r.MemHash, ArchHash: r.ArchHash,
+				Metrics: r.Metrics, Retried: retried}
+		}
+		outs[i] = mpOutcome{rec: rec, failed: rec.Failed, retried: retried, done: true}
+		j.record(gridMultiprocessor, i, rec)
 		return nil
 	})
-	failByIdx := make(map[int]error, len(failures))
+	// Failures escaping the per-cell classification above are panics
+	// recovered by the pool; fold them in as failed cells.
 	for _, f := range failures {
-		failByIdx[f.Index] = f.Err
+		failure, diagnostic := failureStrings(f.Err)
+		rec := mpCellRecord{Failed: true, Failure: failure, Diagnostic: diagnostic}
+		outs[f.Index] = mpOutcome{rec: rec, failed: true, done: true}
+		j.record(gridMultiprocessor, f.Index, rec)
 	}
 
-	res := &MPResult{Cfg: cfg, Failures: len(failures)}
-	var base *mp.Result
+	res := &MPResult{Cfg: cfg}
+	var baseCycles int64
 	for i, sp := range specs {
-		r := runs[i]
-		cell := MPCell{App: sp.name, Scheme: sp.scheme, Contexts: sp.contexts}
-		if r == nil {
+		o := outs[i]
+		cell := MPCell{App: sp.name, Scheme: sp.scheme, Contexts: sp.contexts, Retried: o.retried}
+		switch {
+		case !o.done:
+			// The run was interrupted before this cell completed.
+			cell.Skipped = true
+			res.Skipped++
+			if sp.scheme == core.Single && sp.contexts == 1 {
+				baseCycles = 0
+			}
+		case o.failed:
 			// The cell failed (watchdog, invariant, cycle budget, panic):
 			// record it and keep going. A failed baseline zeroes its app's
 			// speedups but costs nothing else.
 			cell.Failed = true
-			cell.Failure, cell.Diagnostic = failureStrings(failByIdx[i])
+			cell.Failure, cell.Diagnostic = o.rec.Failure, o.rec.Diagnostic
+			res.Failures++
 			if sp.scheme == core.Single && sp.contexts == 1 {
-				base = nil
+				baseCycles = 0
 			}
-			res.Cells = append(res.Cells, cell)
-			continue
-		}
-		cell.Cycles = r.Cycles
-		cell.Breakdown = r.Stats.Breakdown()
-		cell.Completed = true
-		cell.Metrics = r.Metrics
-		if sp.scheme == core.Single && sp.contexts == 1 {
-			base = r
-			cell.Speedup = 1
-		} else if base != nil && r.Cycles > 0 {
-			cell.Speedup = float64(base.Cycles) / float64(r.Cycles)
+		default:
+			cell.Cycles = o.rec.Cycles
+			cell.Breakdown = o.rec.Stats.Breakdown()
+			cell.Completed = true
+			cell.Metrics = o.rec.Metrics
+			if sp.scheme == core.Single && sp.contexts == 1 {
+				baseCycles = o.rec.Cycles
+				cell.Speedup = 1
+			} else if baseCycles > 0 && o.rec.Cycles > 0 {
+				cell.Speedup = float64(baseCycles) / float64(o.rec.Cycles)
+			}
 		}
 		res.Cells = append(res.Cells, cell)
+	}
+	if err := j.Err(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -263,9 +358,12 @@ func FormatTable10(r *MPResult) string {
 			found := false
 			for _, a := range appNames {
 				if c, ok := r.Cell(a, s, n); ok {
-					if c.Failed {
+					switch {
+					case c.Skipped:
+						row = append(row, "SKIP")
+					case c.Failed:
 						row = append(row, "FAIL")
-					} else {
+					default:
 						row = append(row, stats.Ratio(c.Speedup))
 					}
 					found = true
@@ -300,8 +398,10 @@ func FormatMPFigure(r *MPResult, scheme core.Scheme, figure int) string {
 	}
 	for _, a := range appNames {
 		base, ok := r.Cell(a, core.Single, 1)
-		if !ok || base.Failed || base.Cycles == 0 {
-			if ok && base.Failed {
+		if !ok || base.Failed || base.Skipped || base.Cycles == 0 {
+			if ok && base.Skipped {
+				fmt.Fprintf(&b, "%s: baseline SKIPPED (run interrupted)\n", a)
+			} else if ok && base.Failed {
 				fmt.Fprintf(&b, "%s: baseline FAILED: %s\n", a, base.Failure)
 			}
 			continue
@@ -314,6 +414,10 @@ func FormatMPFigure(r *MPResult, scheme core.Scheme, figure int) string {
 			}
 		}
 		for _, c := range configs {
+			if c.Skipped {
+				fmt.Fprintf(&b, "  %d ctx SKIPPED (run interrupted)\n", c.Contexts)
+				continue
+			}
 			if c.Failed {
 				fmt.Fprintf(&b, "  %d ctx FAILED: %s\n", c.Contexts, c.Failure)
 				continue

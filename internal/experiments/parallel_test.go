@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -110,7 +111,7 @@ func TestAllExperimentKindsUnderRace(t *testing.T) {
 		func() error { _, err := IssueWidthSweep(uni, "R1"); return err },
 		func() error { _, err := RemoteLatencySweep(mpc, "water"); return err },
 	}
-	if err := runCells(4, len(kinds), func(i int) error { return kinds[i]() }); err != nil {
+	if err := runCells(context.Background(), 4, len(kinds), func(_ context.Context, i int) error { return kinds[i]() }); err != nil {
 		t.Fatal(err)
 	}
 }

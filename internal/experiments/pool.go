@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"repro/internal/guard"
 )
 
 // The parallel experiment engine. Every experiment in this package is a
@@ -89,6 +91,11 @@ func (p *Pool) Run(ctx context.Context, n int, task func(ctx context.Context, i 
 				return err
 			}
 			if err := call(ctx, i); err != nil {
+				// A cell stopped by the caller's cancellation is not a
+				// cell failure; report the drain itself.
+				if guard.IsCancellation(err) && ctx.Err() != nil {
+					return ctx.Err()
+				}
 				return err
 			}
 		}
@@ -125,6 +132,14 @@ func (p *Pool) Run(ctx context.Context, n int, task func(ctx context.Context, i 
 					continue // drain without running
 				}
 				if err := call(ctx, i); err != nil {
+					// When the shared context has been canceled (first
+					// failure, or an external drain), in-flight cells
+					// surface cancellation artifacts. Those must not
+					// reach fail(): a canceled low-index cell would
+					// otherwise mask the genuine lowest-indexed failure.
+					if guard.IsCancellation(err) && ctx.Err() != nil {
+						continue
+					}
 					fail(i, err)
 				}
 			}
@@ -190,7 +205,13 @@ func (p *Pool) RunAll(ctx context.Context, n int, task func(ctx context.Context,
 	var failures []CellError
 	if p.workers == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break // graceful drain: stop dispatching queued cells
+			}
 			if err := call(ctx, i); err != nil {
+				if guard.IsCancellation(err) && ctx.Err() != nil {
+					continue // canceled mid-cell, not a cell failure
+				}
 				failures = append(failures, CellError{Index: i, Err: err})
 			}
 		}
@@ -211,7 +232,13 @@ func (p *Pool) RunAll(ctx context.Context, n int, task func(ctx context.Context,
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // graceful drain: skip queued cells
+				}
 				if err := call(ctx, i); err != nil {
+					if guard.IsCancellation(err) && ctx.Err() != nil {
+						continue // canceled mid-cell, not a cell failure
+					}
 					mu.Lock()
 					failures = append(failures, CellError{Index: i, Err: err})
 					mu.Unlock()
@@ -232,17 +259,15 @@ func (p *Pool) RunAll(ctx context.Context, n int, task func(ctx context.Context,
 // runCells is the package-internal convenience used by every experiment
 // driver: fan the n cells of a grid out at the given parallelism and
 // return the lowest-indexed error, with results landing in the caller's
-// pre-sized, index-addressed slices.
-func runCells(parallelism, n int, task func(i int) error) error {
-	return NewPool(parallelism).Run(context.Background(), n, func(_ context.Context, i int) error {
-		return task(i)
-	})
+// pre-sized, index-addressed slices. The context is handed to each cell
+// task so cancellation (first failure or a signal drain) stops running
+// simulations in bounded time, not just queued dispatch.
+func runCells(ctx context.Context, parallelism, n int, task func(ctx context.Context, i int) error) error {
+	return NewPool(parallelism).Run(ctx, n, task)
 }
 
 // runCellsAll is runCells without first-failure cancellation: the whole
 // grid runs and the per-cell failures come back in cell order.
-func runCellsAll(parallelism, n int, task func(i int) error) []CellError {
-	return NewPool(parallelism).RunAll(context.Background(), n, func(_ context.Context, i int) error {
-		return task(i)
-	})
+func runCellsAll(ctx context.Context, parallelism, n int, task func(ctx context.Context, i int) error) []CellError {
+	return NewPool(parallelism).RunAll(ctx, n, task)
 }

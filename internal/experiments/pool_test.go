@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/guard"
 )
 
 func TestPoolOrderedResults(t *testing.T) {
@@ -97,6 +99,73 @@ func TestPoolPanicRecoveryAndNoLeak(t *testing.T) {
 		}
 		runtime.Gosched()
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Satellite regression: an external cancel (the SIGINT drain path) must
+// return promptly, skip queued cells, and leak no worker goroutines.
+func TestPoolExternalCancelDrainsWithoutLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- NewPool(4).Run(ctx, 64, func(ctx context.Context, i int) error {
+			started.Add(1)
+			<-ctx.Done() // a long simulation that only ends when drained
+			return guard.NewSimError(guard.OpCanceled, ctx.Err())
+		})
+	}()
+	// Wait until all four workers are inside a cell, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for started.Load() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never entered their cells")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	var err error
+	select {
+	case err = <-errCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool did not drain after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("drained pool returned %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got >= 64 {
+		t.Errorf("%d cells started — queued cells were not skipped on drain", got)
+	}
+
+	// No worker goroutines survive the drain.
+	leakDeadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("goroutines: before %d, after %d — cancel path leaked workers",
+				before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// A canceled low-index cell surfaces a cancellation artifact; it must not
+// mask the genuine failure that triggered the cancellation, even when
+// that failure has a higher index.
+func TestPoolCancelArtifactDoesNotMaskRealFailure(t *testing.T) {
+	boom := errors.New("boom")
+	err := NewPool(4).Run(context.Background(), 4, func(ctx context.Context, i int) error {
+		if i == 3 {
+			time.Sleep(10 * time.Millisecond)
+			return boom
+		}
+		<-ctx.Done() // cells 0-2 drain as cancellation artifacts
+		return guard.NewSimError(guard.OpCanceled, ctx.Err())
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the real failure (boom), not a cancellation artifact", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,6 +45,11 @@ func (r *PrefetchResult) Cell(w, v string) (PrefetchCell, bool) {
 // RunPrefetchComparison runs the comparison on the given workloads (nil =
 // DC and DT, the memory-bound pair).
 func RunPrefetchComparison(cfg UniConfig) (*PrefetchResult, error) {
+	return RunPrefetchComparisonCtx(context.Background(), cfg)
+}
+
+// RunPrefetchComparisonCtx is RunPrefetchComparison with cancellation.
+func RunPrefetchComparisonCtx(ctx context.Context, cfg UniConfig) (*PrefetchResult, error) {
 	workloads := cfg.Workloads
 	if workloads == nil {
 		workloads = []string{"DC", "DT"}
@@ -82,7 +88,7 @@ func RunPrefetchComparison(cfg UniConfig) (*PrefetchResult, error) {
 		}
 	}
 	runs := make([]*workstation.Result, len(specs))
-	err := runCells(cfg.Parallelism, len(specs), func(i int) error {
+	err := runCells(ctx, cfg.Parallelism, len(specs), func(ctx context.Context, i int) error {
 		sp := specs[i]
 		scheme, contexts, mode := core.Single, 1, cache.PrefetchOff
 		if sp.variant >= 0 {
@@ -95,7 +101,7 @@ func RunPrefetchComparison(cfg UniConfig) (*PrefetchResult, error) {
 		wc.MeasureRotations = cfg.MeasureRotations
 		wc.Seed = DeriveSeed(cfg.Seed, i)
 		wc.Cache.Prefetch = mode
-		r, err := workstation.Run(sp.kernels, wc)
+		r, err := workstation.RunCtx(ctx, sp.kernels, wc)
 		if err != nil {
 			return err
 		}

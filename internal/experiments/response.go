@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/prog"
@@ -103,6 +105,13 @@ func foregroundProgram(cfg ResponseConfig) *prog.Program {
 // designs: single-context with OS timesharing, and blocked/interleaved
 // processors with the foreground resident in its own context.
 func RunResponse(cfg ResponseConfig) (*ResponseResult, error) {
+	return RunResponseCtx(context.Background(), cfg)
+}
+
+// RunResponseCtx is RunResponse with cancellation: the designs run their
+// simulations slice by slice, so cancellation is observed at slice
+// granularity (cfg.SliceCycles).
+func RunResponseCtx(ctx context.Context, cfg ResponseConfig) (*ResponseResult, error) {
 	bg, err := apps.Lookup(cfg.Background)
 	if err != nil {
 		return nil, err
@@ -123,7 +132,7 @@ func RunResponse(cfg ResponseConfig) (*ResponseResult, error) {
 	// processor), so the three run concurrently; cells[i] keeps the
 	// design order stable regardless of completion order.
 	cells := make([]ResponseCell, len(designs))
-	err = runCells(cfg.Parallelism, len(designs), func(i int) error {
+	err = runCells(ctx, cfg.Parallelism, len(designs), func(ctx context.Context, i int) error {
 		d := designs[i]
 		fg := foregroundProgram(cfg)
 		bgProg := bg.Build(apps.Options{
@@ -158,6 +167,9 @@ func RunResponse(cfg ResponseConfig) (*ResponseResult, error) {
 			proc.BindThread(0, bgThread)
 			proc.BindThread(1, fgThread)
 			for len(stamps) < cfg.Bursts+2 {
+				if cerr := ctx.Err(); cerr != nil {
+					return guard.NewSimError(guard.OpCanceled, cerr).At(proc.Now())
+				}
 				proc.Run(cfg.SliceCycles)
 				if proc.Now() > 1_000_000_000 {
 					return fmt.Errorf("experiments: response run did not converge")
@@ -168,6 +180,9 @@ func RunResponse(cfg ResponseConfig) (*ResponseResult, error) {
 			// job two (its affinity share of a busy machine).
 			turn := 0
 			for len(stamps) < cfg.Bursts+2 {
+				if cerr := ctx.Err(); cerr != nil {
+					return guard.NewSimError(guard.OpCanceled, cerr).At(proc.Now())
+				}
 				if turn%3 == 0 {
 					proc.BindThread(0, fgThread)
 				} else {

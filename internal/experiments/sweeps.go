@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -32,6 +33,12 @@ type SweepResult struct {
 // question of whether replicating pipeline registers (a 1-cycle switch)
 // closes the gap.
 func SwitchCostSweep(cfg UniConfig, workload string) (*SweepResult, error) {
+	return SwitchCostSweepCtx(context.Background(), cfg, workload)
+}
+
+// SwitchCostSweepCtx is SwitchCostSweep with cancellation: cancelling ctx
+// stops running cells within core.CancelCheckEvery cycles.
+func SwitchCostSweepCtx(ctx context.Context, cfg UniConfig, workload string) (*SweepResult, error) {
 	kernels, err := ResolveWorkload(workload)
 	if err != nil {
 		return nil, err
@@ -59,7 +66,7 @@ func SwitchCostSweep(cfg UniConfig, workload string) (*SweepResult, error) {
 	}
 	add(workstation.DefaultConfig(core.Interleaved, 4))
 
-	thr, err := sweepThroughputs(cfg.Parallelism, kernels, configs)
+	thr, err := sweepThroughputs(ctx, cfg.Parallelism, kernels, configs)
 	if err != nil {
 		return nil, err
 	}
@@ -81,10 +88,10 @@ func SwitchCostSweep(cfg UniConfig, workload string) (*SweepResult, error) {
 // sweepThroughputs runs one workstation simulation per config, fanned out
 // across the pool, and returns the fairness-normalized throughputs in
 // config order.
-func sweepThroughputs(parallelism int, kernels []apps.Kernel, configs []workstation.Config) ([]float64, error) {
+func sweepThroughputs(ctx context.Context, parallelism int, kernels []apps.Kernel, configs []workstation.Config) ([]float64, error) {
 	thr := make([]float64, len(configs))
-	err := runCells(parallelism, len(configs), func(i int) error {
-		r, err := workstation.Run(kernels, configs[i])
+	err := runCells(ctx, parallelism, len(configs), func(ctx context.Context, i int) error {
+		r, err := workstation.RunCtx(ctx, kernels, configs[i])
 		if err != nil {
 			return err
 		}
@@ -101,6 +108,11 @@ func sweepThroughputs(parallelism int, kernels []apps.Kernel, configs []workstat
 // both schemes on the given workload — the diminishing-returns curve the
 // paper's Figures 6-7 trace with their 1/2/4-context bars.
 func ContextCountSweep(cfg UniConfig, workload string) (*SweepResult, error) {
+	return ContextCountSweepCtx(context.Background(), cfg, workload)
+}
+
+// ContextCountSweepCtx is ContextCountSweep with cancellation.
+func ContextCountSweepCtx(ctx context.Context, cfg UniConfig, workload string) (*SweepResult, error) {
 	kernels, err := ResolveWorkload(workload)
 	if err != nil {
 		return nil, err
@@ -121,7 +133,7 @@ func ContextCountSweep(cfg UniConfig, workload string) (*SweepResult, error) {
 			configs = append(configs, mk(s, n))
 		}
 	}
-	thr, err := sweepThroughputs(cfg.Parallelism, kernels, configs)
+	thr, err := sweepThroughputs(ctx, cfg.Parallelism, kernels, configs)
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +159,12 @@ func ContextCountSweep(cfg UniConfig, workload string) (*SweepResult, error) {
 // 8) by 0.5x to 4x on one application at four contexts, showing how the
 // schemes' speedups respond to the latency multiple contexts must hide.
 func RemoteLatencySweep(cfg MPConfig, app string) (*SweepResult, error) {
+	return RemoteLatencySweepCtx(context.Background(), cfg, app)
+}
+
+// RemoteLatencySweepCtx is RemoteLatencySweep with cancellation:
+// cancelling ctx stops running cells within one lockstep block.
+func RemoteLatencySweepCtx(ctx context.Context, cfg MPConfig, app string) (*SweepResult, error) {
 	a, err := splash.Lookup(app)
 	if err != nil {
 		return nil, err
@@ -166,7 +184,7 @@ func RemoteLatencySweep(cfg MPConfig, app string) (*SweepResult, error) {
 		}
 	}
 	cycles := make([]int64, len(specs))
-	err = runCells(cfg.Parallelism, len(specs), func(i int) error {
+	err = runCells(ctx, cfg.Parallelism, len(specs), func(ctx context.Context, i int) error {
 		sp := specs[i]
 		mcfg := mp.DefaultConfig(sp.scheme, sp.contexts)
 		mcfg.Processors = cfg.Processors
@@ -185,7 +203,7 @@ func RemoteLatencySweep(cfg MPConfig, app string) (*SweepResult, error) {
 			Steps:        cfg.Steps,
 			Scale:        cfg.Scale,
 		})
-		r, err := mp.Run(p, mcfg)
+		r, err := mp.RunCtx(ctx, p, mcfg)
 		if err != nil {
 			return err
 		}
@@ -220,6 +238,11 @@ func RemoteLatencySweep(cfg MPConfig, app string) (*SweepResult, error) {
 // 8 for the interleaved scheme at four contexts — the memory-level
 // parallelism the scheme depends on (§6's lockup-free cache requirement).
 func MSHRSweep(cfg UniConfig, workload string) (*SweepResult, error) {
+	return MSHRSweepCtx(context.Background(), cfg, workload)
+}
+
+// MSHRSweepCtx is MSHRSweep with cancellation.
+func MSHRSweepCtx(ctx context.Context, cfg UniConfig, workload string) (*SweepResult, error) {
 	kernels, err := ResolveWorkload(workload)
 	if err != nil {
 		return nil, err
@@ -238,7 +261,7 @@ func MSHRSweep(cfg UniConfig, workload string) (*SweepResult, error) {
 	for _, m := range mshrs {
 		configs = append(configs, mk(core.Interleaved, 4, m))
 	}
-	thr, err := sweepThroughputs(cfg.Parallelism, kernels, configs)
+	thr, err := sweepThroughputs(ctx, cfg.Parallelism, kernels, configs)
 	if err != nil {
 		return nil, err
 	}
@@ -307,6 +330,11 @@ func FormatSweep(r *SweepResult) string {
 // (and Tullsen's later SMT work confirmed) that multiple contexts are what
 // fill the extra issue slots a lone thread cannot.
 func IssueWidthSweep(cfg UniConfig, workload string) (*SweepResult, error) {
+	return IssueWidthSweepCtx(context.Background(), cfg, workload)
+}
+
+// IssueWidthSweepCtx is IssueWidthSweep with cancellation.
+func IssueWidthSweepCtx(ctx context.Context, cfg UniConfig, workload string) (*SweepResult, error) {
 	kernels, err := ResolveWorkload(workload)
 	if err != nil {
 		return nil, err
@@ -328,7 +356,7 @@ func IssueWidthSweep(cfg UniConfig, workload string) (*SweepResult, error) {
 		configs = append(configs, mk(core.Single, 1, width))
 		configs = append(configs, mk(core.Interleaved, 4, width))
 	}
-	thr, err := sweepThroughputs(cfg.Parallelism, kernels, configs)
+	thr, err := sweepThroughputs(ctx, cfg.Parallelism, kernels, configs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -40,6 +41,11 @@ type UniConfig struct {
 	// Obs configures per-cell observability; enabled, every cell carries
 	// its sampled counter series and event trace in UniCell.Metrics.
 	Obs metrics.Options
+
+	// Journal, when non-nil, records every completed cell durably and
+	// replays cells already present (crash-safe resume). Excluded from
+	// JSON so results and fingerprints do not depend on journaling.
+	Journal *Journal `json:"-"`
 }
 
 // DefaultUniConfig reproduces the paper's setup (time-scaled).
@@ -86,6 +92,16 @@ type UniCell struct {
 	Failure    string
 	Diagnostic string
 
+	// Retried marks a cell whose first attempt tripped the liveness
+	// watchdog and was deterministically re-run at a doubled window; the
+	// recorded outcome (success or failure) is the retry's.
+	Retried bool `json:",omitempty"`
+
+	// Skipped marks a cell that never completed because the run was
+	// interrupted (SIGINT/SIGTERM drain or first-error cancellation).
+	// Skipped cells carry no measurement and no failure diagnosis.
+	Skipped bool `json:",omitempty"`
+
 	// Metrics is the cell's observability record, nil unless UniConfig.Obs
 	// enabled instrumentation.
 	Metrics *metrics.CellMetrics `json:",omitempty"`
@@ -99,6 +115,9 @@ type UniResult struct {
 	// Failures counts failed cells; drivers exit non-zero when any cell
 	// failed even though the rest of the grid completed.
 	Failures int
+	// Skipped counts cells lost to an interrupted (drained) run; they
+	// render as SKIP and re-run on a journal resume.
+	Skipped int `json:",omitempty"`
 }
 
 // Cell returns the measurement for (workload, scheme, contexts).
@@ -127,7 +146,7 @@ func (r *UniResult) MeanGainN(s core.Scheme, n int) (mean float64, used, total i
 	for _, c := range r.Cells {
 		if c.Scheme == s && c.Contexts == n {
 			total++
-			if !c.Failed {
+			if !c.Failed && !c.Skipped {
 				gs = append(gs, c.Gain)
 			}
 		}
@@ -136,12 +155,38 @@ func (r *UniResult) MeanGainN(s core.Scheme, n int) (mean float64, used, total i
 	return mean, len(gs) - skipped, total
 }
 
+// uniOutcome is one cell's classified result, index-addressed so the
+// assembly pass below is order-independent. A cell with done unset never
+// completed (interrupted before or during its run) and renders as SKIP.
+type uniOutcome struct {
+	res        *workstation.Result
+	failed     bool
+	failure    string
+	diagnostic string
+	retried    bool
+	done       bool
+}
+
 // RunUniprocessor runs the full workstation evaluation. The cells — one
 // (workload, scheme, contexts) simulation each — are independent, so they
 // fan out across cfg.Parallelism workers; every cell derives its seed
 // from its grid position, and results land in a pre-sized slice indexed
 // by cell, so the output is byte-identical at every parallelism level.
 func RunUniprocessor(cfg UniConfig) (*UniResult, error) {
+	return RunUniprocessorCtx(context.Background(), cfg)
+}
+
+// RunUniprocessorCtx is RunUniprocessor with cancellation and journaling:
+// cancelling ctx drains the grid (queued cells never start, running cells
+// stop within core.CancelCheckEvery cycles, both render as SKIP), and a
+// cfg.Journal replays completed cells from a previous run and records new
+// ones durably. A cell whose first attempt trips the liveness watchdog is
+// retried once at a doubled window with the same derived seed before
+// being declared failed.
+func RunUniprocessorCtx(ctx context.Context, cfg UniConfig) (*UniResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workloads := cfg.Workloads
 	if workloads == nil {
 		workloads = WorkloadOrder
@@ -165,9 +210,8 @@ func RunUniprocessor(cfg UniConfig) (*UniResult, error) {
 			}
 		}
 	}
-	runs := make([]*workstation.Result, len(specs))
-	failures := runCellsAll(cfg.Parallelism, len(specs), func(i int) error {
-		sp := specs[i]
+	j := cfg.Journal
+	build := func(i int, sp spec) workstation.Config {
 		wcfg := workstation.DefaultConfig(sp.scheme, sp.contexts)
 		wcfg.OS.SliceCycles = cfg.SliceCycles
 		wcfg.WarmupRotations = cfg.WarmupRotations
@@ -175,45 +219,92 @@ func RunUniprocessor(cfg UniConfig) (*UniResult, error) {
 		wcfg.Seed = DeriveSeed(cfg.Seed, i)
 		wcfg.Guard = cellGuard(cfg.Guard, i)
 		wcfg.Obs = cfg.Obs
-		r, err := workstation.Run(sp.kernels, wcfg)
-		if err != nil {
-			return err
+		return wcfg
+	}
+	outs := make([]uniOutcome, len(specs))
+	failures := runCellsAll(ctx, cfg.Parallelism, len(specs), func(ctx context.Context, i int) error {
+		sp := specs[i]
+		var rec uniCellRecord
+		if j.replay(gridWorkstation, i, &rec) {
+			outs[i] = uniOutcome{res: rec.Result, failed: rec.Failed,
+				failure: rec.Failure, diagnostic: rec.Diagnostic, retried: rec.Retried, done: true}
+			return nil
 		}
-		runs[i] = r
+		r, err := workstation.RunCtx(ctx, sp.kernels, build(i, sp))
+		retried := false
+		if err != nil && guard.IsWatchdogTrip(err) && ctx.Err() == nil {
+			// One deterministic retry at an escalated budget: same derived
+			// seed, doubled liveness window. A trip can mean "slower than
+			// the window", not "wedged"; doubling separates the two.
+			retried = true
+			wcfg := build(i, sp)
+			wcfg.Guard.WatchdogWindow *= 2
+			r, err = workstation.RunCtx(ctx, sp.kernels, wcfg)
+		}
+		if err != nil {
+			if guard.IsCancellation(err) && ctx.Err() != nil {
+				return nil // drained mid-cell: renders as SKIP, not journaled
+			}
+			o := uniOutcome{failed: true, retried: retried, done: true}
+			o.failure, o.diagnostic = failureStrings(err)
+			outs[i] = o
+			j.record(gridWorkstation, i, uniCellRecord{Failed: true,
+				Failure: o.failure, Diagnostic: o.diagnostic, Retried: retried})
+			return nil
+		}
+		outs[i] = uniOutcome{res: r, retried: retried, done: true}
+		j.record(gridWorkstation, i, uniCellRecord{Result: r, Retried: retried})
 		return nil
 	})
-	failByIdx := make(map[int]error, len(failures))
+	// Failures escaping the per-cell classification above are panics
+	// recovered by the pool; fold them in as failed cells.
 	for _, f := range failures {
-		failByIdx[f.Index] = f.Err
+		o := uniOutcome{failed: true, done: true}
+		o.failure, o.diagnostic = failureStrings(f.Err)
+		outs[f.Index] = o
+		j.record(gridWorkstation, f.Index, uniCellRecord{Failed: true,
+			Failure: o.failure, Diagnostic: o.diagnostic})
 	}
 
-	res := &UniResult{Cfg: cfg, Failures: len(failures)}
+	res := &UniResult{Cfg: cfg}
 	var base *workstation.Result
 	for i, sp := range specs {
-		r := runs[i]
-		cell := UniCell{Workload: sp.workload, Scheme: sp.scheme, Contexts: sp.contexts}
-		if r == nil {
+		o := outs[i]
+		cell := UniCell{Workload: sp.workload, Scheme: sp.scheme, Contexts: sp.contexts, Retried: o.retried}
+		switch {
+		case !o.done:
+			// The run was interrupted before this cell completed.
+			cell.Skipped = true
+			res.Skipped++
+			if sp.scheme == core.Single && sp.contexts == 1 {
+				base = nil
+			}
+		case o.failed:
 			// The cell failed (watchdog, invariant, panic): record it and
 			// keep going. A failed baseline zeroes its workload's gains but
 			// costs nothing else.
 			cell.Failed = true
-			cell.Failure, cell.Diagnostic = failureStrings(failByIdx[i])
+			cell.Failure, cell.Diagnostic = o.failure, o.diagnostic
+			res.Failures++
 			if sp.scheme == core.Single && sp.contexts == 1 {
 				base = nil
 			}
-			res.Cells = append(res.Cells, cell)
-			continue
-		}
-		cell.Busy = r.Throughput
-		cell.Breakdown = r.Stats.Breakdown()
-		cell.Metrics = r.Metrics
-		if sp.scheme == core.Single && sp.contexts == 1 {
-			base = r
-			cell.Gain = 1
-		} else if base != nil && base.FairThroughput > 0 {
-			cell.Gain = r.FairThroughput / base.FairThroughput
+		default:
+			r := o.res
+			cell.Busy = r.Throughput
+			cell.Breakdown = r.Stats.Breakdown()
+			cell.Metrics = r.Metrics
+			if sp.scheme == core.Single && sp.contexts == 1 {
+				base = r
+				cell.Gain = 1
+			} else if base != nil && base.FairThroughput > 0 {
+				cell.Gain = r.FairThroughput / base.FairThroughput
+			}
 		}
 		res.Cells = append(res.Cells, cell)
+	}
+	if err := j.Err(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -238,9 +329,12 @@ func FormatTable7(r *UniResult) string {
 			row := []string{fmt.Sprintf("%d", n), s.String()}
 			for _, w := range workloads {
 				if c, ok := r.Cell(w, s, n); ok {
-					if c.Failed {
+					switch {
+					case c.Skipped:
+						row = append(row, "SKIP")
+					case c.Failed:
 						row = append(row, "FAIL")
-					} else {
+					default:
 						row = append(row, stats.Ratio(c.Gain))
 					}
 					found = true
@@ -289,6 +383,10 @@ func FormatFigure(r *UniResult, scheme core.Scheme, figure int) string {
 		for _, cf := range configs {
 			c, ok := r.Cell(w, cf.s, cf.n)
 			if !ok {
+				continue
+			}
+			if c.Skipped {
+				fmt.Fprintf(&b, "  %d ctx SKIPPED (run interrupted)\n", cf.n)
 				continue
 			}
 			if c.Failed {

@@ -10,12 +10,42 @@
 package guard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"strings"
 	"sync"
 )
+
+// Op strings shared by every runner, so grid drivers can classify
+// failures (retry a watchdog trip, skip a canceled cell) without string
+// matching at each call site.
+const (
+	// OpWatchdog marks a liveness-watchdog trip.
+	OpWatchdog = "guard.watchdog"
+	// OpCanceled marks a run stopped by context cancellation (first-error
+	// cancel or a SIGINT/SIGTERM drain); the wrapped cause is ctx.Err(),
+	// so errors.Is(err, context.Canceled) still holds.
+	OpCanceled = "guard.canceled"
+)
+
+// IsWatchdogTrip reports whether err (anywhere in its chain) is a
+// SimError raised by the liveness watchdog — the one failure class the
+// grids retry at an escalated budget, since a trip can be a workload
+// that is merely slower than the window, not wedged.
+func IsWatchdogTrip(err error) bool {
+	se := AsSimError(err)
+	return se != nil && se.Op == OpWatchdog
+}
+
+// IsCancellation reports whether err is a context cancellation (or
+// deadline) artifact rather than a simulation failure. Canceled cells
+// are skipped, not failed: they carry no diagnosis of the simulated
+// machine.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // SimError is a typed simulation failure carrying the machine context a
 // bare panic(err) loses: what was happening, at which cycle, on which

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a result artifact with temp-file + rename
+// semantics: write streams into a temporary file in path's directory,
+// which is fsynced and renamed over path only after write returns
+// successfully. A crash, a failed write, or a kill mid-stream therefore
+// never leaves a truncated or half-written file at path — the previous
+// contents (if any) stay intact. Every exporter in this repository
+// (-json, -metrics-out, -trace-out, journal snapshots) goes through
+// this helper.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	// CreateTemp opens 0600; artifacts should be as readable as a plain
+	// os.Create file (modulo umask, which rename does not re-apply).
+	if err = tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicReplacesWholeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "second\n" {
+		t.Errorf("content = %q, want %q", data, "second\n")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Errorf("mode = %v, want 0644", fi.Mode().Perm())
+	}
+}
+
+// The satellite guarantee: a writer that dies mid-stream — here, an error
+// after partial output, the observable equivalent of a kill between write
+// and close — leaves the previous artifact byte-intact and no temp-file
+// litter behind.
+func TestWriteFileAtomicFailureKeepsOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	const old = "precious previous results\n"
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("writer died mid-stream")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		// Enough output to defeat any buffering before the failure.
+		junk := strings.Repeat("partial garbage ", 64*1024)
+		if _, err := io.WriteString(w, junk); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != old {
+		t.Errorf("failed write corrupted the artifact: %q", data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Errorf("leftover temp file %q after failed write", e.Name())
+		}
+	}
+}
+
+// An unwritable destination directory fails up front without touching
+// anything.
+func TestWriteFileAtomicBadDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-dir", "out.json")
+	err := WriteFileAtomic(path, func(w io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

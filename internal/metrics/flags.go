@@ -2,7 +2,7 @@ package metrics
 
 import (
 	"flag"
-	"os"
+	"io"
 	"path/filepath"
 	"strings"
 )
@@ -42,34 +42,26 @@ func (f *Flags) Options() Options {
 
 // Write exports m to the configured files. label tags the cell inside the
 // JSON-lines output; suffix (when non-empty) is inserted before each file
-// extension so multi-cell commands can emit one file per cell.
+// extension so multi-cell commands can emit one file per cell. Both files
+// are written atomically (temp + rename), so an interrupted run never
+// leaves a truncated export behind.
 func (f *Flags) Write(m *CellMetrics, label, suffix string) error {
 	if m == nil {
 		return nil
 	}
 	if f.MetricsOut != "" {
-		file, err := os.Create(SuffixPath(f.MetricsOut, suffix))
+		err := WriteFileAtomic(SuffixPath(f.MetricsOut, suffix), func(w io.Writer) error {
+			return WriteJSONL(w, m, label)
+		})
 		if err != nil {
-			return err
-		}
-		if err := WriteJSONL(file, m, label); err != nil {
-			file.Close()
-			return err
-		}
-		if err := file.Close(); err != nil {
 			return err
 		}
 	}
 	if f.TraceOut != "" {
-		file, err := os.Create(SuffixPath(f.TraceOut, suffix))
+		err := WriteFileAtomic(SuffixPath(f.TraceOut, suffix), func(w io.Writer) error {
+			return WriteChromeTrace(w, m)
+		})
 		if err != nil {
-			return err
-		}
-		if err := WriteChromeTrace(file, m); err != nil {
-			file.Close()
-			return err
-		}
-		if err := file.Close(); err != nil {
 			return err
 		}
 	}

@@ -157,6 +157,7 @@ const (
 	KindInval        = "inval"         // this processor's write invalidated another node's copy; Arg is the victim node
 	KindWatchdogArm  = "watchdog-arm"  // the liveness watchdog saw a window with no useful progress
 	KindWatchdogTrip = "watchdog-trip" // the watchdog declared the simulation stalled
+	KindDrain        = "drain"         // the run was canceled (first-error cancel or signal drain) at this cycle
 )
 
 // An Event is one structured trace record. Class carries a slot-class or

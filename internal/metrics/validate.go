@@ -19,6 +19,7 @@ var knownKinds = map[string]bool{
 	KindInval:        true,
 	KindWatchdogArm:  true,
 	KindWatchdogTrip: true,
+	KindDrain:        true,
 }
 
 // ValidateJSONL checks a JSON-lines metrics export against the schema

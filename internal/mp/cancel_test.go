@@ -1,0 +1,68 @@
+package mp
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guard"
+	"repro/internal/prog"
+)
+
+// A canceled context stops the lockstep driver at a block boundary and
+// surfaces as a typed guard.canceled SimError.
+func TestRunCtxCanceledStopsAtBlockBoundary(t *testing.T) {
+	p := counterProgram(25, prog.YieldBackoff)
+	cfg := DefaultConfig(core.Interleaved, 2)
+	cfg.Processors = 2
+	cfg.LimitCycles = 5_000_000
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunCtx(ctx, p, cfg)
+	if res != nil || err == nil {
+		t.Fatalf("canceled run returned res=%v err=%v", res, err)
+	}
+	se := guard.AsSimError(err)
+	if se == nil || se.Op != guard.OpCanceled {
+		t.Fatalf("want a %s SimError, got %v", guard.OpCanceled, err)
+	}
+	if !guard.IsCancellation(err) || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation error not recognized by errors.Is: %v", err)
+	}
+	if se.Cycle > core.CancelCheckEvery {
+		t.Errorf("canceled at cycle %d, want <= one %d-cycle block", se.Cycle, core.CancelCheckEvery)
+	}
+}
+
+// An attached but never-canceled context must not perturb the lockstep
+// simulation: cycles, stats, and the functional-memory digest all match
+// the detached Run path.
+func TestRunCtxMatchesRun(t *testing.T) {
+	cfg := DefaultConfig(core.Interleaved, 2)
+	cfg.Processors = 2
+	cfg.LimitCycles = 5_000_000
+
+	ref, err := Run(counterProgram(25, prog.YieldBackoff), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := RunCtx(ctx, counterProgram(25, prog.YieldBackoff), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Completed || !got.Completed {
+		t.Fatalf("completed: ref=%v got=%v", ref.Completed, got.Completed)
+	}
+	if ref.Cycles != got.Cycles || ref.MemHash != got.MemHash || ref.ArchHash != got.ArchHash {
+		t.Errorf("cancelable path diverged: cycles %d/%d mem %#x/%#x arch %#x/%#x",
+			ref.Cycles, got.Cycles, ref.MemHash, got.MemHash, ref.ArchHash, got.ArchHash)
+	}
+	if !reflect.DeepEqual(ref.Stats, got.Stats) {
+		t.Error("cancelable path changed the stats breakdown")
+	}
+}

@@ -5,6 +5,7 @@
 package mp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/coherence"
@@ -93,6 +94,21 @@ type Result struct {
 // functional memory; every thread starts at instruction 0 with TidReg and
 // NThreadsReg set.
 func Run(p *prog.Program, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), p, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: when ctx can be canceled
+// the lockstep driver additionally polls ctx.Done() at its existing
+// 64-cycle block boundaries, so a first-error cancel or a SIGINT/SIGTERM
+// drain stops the machine within one block instead of after LimitCycles.
+// The canceled run returns a guard.OpCanceled SimError wrapping
+// ctx.Err(); a background/detached context (Done() == nil) skips the
+// poll entirely, leaving the hot loop's cost and the fast-forward
+// goldens untouched.
+func RunCtx(ctx context.Context, p *prog.Program, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Processors < 1 {
 		return nil, fmt.Errorf("mp: need at least one processor")
 	}
@@ -302,8 +318,23 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 	if col != nil {
 		advanceBlock = advanceObserved
 	}
+	// Cancellation is observed between blocks — one nil test per 64
+	// simulated cycles when detached, never inside the advancers — so the
+	// hot loop stays branch-free per cycle and a canceled cell stops
+	// within one block of the cancellation.
+	done := ctx.Done()
 	completed := false
 	for cycle := int64(0); cycle < cfg.LimitCycles; cycle += checkEvery {
+		if done != nil {
+			select {
+			case <-done:
+				if pm := col.Proc(0); pm != nil && pm.Sink != nil {
+					pm.Sink.Emit(metrics.Event{Cycle: cycle, Kind: metrics.KindDrain, Ctx: -1})
+				}
+				return nil, guard.NewSimError(guard.OpCanceled, ctx.Err()).At(cycle)
+			default:
+			}
+		}
 		advanceBlock(cycle, cycle+checkEvery)
 		now := cycle + checkEvery
 		if cellEvery > 0 && now >= nextCell {
@@ -403,7 +434,7 @@ func watchdogError(now int64, wd *guard.Watchdog, cfg Config, procs []*core.Proc
 	for _, proc := range procs {
 		d.Procs = append(d.Procs, proc.Snapshot())
 	}
-	return guard.NewSimError("guard.watchdog",
+	return guard.NewSimError(guard.OpWatchdog,
 		fmt.Errorf("livelock/deadlock on %d processors: no useful instruction retired in %d cycles",
 			cfg.Processors, wd.Stalled(now))).
 		At(now).WithDiag(d)

@@ -1,0 +1,54 @@
+package workstation
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guard"
+)
+
+// A canceled context drains the slice driver promptly and surfaces as a
+// typed guard.canceled SimError.
+func TestRunCtxCanceledStopsPromptly(t *testing.T) {
+	ks := testWorkload(t, "cfft2d", "gmtry")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunCtx(ctx, ks, quickConfig(core.Interleaved, 2))
+	if res != nil || err == nil {
+		t.Fatalf("canceled run returned res=%v err=%v", res, err)
+	}
+	se := guard.AsSimError(err)
+	if se == nil || se.Op != guard.OpCanceled {
+		t.Fatalf("want a %s SimError, got %v", guard.OpCanceled, err)
+	}
+	if !guard.IsCancellation(err) || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation error not recognized by errors.Is: %v", err)
+	}
+	// The drain lands within one cancel-check block of the start.
+	if se.Cycle > core.CancelCheckEvery {
+		t.Errorf("canceled at cycle %d, want <= %d", se.Cycle, core.CancelCheckEvery)
+	}
+}
+
+// An attached but never-canceled context must not perturb the
+// simulation: the full Result — stats, per-app progress, throughput —
+// is identical to the detached Run path.
+func TestRunCtxMatchesRun(t *testing.T) {
+	ks := testWorkload(t, "cfft2d", "gmtry", "tomcatv", "vpenta")
+	ref, err := Run(ks, quickConfig(core.Interleaved, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := RunCtx(ctx, ks, quickConfig(core.Interleaved, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("cancelable path changed results:\n%+v\nvs\n%+v", ref, got)
+	}
+}

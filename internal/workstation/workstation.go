@@ -7,6 +7,7 @@
 package workstation
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -130,6 +131,21 @@ func (r *Result) Gain(base *Result) float64 {
 
 // Run simulates the kernels as a multiprogrammed workload under cfg.
 func Run(kernels []apps.Kernel, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), kernels, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: when ctx can be canceled
+// the slice driver additionally polls ctx.Done() every
+// core.CancelCheckEvery (64) cycles, so a first-error cancel or a
+// SIGINT/SIGTERM drain stops the simulation within one block instead of
+// after the remaining slices. The canceled run returns a
+// guard.OpCanceled SimError wrapping ctx.Err(); a background/detached
+// context (Done() == nil) takes exactly the pre-cancellation code path,
+// keeping the fast-forward goldens byte-identical.
+func RunCtx(ctx context.Context, kernels []apps.Kernel, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(kernels) == 0 {
 		return nil, fmt.Errorf("workstation: empty workload")
 	}
@@ -217,6 +233,40 @@ func Run(kernels []apps.Kernel, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Cancellation: advance() is proc.Run with a ctx poll between
+	// 64-cycle blocks. With a detached context (done == nil — what Run
+	// passes) it is a single proc.Run call, the exact pre-cancellation
+	// path; chunked runs are cycle-exact (pinned by the fast-forward
+	// goldens), so an attached-but-never-canceled context changes nothing
+	// but the call pattern.
+	done := ctx.Done()
+	canceled := func() error {
+		if pm := col.Proc(0); pm != nil && pm.Sink != nil {
+			pm.Sink.Emit(metrics.Event{Cycle: proc.Now(), Kind: metrics.KindDrain, Ctx: -1})
+		}
+		return guard.NewSimError(guard.OpCanceled, ctx.Err()).At(proc.Now())
+	}
+	advance := func(n int64) error {
+		if done == nil {
+			proc.Run(n)
+			return nil
+		}
+		for n > 0 {
+			b := int64(core.CancelCheckEvery)
+			if b > n {
+				b = n
+			}
+			proc.Run(b)
+			n -= b
+			select {
+			case <-done:
+				return canceled()
+			default:
+			}
+		}
+		return nil
+	}
+
 	// Hardening: stepping a slice in guard-cadence chunks is timing-
 	// identical to one Run call (Run(n) is n Step calls), so polling the
 	// watchdog and invariant checkers between chunks never perturbs
@@ -226,15 +276,16 @@ func Run(kernels []apps.Kernel, cfg Config) (*Result, error) {
 	cadence := cfg.Guard.CheckCadence()
 	runSlice := func() error {
 		if wd == nil && !checks {
-			proc.Run(int64(cfg.OS.SliceCycles))
-			return nil
+			return advance(int64(cfg.OS.SliceCycles))
 		}
 		for remaining := int64(cfg.OS.SliceCycles); remaining > 0; {
 			chunk := cadence
 			if chunk > remaining {
 				chunk = remaining
 			}
-			proc.Run(chunk)
+			if err := advance(chunk); err != nil {
+				return err
+			}
 			remaining -= chunk
 			if wd != nil {
 				wdArms++
@@ -248,7 +299,7 @@ func Run(kernels []apps.Kernel, cfg Config) (*Result, error) {
 					Window: wd.Window(),
 					Procs:  []guard.ProcState{proc.Snapshot()},
 				}
-				return guard.NewSimError("guard.watchdog",
+				return guard.NewSimError(guard.OpWatchdog,
 					fmt.Errorf("workload wedged: no useful instruction retired in %d cycles", wd.Stalled(proc.Now()))).
 					At(proc.Now()).WithDiag(d)
 			}

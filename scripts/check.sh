@@ -35,6 +35,28 @@ go run ./cmd/mpsim -app mp3d -scheme interleaved -contexts 2 -procs 2 -steps 1 \
     -metrics-out "$OBS_DIR/mp.jsonl" -trace-out "$OBS_DIR/mp.json" >/dev/null
 go run ./cmd/obscheck "$OBS_DIR"/*.jsonl "$OBS_DIR"/*.json
 
+# Interrupt-resume determinism: run a quick grid to completion, run it
+# again but raise a real SIGINT after 3 journaled cells (-interrupt-after
+# exercises the same signal path an operator's Ctrl-C does; expected exit
+# code 3), then resume the partial journal and require the resumed table
+# and -json output to be byte-identical to the uninterrupted run.
+RES_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$RES_DIR"' EXIT
+# A real binary, not `go run`: go run collapses any non-zero child exit
+# to its own exit 1, which would hide the documented code 3.
+go build -o "$RES_DIR/experiments" ./cmd/experiments
+"$RES_DIR/experiments" -quick -only table7 -j 2 \
+    -json "$RES_DIR/full.json" -journal "$RES_DIR/full.journal" > "$RES_DIR/full.txt"
+code=0
+"$RES_DIR/experiments" -quick -only table7 -j 2 \
+    -json "$RES_DIR/part.json" -journal "$RES_DIR/part.journal" \
+    -interrupt-after 3 > "$RES_DIR/part.txt" || code=$?
+[ "$code" -eq 3 ] # documented "interrupted" exit code
+"$RES_DIR/experiments" -quick -only table7 -j 2 \
+    -json "$RES_DIR/resumed.json" -resume "$RES_DIR/part.journal" > "$RES_DIR/resumed.txt"
+diff "$RES_DIR/full.txt" "$RES_DIR/resumed.txt"
+diff "$RES_DIR/full.json" "$RES_DIR/resumed.json"
+
 # Optional performance pass: BENCH=1 scripts/check.sh additionally runs
 # the benchmark suite and regenerates the throughput grid JSON
 # (see scripts/bench.sh for BASE_REF / BENCH_OUT knobs).
