@@ -229,6 +229,12 @@ type Processor struct {
 	// operation (functional value flow); used by tests to audit
 	// synchronization protocols.
 	MemWatch func(op isa.Op, addr, value uint32, ctx int, now int64)
+	// SwitchWatch, if set, observes every context-switch decision
+	// (explicit SWITCH/BACKOFF and miss-induced switches) with the cycle
+	// it was taken and the context switching away. Differential testing
+	// hashes architectural state here; the hook fires at the same cycles
+	// with fast-forward on or off, so chains are comparable across modes.
+	SwitchWatch func(now int64, ctx int)
 
 	// Observability (metrics.go). obs is nil when disabled, which keeps
 	// the hot path to one nil check; nextSample is MaxInt64 whenever
@@ -739,6 +745,9 @@ func (p *Processor) execute(c *hwContext, th *Thread, in *isa.Inst, now int64) {
 		if p.obsSink != nil {
 			p.obsCtxSwitch(now, c.idx, c.availCause, c.availableAt)
 		}
+		if p.SwitchWatch != nil {
+			p.SwitchWatch(now, c.idx)
+		}
 		p.count(now, SlotSwitch, c.idx)
 		return
 
@@ -750,6 +759,9 @@ func (p *Processor) execute(c *hwContext, th *Thread, in *isa.Inst, now int64) {
 		c.availCause = yieldCause(in.Region)
 		if p.obsSink != nil {
 			p.obsCtxSwitch(now, c.idx, c.availCause, c.availableAt)
+		}
+		if p.SwitchWatch != nil {
+			p.SwitchWatch(now, c.idx)
 		}
 		p.count(now, SlotSwitch, c.idx)
 		return
@@ -916,6 +928,9 @@ func (p *Processor) executeMem(c *hwContext, th *Thread, in *isa.Inst, now int64
 		if p.obsSink != nil {
 			p.obsCtxSwitch(now, c.idx, cause, c.availableAt)
 		}
+		if p.SwitchWatch != nil {
+			p.SwitchWatch(now, c.idx)
+		}
 		p.count(now, SlotSwitch, c.idx)
 		return false
 
@@ -929,6 +944,9 @@ func (p *Processor) executeMem(c *hwContext, th *Thread, in *isa.Inst, now int64
 		c.availCause = cause
 		if p.obsSink != nil {
 			p.obsCtxSwitch(now, c.idx, cause, c.availableAt)
+		}
+		if p.SwitchWatch != nil {
+			p.SwitchWatch(now, c.idx)
 		}
 		p.count(now, SlotSwitch, c.idx)
 		return false

@@ -1,0 +1,293 @@
+package fuzz
+
+// Reproducer rendering and I/O. A reproducer directory holds:
+//
+//	repro.json — the full Spec (the replay source of truth) plus the
+//	             divergences that condemned it
+//	repro.s    — the interleaved-mode build rendered as assembler
+//	             source, byte-exactly re-assemblable to the same
+//	             instruction stream (verified by round-trip test), so a
+//	             failing program can be inspected and replayed through
+//	             cmd/asmrun without the fuzzer in the loop
+//
+// Rendering depends on the fixed CodeBase/DataBase layout: generated
+// instructions address data absolutely (via lui/ori), so the .s file
+// reserves one arena symbol at the data base and re-creates every
+// initial value at its original offset.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// ReproVersion guards the reproducer JSON schema.
+const ReproVersion = 1
+
+// Reproducer is the persisted failing case.
+type Reproducer struct {
+	Version     int          `json:"version"`
+	Spec        *Spec        `json:"spec"`
+	Divergences []Divergence `json:"divergences,omitempty"`
+	CellErrors  []string     `json:"cell_errors,omitempty"`
+}
+
+// WriteReproducer persists a minimized failing spec under dir (one
+// subdirectory per program name) and returns the subdirectory path.
+func WriteReproducer(dir string, s *Spec, divs []Divergence, cellErrs []string) (string, error) {
+	sub := filepath.Join(dir, s.Name())
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return "", err
+	}
+	rep := &Reproducer{Version: ReproVersion, Spec: s, Divergences: divs, CellErrors: cellErrs}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(sub, "repro.json"), append(blob, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	src, err := RenderAsm(s, prog.YieldBackoff)
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(sub, "repro.s"), []byte(src), 0o644); err != nil {
+		return "", err
+	}
+	return sub, nil
+}
+
+// LoadReproducer reads a reproducer from a directory (containing
+// repro.json) or directly from a JSON file.
+func LoadReproducer(path string) (*Reproducer, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		path = filepath.Join(path, "repro.json")
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Reproducer
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("fuzz: %s: %w", path, err)
+	}
+	if rep.Version != ReproVersion {
+		return nil, fmt.Errorf("fuzz: %s: reproducer version %d, want %d", path, rep.Version, ReproVersion)
+	}
+	if rep.Spec == nil {
+		return nil, fmt.Errorf("fuzz: %s: no spec", path)
+	}
+	if err := rep.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("fuzz: %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// RenderAsm renders the spec's build for the given yield mode as
+// assembler source accepted by prog.Assemble with the same code/data
+// bases. Yield instructions are rendered as explicit backoff/switch
+// mnemonics (which bypass the assembler's yield-mode indirection), so
+// the round trip is instruction-exact.
+func RenderAsm(s *Spec, mode prog.YieldMode) (string, error) {
+	p, err := BuildProgram(s, mode)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# interleavefuzz reproducer %s\n", s.Name())
+	fmt.Fprintf(&b, "# seed %d, threads %d, yield mode %d\n", s.Seed, s.Threads, mode)
+	if s.Mut != "" {
+		fmt.Fprintf(&b, "# injected mutation: %s\n", s.Mut)
+	}
+	fmt.Fprintf(&b, "# assemble with code base %#x, data base %#x, arena %d bytes\n", CodeBase, DataBase, DataSize)
+	fmt.Fprintf(&b, "# SPMD: r4 = thread id, r5 = thread count\n")
+	fmt.Fprintf(&b, ".alloc D %d 64\n", DataSize)
+	for _, d := range p.Init {
+		off := d.Addr - DataBase
+		if d.Double {
+			fmt.Fprintf(&b, ".double D+%d %s\n", off,
+				strconv.FormatFloat(math.Float64frombits(d.Val), 'g', -1, 64))
+		} else {
+			fmt.Fprintf(&b, ".word D+%d %#x\n", off, uint32(d.Val))
+		}
+	}
+
+	targets := map[int]bool{}
+	for _, in := range p.Insts {
+		switch in.Op {
+		case isa.BEQ, isa.BNE, isa.BLEZ, isa.BGTZ, isa.J, isa.JAL:
+			targets[int(in.Target)] = true
+		}
+	}
+	region := isa.RegionNormal
+	for i, in := range p.Insts {
+		if targets[i] {
+			fmt.Fprintf(&b, "L%d:\n", i)
+		}
+		if in.Region != region {
+			region = in.Region
+			if region == isa.RegionSync {
+				b.WriteString(".region sync\n")
+			} else {
+				b.WriteString(".region normal\n")
+			}
+		}
+		stmt, err := renderInst(in)
+		if err != nil {
+			return "", fmt.Errorf("fuzz: render inst %d: %w", i, err)
+		}
+		b.WriteString("\t" + stmt + "\n")
+	}
+	return b.String(), nil
+}
+
+func regName(r isa.Reg) string {
+	if r.IsFP() {
+		return fmt.Sprintf("f%d", int(r)-32)
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+func renderInst(in isa.Inst) (string, error) {
+	rrr := func(m string) string {
+		return fmt.Sprintf("%s %s, %s, %s", m, regName(in.Rd), regName(in.Rs), regName(in.Rt))
+	}
+	rri := func(m string) string {
+		return fmt.Sprintf("%s %s, %s, %d", m, regName(in.Rd), regName(in.Rs), in.Imm)
+	}
+	rr := func(m string) string {
+		return fmt.Sprintf("%s %s, %s", m, regName(in.Rd), regName(in.Rs))
+	}
+	load := func(m string) string {
+		return fmt.Sprintf("%s %s, %d(%s)", m, regName(in.Rd), in.Imm, regName(in.Rs))
+	}
+	store := func(m string) string {
+		return fmt.Sprintf("%s %s, %d(%s)", m, regName(in.Rt), in.Imm, regName(in.Rs))
+	}
+	br2 := func(m string) string {
+		return fmt.Sprintf("%s %s, %s, L%d", m, regName(in.Rs), regName(in.Rt), in.Target)
+	}
+	br1 := func(m string) string {
+		return fmt.Sprintf("%s %s, L%d", m, regName(in.Rs), in.Target)
+	}
+	switch in.Op {
+	case isa.NOP:
+		return "nop", nil
+	case isa.HALT:
+		return "halt", nil
+	case isa.ERET:
+		return "eret", nil
+	case isa.TRAP:
+		return fmt.Sprintf("trap %d", in.Imm), nil
+	case isa.BACKOFF:
+		return fmt.Sprintf("backoff %d", in.Imm), nil
+	case isa.SWITCH:
+		return fmt.Sprintf("switch %d", in.Imm), nil
+	case isa.ADD:
+		return rrr("add"), nil
+	case isa.SUB:
+		return rrr("sub"), nil
+	case isa.AND:
+		return rrr("and"), nil
+	case isa.OR:
+		return rrr("or"), nil
+	case isa.XOR:
+		return rrr("xor"), nil
+	case isa.SLT:
+		return rrr("slt"), nil
+	case isa.SLTU:
+		return rrr("sltu"), nil
+	case isa.SLLV:
+		return rrr("sllv"), nil
+	case isa.SRLV:
+		return rrr("srlv"), nil
+	case isa.MUL:
+		return rrr("mul"), nil
+	case isa.DIV:
+		return rrr("div"), nil
+	case isa.REM:
+		return rrr("rem"), nil
+	case isa.DIVU:
+		return rrr("divu"), nil
+	case isa.ADDI:
+		return rri("addi"), nil
+	case isa.ANDI:
+		return rri("andi"), nil
+	case isa.ORI:
+		return rri("ori"), nil
+	case isa.XORI:
+		return rri("xori"), nil
+	case isa.SLTI:
+		return rri("slti"), nil
+	case isa.SLL:
+		return rri("sll"), nil
+	case isa.SRL:
+		return rri("srl"), nil
+	case isa.SRA:
+		return rri("sra"), nil
+	case isa.LUI:
+		return fmt.Sprintf("lui %s, %d", regName(in.Rd), in.Imm), nil
+	case isa.LW:
+		return load("lw"), nil
+	case isa.FLD:
+		return load("fld"), nil
+	case isa.TAS:
+		return load("tas"), nil
+	case isa.SW:
+		return store("sw"), nil
+	case isa.FSD:
+		return store("fsd"), nil
+	case isa.BEQ:
+		return br2("beq"), nil
+	case isa.BNE:
+		return br2("bne"), nil
+	case isa.BLEZ:
+		return br1("blez"), nil
+	case isa.BGTZ:
+		return br1("bgtz"), nil
+	case isa.J:
+		return fmt.Sprintf("j L%d", in.Target), nil
+	case isa.JAL:
+		return fmt.Sprintf("jal L%d", in.Target), nil
+	case isa.JR:
+		return fmt.Sprintf("jr %s", regName(in.Rs)), nil
+	case isa.FADD:
+		return rrr("fadd"), nil
+	case isa.FSUB:
+		return rrr("fsub"), nil
+	case isa.FMUL:
+		return rrr("fmul"), nil
+	case isa.FDIVS:
+		return rrr("fdivs"), nil
+	case isa.FDIVD:
+		return rrr("fdivd"), nil
+	case isa.FCMPLT:
+		return rrr("fcmplt"), nil
+	case isa.FCMPLE:
+		return rrr("fcmple"), nil
+	case isa.FNEG:
+		return rr("fneg"), nil
+	case isa.FABS:
+		return rr("fabs"), nil
+	case isa.FSQRT:
+		return rr("fsqrt"), nil
+	case isa.FCVTIW:
+		return rr("fcvt"), nil
+	case isa.MTC1:
+		return rr("mtc1"), nil
+	case isa.MFC1:
+		return rr("mfc1"), nil
+	}
+	return "", fmt.Errorf("no assembler syntax for op %v", in.Op)
+}

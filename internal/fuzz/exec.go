@@ -1,0 +1,304 @@
+package fuzz
+
+// The functional executor: exact ISA semantics with zero timing model,
+// multiplexed across threads by an explicit ordering policy. It is the
+// fuzzer's semantic reference — every timing simulation of the same
+// program must reach the same final memory. The instruction semantics
+// mirror internal/core's functional evaluator (golden-tested against the
+// independent reference interpreter in core/ref_test.go).
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// Ordering is a context-multiplexing policy for the functional executor.
+type Ordering struct {
+	Kind string `json:"kind"`           // "seq", "rr", "every", "rand"
+	X    int    `json:"x,omitempty"`    // "every": switch after X instructions
+	Seed int64  `json:"seed,omitempty"` // "rand": xorshift seed for switch points
+}
+
+func (o Ordering) String() string {
+	switch o.Kind {
+	case "every":
+		return fmt.Sprintf("every%d", o.X)
+	case "rand":
+		return fmt.Sprintf("rand%d", o.Seed)
+	}
+	return o.Kind
+}
+
+// funcRun executes program p with the given thread count under ordering
+// ord. Context switches are reported to rec (the switching-away thread,
+// with the step count standing in for the cycle). Returns the final
+// memory and threads, or an error if any thread failed to halt within
+// maxSteps total instructions.
+func funcRun(ctx context.Context, p *prog.Program, threads int, ord Ordering, maxSteps int64, rec *recorder) (*mem.Memory, []*core.Thread, error) {
+	m := mem.New()
+	p.LoadInit(m)
+	ths := make([]*core.Thread, threads)
+	for i := range ths {
+		ths[i] = core.NewThread(fmt.Sprintf("%s.t%d", p.Name, i), p)
+		ths[i].SetIntReg(isa.R4, uint32(i))
+		ths[i].SetIntReg(isa.R5, uint32(threads))
+	}
+
+	var xs uint64 = uint64(ord.Seed)*2685821657736338717 + 0x9E3779B97F4A7C15
+	xrand := func() uint64 {
+		xs ^= xs << 13
+		xs ^= xs >> 7
+		xs ^= xs << 17
+		return xs
+	}
+
+	halted := 0
+	cur := 0
+	run := 0 // instructions the current thread has run since scheduled
+	for step := int64(0); ; step++ {
+		if step >= maxSteps {
+			return nil, nil, fmt.Errorf("fuzz: ordering %s did not halt within %d steps", ord, maxSteps)
+		}
+		if step&4095 == 0 && ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
+		th := ths[cur]
+		forced, err := funcStep(th, m)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fuzz: ordering %s thread %d: %w", ord, cur, err)
+		}
+		run++
+		if th.Halted {
+			halted++
+			if halted == len(ths) {
+				return m, ths, nil
+			}
+		}
+		// Scheduling decision. BACKOFF/SWITCH force a re-evaluation in
+		// every policy (they are the program's declared switch points);
+		// a halted thread always yields.
+		switchNow := forced || th.Halted
+		switch ord.Kind {
+		case "seq":
+			// Run each thread to completion (valid only for single-phase
+			// programs: a barrier would spin forever waiting for threads
+			// that never get scheduled).
+		case "rr":
+			switchNow = true
+		case "every":
+			if run >= ord.X {
+				switchNow = true
+			}
+		case "rand":
+			if xrand()&7 == 0 {
+				switchNow = true
+			}
+		default:
+			return nil, nil, fmt.Errorf("fuzz: unknown ordering kind %q", ord.Kind)
+		}
+		if !switchNow {
+			continue
+		}
+		next := cur
+		if ord.Kind == "rand" && !th.Halted {
+			// Uniform choice among runnable threads (current included).
+			live := 0
+			for _, t := range ths {
+				if !t.Halted {
+					live++
+				}
+			}
+			pick := int(xrand()>>8) % live
+			for i, t := range ths {
+				if t.Halted {
+					continue
+				}
+				if pick == 0 {
+					next = i
+					break
+				}
+				pick--
+			}
+		} else {
+			// Next runnable thread after cur, wrapping.
+			for i := 1; i <= len(ths); i++ {
+				cand := (cur + i) % len(ths)
+				if !ths[cand].Halted {
+					next = cand
+					break
+				}
+			}
+		}
+		if next != cur {
+			rec.observe(m, th, 0, cur, step)
+			cur = next
+			run = 0
+		}
+	}
+}
+
+// funcStep executes one instruction on th. The bool result reports
+// whether the instruction was an explicit yield (BACKOFF/SWITCH), which
+// every ordering treats as a switch opportunity.
+func funcStep(th *core.Thread, m *mem.Memory) (bool, error) {
+	p := th.Prog
+	if th.PC < 0 || th.PC >= len(p.Insts) {
+		return false, fmt.Errorf("pc %d out of range", th.PC)
+	}
+	in := &p.Insts[th.PC]
+	next := th.PC + 1
+	ri := func(r isa.Reg) uint32 { return uint32(th.Regs[r]) }
+	wi := func(r isa.Reg, v uint32) {
+		if r != isa.R0 {
+			th.Regs[r] = uint64(v)
+		}
+	}
+	rf := func(r isa.Reg) float64 { return math.Float64frombits(th.Regs[r]) }
+	wf := func(r isa.Reg, v float64) { th.Regs[r] = math.Float64bits(v) }
+	var s, t uint32
+	if in.Rs.Valid() && !in.Rs.IsFP() {
+		s = ri(in.Rs)
+	}
+	if in.Rt.Valid() && !in.Rt.IsFP() {
+		t = ri(in.Rt)
+	}
+	b2u := func(b bool) uint32 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.BACKOFF, isa.SWITCH:
+		th.PC = next
+		return true, nil
+	case isa.ADD:
+		wi(in.Rd, s+t)
+	case isa.ADDI:
+		wi(in.Rd, s+uint32(in.Imm))
+	case isa.SUB:
+		wi(in.Rd, s-t)
+	case isa.AND:
+		wi(in.Rd, s&t)
+	case isa.ANDI:
+		wi(in.Rd, s&uint32(in.Imm)&0xFFFF)
+	case isa.OR:
+		wi(in.Rd, s|t)
+	case isa.ORI:
+		wi(in.Rd, s|uint32(in.Imm)&0xFFFF)
+	case isa.XOR:
+		wi(in.Rd, s^t)
+	case isa.XORI:
+		wi(in.Rd, s^uint32(in.Imm)&0xFFFF)
+	case isa.SLT:
+		wi(in.Rd, b2u(int32(s) < int32(t)))
+	case isa.SLTI:
+		wi(in.Rd, b2u(int32(s) < in.Imm))
+	case isa.SLTU:
+		wi(in.Rd, b2u(s < t))
+	case isa.LUI:
+		wi(in.Rd, uint32(in.Imm)<<16)
+	case isa.SLL:
+		wi(in.Rd, s<<(uint32(in.Imm)&31))
+	case isa.SRL:
+		wi(in.Rd, s>>(uint32(in.Imm)&31))
+	case isa.SRA:
+		wi(in.Rd, uint32(int32(s)>>(uint32(in.Imm)&31)))
+	case isa.SLLV:
+		wi(in.Rd, s<<(t&31))
+	case isa.SRLV:
+		wi(in.Rd, s>>(t&31))
+	case isa.MUL:
+		wi(in.Rd, s*t)
+	case isa.DIV:
+		if t == 0 {
+			wi(in.Rd, 0)
+		} else {
+			wi(in.Rd, uint32(int32(s)/int32(t)))
+		}
+	case isa.REM:
+		if t == 0 {
+			wi(in.Rd, 0)
+		} else {
+			wi(in.Rd, uint32(int32(s)%int32(t)))
+		}
+	case isa.DIVU:
+		if t == 0 {
+			wi(in.Rd, 0)
+		} else {
+			wi(in.Rd, s/t)
+		}
+	case isa.LW:
+		wi(in.Rd, m.LoadW(s+uint32(in.Imm)))
+	case isa.SW:
+		m.StoreW(s+uint32(in.Imm), t)
+	case isa.FLD:
+		th.Regs[in.Rd] = m.LoadD((s + uint32(in.Imm)) &^ 7)
+	case isa.FSD:
+		m.StoreD((s+uint32(in.Imm))&^7, th.Regs[in.Rt])
+	case isa.TAS:
+		wi(in.Rd, m.TestAndSet(s+uint32(in.Imm)))
+	case isa.BEQ:
+		if s == t {
+			next = int(in.Target)
+		}
+	case isa.BNE:
+		if s != t {
+			next = int(in.Target)
+		}
+	case isa.BLEZ:
+		if int32(s) <= 0 {
+			next = int(in.Target)
+		}
+	case isa.BGTZ:
+		if int32(s) > 0 {
+			next = int(in.Target)
+		}
+	case isa.J:
+		next = int(in.Target)
+	case isa.JAL:
+		wi(in.Rd, uint32(th.PC+1))
+		next = int(in.Target)
+	case isa.JR:
+		next = int(s)
+	case isa.FADD:
+		wf(in.Rd, rf(in.Rs)+rf(in.Rt))
+	case isa.FSUB:
+		wf(in.Rd, rf(in.Rs)-rf(in.Rt))
+	case isa.FMUL:
+		wf(in.Rd, rf(in.Rs)*rf(in.Rt))
+	case isa.FNEG:
+		wf(in.Rd, -rf(in.Rs))
+	case isa.FABS:
+		wf(in.Rd, math.Abs(rf(in.Rs)))
+	case isa.FCVTIW:
+		wf(in.Rd, math.Trunc(rf(in.Rs)))
+	case isa.FCMPLT:
+		wi(in.Rd, b2u(rf(in.Rs) < rf(in.Rt)))
+	case isa.FCMPLE:
+		wi(in.Rd, b2u(rf(in.Rs) <= rf(in.Rt)))
+	case isa.FDIVS, isa.FDIVD:
+		wf(in.Rd, rf(in.Rs)/rf(in.Rt))
+	case isa.FSQRT:
+		wf(in.Rd, math.Sqrt(rf(in.Rs)))
+	case isa.MTC1:
+		wf(in.Rd, float64(int32(s)))
+	case isa.MFC1:
+		wi(in.Rd, uint32(int32(rf(in.Rs))))
+	case isa.HALT:
+		th.Halted = true
+		return false, nil
+	default:
+		return false, fmt.Errorf("unhandled op %v at pc %d", in.Op, th.PC)
+	}
+	th.PC = next
+	return false, nil
+}

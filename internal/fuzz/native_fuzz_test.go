@@ -1,0 +1,71 @@
+package fuzz
+
+// Native go-fuzz targets. `go test` runs only the seeded cases below
+// (fast, deterministic); `go test -fuzz=FuzzGenerate ./internal/fuzz`
+// explores the seed space coverage-guided. Both targets treat the seed
+// as the input domain: every generated Spec must validate, build, and —
+// for the differential target — agree across the quick cell grid.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/prog"
+)
+
+// FuzzGenerate: generation and compilation must never fail, and the
+// functional executor must run every generated program to completion.
+func FuzzGenerate(f *testing.F) {
+	f.Add(int64(20260808), uint8(2))
+	f.Add(int64(-1), uint8(0))
+	f.Add(int64(831031019729586977), uint8(1))
+	f.Add(int64(7077030997560528552), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, tb uint8) {
+		threads := 1 + int(tb%4)
+		s := Generate(seed, threads)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("generated spec invalid: %v", err)
+		}
+		for _, mode := range []prog.YieldMode{prog.YieldNone, prog.YieldSwitch, prog.YieldBackoff} {
+			if _, err := BuildProgram(s, mode); err != nil {
+				t.Fatalf("mode %d: %v", mode, err)
+			}
+		}
+		p, err := BuildProgram(s, prog.YieldBackoff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := funcRun(context.Background(), p, threads, Ordering{Kind: "rr"}, 3_000_000, &recorder{}); err != nil {
+			t.Fatalf("functional run: %v", err)
+		}
+	})
+}
+
+// FuzzDifferential: the full oracle on the quick grid — any divergence
+// between orderings, schemes, or machines on a generated (race-free)
+// program is a bug in either a scheme or the generator.
+func FuzzDifferential(f *testing.F) {
+	for i := 0; i < 4; i++ {
+		f.Add(experiments.DeriveSeed(20260808, i), uint8(i))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, tb uint8) {
+		threads := 2 + int(tb%3)
+		s := Generate(seed, threads)
+		pool := experiments.NewPool(2)
+		cells, results, err := RunProgram(context.Background(), s, true, Limits{}, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r != nil && r.Err != "" {
+				t.Fatalf("cell error: %s: %s", r.Key, r.Err)
+			}
+		}
+		if divs := Check(cells, results); len(divs) != 0 {
+			for _, d := range divs {
+				t.Errorf("divergence: %s", d)
+			}
+		}
+	})
+}

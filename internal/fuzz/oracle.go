@@ -1,0 +1,138 @@
+package fuzz
+
+// The equivalence oracle. Three comparison tiers, strongest applicable
+// wins:
+//
+//  1. Final memory (MemHash) must match across EVERY cell of a program —
+//     orderings, schemes, machines, fast-forward, chaos. Generated
+//     programs are race-free, so the multiplexing policy must not leak
+//     into memory results.
+//  2. Clean architectural state (CleanHash: PC, halt, registers minus
+//     the spin scratch) must match across cells sharing a compilation
+//     (yield mode): identical instruction streams must compute identical
+//     clean registers regardless of schedule.
+//  3. Strict groups — cells identical except fast-forward — must agree
+//     on everything: cycle count, switch count, the switch-point hash
+//     chain, and the full-register ArchHash. The first chain index that
+//     disagrees localizes the divergence to a specific context switch.
+
+import "fmt"
+
+// Divergence is one oracle violation.
+type Divergence struct {
+	Cell string `json:"cell"`
+	Ref  string `json:"ref"`  // the cell compared against
+	Kind string `json:"kind"` // "mem", "clean", "strict"
+	Want uint64 `json:"want"`
+	Got  uint64 `json:"got"`
+	// FirstSwitch is the index of the first context switch whose state
+	// hash disagrees within a strict group; -1 when not applicable
+	// (cross-ordering comparisons have incomparable chains).
+	FirstSwitch int    `json:"first_switch"`
+	Detail      string `json:"detail,omitempty"`
+}
+
+func (d Divergence) String() string {
+	s := fmt.Sprintf("%s: %s vs %s: want %016x got %016x", d.Kind, d.Cell, d.Ref, d.Want, d.Got)
+	if d.FirstSwitch >= 0 {
+		s += fmt.Sprintf(" (first divergent switch %d)", d.FirstSwitch)
+	}
+	if d.Detail != "" {
+		s += " " + d.Detail
+	}
+	return s
+}
+
+// Check compares all cell results of one program. cells[i] corresponds
+// to results[i]; errored or skipped cells (nil results) are excluded
+// from comparisons — they are reported separately as cell errors.
+// Divergences are emitted in deterministic cell order.
+func Check(cells []Cell, results []*CellResult) []Divergence {
+	var divs []Divergence
+	ok := func(i int) bool { return results[i] != nil && results[i].Err == "" }
+
+	// Tier 1: global final-memory equivalence against the first healthy
+	// cell (the plan puts func/rr first).
+	ref := -1
+	for i := range results {
+		if ok(i) {
+			ref = i
+			break
+		}
+	}
+	if ref < 0 {
+		return nil
+	}
+	for i := ref + 1; i < len(results); i++ {
+		if !ok(i) {
+			continue
+		}
+		if results[i].MemHash != results[ref].MemHash {
+			divs = append(divs, Divergence{
+				Cell: results[i].Key, Ref: results[ref].Key, Kind: "mem",
+				Want: results[ref].MemHash, Got: results[i].MemHash, FirstSwitch: -1,
+			})
+		}
+	}
+
+	// Tier 2: clean-state equivalence within each compilation mode.
+	cleanRef := map[int]int{} // yield mode -> reference cell index
+	for i := range results {
+		if !ok(i) {
+			continue
+		}
+		mode := int(results[i].Yield)
+		j, seen := cleanRef[mode]
+		if !seen {
+			cleanRef[mode] = i
+			continue
+		}
+		if results[i].CleanHash != results[j].CleanHash {
+			divs = append(divs, Divergence{
+				Cell: results[i].Key, Ref: results[j].Key, Kind: "clean",
+				Want: results[j].CleanHash, Got: results[i].CleanHash, FirstSwitch: -1,
+			})
+		}
+	}
+
+	// Tier 3: strict fast-forward pairs.
+	strictRef := map[string]int{}
+	for i := range results {
+		if !ok(i) {
+			continue
+		}
+		g := cells[i].GroupKey()
+		j, seen := strictRef[g]
+		if !seen {
+			strictRef[g] = i
+			continue
+		}
+		a, b := results[j], results[i]
+		if a.Cycles != b.Cycles || a.Switches != b.Switches || a.ArchHash != b.ArchHash || firstChainDiff(a.Chain, b.Chain) >= 0 {
+			divs = append(divs, Divergence{
+				Cell: b.Key, Ref: a.Key, Kind: "strict",
+				Want: a.ArchHash, Got: b.ArchHash,
+				FirstSwitch: firstChainDiff(a.Chain, b.Chain),
+				Detail: fmt.Sprintf("(cycles %d vs %d, switches %d vs %d)",
+					a.Cycles, b.Cycles, a.Switches, b.Switches),
+			})
+		}
+	}
+	return divs
+}
+
+// firstChainDiff returns the first index where the two switch-hash
+// chains disagree, or -1 if one is a prefix of the other (equal-length
+// equal chains included).
+func firstChainDiff(a, b []uint64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,145 @@
+package fuzz
+
+// Shrinking: minimize a failing spec while it keeps failing the oracle.
+// Classic ddmin-style chunk removal over grammar items, then scalar
+// reductions (loop counts, thread count), then structural cleanup
+// (trailing empty phases). Every candidate is validated and re-run
+// through the full predicate, so a shrunk reproducer is guaranteed to
+// still fail — and because specs are concrete item lists (not seeds),
+// the minimized program replays byte-identically.
+
+import (
+	"context"
+
+	"repro/internal/experiments"
+	"repro/internal/guard"
+)
+
+// defaultShrinkBudget bounds oracle evaluations per shrink. Each
+// evaluation runs a full cell grid, so the budget is the knob trading
+// shrink quality for time.
+const defaultShrinkBudget = 150
+
+// Shrink minimizes spec under the predicate "the oracle still reports a
+// divergence or cell error on the same plan". Returns the smallest
+// failing spec found (possibly the original). Only cancellation returns
+// an error.
+func Shrink(ctx context.Context, spec *Spec, quick bool, lim Limits, pool *experiments.Pool, budget int) (*Spec, error) {
+	if budget <= 0 {
+		budget = defaultShrinkBudget
+	}
+	evals := 0
+	var lastErr error
+	fails := func(s *Spec) bool {
+		if lastErr != nil || evals >= budget || s.Validate() != nil {
+			return false
+		}
+		evals++
+		cells, results, err := RunProgram(ctx, s, quick, lim, pool)
+		if err != nil {
+			// Cancellation aborts the shrink; any other program-level
+			// error (e.g. a mutation with nothing left to mutate after a
+			// removal) just marks the candidate infeasible.
+			if guard.IsCancellation(err) || ctx.Err() != nil {
+				lastErr = err
+			}
+			return false
+		}
+		for _, r := range results {
+			if r != nil && r.Err != "" {
+				return true
+			}
+		}
+		return len(Check(cells, results)) > 0
+	}
+
+	cur := spec.Clone()
+	if !fails(cur) {
+		// The caller's failure did not reproduce (or was canceled):
+		// return the original unshrunk.
+		return spec.Clone(), lastErr
+	}
+
+	// Pass 1: ddmin-lite over the flat item list, chunk sizes n/2 … 1.
+	type coord struct{ phase, idx int }
+	flatten := func(s *Spec) []coord {
+		var cs []coord
+		for p, items := range s.Phases {
+			for i := range items {
+				cs = append(cs, coord{p, i})
+			}
+		}
+		return cs
+	}
+	without := func(s *Spec, drop map[coord]bool) *Spec {
+		c := s.Clone()
+		for p := range c.Phases {
+			var kept []Item
+			for i, it := range c.Phases[p] {
+				if !drop[coord{p, i}] {
+					kept = append(kept, it)
+				}
+			}
+			c.Phases[p] = kept
+		}
+		return c
+	}
+	for chunk := len(flatten(cur)) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; ; {
+			coords := flatten(cur)
+			if start >= len(coords) {
+				break
+			}
+			drop := map[coord]bool{}
+			for i := start; i < start+chunk && i < len(coords); i++ {
+				drop[coords[i]] = true
+			}
+			if cand := without(cur, drop); fails(cand) {
+				cur = cand // indices shifted; retry same start
+			} else {
+				start += chunk
+			}
+			if lastErr != nil {
+				return cur, lastErr
+			}
+		}
+	}
+
+	// Pass 2: scalar reduction — shrink every N toward 1.
+	for p := range cur.Phases {
+		for i := range cur.Phases[p] {
+			for cur.Phases[p][i].N > 1 {
+				cand := cur.Clone()
+				cand.Phases[p][i].N /= 2
+				if !fails(cand) {
+					break
+				}
+				cur = cand
+			}
+			if lastErr != nil {
+				return cur, lastErr
+			}
+		}
+	}
+
+	// Pass 3: drop trailing empty phases (each costs a barrier).
+	for len(cur.Phases) > 1 && len(cur.Phases[len(cur.Phases)-1]) == 0 {
+		cand := cur.Clone()
+		cand.Phases = cand.Phases[:len(cand.Phases)-1]
+		if !fails(cand) {
+			break
+		}
+		cur = cand
+	}
+
+	// Pass 4: fewer threads.
+	for cur.Threads > 2 {
+		cand := cur.Clone()
+		cand.Threads--
+		if !fails(cand) {
+			break
+		}
+		cur = cand
+	}
+	return cur, lastErr
+}

@@ -1,0 +1,76 @@
+# interleavefuzz reproducer fuzz-d6927cc28841f924
+# seed -2985186428041692892, threads 2, yield mode 1
+# injected mutation: tas-plain
+# assemble with code base 0x1000, data base 0x100000, arena 1048576 bytes
+# SPMD: r4 = thread id, r5 = thread count
+.alloc D 1048576 64
+.word D+704 0xd2d86e25
+.word D+708 0xd156bab2
+.word D+712 0xa320785c
+.word D+716 0xcb78d037
+.word D+720 0x965638fd
+.word D+724 0xb494afb0
+.word D+728 0x2f3e670d
+.double D+736 324.2606418836448
+.double D+744 -37.22474396715194
+.double D+752 -61.29623527976315
+.word D+768 0x250
+.word D+772 0x133
+.word D+776 0x174
+.word D+780 0x314
+	lui r6, 16
+	sll r19, r4, 8
+	add r6, r6, r19
+	addi r10, r4, 1
+	or r11, r5, r0
+	lui r12, 1492
+	ori r12, r12, 30383
+	lui r13, 2024
+	ori r13, r13, 38644
+	lui r14, 46891
+	ori r14, r14, 62281
+	lui r15, 48968
+	ori r15, r15, 43768
+	mul r16, r10, r12
+	xor r17, r13, r14
+	mtc1 f8, r10
+	lui r9, 16
+	ori r9, r9, 736
+	fld f9, 0(r9)
+	fld f10, 8(r9)
+	fld f11, 16(r9)
+	mtc1 f12, r15
+	fadd f13, f8, f12
+	lui r9, 16
+	ori r9, r9, 832
+L25:
+.region sync
+	lw r24, 0(r9)
+	beq r24, r0, L31
+L27:
+	backoff 16
+	lw r24, 0(r9)
+	beq r24, r0, L25
+	j L27
+L31:
+.region normal
+	lui r19, 16
+	ori r19, r19, 768
+	lw r25, 0(r19)
+	xor r25, r25, r16
+	sw r25, 0(r19)
+.region sync
+	sw r0, 0(r9)
+.region normal
+	sw r10, 192(r6)
+	sw r11, 196(r6)
+	sw r12, 200(r6)
+	sw r13, 204(r6)
+	sw r14, 208(r6)
+	sw r15, 212(r6)
+	fsd f8, 216(r6)
+	fsd f9, 224(r6)
+	fsd f10, 232(r6)
+	fsd f11, 240(r6)
+	fsd f12, 248(r6)
+	halt

@@ -46,6 +46,14 @@ type Config struct {
 	// Obs configures the observability layer (counter sampling and the
 	// structured event trace); the zero value disables it entirely.
 	Obs metrics.Options
+
+	// SwitchWatch, if set, observes every context switch on every
+	// processor: the processor whose context is switching away, the
+	// context index, and the cycle. The lockstep driver steps processors
+	// in (cycle, processor index) order, so the callback sequence is
+	// deterministic for a given program and config. Used by differential
+	// testing to hash architectural state at switch points.
+	SwitchWatch func(p *core.Processor, ctx int, now int64)
 }
 
 // DefaultConfig returns the paper's 8-node multiprocessor with the given
@@ -87,6 +95,10 @@ type Result struct {
 	// Metrics is the observability record, nil unless Config.Obs enables
 	// instrumentation.
 	Metrics *metrics.CellMetrics
+	// ThreadState exposes the final per-thread architectural state in tid
+	// order, for oracles that need finer-grained digests than ArchHash
+	// (e.g. register hashes that exclude spin-loop scratch registers).
+	ThreadState []*core.Thread
 }
 
 // Run executes program p as an SPMD application with Processors×Contexts
@@ -141,6 +153,10 @@ func RunCtx(ctx context.Context, p *prog.Program, cfg Config) (*Result, error) {
 		}
 		proc.ID = i
 		procs[i] = proc
+		if watch := cfg.SwitchWatch; watch != nil {
+			self := proc
+			proc.SwitchWatch = func(now int64, ctx int) { watch(self, ctx, now) }
+		}
 		proc.AttachMetrics(col.Proc(i))
 		fab.Node(i).AttachMetrics(col.Proc(i))
 		for c := 0; c < cfg.Contexts; c++ {
@@ -377,7 +393,7 @@ func RunCtx(ctx context.Context, p *prog.Program, cfg Config) (*Result, error) {
 		}
 	}
 
-	res := &Result{Completed: completed, Threads: nThreads, Mem: fm}
+	res := &Result{Completed: completed, Threads: nThreads, Mem: fm, ThreadState: threads}
 	if !completed {
 		res.Diag = budgetDiagnostic(cfg, procs, fab)
 	}

@@ -1,0 +1,247 @@
+package prog_test
+
+// External tests for the sync library (prog_test so they can drive the
+// mp and core machines, which import prog). These pin the semantics the
+// differential fuzzer's oracle relies on: TAS critical sections provide
+// mutual exclusion under every scheme and thread placement, the lock
+// word follows a strict acquire/release protocol at the memory level,
+// and the sense-reversing barrier separates phases.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/mp"
+	"repro/internal/prog"
+)
+
+// lockCounterProgram: every thread increments a shared counter reps
+// times inside a TAS critical section, then meets at a barrier and
+// halts. Returns the program plus the lock and counter addresses.
+func lockCounterProgram(reps int, mode prog.YieldMode) (*prog.Program, uint32, uint32) {
+	b := prog.NewBuilder("sync-counter", 0x1000, 0x0020_0000, 1<<20)
+	b.SetYield(mode)
+	lock := b.AllocLock()
+	ctr := b.Alloc(64, 64)
+	bar := b.AllocBarrier()
+
+	b.La(isa.R16, lock)
+	b.La(isa.R17, ctr)
+	b.La(isa.R6, bar)
+	b.Li(isa.R7, 0) // barrier sense
+	b.Li(isa.R20, uint32(reps))
+	b.Label("loop")
+	b.LockAcquire(isa.R16, isa.R2)
+	b.Lw(isa.R9, isa.R17, 0)
+	b.Addi(isa.R9, isa.R9, 1)
+	b.Sw(isa.R9, isa.R17, 0)
+	b.LockRelease(isa.R16)
+	b.Addi(isa.R20, isa.R20, -1)
+	b.Bgtz(isa.R20, "loop")
+	b.Barrier(isa.R6, isa.R5, isa.R7, isa.R2, isa.R3)
+	b.Halt()
+	return b.MustBuild(), lock, ctr
+}
+
+// TestTASMutualExclusionTable: the locked counter must land exactly on
+// threads*reps for every scheme, yield mode, and (procs, contexts)
+// placement — any lost update means two contexts were inside the
+// critical section at once.
+func TestTASMutualExclusionTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		scheme   core.Scheme
+		procs    int
+		contexts int
+		mode     prog.YieldMode
+		reps     int
+	}{
+		{"single/p2c1", core.Single, 2, 1, prog.YieldNone, 20},
+		{"blocked/p1c2", core.Blocked, 1, 2, prog.YieldSwitch, 20},
+		{"blocked/p2c2", core.Blocked, 2, 2, prog.YieldSwitch, 15},
+		{"blocked-fast/p2c2", core.BlockedFast, 2, 2, prog.YieldSwitch, 15},
+		{"interleaved/p1c4", core.Interleaved, 1, 4, prog.YieldBackoff, 15},
+		{"interleaved/p2c2", core.Interleaved, 2, 2, prog.YieldBackoff, 15},
+		{"interleaved/p3c2", core.Interleaved, 3, 2, prog.YieldBackoff, 11},
+		{"fine-grained/p2c2", core.FineGrained, 2, 2, prog.YieldBackoff, 15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, _, ctr := lockCounterProgram(tc.reps, tc.mode)
+			cfg := mp.DefaultConfig(tc.scheme, tc.contexts)
+			cfg.Processors = tc.procs
+			cfg.LimitCycles = 5_000_000
+			res, err := mp.Run(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed {
+				t.Fatal("did not complete")
+			}
+			want := uint32(tc.procs * tc.contexts * tc.reps)
+			if got := res.Mem.LoadW(ctr); got != want {
+				t.Errorf("counter = %d, want %d (mutual exclusion violated)", got, want)
+			}
+		})
+	}
+}
+
+// TestTASLockProtocolAudit watches the lock word itself on a
+// multi-context core: a TAS that loads 0 is an acquire and must only
+// happen while the lock is free, a store of 0 is a release and must only
+// happen while it is held, and the totals must balance at exactly one
+// acquire per critical-section entry.
+func TestTASLockProtocolAudit(t *testing.T) {
+	const contexts, reps = 3, 10
+	p, lockAddr, _ := lockCounterProgram(reps, prog.YieldBackoff)
+
+	ccfg := core.DefaultConfig(core.Interleaved, contexts)
+	h, err := cache.NewHierarchy(cache.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := mem.New()
+	p.LoadInit(fm)
+	proc, err := core.NewProcessor(ccfg, h, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < contexts; i++ {
+		th := core.NewThread(fmt.Sprintf("t%d", i), p)
+		th.SetIntReg(mp.TidReg, uint32(i))
+		th.SetIntReg(mp.NThreadsReg, uint32(contexts))
+		proc.BindThread(i, th)
+	}
+
+	held := false
+	acquires, releases := 0, 0
+	proc.MemWatch = func(op isa.Op, addr, value uint32, ctx int, now int64) {
+		if addr != lockAddr {
+			return
+		}
+		switch op {
+		case isa.TAS:
+			if value == 0 { // loaded free: this context now holds the lock
+				if held {
+					t.Errorf("cycle %d ctx %d: TAS acquired a lock already held", now, ctx)
+				}
+				held = true
+				acquires++
+			}
+		case isa.SW:
+			if value != 0 {
+				t.Errorf("cycle %d ctx %d: non-zero store %d to lock word", now, ctx, value)
+				return
+			}
+			if !held {
+				t.Errorf("cycle %d ctx %d: release of a free lock", now, ctx)
+			}
+			held = false
+			releases++
+		}
+	}
+
+	if _, halted := proc.RunUntilHalted(5_000_000); !halted {
+		t.Fatal("did not halt")
+	}
+	// One acquire per critical-section entry, every acquire released.
+	// The barrier shares the same lock-word protocol on its own line, so
+	// only the counter lock (audited address) is counted here.
+	want := contexts * reps
+	if acquires != want || releases != want {
+		t.Errorf("acquires=%d releases=%d, want %d each", acquires, releases, want)
+	}
+	if held {
+		t.Error("lock still held at halt")
+	}
+}
+
+// barrierPhasesProgram: three barrier-separated phases. In each phase
+// every thread adds tid+1 to that phase's accumulator under a lock, hits
+// the barrier, then checks the accumulator reached the full-sum value —
+// which it can only observe if the barrier really held everyone back.
+// Mismatches are counted into a per-thread flag word.
+func barrierPhasesProgram(threads int) (*prog.Program, uint32, uint32) {
+	const phases = 3
+	b := prog.NewBuilder("sync-phases", 0x1000, 0x0020_0000, 1<<20)
+	b.SetYield(prog.YieldBackoff)
+	lock := b.AllocLock()
+	bar := b.AllocBarrier()
+	accs := b.Alloc(4*phases, 64)
+	flags := b.Alloc(4*uint32(threads), 64)
+
+	b.La(isa.R16, lock)
+	b.La(isa.R6, bar)
+	b.Li(isa.R7, 0)
+	b.Addi(isa.R10, isa.R4, 1) // tid+1
+	b.La(isa.R11, flags)
+	b.Sll(isa.R12, isa.R4, 2)
+	b.Add(isa.R11, isa.R11, isa.R12) // &flags[tid]
+	b.Li(isa.R13, uint32(threads*(threads+1)/2))
+	b.Li(isa.R14, 0) // mismatch count
+
+	for ph := 0; ph < phases; ph++ {
+		b.La(isa.R17, accs+4*uint32(ph))
+		b.LockAcquire(isa.R16, isa.R2)
+		b.Lw(isa.R9, isa.R17, 0)
+		b.Add(isa.R9, isa.R9, isa.R10)
+		b.Sw(isa.R9, isa.R17, 0)
+		b.LockRelease(isa.R16)
+		b.Barrier(isa.R6, isa.R5, isa.R7, isa.R2, isa.R3)
+		ok := fmt.Sprintf("phase_ok_%d", ph)
+		b.Lw(isa.R9, isa.R17, 0)
+		b.Beq(isa.R9, isa.R13, ok)
+		b.Addi(isa.R14, isa.R14, 1)
+		b.Label(ok)
+	}
+	b.Sw(isa.R14, isa.R11, 0)
+	b.Halt()
+	return b.MustBuild(), accs, flags
+}
+
+// TestBarrierSeparatesPhases runs the phase program on several machine
+// shapes: every phase accumulator must hold the exact full sum and no
+// thread may have observed a partial one.
+func TestBarrierSeparatesPhases(t *testing.T) {
+	cases := []struct {
+		name     string
+		scheme   core.Scheme
+		procs    int
+		contexts int
+	}{
+		{"blocked/p2c2", core.Blocked, 2, 2},
+		{"interleaved/p1c3", core.Interleaved, 1, 3},
+		{"fine-grained/p3c1", core.FineGrained, 3, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			threads := tc.procs * tc.contexts
+			p, accs, flags := barrierPhasesProgram(threads)
+			cfg := mp.DefaultConfig(tc.scheme, tc.contexts)
+			cfg.Processors = tc.procs
+			cfg.LimitCycles = 5_000_000
+			res, err := mp.Run(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed {
+				t.Fatal("did not complete")
+			}
+			want := uint32(threads * (threads + 1) / 2)
+			for ph := 0; ph < 3; ph++ {
+				if got := res.Mem.LoadW(accs + 4*uint32(ph)); got != want {
+					t.Errorf("phase %d accumulator = %d, want %d", ph, got, want)
+				}
+			}
+			for tid := 0; tid < threads; tid++ {
+				if got := res.Mem.LoadW(flags + 4*uint32(tid)); got != 0 {
+					t.Errorf("thread %d observed %d partial-sum phases (barrier leaked)", tid, got)
+				}
+			}
+		})
+	}
+}

@@ -57,6 +57,25 @@ code=0
 diff "$RES_DIR/full.txt" "$RES_DIR/resumed.txt"
 diff "$RES_DIR/full.json" "$RES_DIR/resumed.json"
 
+# Optional differential-fuzz pass: FUZZ=1 scripts/check.sh runs the
+# fixed-seed cross-scheme interleaving sweep (>=500 cells; exits 1 on any
+# divergence), requires the report to be byte-identical at -j 8 and -j 1,
+# and replays the checked-in reproducer (a deliberately broken TAS),
+# which must still fail with the documented divergence exit code 1.
+if [ -n "${FUZZ:-}" ]; then
+    FUZZ_DIR="$(mktemp -d)"
+    trap 'rm -rf "$OBS_DIR" "$RES_DIR" "$FUZZ_DIR"' EXIT
+    go build -o "$FUZZ_DIR/interleavefuzz" ./cmd/interleavefuzz
+    "$FUZZ_DIR/interleavefuzz" -n 12 -seed 20260808 -j 8 > "$FUZZ_DIR/j8.txt"
+    "$FUZZ_DIR/interleavefuzz" -n 12 -seed 20260808 -j 1 > "$FUZZ_DIR/j1.txt"
+    diff "$FUZZ_DIR/j8.txt" "$FUZZ_DIR/j1.txt"
+    code=0
+    "$FUZZ_DIR/interleavefuzz" -quick \
+        -replay internal/fuzz/testdata/corpus/fuzz-d6927cc28841f924 \
+        > "$FUZZ_DIR/replay.txt" || code=$?
+    [ "$code" -eq 1 ] # divergence must reproduce
+fi
+
 # Optional performance pass: BENCH=1 scripts/check.sh additionally runs
 # the benchmark suite and regenerates the throughput grid JSON
 # (see scripts/bench.sh for BASE_REF / BENCH_OUT knobs).
