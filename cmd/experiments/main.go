@@ -58,6 +58,8 @@ func run(args []string) (code int) {
 	jobs := fs.Int("j", runtime.NumCPU(), "concurrent simulation cells (1 = serial)")
 	journalPath := fs.String("journal", "", "record completed grid cells to this journal file (crash-safe; overwrites)")
 	resumePath := fs.String("resume", "", "resume from this journal: replay its cells, run only the remainder, keep appending")
+	allowBinaryMismatch := fs.Bool("allow-binary-mismatch", false, "resume a journal written by a different binary when the configuration is identical")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell wall-clock budget; a cell exceeding it is retried once at a doubled budget, then fails (0 = off)")
 	interruptAfter := fs.Int("interrupt-after", 0, "testing: raise SIGINT after this many journal appends")
 	gopts := guard.BindFlags(fs)
 	prof := profiling.BindFlags(fs)
@@ -72,8 +74,9 @@ func run(args []string) (code int) {
 
 	fail := func(err error) int {
 		var fpErr *experiments.FingerprintError
+		var binErr *experiments.BinaryMismatchError
 		switch {
-		case errors.As(err, &fpErr):
+		case errors.As(err, &fpErr), errors.As(err, &binErr):
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			return experiments.ExitFingerprintMismatch
 		case guard.IsCancellation(err):
@@ -139,13 +142,15 @@ func run(args []string) (code int) {
 	}
 	ucfg.Parallelism = *jobs
 	mcfg.Parallelism = *jobs
+	ucfg.CellTimeout = *cellTimeout
+	mcfg.CellTimeout = *cellTimeout
 	ucfg.Guard = *gopts
 	mcfg.Guard = *gopts
 	ucfg.Obs = obs.Options()
 	mcfg.Obs = obs.Options()
 
-	needUni := sel("table7") || sel("fig6") || sel("fig7")
-	needMP := sel("table10") || sel("fig8") || sel("fig9")
+	needUni := experiments.NeedUni(sel)
+	needMP := experiments.NeedMP(sel)
 
 	if *journalPath != "" || *resumePath != "" {
 		// The fingerprint covers everything that determines cell results:
@@ -171,7 +176,9 @@ func run(args []string) (code int) {
 		var journal *experiments.Journal
 		var err error
 		if *resumePath != "" {
-			journal, err = experiments.OpenJournal(*resumePath, fp)
+			journal, err = experiments.OpenJournalAllow(*resumePath, fp, *allowBinaryMismatch, func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "experiments: warning: "+format+"\n", args...)
+			})
 			if err == nil {
 				fmt.Fprintf(os.Stderr, "[resuming from %s: %d completed cells to replay]\n", *resumePath, journal.Cells())
 			}
@@ -274,15 +281,10 @@ func run(args []string) (code int) {
 			return fail(err)
 		}
 	}
-	if sel("table7") {
-		fmt.Println(experiments.FormatTable7(uni))
-		fmt.Println()
-	}
-	if sel("fig6") {
-		fmt.Println(experiments.FormatFigure(uni, core.Blocked, 6))
-	}
-	if sel("fig7") {
-		fmt.Println(experiments.FormatFigure(uni, core.Interleaved, 7))
+	// The grid sections print through the shared renderer so a distributed
+	// run of the same grids reproduces these bytes exactly.
+	if needUni {
+		fmt.Print(experiments.RenderUniSections(sel, uni))
 	}
 
 	var mpr *experiments.MPResult
@@ -321,15 +323,8 @@ func run(args []string) (code int) {
 			return fail(err)
 		}
 	}
-	if sel("table10") {
-		fmt.Println(experiments.FormatTable10(mpr))
-		fmt.Println()
-	}
-	if sel("fig8") {
-		fmt.Println(experiments.FormatMPFigure(mpr, core.Blocked, 8))
-	}
-	if sel("fig9") {
-		fmt.Println(experiments.FormatMPFigure(mpr, core.Interleaved, 9))
+	if needMP {
+		fmt.Print(experiments.RenderMPSections(sel, mpr))
 	}
 
 	// The remaining sections have no SKIP rendering of their own; once

@@ -58,23 +58,37 @@ func yieldFor(s core.Scheme) prog.YieldMode {
 }
 
 func main() {
-	appName := flag.String("app", "mp3d", "application (mp3d barnes water ocean locus pthor cholesky)")
-	scheme := flag.String("scheme", "interleaved", "context scheme")
-	contexts := flag.String("contexts", "4", "hardware contexts per processor (comma-separated list fans out)")
-	procs := flag.Int("procs", 8, "processors")
-	steps := flag.Int("steps", 0, "time steps (0 = app default)")
-	limit := flag.Int64("limit", 200_000_000, "cycle limit")
-	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulations for a -contexts list (1 = serial)")
-	gopts := guard.BindFlags(flag.CommandLine)
-	prof := profiling.BindFlags(flag.CommandLine)
-	obs := metrics.BindFlags(flag.CommandLine)
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
+
+// completedHook, when non-nil, is called after configuration i's
+// simulation completes (before any reporting). The drain tests use it to
+// raise SIGINT partway through a -contexts list.
+var completedHook func(i int)
+
+// run is main with an explicit exit code so the signal-drain path is
+// testable in-process: 0 success, 1 failure, 2 usage, 3 interrupted.
+func run(args []string) int {
+	fs := flag.NewFlagSet("mpsim", flag.ContinueOnError)
+	appName := fs.String("app", "mp3d", "application (mp3d barnes water ocean locus pthor cholesky)")
+	scheme := fs.String("scheme", "interleaved", "context scheme")
+	contexts := fs.String("contexts", "4", "hardware contexts per processor (comma-separated list fans out)")
+	procs := fs.Int("procs", 8, "processors")
+	steps := fs.Int("steps", 0, "time steps (0 = app default)")
+	limit := fs.Int64("limit", 200_000_000, "cycle limit")
+	jobs := fs.Int("j", runtime.NumCPU(), "concurrent simulations for a -contexts list (1 = serial)")
+	gopts := guard.BindFlags(fs)
+	prof := profiling.BindFlags(fs)
+	obs := metrics.BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return experiments.ExitUsage
+	}
 
 	// On failure, print the structured diagnostic (when the error carries
 	// one) instead of a raw panic stack, and exit non-zero.
-	die := func(err error) {
+	die := func(err error) int {
 		fmt.Fprintln(os.Stderr, "mpsim:", guard.Report(err))
-		os.Exit(1)
+		return experiments.ExitFailure
 	}
 
 	// SIGINT/SIGTERM cancel this context; the pool drains and the
@@ -84,18 +98,19 @@ func main() {
 
 	stopProf, err := prof.Start()
 	if err != nil {
-		die(err)
+		return die(err)
 	}
+	defer stopProf()
 
 	sc, err := parseScheme(*scheme)
 	if err != nil {
-		die(err)
+		return die(err)
 	}
 	var counts []int
 	for _, c := range strings.Split(*contexts, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(c))
 		if err != nil || n < 1 {
-			die(fmt.Errorf("bad -contexts value %q", c))
+			return die(fmt.Errorf("bad -contexts value %q", c))
 		}
 		if sc == core.Single {
 			n = 1
@@ -104,7 +119,7 @@ func main() {
 	}
 	app, err := splash.Lookup(*appName)
 	if err != nil {
-		die(err)
+		return die(err)
 	}
 
 	// Fan the configurations out; results land in run order so the report
@@ -148,11 +163,14 @@ func main() {
 			}
 		}
 		results[i] = res
+		if completedHook != nil {
+			completedHook(i)
+		}
 		return nil
 	})
 	interrupted := err != nil && guard.IsCancellation(err) && ctx.Err() != nil
 	if err != nil && !interrupted {
-		die(err)
+		return die(err)
 	}
 
 	printed := 0
@@ -197,12 +215,12 @@ func main() {
 		}
 		label := fmt.Sprintf("%s-%v-%dctx", *appName, sc, counts[i])
 		if err := obs.Write(res.Metrics, label, suffix); err != nil {
-			die(err)
+			return die(err)
 		}
 	}
-	stopProf()
 	if interrupted {
 		fmt.Fprintf(os.Stderr, "mpsim: interrupted; %d of %d configurations completed\n", printed, len(counts))
-		os.Exit(experiments.ExitInterrupted)
+		return experiments.ExitInterrupted
 	}
+	return 0
 }

@@ -48,23 +48,37 @@ func parseScheme(s string) (core.Scheme, error) {
 }
 
 func main() {
-	workload := flag.String("workload", "DC", "Table 5 workload (IC DC DT FP R0 R1 SP)")
-	appList := flag.String("apps", "", "comma-separated kernel names (overrides -workload)")
-	scheme := flag.String("scheme", "interleaved", "context scheme")
-	contexts := flag.String("contexts", "4", "hardware contexts (comma-separated list fans out)")
-	slice := flag.Int64("slice", 60_000, "scheduler time slice in cycles")
-	rotations := flag.Int("rotations", 2, "measured scheduler rotations")
-	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulations for a -contexts list (1 = serial)")
-	gopts := guard.BindFlags(flag.CommandLine)
-	prof := profiling.BindFlags(flag.CommandLine)
-	obs := metrics.BindFlags(flag.CommandLine)
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
+
+// completedHook, when non-nil, is called after configuration i's
+// simulation completes (before any reporting). The drain tests use it to
+// raise SIGINT partway through a -contexts list.
+var completedHook func(i int)
+
+// run is main with an explicit exit code so the signal-drain path is
+// testable in-process: 0 success, 1 failure, 2 usage, 3 interrupted.
+func run(args []string) int {
+	fs := flag.NewFlagSet("uniprog", flag.ContinueOnError)
+	workload := fs.String("workload", "DC", "Table 5 workload (IC DC DT FP R0 R1 SP)")
+	appList := fs.String("apps", "", "comma-separated kernel names (overrides -workload)")
+	scheme := fs.String("scheme", "interleaved", "context scheme")
+	contexts := fs.String("contexts", "4", "hardware contexts (comma-separated list fans out)")
+	slice := fs.Int64("slice", 60_000, "scheduler time slice in cycles")
+	rotations := fs.Int("rotations", 2, "measured scheduler rotations")
+	jobs := fs.Int("j", runtime.NumCPU(), "concurrent simulations for a -contexts list (1 = serial)")
+	gopts := guard.BindFlags(fs)
+	prof := profiling.BindFlags(fs)
+	obs := metrics.BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return experiments.ExitUsage
+	}
 
 	// On failure, print the structured diagnostic (when the error carries
 	// one) instead of a raw panic stack, and exit non-zero.
-	die := func(err error) {
+	die := func(err error) int {
 		fmt.Fprintln(os.Stderr, "uniprog:", guard.Report(err))
-		os.Exit(1)
+		return experiments.ExitFailure
 	}
 
 	// SIGINT/SIGTERM cancel this context; the pool drains and the
@@ -74,18 +88,19 @@ func main() {
 
 	stopProf, err := prof.Start()
 	if err != nil {
-		die(err)
+		return die(err)
 	}
+	defer stopProf()
 
 	sc, err := parseScheme(*scheme)
 	if err != nil {
-		die(err)
+		return die(err)
 	}
 	var counts []int
 	for _, c := range strings.Split(*contexts, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(c))
 		if err != nil || n < 1 {
-			die(fmt.Errorf("bad -contexts value %q", c))
+			return die(fmt.Errorf("bad -contexts value %q", c))
 		}
 		if sc == core.Single {
 			n = 1
@@ -98,14 +113,14 @@ func main() {
 		for _, n := range strings.Split(*appList, ",") {
 			k, err := apps.Lookup(strings.TrimSpace(n))
 			if err != nil {
-				die(err)
+				return die(err)
 			}
 			kernels = append(kernels, k)
 		}
 	} else {
 		kernels, err = experiments.ResolveWorkload(*workload)
 		if err != nil {
-			die(err)
+			return die(err)
 		}
 	}
 
@@ -123,11 +138,14 @@ func main() {
 			return err
 		}
 		results[i] = r
+		if completedHook != nil {
+			completedHook(i)
+		}
 		return nil
 	})
 	interrupted := err != nil && guard.IsCancellation(err) && ctx.Err() != nil
 	if err != nil && !interrupted {
-		die(err)
+		return die(err)
 	}
 
 	printed := 0
@@ -148,14 +166,14 @@ func main() {
 		}
 		label := fmt.Sprintf("%s-%v-%dctx", *workload, sc, counts[i])
 		if err := obs.Write(res.Metrics, label, suffix); err != nil {
-			die(err)
+			return die(err)
 		}
 	}
-	stopProf()
 	if interrupted {
 		fmt.Fprintf(os.Stderr, "uniprog: interrupted; %d of %d configurations completed\n", printed, len(counts))
-		os.Exit(experiments.ExitInterrupted)
+		return experiments.ExitInterrupted
 	}
+	return 0
 }
 
 func report(nkernels int, sc core.Scheme, contexts int, res *workstation.Result) {

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// raiseOnFirstCompletion installs a completedHook that delivers sig to
+// this process after the first configuration completes, waits until the
+// signal has actually been received (the test's own handler sees the
+// same delivery), and gives the command's NotifyContext a moment to
+// cancel — so with -j 1 the cancellation lands before the next
+// configuration can start. The returned channel also keeps the signal
+// from killing the test binary once run()'s handler is unregistered.
+func raiseOnFirstCompletion(t *testing.T, sig os.Signal) {
+	t.Helper()
+	ch := make(chan os.Signal, 8)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	t.Cleanup(func() { signal.Stop(ch) })
+
+	var once sync.Once
+	completedHook = func(int) {
+		once.Do(func() {
+			p, err := os.FindProcess(os.Getpid())
+			if err != nil {
+				t.Errorf("FindProcess: %v", err)
+				return
+			}
+			if err := p.Signal(sig); err != nil {
+				t.Errorf("self-signal: %v", err)
+				return
+			}
+			select {
+			case <-ch:
+			case <-time.After(5 * time.Second):
+				t.Error("self-delivered signal never arrived")
+			}
+			time.Sleep(100 * time.Millisecond)
+		})
+	}
+	t.Cleanup(func() { completedHook = nil })
+}
+
+// captureStdout redirects os.Stdout around fn and returns what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// A SIGINT partway through a -contexts list must drain gracefully: the
+// completed configurations are printed, the queued ones never run, and
+// the command exits ExitInterrupted — the operator's Ctrl-C contract.
+func TestUniprogSigintDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	raiseOnFirstCompletion(t, os.Interrupt)
+
+	var code int
+	out := captureStdout(t, func() {
+		code = run([]string{"-workload", "DC", "-scheme", "interleaved",
+			"-contexts", "1,2,4", "-j", "1", "-rotations", "1", "-slice", "8000"})
+	})
+	if code != experiments.ExitInterrupted {
+		t.Fatalf("exit code %d, want %d", code, experiments.ExitInterrupted)
+	}
+	completed := strings.Count(out, "workload:")
+	if completed < 1 {
+		t.Error("no completed configuration was printed before the drain")
+	}
+	if completed >= 3 {
+		t.Errorf("all %d configurations completed; the drain skipped nothing", completed)
+	}
+}
+
+// SIGTERM takes the same drain path as SIGINT.
+func TestUniprogSigtermDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	raiseOnFirstCompletion(t, syscall.SIGTERM)
+
+	var code int
+	out := captureStdout(t, func() {
+		code = run([]string{"-workload", "DC", "-scheme", "blocked",
+			"-contexts", "1,2,4", "-j", "1", "-rotations", "1", "-slice", "8000"})
+	})
+	if code != experiments.ExitInterrupted {
+		t.Fatalf("exit code %d, want %d", code, experiments.ExitInterrupted)
+	}
+	if n := strings.Count(out, "workload:"); n < 1 || n >= 3 {
+		t.Errorf("%d configurations printed, want at least 1 and fewer than 3", n)
+	}
+}
+
+// An undisturbed run of the same list exits 0 with every configuration
+// printed — the drain tests' control.
+func TestUniprogCompletesWithoutSignal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var code int
+	out := captureStdout(t, func() {
+		code = run([]string{"-workload", "DC", "-scheme", "interleaved",
+			"-contexts", "1,2", "-j", "1", "-rotations", "1", "-slice", "8000"})
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	if n := strings.Count(out, "workload:"); n != 2 {
+		t.Errorf("%d configurations printed, want 2", n)
+	}
+}

@@ -1,6 +1,12 @@
 package experiments
 
-import "repro/internal/guard"
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/guard"
+)
 
 // cellGuard resolves the grid-level hardening options for one cell: a
 // non-zero chaos seed is decorrelated per cell with DeriveSeed, so each
@@ -11,6 +17,39 @@ func cellGuard(o guard.Options, cell int) guard.Options {
 		o.ChaosSeed = DeriveSeed(o.ChaosSeed, cell)
 	}
 	return o
+}
+
+// withCellDeadline applies the per-cell wall-clock budget (-cell-timeout)
+// for the given 1-based attempt: the budget doubles per retry, the same
+// escalation discipline as the watchdog window. A non-positive timeout
+// returns ctx unchanged.
+func withCellDeadline(ctx context.Context, timeout time.Duration, attempt int) (context.Context, context.CancelFunc, time.Duration) {
+	if timeout <= 0 {
+		return ctx, func() {}, 0
+	}
+	d := time.Duration(guard.Escalate(int64(timeout), attempt-1))
+	cctx, cancel := context.WithTimeout(ctx, d)
+	return cctx, cancel, d
+}
+
+// classifyDeadline reinterprets a cancellation artifact from a cell run:
+// if the *cell's* deadline fired while the caller's context was still
+// live, the error becomes a typed guard.OpDeadline failure — a diagnosed
+// cell FAIL, retried once at a doubled budget and then counted against
+// the exit code — rather than a SKIP. A genuine caller cancellation
+// (SIGINT drain, first-error cancel) passes through untouched.
+func classifyDeadline(parent, cell context.Context, d time.Duration, err error) error {
+	if err == nil || d <= 0 || !guard.IsCancellation(err) {
+		return err
+	}
+	if parent.Err() != nil || cell.Err() != context.DeadlineExceeded {
+		return err
+	}
+	de := guard.NewSimError(guard.OpDeadline, fmt.Errorf("cell exceeded its %v wall-clock budget", d))
+	if se := guard.AsSimError(err); se != nil {
+		de = de.At(se.Cycle)
+	}
+	return de
 }
 
 // failureStrings renders a cell failure: the one-line error, plus the

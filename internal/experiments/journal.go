@@ -9,6 +9,7 @@ import (
 	"hash/fnv"
 	"os"
 	"runtime/debug"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -36,21 +37,33 @@ const (
 )
 
 // JournalVersion is the journal file-format version; OpenJournal refuses
-// files written by a different version.
-const JournalVersion = 1
+// files written by a different version. Version 2 split the fingerprint
+// into config identity (hashed, hard error on mismatch) and binary
+// identity (recorded in the header, checked separately, overridable).
+const JournalVersion = 2
 
 // Grid names tagging journal cell records, so one journal can hold both
-// grids of a cmd/experiments run without index collisions.
+// grids of a cmd/experiments run without index collisions. Exported
+// because the distributed experiment service addresses cells by
+// (grid, index) across the wire with the same keys.
 const (
-	gridWorkstation    = "workstation"
-	gridMultiprocessor = "multiprocessor"
+	GridWorkstation    = "workstation"
+	GridMultiprocessor = "multiprocessor"
 )
 
-// Fingerprint identifies the configuration a journal was recorded under:
-// grid shapes, seeds, scheme/context axes, chaos/guard flags, experiment
-// selection, and the binary version. Resuming replays simulation results
-// verbatim, so any config drift silently changing what those results
-// would be must be a hard error — the fingerprint is how it is caught.
+// Fingerprint identifies what a journal was recorded under, in two
+// parts with different severities:
+//
+//   - Config identity (Version, Only, Uni, MP — everything that
+//     determines cell results): Hash() covers exactly this. Resuming
+//     replays simulation results verbatim, so any config drift is a
+//     hard error (*FingerprintError).
+//   - Binary identity (Binary): recorded in the header and compared
+//     separately. Results are a function of the config, not of which
+//     binary ran it — cmd/experiments, cmd/expworker and a rebuilt tree
+//     all simulate identically — so a mismatch is refusable-by-default
+//     (*BinaryMismatchError) but explicitly overridable
+//     (-allow-binary-mismatch; the service coordinator always allows it).
 type Fingerprint struct {
 	Version int        `json:"version"`
 	Binary  string     `json:"binary"`
@@ -60,11 +73,17 @@ type Fingerprint struct {
 }
 
 // NewFingerprint builds the fingerprint for a cmd/experiments run over
-// the given configs (either may be nil) and -only selection. Parallelism
+// the given configs (either may be nil) and -only selection (sorted into
+// a canonical order here, so callers need not agree on one). Parallelism
 // is zeroed in the copies: results are byte-identical at every -j, so a
 // resume at a different worker count is legitimate.
 func NewFingerprint(uni *UniConfig, mp *MPConfig, only []string) Fingerprint {
-	fp := Fingerprint{Version: JournalVersion, Binary: binaryVersion(), Only: only}
+	sortedOnly := append([]string(nil), only...)
+	sort.Strings(sortedOnly)
+	if len(sortedOnly) == 0 {
+		sortedOnly = nil
+	}
+	fp := Fingerprint{Version: JournalVersion, Binary: binaryVersion(), Only: sortedOnly}
 	if uni != nil {
 		u := *uni
 		u.Parallelism = 0
@@ -80,8 +99,12 @@ func NewFingerprint(uni *UniConfig, mp *MPConfig, only []string) Fingerprint {
 	return fp
 }
 
-// Hash digests the fingerprint's canonical JSON encoding.
+// Hash digests the fingerprint's *config identity*: its canonical JSON
+// encoding with the binary identity blanked. Two runs of the same
+// configuration hash identically even across binaries — the binary
+// comparison is a separate, softer check (see OpenJournalAllow).
 func (fp Fingerprint) Hash() string {
+	fp.Binary = ""
 	data, err := json.Marshal(fp)
 	if err != nil {
 		// Fingerprint contents are plain config structs; Marshal cannot
@@ -123,7 +146,24 @@ type FingerprintError struct {
 }
 
 func (e *FingerprintError) Error() string {
-	return fmt.Sprintf("journal %s was recorded under a different configuration: header fingerprint %s, this run's %s — resume with the exact flags (and binary) of the original run, or start a fresh journal with -journal",
+	return fmt.Sprintf("journal %s was recorded under a different configuration: header fingerprint %s, this run's %s — resume with the exact flags of the original run, or start a fresh journal with -journal",
+		e.Path, e.Got, e.Want)
+}
+
+// BinaryMismatchError is returned by OpenJournal when a journal's config
+// identity matches but it was written by a different binary (e.g. a
+// cmd/expworker journal resumed under cmd/experiments, or a rebuilt
+// tree). Results depend only on the configuration, so the caller may
+// deliberately proceed with OpenJournalAllow / -allow-binary-mismatch;
+// refusing is merely the conservative default.
+type BinaryMismatchError struct {
+	Path string
+	Want string // binary identity of the current run
+	Got  string // binary identity recorded in the journal header
+}
+
+func (e *BinaryMismatchError) Error() string {
+	return fmt.Sprintf("journal %s was written by a different binary (%s; this is %s) under an identical configuration — results replay verbatim; pass -allow-binary-mismatch to resume anyway",
 		e.Path, e.Got, e.Want)
 }
 
@@ -139,11 +179,12 @@ type journalLine struct {
 	Data    json.RawMessage `json:"data,omitempty"`
 }
 
-// uniCellRecord is the journaled outcome of one workstation grid cell —
+// UniCellRecord is the journaled outcome of one workstation grid cell —
 // everything RunUniprocessorCtx needs to rebuild the cell without
 // re-simulating. Failed cells are journaled too (Result nil), so a
-// resume does not re-run a deterministic failure.
-type uniCellRecord struct {
+// resume does not re-run a deterministic failure. It is also the wire
+// form a service worker reports for a workstation cell.
+type UniCellRecord struct {
 	Result     *workstation.Result `json:"result,omitempty"`
 	Failed     bool                `json:"failed,omitempty"`
 	Failure    string              `json:"failure,omitempty"`
@@ -151,10 +192,11 @@ type uniCellRecord struct {
 	Retried    bool                `json:"retried,omitempty"`
 }
 
-// mpCellRecord is the journaled outcome of one multiprocessor grid cell.
+// MPCellRecord is the journaled outcome of one multiprocessor grid cell.
 // It mirrors mp.Result minus the functional memory image (megabytes per
-// cell, and MPCell only consumes the digest).
-type mpCellRecord struct {
+// cell, and MPCell only consumes the digest). It is also the wire form
+// a service worker reports for a multiprocessor cell.
+type MPCellRecord struct {
 	Cycles     int64                `json:"cycles,omitempty"`
 	Completed  bool                 `json:"completed,omitempty"`
 	Stats      core.Stats           `json:"stats"`
@@ -211,8 +253,9 @@ func CreateJournal(path string, fp Fingerprint) (*Journal, error) {
 }
 
 // OpenJournal opens an existing journal for resuming: it validates the
-// header against fp (a mismatch is a *FingerprintError), loads every
-// intact cell record for replay, and positions the file for appending.
+// header against fp — a config mismatch is a *FingerprintError, a
+// binary mismatch a *BinaryMismatchError — loads every intact cell
+// record for replay, and positions the file for appending.
 //
 // Corruption tolerance: a crash mid-append leaves at most one torn tail
 // — a truncated line, trailing garbage, or a record whose payload hash
@@ -222,6 +265,16 @@ func CreateJournal(path string, fp Fingerprint) (*Journal, error) {
 // clean line. A missing or corrupt *header* is not tolerated: there is
 // nothing safe to resume.
 func OpenJournal(path string, fp Fingerprint) (*Journal, error) {
+	return OpenJournalAllow(path, fp, false, nil)
+}
+
+// OpenJournalAllow is OpenJournal with an explicit binary-identity
+// policy: with allowBinaryMismatch set, a journal written by a different
+// binary under an identical configuration resumes anyway, reporting the
+// drift through warnf (when non-nil) instead of failing. Config
+// mismatches remain hard errors in every mode — replayed cells would
+// silently disagree with what this run would simulate.
+func OpenJournalAllow(path string, fp Fingerprint, allowBinaryMismatch bool, warnf func(format string, args ...any)) (*Journal, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: open journal: %w", err)
@@ -249,11 +302,28 @@ func OpenJournal(path string, fp Fingerprint) (*Journal, error) {
 			if want := fp.Hash(); line.Hash != want {
 				return nil, &FingerprintError{Path: path, Want: want, Got: line.Hash}
 			}
+			// Config identity matches; check binary identity separately.
+			// The header Data carries the full recorded fingerprint, so
+			// the writer's binary is recoverable even though the hash
+			// deliberately excludes it.
+			var hdr Fingerprint
+			if err := json.Unmarshal(line.Data, &hdr); err != nil {
+				return nil, fmt.Errorf("experiments: journal %s header fingerprint does not decode: %w", path, err)
+			}
+			if hdr.Binary != fp.Binary {
+				if !allowBinaryMismatch {
+					return nil, &BinaryMismatchError{Path: path, Want: fp.Binary, Got: hdr.Binary}
+				}
+				if warnf != nil {
+					warnf("journal %s was written by binary %s (this is %s); configuration is identical, results replay verbatim",
+						path, hdr.Binary, fp.Binary)
+				}
+			}
 			sawHeader = true
 			validOff += int64(len(raw)) + 1
 			continue
 		}
-		if line.Type != "cell" || line.Index < 0 || dataHash(line.Data) != line.Hash {
+		if line.Type != "cell" || line.Index < 0 || DataHash(line.Data) != line.Hash {
 			break // unknown type or torn payload: treat as incomplete
 		}
 		cells[journalKey{line.Grid, line.Index}] = line.Data
@@ -275,10 +345,12 @@ func OpenJournal(path string, fp Fingerprint) (*Journal, error) {
 	return &Journal{f: af, path: path, cells: cells}, nil
 }
 
-// dataHash digests a cell record's payload (FNV-1a, hex) so a torn
+// DataHash digests a cell record's payload (FNV-1a, hex) so a torn
 // append — payload truncated but the line still parsing as JSON — is
-// detected and treated as "cell incomplete".
-func dataHash(data []byte) string {
+// detected and treated as "cell incomplete". Exported because the
+// distributed coordinator dedups duplicate cell completions by the same
+// hash, so a journaled record and a late re-delivery compare directly.
+func DataHash(data []byte) string {
 	h := fnv.New64a()
 	h.Write(data)
 	return hex.EncodeToString(h.Sum(nil))
@@ -366,8 +438,22 @@ func (j *Journal) Close() error {
 	return err
 }
 
-// replay looks up (grid, index) and decodes it into rec, counting a hit.
-func (j *Journal) replay(grid string, index int, rec any) bool {
+// ReplayRaw returns the raw journaled payload for (grid, index), if an
+// intact record was loaded. The service coordinator uses it to rebuild
+// its dedup hashes and completion stream across a restart without a
+// decode/re-encode round trip.
+func (j *Journal) ReplayRaw(grid string, index int) (json.RawMessage, bool) {
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	raw, ok := j.cells[journalKey{grid, index}]
+	return raw, ok
+}
+
+// Replay looks up (grid, index) and decodes it into rec, counting a hit.
+func (j *Journal) Replay(grid string, index int, rec any) bool {
 	if j == nil {
 		return false
 	}
@@ -386,10 +472,13 @@ func (j *Journal) replay(grid string, index int, rec any) bool {
 	return true
 }
 
-// record appends (grid, index, payload) as one fsynced line. Errors are
-// sticky: after the first failed append the journal stops accepting
-// records and Err() reports the failure.
-func (j *Journal) record(grid string, index int, payload any) {
+// Record appends (grid, index, payload) as one fsynced line and keeps
+// the in-memory cell map current, so ReplayRaw sees records appended in
+// this process as well as ones replayed at open — the service
+// coordinator assembles final results from that map. Errors are sticky:
+// after the first failed append the journal stops accepting records and
+// Err() reports the failure.
+func (j *Journal) Record(grid string, index int, payload any) {
 	if j == nil {
 		return
 	}
@@ -402,7 +491,7 @@ func (j *Journal) record(grid string, index int, payload any) {
 		j.mu.Unlock()
 		return
 	}
-	line := journalLine{Type: "cell", Hash: dataHash(data), Grid: grid, Index: index, Data: data}
+	line := journalLine{Type: "cell", Hash: DataHash(data), Grid: grid, Index: index, Data: data}
 
 	j.mu.Lock()
 	if j.writeErr != nil || j.f == nil {
@@ -414,6 +503,7 @@ func (j *Journal) record(grid string, index int, payload any) {
 		j.mu.Unlock()
 		return
 	}
+	j.cells[journalKey{grid, index}] = data
 	j.appended++
 	n, hook := j.appended, j.onAppend
 	j.mu.Unlock()

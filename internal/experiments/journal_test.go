@@ -143,7 +143,7 @@ func TestJournalReplaysFailedCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.record(gridWorkstation, 3, uniCellRecord{Failed: true, Failure: "watchdog: wedged", Retried: true})
+	j.Record(GridWorkstation, 3, UniCellRecord{Failed: true, Failure: "watchdog: wedged", Retried: true})
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -153,14 +153,14 @@ func TestJournalReplaysFailedCells(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	var rec uniCellRecord
-	if !j2.replay(gridWorkstation, 3, &rec) {
+	var rec UniCellRecord
+	if !j2.Replay(GridWorkstation, 3, &rec) {
 		t.Fatal("journaled failed cell did not replay")
 	}
 	if !rec.Failed || rec.Failure != "watchdog: wedged" || !rec.Retried {
 		t.Errorf("failure round trip lost fields: %+v", rec)
 	}
-	if j2.replay(gridWorkstation, 0, &rec) {
+	if j2.Replay(GridWorkstation, 0, &rec) {
 		t.Error("replay invented a cell that was never journaled")
 	}
 }
@@ -179,7 +179,7 @@ func TestJournalCorruptionTolerance(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 3; i++ {
-			j.record(gridWorkstation, i, uniCellRecord{Failed: true, Failure: fmt.Sprintf("cell %d", i)})
+			j.Record(GridWorkstation, i, UniCellRecord{Failed: true, Failure: fmt.Sprintf("cell %d", i)})
 		}
 		if err := j.Close(); err != nil {
 			t.Fatal(err)
@@ -288,7 +288,7 @@ func TestJournalCorruptionTolerance(t *testing.T) {
 			}
 			// The torn tail is gone and the journal accepts appends on a
 			// clean record boundary: append one cell, close, reopen.
-			j.record(gridWorkstation, 40+tc.cells, uniCellRecord{Failed: true, Failure: "appended"})
+			j.Record(GridWorkstation, 40+tc.cells, UniCellRecord{Failed: true, Failure: "appended"})
 			if err := j.Err(); err != nil {
 				t.Fatalf("append after recovery: %v", err)
 			}
@@ -344,6 +344,76 @@ func TestJournalFingerprintMismatch(t *testing.T) {
 	j2.Close()
 }
 
+// The fingerprint splits into config identity (hard error) and binary
+// identity (refusable by default, overridable): a journal written by a
+// different binary under the identical configuration resumes with
+// -allow-binary-mismatch and replays verbatim, while a config mismatch
+// stays hard even with the override.
+func TestJournalBinaryMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.journal")
+	cfg := journalTestConfig()
+	writerFP := NewFingerprint(&cfg, nil, nil)
+	writerFP.Binary = "writer-binary"
+	j, err := CreateJournal(path, writerFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(GridWorkstation, 2, UniCellRecord{Failed: true, Failure: "recorded by writer"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	readerFP := NewFingerprint(&cfg, nil, nil)
+	readerFP.Binary = "reader-binary"
+
+	// Config identity matches — the hash ignores the binary — so the
+	// default-mode failure is the typed, overridable binary error.
+	if writerFP.Hash() != readerFP.Hash() {
+		t.Fatal("binary identity leaked into the config hash")
+	}
+	_, err = OpenJournal(path, readerFP)
+	var be *BinaryMismatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *BinaryMismatchError", err)
+	}
+	if be.Got != "writer-binary" || be.Want != "reader-binary" {
+		t.Errorf("BinaryMismatchError fields: %+v", be)
+	}
+
+	// Allowed: the journal opens, warns, and replays the writer's cells.
+	var warned []string
+	j2, err := OpenJournalAllow(path, readerFP, true, func(format string, args ...any) {
+		warned = append(warned, fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		t.Fatalf("OpenJournalAllow: %v", err)
+	}
+	defer j2.Close()
+	if len(warned) != 1 || !strings.Contains(warned[0], "writer-binary") {
+		t.Errorf("warnings = %q, want one naming the writer binary", warned)
+	}
+	var rec UniCellRecord
+	if !j2.Replay(GridWorkstation, 2, &rec) || rec.Failure != "recorded by writer" {
+		t.Errorf("cross-binary replay lost the record: %+v", rec)
+	}
+
+	// Same binary: no error, no warning.
+	if _, err := OpenJournal(path, writerFP); err != nil {
+		t.Errorf("same-binary open failed: %v", err)
+	}
+
+	// Config drift stays a hard *FingerprintError even with the override.
+	other := journalTestConfig()
+	other.Seed++
+	otherFP := NewFingerprint(&other, nil, nil)
+	otherFP.Binary = "writer-binary"
+	_, err = OpenJournalAllow(path, otherFP, true, nil)
+	var fe *FingerprintError
+	if !errors.As(err, &fe) {
+		t.Fatalf("config mismatch with override: got %v, want *FingerprintError", err)
+	}
+}
+
 // A nil *Journal must be inert everywhere — the no-journal path of every
 // grid driver goes through these calls.
 func TestNilJournalIsInert(t *testing.T) {
@@ -351,11 +421,11 @@ func TestNilJournalIsInert(t *testing.T) {
 	if j.Path() != "" || j.Cells() != 0 || j.Replayed() != 0 || j.Appended() != 0 {
 		t.Error("nil journal reports state")
 	}
-	var rec uniCellRecord
-	if j.replay(gridWorkstation, 0, &rec) {
+	var rec UniCellRecord
+	if j.Replay(GridWorkstation, 0, &rec) {
 		t.Error("nil journal replayed a cell")
 	}
-	j.record(gridWorkstation, 0, uniCellRecord{})
+	j.Record(GridWorkstation, 0, UniCellRecord{})
 	j.SetAppendHook(func(int) {})
 	if err := j.Err(); err != nil {
 		t.Errorf("nil journal has a sticky error: %v", err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/guard"
@@ -30,6 +31,15 @@ type MPConfig struct {
 	// 0 selects DefaultParallelism (GOMAXPROCS), 1 forces the serial
 	// path. Results are byte-identical at every setting.
 	Parallelism int
+
+	// CellTimeout bounds each cell's wall-clock time (-cell-timeout). A
+	// cell that exceeds it fails with a typed guard.OpDeadline error —
+	// after one retry at a doubled budget, the watchdog discipline applied
+	// to wall time — and counts against the exit code like any other cell
+	// failure. Zero disables the deadline. Excluded from JSON so the
+	// timeout choice never enters result fingerprints: it bounds wall
+	// clock, not simulated behavior.
+	CellTimeout time.Duration `json:"-"`
 
 	// Guard is the per-cell hardening configuration. A non-zero ChaosSeed
 	// is decorrelated per cell with DeriveSeed, so every cell perturbs its
@@ -150,14 +160,190 @@ func (r *MPResult) MeanSpeedupN(s core.Scheme, n int) (mean float64, used, total
 	return mean, len(xs) - skipped, total
 }
 
-// mpOutcome is one cell's classified result, index-addressed so the
-// assembly pass below is order-independent. A cell with done unset never
-// completed (interrupted before or during its run) and renders as SKIP.
-type mpOutcome struct {
-	rec     mpCellRecord
-	failed  bool
-	retried bool
-	done    bool
+// mpSpec addresses one cell of the multiprocessor grid; like uniSpec,
+// the index into mpSpecs(cfg) is the cell's identity everywhere.
+type mpSpec struct {
+	name     string
+	app      splash.App
+	scheme   core.Scheme
+	contexts int
+}
+
+// mpSpecs enumerates cfg's grid in its canonical order: per app, the
+// single-context baseline first, then schemes × context counts.
+func mpSpecs(cfg MPConfig) ([]mpSpec, error) {
+	appNames := cfg.Apps
+	if appNames == nil {
+		appNames = MPAppOrder
+	}
+	var specs []mpSpec
+	for _, name := range appNames {
+		app, err := splash.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, mpSpec{name, app, core.Single, 1})
+		for _, s := range cfg.Schemes {
+			for _, n := range cfg.ContextCounts {
+				specs = append(specs, mpSpec{name, app, s, n})
+			}
+		}
+	}
+	return specs, nil
+}
+
+// MPGridSize returns the number of cells in cfg's multiprocessor grid —
+// the valid index range for RunMPCell and AssembleMP.
+func MPGridSize(cfg MPConfig) (int, error) {
+	specs, err := mpSpecs(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return len(specs), nil
+}
+
+// RunMPCell simulates one cell of cfg's multiprocessor grid and returns
+// its journal/wire record — the single copy of the per-cell policy, as
+// RunUniCell is for the workstation grid. A liveness-watchdog trip or
+// per-cell deadline is retried once at doubled budgets (cycle limit and
+// watchdog window both double); cycle-budget exhaustion is NOT retried —
+// the cell already ran to the configured limit. The only non-nil error
+// returns are a bad index and a cancellation of ctx itself.
+func RunMPCell(ctx context.Context, cfg MPConfig, index int) (*MPCellRecord, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	specs, err := mpSpecs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= len(specs) {
+		return nil, fmt.Errorf("experiments: multiprocessor cell %d outside grid [0,%d)", index, len(specs))
+	}
+	return runMPCellSpec(ctx, cfg, index, specs[index])
+}
+
+func runMPCellSpec(ctx context.Context, cfg MPConfig, i int, sp mpSpec) (*MPCellRecord, error) {
+	attempt := func(attempt int) (*mp.Result, error) {
+		mcfg := mp.DefaultConfig(sp.scheme, sp.contexts)
+		mcfg.Processors = cfg.Processors
+		mcfg.LimitCycles = cfg.LimitCycles
+		mcfg.Coherence.Seed = DeriveSeed(cfg.Seed, i)
+		mcfg.Guard = cellGuard(cfg.Guard, i)
+		mcfg.Obs = cfg.Obs
+		if attempt > 1 {
+			// Escalate both budgets: the cycle limit (which also doubles the
+			// default LimitCycles/20 watchdog window) and any explicit
+			// window from the flags.
+			mcfg.LimitCycles = guard.Escalate(mcfg.LimitCycles, attempt-1)
+			if mcfg.Guard.WatchdogWindow > 0 {
+				mcfg.Guard.WatchdogWindow = guard.Escalate(mcfg.Guard.WatchdogWindow, attempt-1)
+			}
+		}
+		p := sp.app.Build(splash.Options{
+			CodeBase:     0x0100_0000,
+			DataBase:     0x5000_0000,
+			Yield:        workstationYield(sp.scheme),
+			AutoTolerate: sp.scheme != core.Single,
+			NumThreads:   cfg.Processors * sp.contexts,
+			Steps:        cfg.Steps,
+			Scale:        cfg.Scale,
+		})
+		cellCtx, cancel, budget := withCellDeadline(ctx, cfg.CellTimeout, attempt)
+		defer cancel()
+		r, err := mp.RunCtx(cellCtx, p, mcfg)
+		if err != nil {
+			return nil, classifyDeadline(ctx, cellCtx, budget, err)
+		}
+		if !r.Completed {
+			err := fmt.Errorf("%s under %v/%d exceeded the cycle limit", sp.name, sp.scheme, sp.contexts)
+			if r.Diag != nil {
+				// Carry the limit-time machine dump into the cell's
+				// Diagnostic so the degraded grid reports where the cell
+				// was wedged.
+				return nil, guard.NewSimError("experiments.budget", err).At(r.Diag.Cycle).WithDiag(r.Diag)
+			}
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		return r, nil
+	}
+	policy := guard.GridRetry()
+	retried := false
+	var r *mp.Result
+	var err error
+	for n := 1; ; n++ {
+		r, err = attempt(n)
+		if err == nil || !guard.IsBudgetTrip(err) || ctx.Err() != nil || !policy.Allowed(n+1) {
+			break
+		}
+		retried = true
+	}
+	if err != nil {
+		if guard.IsCancellation(err) && ctx.Err() != nil {
+			return nil, err // drained mid-cell: renders as SKIP, not journaled
+		}
+		rec := &MPCellRecord{Failed: true, Retried: retried}
+		rec.Failure, rec.Diagnostic = failureStrings(err)
+		return rec, nil
+	}
+	return &MPCellRecord{Cycles: r.Cycles, Completed: r.Completed, Stats: r.Stats,
+		Threads: r.Threads, MemHash: r.MemHash, ArchHash: r.ArchHash,
+		Metrics: r.Metrics, Retried: retried}, nil
+}
+
+// AssembleMP folds index-ordered cell records into the evaluation
+// result: speedups against each app's single-context baseline, failure
+// and skip counts. A nil record renders as SKIP. Assembly is pure; see
+// AssembleUni.
+func AssembleMP(cfg MPConfig, recs []*MPCellRecord) (*MPResult, error) {
+	specs, err := mpSpecs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) != len(specs) {
+		return nil, fmt.Errorf("experiments: multiprocessor grid has %d cells, got %d records", len(specs), len(recs))
+	}
+	res := &MPResult{Cfg: cfg}
+	var baseCycles int64
+	for i, sp := range specs {
+		rec := recs[i]
+		cell := MPCell{App: sp.name, Scheme: sp.scheme, Contexts: sp.contexts}
+		isBase := sp.scheme == core.Single && sp.contexts == 1
+		switch {
+		case rec == nil:
+			// The run was interrupted before this cell completed.
+			cell.Skipped = true
+			res.Skipped++
+			if isBase {
+				baseCycles = 0
+			}
+		case rec.Failed:
+			// The cell failed (watchdog, deadline, invariant, cycle budget,
+			// panic): record it and keep going. A failed baseline zeroes its
+			// app's speedups but costs nothing else.
+			cell.Retried = rec.Retried
+			cell.Failed = true
+			cell.Failure, cell.Diagnostic = rec.Failure, rec.Diagnostic
+			res.Failures++
+			if isBase {
+				baseCycles = 0
+			}
+		default:
+			cell.Retried = rec.Retried
+			cell.Cycles = rec.Cycles
+			cell.Breakdown = rec.Stats.Breakdown()
+			cell.Completed = true
+			cell.Metrics = rec.Metrics
+			if isBase {
+				baseCycles = rec.Cycles
+				cell.Speedup = 1
+			} else if baseCycles > 0 && rec.Cycles > 0 {
+				cell.Speedup = float64(baseCycles) / float64(rec.Cycles)
+			}
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
 }
 
 // RunMultiprocessor runs the full multiprocessor evaluation. Like
@@ -181,145 +367,37 @@ func RunMultiprocessorCtx(ctx context.Context, cfg MPConfig) (*MPResult, error) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	appNames := cfg.Apps
-	if appNames == nil {
-		appNames = MPAppOrder
-	}
-	type spec struct {
-		name     string
-		app      splash.App
-		scheme   core.Scheme
-		contexts int
-	}
-	var specs []spec
-	for _, name := range appNames {
-		app, err := splash.Lookup(name)
-		if err != nil {
-			return nil, err
-		}
-		specs = append(specs, spec{name, app, core.Single, 1})
-		for _, s := range cfg.Schemes {
-			for _, n := range cfg.ContextCounts {
-				specs = append(specs, spec{name, app, s, n})
-			}
-		}
+	specs, err := mpSpecs(cfg)
+	if err != nil {
+		return nil, err
 	}
 	j := cfg.Journal
-	attempt := func(ctx context.Context, i int, sp spec, escalate bool) (*mp.Result, error) {
-		mcfg := mp.DefaultConfig(sp.scheme, sp.contexts)
-		mcfg.Processors = cfg.Processors
-		mcfg.LimitCycles = cfg.LimitCycles
-		mcfg.Coherence.Seed = DeriveSeed(cfg.Seed, i)
-		mcfg.Guard = cellGuard(cfg.Guard, i)
-		mcfg.Obs = cfg.Obs
-		if escalate {
-			// Double both budgets: the cycle limit (which also doubles the
-			// default LimitCycles/20 watchdog window) and any explicit
-			// window from the flags.
-			mcfg.LimitCycles *= 2
-			if mcfg.Guard.WatchdogWindow > 0 {
-				mcfg.Guard.WatchdogWindow *= 2
-			}
-		}
-		p := sp.app.Build(splash.Options{
-			CodeBase:     0x0100_0000,
-			DataBase:     0x5000_0000,
-			Yield:        workstationYield(sp.scheme),
-			AutoTolerate: sp.scheme != core.Single,
-			NumThreads:   cfg.Processors * sp.contexts,
-			Steps:        cfg.Steps,
-			Scale:        cfg.Scale,
-		})
-		r, err := mp.RunCtx(ctx, p, mcfg)
-		if err != nil {
-			return nil, err
-		}
-		if !r.Completed {
-			err := fmt.Errorf("%s under %v/%d exceeded the cycle limit", sp.name, sp.scheme, sp.contexts)
-			if r.Diag != nil {
-				// Carry the limit-time machine dump into the cell's
-				// Diagnostic so the degraded grid reports where the cell
-				// was wedged.
-				return nil, guard.NewSimError("experiments.budget", err).At(r.Diag.Cycle).WithDiag(r.Diag)
-			}
-			return nil, fmt.Errorf("experiments: %w", err)
-		}
-		return r, nil
-	}
-	outs := make([]mpOutcome, len(specs))
+	recs := make([]*MPCellRecord, len(specs))
 	failures := runCellsAll(ctx, cfg.Parallelism, len(specs), func(ctx context.Context, i int) error {
-		sp := specs[i]
-		var rec mpCellRecord
-		if j.replay(gridMultiprocessor, i, &rec) {
-			outs[i] = mpOutcome{rec: rec, failed: rec.Failed, retried: rec.Retried, done: true}
+		var rec MPCellRecord
+		if j.Replay(GridMultiprocessor, i, &rec) {
+			recs[i] = &rec
 			return nil
 		}
-		r, err := attempt(ctx, i, sp, false)
-		retried := false
-		if err != nil && guard.IsWatchdogTrip(err) && ctx.Err() == nil {
-			retried = true
-			r, err = attempt(ctx, i, sp, true)
-		}
+		out, err := runMPCellSpec(ctx, cfg, i, specs[i])
 		if err != nil {
-			if guard.IsCancellation(err) && ctx.Err() != nil {
-				return nil // drained mid-cell: renders as SKIP, not journaled
-			}
-			failure, diagnostic := failureStrings(err)
-			rec = mpCellRecord{Failed: true, Failure: failure, Diagnostic: diagnostic, Retried: retried}
-		} else {
-			rec = mpCellRecord{Cycles: r.Cycles, Completed: r.Completed, Stats: r.Stats,
-				Threads: r.Threads, MemHash: r.MemHash, ArchHash: r.ArchHash,
-				Metrics: r.Metrics, Retried: retried}
+			return nil // drained mid-cell: renders as SKIP, not journaled
 		}
-		outs[i] = mpOutcome{rec: rec, failed: rec.Failed, retried: retried, done: true}
-		j.record(gridMultiprocessor, i, rec)
+		recs[i] = out
+		j.Record(GridMultiprocessor, i, out)
 		return nil
 	})
 	// Failures escaping the per-cell classification above are panics
 	// recovered by the pool; fold them in as failed cells.
 	for _, f := range failures {
-		failure, diagnostic := failureStrings(f.Err)
-		rec := mpCellRecord{Failed: true, Failure: failure, Diagnostic: diagnostic}
-		outs[f.Index] = mpOutcome{rec: rec, failed: true, done: true}
-		j.record(gridMultiprocessor, f.Index, rec)
+		rec := &MPCellRecord{Failed: true}
+		rec.Failure, rec.Diagnostic = failureStrings(f.Err)
+		recs[f.Index] = rec
+		j.Record(GridMultiprocessor, f.Index, rec)
 	}
-
-	res := &MPResult{Cfg: cfg}
-	var baseCycles int64
-	for i, sp := range specs {
-		o := outs[i]
-		cell := MPCell{App: sp.name, Scheme: sp.scheme, Contexts: sp.contexts, Retried: o.retried}
-		switch {
-		case !o.done:
-			// The run was interrupted before this cell completed.
-			cell.Skipped = true
-			res.Skipped++
-			if sp.scheme == core.Single && sp.contexts == 1 {
-				baseCycles = 0
-			}
-		case o.failed:
-			// The cell failed (watchdog, invariant, cycle budget, panic):
-			// record it and keep going. A failed baseline zeroes its app's
-			// speedups but costs nothing else.
-			cell.Failed = true
-			cell.Failure, cell.Diagnostic = o.rec.Failure, o.rec.Diagnostic
-			res.Failures++
-			if sp.scheme == core.Single && sp.contexts == 1 {
-				baseCycles = 0
-			}
-		default:
-			cell.Cycles = o.rec.Cycles
-			cell.Breakdown = o.rec.Stats.Breakdown()
-			cell.Completed = true
-			cell.Metrics = o.rec.Metrics
-			if sp.scheme == core.Single && sp.contexts == 1 {
-				baseCycles = o.rec.Cycles
-				cell.Speedup = 1
-			} else if baseCycles > 0 && o.rec.Cycles > 0 {
-				cell.Speedup = float64(baseCycles) / float64(o.rec.Cycles)
-			}
-		}
-		res.Cells = append(res.Cells, cell)
+	res, err := AssembleMP(cfg, recs)
+	if err != nil {
+		return nil, err
 	}
 	if err := j.Err(); err != nil {
 		return nil, err

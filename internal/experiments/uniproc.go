@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -32,6 +33,15 @@ type UniConfig struct {
 	// 0 selects DefaultParallelism (GOMAXPROCS), 1 forces the serial
 	// path. Results are byte-identical at every setting.
 	Parallelism int
+
+	// CellTimeout bounds each cell's wall-clock time (-cell-timeout). A
+	// cell that exceeds it fails with a typed guard.OpDeadline error —
+	// after one retry at a doubled budget, the watchdog discipline applied
+	// to wall time — and counts against the exit code like any other cell
+	// failure. Zero disables the deadline. Excluded from JSON so the
+	// timeout choice never enters result fingerprints: it bounds wall
+	// clock, not simulated behavior.
+	CellTimeout time.Duration `json:"-"`
 
 	// Guard is the per-cell hardening configuration. A non-zero ChaosSeed
 	// is decorrelated per cell with DeriveSeed, so every cell perturbs its
@@ -155,16 +165,178 @@ func (r *UniResult) MeanGainN(s core.Scheme, n int) (mean float64, used, total i
 	return mean, len(gs) - skipped, total
 }
 
-// uniOutcome is one cell's classified result, index-addressed so the
-// assembly pass below is order-independent. A cell with done unset never
-// completed (interrupted before or during its run) and renders as SKIP.
-type uniOutcome struct {
-	res        *workstation.Result
-	failed     bool
-	failure    string
-	diagnostic string
-	retried    bool
-	done       bool
+// uniSpec addresses one cell of the workstation grid: the cell at index
+// i of uniSpecs(cfg) is the same (workload, scheme, contexts) simulation
+// everywhere — in-process pool, journal replay, and the distributed
+// service all key cells by this index.
+type uniSpec struct {
+	workload string
+	kernels  []apps.Kernel
+	scheme   core.Scheme
+	contexts int
+}
+
+// uniSpecs enumerates cfg's grid in its canonical order: per workload,
+// the single-context baseline first, then schemes × context counts.
+func uniSpecs(cfg UniConfig) ([]uniSpec, error) {
+	workloads := cfg.Workloads
+	if workloads == nil {
+		workloads = WorkloadOrder
+	}
+	var specs []uniSpec
+	for _, w := range workloads {
+		kernels, err := ResolveWorkload(w)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, uniSpec{w, kernels, core.Single, 1})
+		for _, s := range cfg.Schemes {
+			for _, n := range cfg.ContextCounts {
+				specs = append(specs, uniSpec{w, kernels, s, n})
+			}
+		}
+	}
+	return specs, nil
+}
+
+// UniGridSize returns the number of cells in cfg's workstation grid —
+// the valid index range for RunUniCell and AssembleUni.
+func UniGridSize(cfg UniConfig) (int, error) {
+	specs, err := uniSpecs(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return len(specs), nil
+}
+
+// RunUniCell simulates one cell of cfg's workstation grid and returns
+// its journal/wire record. It is the single copy of the per-cell policy
+// every driver shares — cmd/experiments' pool and the distributed
+// service's workers produce byte-identical records because both call
+// this: per-index derived seed and chaos stream, one deterministic
+// retry at a doubled budget when the first attempt trips the liveness
+// watchdog or the per-cell deadline, failures folded into the record.
+// The only non-nil error returns are a bad index and a cancellation of
+// ctx itself (the cell was drained, not diagnosed).
+func RunUniCell(ctx context.Context, cfg UniConfig, index int) (*UniCellRecord, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	specs, err := uniSpecs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= len(specs) {
+		return nil, fmt.Errorf("experiments: workstation cell %d outside grid [0,%d)", index, len(specs))
+	}
+	return runUniCellSpec(ctx, cfg, index, specs[index])
+}
+
+func runUniCellSpec(ctx context.Context, cfg UniConfig, i int, sp uniSpec) (*UniCellRecord, error) {
+	build := func(attempt int) workstation.Config {
+		wcfg := workstation.DefaultConfig(sp.scheme, sp.contexts)
+		wcfg.OS.SliceCycles = cfg.SliceCycles
+		wcfg.WarmupRotations = cfg.WarmupRotations
+		wcfg.MeasureRotations = cfg.MeasureRotations
+		wcfg.Seed = DeriveSeed(cfg.Seed, i)
+		wcfg.Guard = cellGuard(cfg.Guard, i)
+		wcfg.Obs = cfg.Obs
+		if attempt > 1 {
+			// Escalated re-run: same derived seed, doubled liveness window.
+			// A budget trip can mean "slower than the window", not "wedged";
+			// doubling separates the two.
+			wcfg.Guard.WatchdogWindow = guard.Escalate(wcfg.Guard.WatchdogWindow, attempt-1)
+		}
+		return wcfg
+	}
+	run := func(attempt int) (*workstation.Result, error) {
+		cellCtx, cancel, budget := withCellDeadline(ctx, cfg.CellTimeout, attempt)
+		defer cancel()
+		r, err := workstation.RunCtx(cellCtx, sp.kernels, build(attempt))
+		return r, classifyDeadline(ctx, cellCtx, budget, err)
+	}
+	policy := guard.GridRetry()
+	retried := false
+	var r *workstation.Result
+	var err error
+	for attempt := 1; ; attempt++ {
+		r, err = run(attempt)
+		if err == nil || !guard.IsBudgetTrip(err) || ctx.Err() != nil || !policy.Allowed(attempt+1) {
+			break
+		}
+		retried = true
+	}
+	if err != nil {
+		if guard.IsCancellation(err) && ctx.Err() != nil {
+			return nil, err // drained mid-cell: renders as SKIP, not journaled
+		}
+		rec := &UniCellRecord{Failed: true, Retried: retried}
+		rec.Failure, rec.Diagnostic = failureStrings(err)
+		return rec, nil
+	}
+	return &UniCellRecord{Result: r, Retried: retried}, nil
+}
+
+// AssembleUni folds index-ordered cell records into the evaluation
+// result: gains against each workload's single-context baseline, failure
+// and skip counts. A nil record is a cell that never completed
+// (interrupted, or still unfinished in a distributed run) and renders as
+// SKIP. Assembly is pure — the distributed coordinator calls it over
+// journal-replayed records and gets the bytes a single-process run
+// prints.
+func AssembleUni(cfg UniConfig, recs []*UniCellRecord) (*UniResult, error) {
+	specs, err := uniSpecs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) != len(specs) {
+		return nil, fmt.Errorf("experiments: workstation grid has %d cells, got %d records", len(specs), len(recs))
+	}
+	res := &UniResult{Cfg: cfg}
+	var base *workstation.Result
+	for i, sp := range specs {
+		rec := recs[i]
+		cell := UniCell{Workload: sp.workload, Scheme: sp.scheme, Contexts: sp.contexts}
+		isBase := sp.scheme == core.Single && sp.contexts == 1
+		switch {
+		case rec == nil:
+			// The run was interrupted before this cell completed.
+			cell.Skipped = true
+			res.Skipped++
+			if isBase {
+				base = nil
+			}
+		case rec.Failed || rec.Result == nil:
+			// The cell failed (watchdog, deadline, invariant, panic — or a
+			// malformed record with no result): record it and keep going. A
+			// failed baseline zeroes its workload's gains but costs nothing
+			// else.
+			cell.Retried = rec.Retried
+			cell.Failed = true
+			cell.Failure, cell.Diagnostic = rec.Failure, rec.Diagnostic
+			if cell.Failure == "" {
+				cell.Failure = "cell record carries no result"
+			}
+			res.Failures++
+			if isBase {
+				base = nil
+			}
+		default:
+			r := rec.Result
+			cell.Retried = rec.Retried
+			cell.Busy = r.Throughput
+			cell.Breakdown = r.Stats.Breakdown()
+			cell.Metrics = r.Metrics
+			if isBase {
+				base = r
+				cell.Gain = 1
+			} else if base != nil && base.FairThroughput > 0 {
+				cell.Gain = r.FairThroughput / base.FairThroughput
+			}
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
 }
 
 // RunUniprocessor runs the full workstation evaluation. The cells — one
@@ -187,121 +359,37 @@ func RunUniprocessorCtx(ctx context.Context, cfg UniConfig) (*UniResult, error) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	workloads := cfg.Workloads
-	if workloads == nil {
-		workloads = WorkloadOrder
-	}
-	type spec struct {
-		workload string
-		kernels  []apps.Kernel
-		scheme   core.Scheme
-		contexts int
-	}
-	var specs []spec
-	for _, w := range workloads {
-		kernels, err := ResolveWorkload(w)
-		if err != nil {
-			return nil, err
-		}
-		specs = append(specs, spec{w, kernels, core.Single, 1})
-		for _, s := range cfg.Schemes {
-			for _, n := range cfg.ContextCounts {
-				specs = append(specs, spec{w, kernels, s, n})
-			}
-		}
+	specs, err := uniSpecs(cfg)
+	if err != nil {
+		return nil, err
 	}
 	j := cfg.Journal
-	build := func(i int, sp spec) workstation.Config {
-		wcfg := workstation.DefaultConfig(sp.scheme, sp.contexts)
-		wcfg.OS.SliceCycles = cfg.SliceCycles
-		wcfg.WarmupRotations = cfg.WarmupRotations
-		wcfg.MeasureRotations = cfg.MeasureRotations
-		wcfg.Seed = DeriveSeed(cfg.Seed, i)
-		wcfg.Guard = cellGuard(cfg.Guard, i)
-		wcfg.Obs = cfg.Obs
-		return wcfg
-	}
-	outs := make([]uniOutcome, len(specs))
+	recs := make([]*UniCellRecord, len(specs))
 	failures := runCellsAll(ctx, cfg.Parallelism, len(specs), func(ctx context.Context, i int) error {
-		sp := specs[i]
-		var rec uniCellRecord
-		if j.replay(gridWorkstation, i, &rec) {
-			outs[i] = uniOutcome{res: rec.Result, failed: rec.Failed,
-				failure: rec.Failure, diagnostic: rec.Diagnostic, retried: rec.Retried, done: true}
+		var rec UniCellRecord
+		if j.Replay(GridWorkstation, i, &rec) {
+			recs[i] = &rec
 			return nil
 		}
-		r, err := workstation.RunCtx(ctx, sp.kernels, build(i, sp))
-		retried := false
-		if err != nil && guard.IsWatchdogTrip(err) && ctx.Err() == nil {
-			// One deterministic retry at an escalated budget: same derived
-			// seed, doubled liveness window. A trip can mean "slower than
-			// the window", not "wedged"; doubling separates the two.
-			retried = true
-			wcfg := build(i, sp)
-			wcfg.Guard.WatchdogWindow *= 2
-			r, err = workstation.RunCtx(ctx, sp.kernels, wcfg)
-		}
+		out, err := runUniCellSpec(ctx, cfg, i, specs[i])
 		if err != nil {
-			if guard.IsCancellation(err) && ctx.Err() != nil {
-				return nil // drained mid-cell: renders as SKIP, not journaled
-			}
-			o := uniOutcome{failed: true, retried: retried, done: true}
-			o.failure, o.diagnostic = failureStrings(err)
-			outs[i] = o
-			j.record(gridWorkstation, i, uniCellRecord{Failed: true,
-				Failure: o.failure, Diagnostic: o.diagnostic, Retried: retried})
-			return nil
+			return nil // drained mid-cell: renders as SKIP, not journaled
 		}
-		outs[i] = uniOutcome{res: r, retried: retried, done: true}
-		j.record(gridWorkstation, i, uniCellRecord{Result: r, Retried: retried})
+		recs[i] = out
+		j.Record(GridWorkstation, i, out)
 		return nil
 	})
 	// Failures escaping the per-cell classification above are panics
 	// recovered by the pool; fold them in as failed cells.
 	for _, f := range failures {
-		o := uniOutcome{failed: true, done: true}
-		o.failure, o.diagnostic = failureStrings(f.Err)
-		outs[f.Index] = o
-		j.record(gridWorkstation, f.Index, uniCellRecord{Failed: true,
-			Failure: o.failure, Diagnostic: o.diagnostic})
+		rec := &UniCellRecord{Failed: true}
+		rec.Failure, rec.Diagnostic = failureStrings(f.Err)
+		recs[f.Index] = rec
+		j.Record(GridWorkstation, f.Index, rec)
 	}
-
-	res := &UniResult{Cfg: cfg}
-	var base *workstation.Result
-	for i, sp := range specs {
-		o := outs[i]
-		cell := UniCell{Workload: sp.workload, Scheme: sp.scheme, Contexts: sp.contexts, Retried: o.retried}
-		switch {
-		case !o.done:
-			// The run was interrupted before this cell completed.
-			cell.Skipped = true
-			res.Skipped++
-			if sp.scheme == core.Single && sp.contexts == 1 {
-				base = nil
-			}
-		case o.failed:
-			// The cell failed (watchdog, invariant, panic): record it and
-			// keep going. A failed baseline zeroes its workload's gains but
-			// costs nothing else.
-			cell.Failed = true
-			cell.Failure, cell.Diagnostic = o.failure, o.diagnostic
-			res.Failures++
-			if sp.scheme == core.Single && sp.contexts == 1 {
-				base = nil
-			}
-		default:
-			r := o.res
-			cell.Busy = r.Throughput
-			cell.Breakdown = r.Stats.Breakdown()
-			cell.Metrics = r.Metrics
-			if sp.scheme == core.Single && sp.contexts == 1 {
-				base = r
-				cell.Gain = 1
-			} else if base != nil && base.FairThroughput > 0 {
-				cell.Gain = r.FairThroughput / base.FairThroughput
-			}
-		}
-		res.Cells = append(res.Cells, cell)
+	res, err := AssembleUni(cfg, recs)
+	if err != nil {
+		return nil, err
 	}
 	if err := j.Err(); err != nil {
 		return nil, err

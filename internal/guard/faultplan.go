@@ -1,0 +1,114 @@
+package guard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Crash fault plans for the distributed experiment service's chaos
+// harness. A FaultPlan scripts *process-level* failures — a worker dying
+// mid-cell, dying after computing a result but before acknowledging it,
+// or silently stalling its heartbeats — the way the Chaos injector
+// scripts latency failures: deterministically, so every schedule the
+// harness exercises can be replayed exactly. The service's correctness
+// bar under any plan is byte-identity: the distributed run's tables and
+// JSON must match a single-process run of the same grid.
+
+// FaultKind classifies one injected process failure.
+type FaultKind int
+
+const (
+	// FaultNone: execute the cell normally.
+	FaultNone FaultKind = iota
+	// FaultDieMidCell: the worker dies while the cell is simulating —
+	// the lease expires with no result ever produced.
+	FaultDieMidCell
+	// FaultDieBeforeAck: the worker finishes the simulation but dies
+	// before reporting the result — compute is lost, the lease expires,
+	// and the cell is redispatched.
+	FaultDieBeforeAck
+	// FaultHeartbeatStall: the worker stops heartbeating long enough for
+	// its leases to expire, but keeps running and reports its result
+	// late — exercising the coordinator's duplicate-result dedup.
+	FaultHeartbeatStall
+)
+
+// String names the fault for logs and flag values.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDieMidCell:
+		return "die-mid-cell"
+	case FaultDieBeforeAck:
+		return "die-before-ack"
+	case FaultHeartbeatStall:
+		return "heartbeat-stall"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// FaultEvent schedules one fault: the worker injects Kind on its Nth
+// cell execution (1-based, counted across all leases it runs).
+type FaultEvent struct {
+	AtCell int
+	Kind   FaultKind
+}
+
+// FaultPlan is a deterministic schedule of injected process failures,
+// keyed by the worker's own execution count — not wall-clock — so runs
+// replay. The zero value (and a nil plan) injects nothing.
+type FaultPlan struct {
+	Events []FaultEvent
+}
+
+// At returns the fault to inject on the n-th cell execution (1-based),
+// or FaultNone. Nil-safe.
+func (p *FaultPlan) At(n int) FaultKind {
+	if p == nil {
+		return FaultNone
+	}
+	for _, e := range p.Events {
+		if e.AtCell == n {
+			return e.Kind
+		}
+	}
+	return FaultNone
+}
+
+// Empty reports whether the plan injects nothing. Nil-safe.
+func (p *FaultPlan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// ParseFaultPlan parses the command-line form "kind@N[,kind@N...]",
+// e.g. "die-mid-cell@3" or "heartbeat-stall@2,die-before-ack@5". An
+// empty string is the empty plan.
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return &FaultPlan{}, nil
+	}
+	kinds := map[string]FaultKind{
+		FaultDieMidCell.String():     FaultDieMidCell,
+		FaultDieBeforeAck.String():   FaultDieBeforeAck,
+		FaultHeartbeatStall.String(): FaultHeartbeatStall,
+	}
+	var p FaultPlan
+	for _, part := range strings.Split(s, ",") {
+		kindStr, atStr, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return nil, fmt.Errorf("guard: fault %q: want kind@N", part)
+		}
+		kind, ok := kinds[kindStr]
+		if !ok {
+			return nil, fmt.Errorf("guard: unknown fault kind %q (die-mid-cell, die-before-ack, heartbeat-stall)", kindStr)
+		}
+		n, err := strconv.Atoi(atStr)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("guard: fault %q: bad cell ordinal %q", part, atStr)
+		}
+		p.Events = append(p.Events, FaultEvent{AtCell: n, Kind: kind})
+	}
+	return &p, nil
+}

@@ -28,6 +28,11 @@ const (
 	// cancel or a SIGINT/SIGTERM drain); the wrapped cause is ctx.Err(),
 	// so errors.Is(err, context.Canceled) still holds.
 	OpCanceled = "guard.canceled"
+	// OpDeadline marks a cell that exceeded its per-cell wall-clock
+	// budget (-cell-timeout). Unlike OpCanceled it is a *cell failure*:
+	// the grid records FAIL and exits non-zero, exactly as for a
+	// watchdog trip.
+	OpDeadline = "guard.deadline"
 )
 
 // IsWatchdogTrip reports whether err (anywhere in its chain) is a
@@ -42,10 +47,27 @@ func IsWatchdogTrip(err error) bool {
 // IsCancellation reports whether err is a context cancellation (or
 // deadline) artifact rather than a simulation failure. Canceled cells
 // are skipped, not failed: they carry no diagnosis of the simulated
-// machine.
+// machine. A per-cell deadline reclassified as OpDeadline is NOT a
+// cancellation — it is a diagnosed cell failure.
 func IsCancellation(err error) bool {
+	if IsDeadline(err) {
+		return false
+	}
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
+
+// IsDeadline reports whether err (anywhere in its chain) is a SimError
+// raised by a per-cell wall-clock deadline.
+func IsDeadline(err error) bool {
+	se := AsSimError(err)
+	return se != nil && se.Op == OpDeadline
+}
+
+// IsBudgetTrip reports whether err is one of the two escalatable budget
+// failures — a liveness-watchdog trip or a per-cell wall-clock deadline.
+// These are the failures the grids retry once at a doubled budget: both
+// can mean "slower than the window", not "wrong".
+func IsBudgetTrip(err error) bool { return IsWatchdogTrip(err) || IsDeadline(err) }
 
 // SimError is a typed simulation failure carrying the machine context a
 // bare panic(err) loses: what was happening, at which cycle, on which

@@ -1,0 +1,970 @@
+// Package service is the fault-tolerant distributed experiment service:
+// a coordinator that fans grid cells out to workers under time-bounded
+// leases, and the worker that simulates them. The correctness bar is
+// byte-identity — a distributed run's tables and JSON must match a
+// single-process cmd/experiments run of the same grids, under worker
+// crashes, heartbeat stalls and coordinator restarts — and the PR-5 cell
+// journal is the single durability layer that makes it hold:
+//
+//   - Every completed cell is journaled (fsync per record, payload
+//     hashed) BEFORE the worker's report is acknowledged, so an ack
+//     implies durability.
+//   - A missed heartbeat expires the worker's leases and the cells are
+//     redispatched; a late duplicate report is deduplicated by
+//     (grid, index) + payload hash, so at-least-once dispatch still
+//     yields exactly-once results.
+//   - A coordinator restart rebuilds every job from its spec file and
+//     journal with zero re-simulation of completed cells.
+//
+// Determinism does the rest: cells derive their seeds from their grid
+// index (experiments.RunUniCell / RunMPCell), so *which* worker runs a
+// cell, how often it is retried, and in what order results arrive are
+// all invisible in the output.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/guard"
+	"repro/internal/metrics"
+)
+
+// JobSpec is what a client submits: the same resolved grid configs
+// cmd/experiments runs, plus the -only style section selection. The
+// configs determine every cell result; the coordinator fingerprints them
+// exactly as cmd/experiments does, so service journals and single-process
+// journals are interchangeable.
+type JobSpec struct {
+	Only []string               `json:"only,omitempty"`
+	Uni  *experiments.UniConfig `json:"uni,omitempty"`
+	MP   *experiments.MPConfig  `json:"mp,omitempty"`
+}
+
+// grids resolves the spec to its grid sizes. Sections must be grid
+// sections (the table4/fig2/... sections are single-process only); a
+// grid a selected section needs must have its config present. An empty
+// Only selects every section of every present config.
+func (s JobSpec) grids() (uniN, mpN int, err error) {
+	sel := experiments.Selection(s.Only)
+	for _, name := range s.Only {
+		if !experiments.IsGridSection(name) {
+			return 0, 0, fmt.Errorf("service: section %q is not a grid section (want one of %s)",
+				name, strings.Join(experiments.GridSections, " "))
+		}
+	}
+	needUni := experiments.NeedUni(sel) && (len(s.Only) > 0 || s.Uni != nil)
+	needMP := experiments.NeedMP(sel) && (len(s.Only) > 0 || s.MP != nil)
+	if needUni {
+		if s.Uni == nil {
+			return 0, 0, fmt.Errorf("service: selection needs the workstation grid but the spec has no uni config")
+		}
+		if uniN, err = experiments.UniGridSize(*s.Uni); err != nil {
+			return 0, 0, err
+		}
+	}
+	if needMP {
+		if s.MP == nil {
+			return 0, 0, fmt.Errorf("service: selection needs the multiprocessor grid but the spec has no mp config")
+		}
+		if mpN, err = experiments.MPGridSize(*s.MP); err != nil {
+			return 0, 0, err
+		}
+	}
+	if uniN+mpN == 0 {
+		return 0, 0, fmt.Errorf("service: spec selects no grid cells")
+	}
+	return uniN, mpN, nil
+}
+
+// fingerprint builds the spec's journal fingerprint with the same rules
+// cmd/experiments uses (only the configs a selected section needs enter).
+func (s JobSpec) fingerprint() (experiments.Fingerprint, error) {
+	uniN, mpN, err := s.grids()
+	if err != nil {
+		return experiments.Fingerprint{}, err
+	}
+	var uni *experiments.UniConfig
+	var mp *experiments.MPConfig
+	if uniN > 0 {
+		uni = s.Uni
+	}
+	if mpN > 0 {
+		mp = s.MP
+	}
+	return experiments.NewFingerprint(uni, mp, s.Only), nil
+}
+
+// Config parameterizes the coordinator.
+type Config struct {
+	// Dir holds the per-job spec files and cell journals — the state a
+	// restarted coordinator resumes from.
+	Dir string
+	// LeaseTTL bounds how long a dispatched cell may go without a
+	// heartbeat before it is redispatched.
+	LeaseTTL time.Duration
+	// MaxJobs bounds concurrently active (incomplete) jobs; submits over
+	// the bound get 429 + Retry-After.
+	MaxJobs int
+	// Retry is the per-cell redispatch policy: Attempts bounds how many
+	// leases a cell may consume before it is recorded as failed, and the
+	// capped exponential backoff with seeded jitter spaces redispatches.
+	Retry guard.Retry
+	// BreakerThreshold quarantines a worker after this many consecutive
+	// lease expiries (a crash-looping or wedged worker stops being fed);
+	// BreakerCooldown is how long the quarantine lasts.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Logf, when non-nil, receives coordinator events (leases expiring,
+	// workers quarantined, jobs completing).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4
+	}
+	if c.Retry.Attempts <= 0 {
+		c.Retry = guard.Retry{Attempts: 3, Base: 50 * time.Millisecond, Cap: 2 * time.Second, Seed: 1}
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * c.LeaseTTL
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Cell dispatch states.
+const (
+	cellPending = iota
+	cellLeased
+	cellDone
+)
+
+// cell is the dispatch state of one grid cell. The journal, not this
+// struct, is the durability layer: everything here except the journaled
+// record is reconstructed (conservatively: fresh attempt counts) after a
+// coordinator restart.
+type cell struct {
+	grid       string
+	index      int
+	state      int
+	attempts   int
+	eligibleAt time.Time
+	leaseID    int64
+	worker     string
+	expiry     time.Time
+	hash       string // DataHash of the accepted record; the dedup identity
+	failed     bool
+}
+
+// CellEvent is one line of the job's completion stream
+// (GET /api/jobs/{id}/cells): cell (grid, index) completed, in arrival
+// order. Replayed marks cells restored from the journal at restart.
+type CellEvent struct {
+	Seq      int    `json:"seq"`
+	Grid     string `json:"grid"`
+	Index    int    `json:"index"`
+	Worker   string `json:"worker,omitempty"`
+	Failed   bool   `json:"failed,omitempty"`
+	Replayed bool   `json:"replayed,omitempty"`
+}
+
+// JobStatus is the GET /api/jobs/{id} response.
+type JobStatus struct {
+	ID         int    `json:"id"`
+	Cells      int    `json:"cells"`
+	Done       int    `json:"done"`
+	Failed     int    `json:"failed"`
+	Dupes      int    `json:"dupes"`
+	Mismatches int    `json:"mismatches"`
+	Complete   bool   `json:"complete"`
+	Err        string `json:"err,omitempty"`
+}
+
+// JobResult is the GET /api/jobs/{id}/result response once a job
+// completes: Text is byte-identical to what cmd/experiments prints to
+// stdout for the selected sections, JSON to what its -json flag writes.
+type JobResult struct {
+	Text       string          `json:"text"`
+	JSON       json.RawMessage `json:"json,omitempty"`
+	Failures   int             `json:"failures"`
+	Dupes      int             `json:"dupes"`
+	Mismatches int             `json:"mismatches"`
+}
+
+type job struct {
+	id         int
+	spec       JobSpec
+	journal    *experiments.Journal
+	uniN       int
+	mpN        int
+	cells      []*cell
+	done       int
+	failed     int
+	dupes      int
+	mismatches int
+	events     []CellEvent
+	notify     chan struct{} // closed and replaced on every completion
+	result     *JobResult
+	resultErr  error
+}
+
+func (j *job) complete() bool { return j.done == len(j.cells) }
+
+// workerState is the per-worker circuit breaker: consecutive lease
+// expiries trip it, a successful (or duplicate) completion resets it.
+type workerState struct {
+	name             string
+	lastSeen         time.Time
+	consecExpiries   int
+	quarantinedUntil time.Time
+}
+
+// Coordinator owns the job queue, the lease table and the journals. All
+// state transitions happen under one mutex, and expired leases are swept
+// synchronously at the top of every API request — there is no background
+// goroutine, so a coordinator is exactly as alive as its HTTP server and
+// a kill -9 can never catch it mid-flight anywhere but inside a journal
+// append (which the torn-tail truncation absorbs).
+type Coordinator struct {
+	cfg Config
+
+	mu        sync.Mutex
+	jobs      map[int]*job
+	workers   map[string]*workerState
+	nextJob   int
+	nextLease int64
+}
+
+var specFileRe = regexp.MustCompile(`^job-(\d+)\.spec\.json$`)
+
+// NewCoordinator creates a coordinator over cfg.Dir, recovering every
+// job whose spec file survives: its journal is reopened (binary drift is
+// tolerated — results are a function of the config), intact cells replay
+// with zero re-simulation, and only the remainder is redispatched.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("service: coordinator needs a state directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: state directory: %w", err)
+	}
+	c := &Coordinator{cfg: cfg, jobs: map[int]*job{}, workers: map[string]*workerState{}, nextJob: 1}
+
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: scan state directory: %w", err)
+	}
+	for _, e := range entries {
+		m := specFileRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		id, _ := strconv.Atoi(m[1])
+		if err := c.recoverJob(id); err != nil {
+			return nil, fmt.Errorf("service: recover job %d: %w", id, err)
+		}
+		if id >= c.nextJob {
+			c.nextJob = id + 1
+		}
+	}
+	return c, nil
+}
+
+func (c *Coordinator) specPath(id int) string {
+	return filepath.Join(c.cfg.Dir, fmt.Sprintf("job-%d.spec.json", id))
+}
+
+func (c *Coordinator) journalPath(id int) string {
+	return filepath.Join(c.cfg.Dir, fmt.Sprintf("job-%d.journal", id))
+}
+
+// newJob builds the in-memory cell table for a validated spec.
+func newJob(id int, spec JobSpec, uniN, mpN int, journal *experiments.Journal) *job {
+	j := &job{id: id, spec: spec, journal: journal, uniN: uniN, mpN: mpN, notify: make(chan struct{})}
+	for i := 0; i < uniN; i++ {
+		j.cells = append(j.cells, &cell{grid: experiments.GridWorkstation, index: i})
+	}
+	for i := 0; i < mpN; i++ {
+		j.cells = append(j.cells, &cell{grid: experiments.GridMultiprocessor, index: i})
+	}
+	return j
+}
+
+// recoverJob rebuilds one job from its spec file and journal. Cells with
+// an intact journal record are done on arrival — the "zero
+// re-simulation" restart guarantee; everything else redispatches with a
+// fresh attempt budget.
+func (c *Coordinator) recoverJob(id int) error {
+	data, err := os.ReadFile(c.specPath(id))
+	if err != nil {
+		return err
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return fmt.Errorf("spec file: %w", err)
+	}
+	uniN, mpN, err := spec.grids()
+	if err != nil {
+		return err
+	}
+	fp, err := spec.fingerprint()
+	if err != nil {
+		return err
+	}
+	// The coordinator that wrote the journal may have been a different
+	// binary (a rebuild, or cmd/experiments handing a journal over); the
+	// config identity is the hard check, binary drift only warns.
+	journal, err := experiments.OpenJournalAllow(c.journalPath(id), fp, true, func(format string, args ...any) {
+		c.cfg.Logf("job %d: "+format, append([]any{id}, args...)...)
+	})
+	if err != nil {
+		// A spec without a journal means the crash hit between the two
+		// writes at submission; start the journal fresh.
+		if !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		if journal, err = experiments.CreateJournal(c.journalPath(id), fp); err != nil {
+			return err
+		}
+	}
+	j := newJob(id, spec, uniN, mpN, journal)
+	for _, cl := range j.cells {
+		raw, ok := journal.ReplayRaw(cl.grid, cl.index)
+		if !ok {
+			continue
+		}
+		failed, err := recordOutcome(cl.grid, raw)
+		if err != nil {
+			continue // undecodable record: re-run the cell
+		}
+		cl.state = cellDone
+		cl.hash = experiments.DataHash(raw)
+		cl.failed = failed
+		j.done++
+		if failed {
+			j.failed++
+		}
+		j.events = append(j.events, CellEvent{Seq: len(j.events), Grid: cl.grid, Index: cl.index, Failed: failed, Replayed: true})
+	}
+	c.cfg.Logf("job %d recovered: %d/%d cells replayed from journal", id, j.done, len(j.cells))
+	if j.complete() {
+		c.assembleLocked(j)
+	}
+	c.jobs[id] = j
+	return nil
+}
+
+// recordOutcome validates a reported cell record for its grid and
+// returns whether it records a failure. A record that is neither a
+// result nor a diagnosed failure is rejected — a worker cannot ack its
+// way out of doing the work.
+func recordOutcome(grid string, raw json.RawMessage) (failed bool, err error) {
+	switch grid {
+	case experiments.GridWorkstation:
+		var rec experiments.UniCellRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return false, err
+		}
+		if !rec.Failed && rec.Result == nil {
+			return false, fmt.Errorf("service: workstation record carries neither result nor failure")
+		}
+		return rec.Failed, nil
+	case experiments.GridMultiprocessor:
+		var rec experiments.MPCellRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return false, err
+		}
+		if !rec.Failed && !rec.Completed {
+			return false, fmt.Errorf("service: multiprocessor record carries neither result nor failure")
+		}
+		return rec.Failed, nil
+	}
+	return false, fmt.Errorf("service: unknown grid %q", grid)
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /api/jobs/{id}", c.handleStatus)
+	mux.HandleFunc("GET /api/jobs/{id}/result", c.handleResult)
+	mux.HandleFunc("GET /api/jobs/{id}/cells", c.handleCells)
+	mux.HandleFunc("POST /api/register", c.handleRegister)
+	mux.HandleFunc("POST /api/lease", c.handleLease)
+	mux.HandleFunc("POST /api/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /api/complete", c.handleComplete)
+	return mux
+}
+
+// Close closes every job journal (tests; the serving process normally
+// lives until kill).
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, j := range c.jobs {
+		j.journal.Close()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// expireLocked sweeps expired leases: the cell goes back to pending with
+// a backoff-delayed eligibility (or, attempts exhausted, is recorded as
+// failed so the job can complete), and the worker's breaker advances.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for _, j := range c.jobs {
+		for _, cl := range j.cells {
+			if cl.state != cellLeased || now.Before(cl.expiry) {
+				continue
+			}
+			c.cfg.Logf("job %d: lease %d on %s/%d held by %q expired (attempt %d)",
+				j.id, cl.leaseID, cl.grid, cl.index, cl.worker, cl.attempts)
+			if w := c.workers[cl.worker]; w != nil {
+				w.consecExpiries++
+				if w.consecExpiries >= c.cfg.BreakerThreshold && now.After(w.quarantinedUntil) {
+					w.quarantinedUntil = now.Add(c.cfg.BreakerCooldown)
+					c.cfg.Logf("worker %q quarantined for %v after %d consecutive lease expiries",
+						w.name, c.cfg.BreakerCooldown, w.consecExpiries)
+				}
+			}
+			cl.state = cellPending
+			cl.worker = ""
+			if cl.attempts >= c.cfg.Retry.Attempts {
+				c.failCellLocked(j, cl, fmt.Sprintf("dispatch: %d lease attempts expired without a result", cl.attempts))
+				continue
+			}
+			cl.eligibleAt = now.Add(c.cfg.Retry.Delay(cellKey(j.id, cl), cl.attempts+1))
+		}
+	}
+}
+
+// cellKey decorrelates the redispatch jitter stream per (job, grid,
+// index), the way cell seeds are decorrelated per index.
+func cellKey(jobID int, cl *cell) uint64 {
+	key := uint64(jobID)<<24 ^ uint64(cl.index)<<1
+	if cl.grid == experiments.GridMultiprocessor {
+		key |= 1
+	}
+	return key
+}
+
+// failCellLocked records a synthetic failed record for a cell the
+// dispatcher has given up on, through the same journal-then-mark path a
+// worker report takes, so the job still completes (degraded, like a
+// failed in-process cell) and a restart replays the decision.
+func (c *Coordinator) failCellLocked(j *job, cl *cell, reason string) {
+	var payload any
+	switch cl.grid {
+	case experiments.GridWorkstation:
+		payload = &experiments.UniCellRecord{Failed: true, Failure: reason}
+	default:
+		payload = &experiments.MPCellRecord{Failed: true, Failure: reason}
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	if err := c.markDoneLocked(j, cl, raw, true, ""); err != nil {
+		c.cfg.Logf("job %d: %s/%d: journaling dispatch failure: %v", j.id, cl.grid, cl.index, err)
+	}
+}
+
+// markDoneLocked journals the record and transitions the cell to done —
+// in that order; a record that did not reach disk is never acked and
+// never counted. The final cell of a job triggers assembly.
+func (c *Coordinator) markDoneLocked(j *job, cl *cell, raw json.RawMessage, failed bool, worker string) error {
+	j.journal.Record(cl.grid, cl.index, raw)
+	if err := j.journal.Err(); err != nil {
+		return err
+	}
+	cl.state = cellDone
+	cl.worker = ""
+	cl.hash = experiments.DataHash(raw)
+	cl.failed = failed
+	j.done++
+	if failed {
+		j.failed++
+	}
+	j.events = append(j.events, CellEvent{Seq: len(j.events), Grid: cl.grid, Index: cl.index, Worker: worker, Failed: failed})
+	if j.complete() {
+		c.assembleLocked(j)
+		c.cfg.Logf("job %d complete: %d cells, %d failed, %d duplicate reports, %d mismatched reports",
+			j.id, j.done, j.failed, j.dupes, j.mismatches)
+	}
+	close(j.notify)
+	j.notify = make(chan struct{})
+	return nil
+}
+
+// assembleLocked folds the journal's records into the final tables and
+// JSON through the exact helpers cmd/experiments prints with — this is
+// where byte-identity is inherited rather than re-implemented.
+func (c *Coordinator) assembleLocked(j *job) {
+	sel := experiments.Selection(j.spec.Only)
+	var text strings.Builder
+	blob := map[string]any{}
+	failures := 0
+	if j.uniN > 0 {
+		recs := make([]*experiments.UniCellRecord, j.uniN)
+		for i := 0; i < j.uniN; i++ {
+			raw, ok := j.journal.ReplayRaw(experiments.GridWorkstation, i)
+			if !ok {
+				j.resultErr = fmt.Errorf("service: job %d: workstation cell %d missing from journal at assembly", j.id, i)
+				return
+			}
+			var rec experiments.UniCellRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				j.resultErr = fmt.Errorf("service: job %d: workstation cell %d: %w", j.id, i, err)
+				return
+			}
+			recs[i] = &rec
+		}
+		uni, err := experiments.AssembleUni(*j.spec.Uni, recs)
+		if err != nil {
+			j.resultErr = err
+			return
+		}
+		text.WriteString(experiments.RenderUniSections(sel, uni))
+		blob["workstation"] = uni
+		failures += uni.Failures
+	}
+	if j.mpN > 0 {
+		recs := make([]*experiments.MPCellRecord, j.mpN)
+		for i := 0; i < j.mpN; i++ {
+			raw, ok := j.journal.ReplayRaw(experiments.GridMultiprocessor, i)
+			if !ok {
+				j.resultErr = fmt.Errorf("service: job %d: multiprocessor cell %d missing from journal at assembly", j.id, i)
+				return
+			}
+			var rec experiments.MPCellRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				j.resultErr = fmt.Errorf("service: job %d: multiprocessor cell %d: %w", j.id, i, err)
+				return
+			}
+			recs[i] = &rec
+		}
+		mpr, err := experiments.AssembleMP(*j.spec.MP, recs)
+		if err != nil {
+			j.resultErr = err
+			return
+		}
+		text.WriteString(experiments.RenderMPSections(sel, mpr))
+		blob["multiprocessor"] = mpr
+		failures += mpr.Failures
+	}
+	data, err := json.MarshalIndent(blob, "", "  ")
+	if err != nil {
+		j.resultErr = err
+		return
+	}
+	j.result = &JobResult{Text: text.String(), JSON: data, Failures: failures,
+		Dupes: j.dupes, Mismatches: j.mismatches}
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "decode spec: %v", err)
+		return
+	}
+	uniN, mpN, err := spec.grids()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fp, err := spec.fingerprint()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(time.Now())
+	active := 0
+	for _, j := range c.jobs {
+		if !j.complete() {
+			active++
+		}
+	}
+	if active >= c.cfg.MaxJobs {
+		// Bounded queue: the client backs off and resubmits. Retry-After
+		// is a floor, not a completion estimate.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "coordinator at its %d-job bound; retry later", c.cfg.MaxJobs)
+		return
+	}
+
+	id := c.nextJob
+	specData, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "encode spec: %v", err)
+		return
+	}
+	// Spec before journal: a crash between the two leaves a spec whose
+	// journal recovery recreates, never a journal no restart can interpret.
+	if err := metrics.WriteFileAtomic(c.specPath(id), func(w io.Writer) error {
+		_, werr := w.Write(specData)
+		return werr
+	}); err != nil {
+		httpError(w, http.StatusInternalServerError, "persist spec: %v", err)
+		return
+	}
+	journal, err := experiments.CreateJournal(c.journalPath(id), fp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "create journal: %v", err)
+		return
+	}
+	c.nextJob++
+	j := newJob(id, spec, uniN, mpN, journal)
+	c.jobs[id] = j
+	c.cfg.Logf("job %d submitted: %d workstation + %d multiprocessor cells", id, uniN, mpN)
+	writeJSON(w, http.StatusCreated, submitResponse{ID: id, Cells: len(j.cells)})
+}
+
+func (c *Coordinator) jobFromPath(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
+		return nil, false
+	}
+	j := c.jobs[id]
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %d", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(time.Now())
+	j, ok := c.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	st := JobStatus{ID: j.id, Cells: len(j.cells), Done: j.done, Failed: j.failed,
+		Dupes: j.dupes, Mismatches: j.mismatches, Complete: j.complete()}
+	if j.resultErr != nil {
+		st.Err = j.resultErr.Error()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(time.Now())
+	j, ok := c.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	switch {
+	case j.resultErr != nil:
+		httpError(w, http.StatusInternalServerError, "%v", j.resultErr)
+	case j.result == nil:
+		writeJSON(w, http.StatusAccepted, JobStatus{ID: j.id, Cells: len(j.cells), Done: j.done})
+	default:
+		writeJSON(w, http.StatusOK, *j.result)
+	}
+}
+
+// handleCells streams the job's completion events as JSON lines,
+// starting at ?since=N, then follows live completions until the job is
+// done or the client hangs up. A client that reconnects after a
+// coordinator restart passes its last seq and sees replayed cells again
+// (marked Replayed) — the stream is at-least-once, like dispatch.
+func (c *Coordinator) handleCells(w http.ResponseWriter, r *http.Request) {
+	since := 0
+	if s := r.URL.Query().Get("since"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad since %q", s)
+			return
+		}
+		since = n
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	headerSent := false
+	for {
+		c.mu.Lock()
+		c.expireLocked(time.Now())
+		var j *job
+		if !headerSent {
+			var ok bool
+			j, ok = c.jobFromPath(w, r)
+			if !ok {
+				c.mu.Unlock()
+				return
+			}
+			headerSent = true
+		} else {
+			id, _ := strconv.Atoi(r.PathValue("id"))
+			j = c.jobs[id]
+			if j == nil {
+				c.mu.Unlock()
+				return
+			}
+		}
+		var evs []CellEvent
+		if since < len(j.events) {
+			evs = append(evs, j.events[since:]...)
+		}
+		complete := j.complete()
+		notify := j.notify
+		c.mu.Unlock()
+
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		since += len(evs)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if complete {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-notify:
+		case <-time.After(c.cfg.LeaseTTL):
+			// Re-sweep even if nothing completes: expiry of the last
+			// outstanding lease is itself a completion path (synthetic
+			// failure records), and it only runs inside requests.
+		}
+	}
+}
+
+func (c *Coordinator) ensureWorkerLocked(name string, now time.Time) *workerState {
+	w := c.workers[name]
+	if w == nil {
+		w = &workerState{name: name}
+		c.workers[name] = w
+		c.cfg.Logf("worker %q registered", name)
+	}
+	w.lastSeen = now
+	return w
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "register needs a worker name")
+		return
+	}
+	c.mu.Lock()
+	c.ensureWorkerLocked(req.Worker, time.Now())
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "lease needs a worker name")
+		return
+	}
+	max := req.Max
+	if max <= 0 {
+		max = 1
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	ws := c.ensureWorkerLocked(req.Worker, now)
+	retry := leaseResponse{RetryMillis: clampMillis(c.cfg.LeaseTTL / 4)}
+	if now.Before(ws.quarantinedUntil) {
+		// Tripped breaker: starve the worker until the cooldown passes.
+		retry.RetryMillis = clampMillis(time.Until(ws.quarantinedUntil))
+		writeJSON(w, http.StatusOK, retry)
+		return
+	}
+	var resp leaseResponse
+	for _, id := range c.jobIDsLocked() {
+		j := c.jobs[id]
+		for _, cl := range j.cells {
+			if len(resp.Leases) >= max {
+				break
+			}
+			if cl.state != cellPending || now.Before(cl.eligibleAt) {
+				continue
+			}
+			c.nextLease++
+			cl.state = cellLeased
+			cl.attempts++
+			cl.leaseID = c.nextLease
+			cl.worker = req.Worker
+			cl.expiry = now.Add(c.cfg.LeaseTTL)
+			resp.Leases = append(resp.Leases, Lease{
+				Job: j.id, Grid: cl.grid, Index: cl.index,
+				LeaseID: cl.leaseID, Attempt: cl.attempts,
+				TTLMillis: c.cfg.LeaseTTL.Milliseconds(), Spec: j.spec,
+			})
+		}
+	}
+	if len(resp.Leases) == 0 {
+		resp.RetryMillis = retry.RetryMillis
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// jobIDsLocked returns job ids in submission order so earlier jobs
+// drain first.
+func (c *Coordinator) jobIDsLocked() []int {
+	ids := make([]int, 0, len(c.jobs))
+	for id := range c.jobs {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ { // insertion sort; the map is small
+		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
+			ids[k], ids[k-1] = ids[k-1], ids[k]
+		}
+	}
+	return ids
+}
+
+func clampMillis(d time.Duration) int64 {
+	ms := d.Milliseconds()
+	if ms < 10 {
+		ms = 10
+	}
+	if ms > 2000 {
+		ms = 2000
+	}
+	return ms
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "heartbeat needs a worker name")
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	c.ensureWorkerLocked(req.Worker, now)
+	renewed := 0
+	for _, j := range c.jobs {
+		for _, cl := range j.cells {
+			if cl.state == cellLeased && cl.worker == req.Worker {
+				cl.expiry = now.Add(c.cfg.LeaseTTL)
+				renewed++
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, heartbeatResponse{Renewed: renewed})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode completion: %v", err)
+		return
+	}
+	// Canonicalize the payload so dedup hashes are encoding-independent
+	// and the journaled bytes match what Journal.Record would write.
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, req.Record); err != nil {
+		httpError(w, http.StatusBadRequest, "record is not JSON: %v", err)
+		return
+	}
+	raw := json.RawMessage(buf.Bytes())
+	failed, err := recordOutcome(req.Grid, raw)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	j := c.jobs[req.Job]
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %d", req.Job)
+		return
+	}
+	var cl *cell
+	for _, cand := range j.cells {
+		if cand.grid == req.Grid && cand.index == req.Index {
+			cl = cand
+			break
+		}
+	}
+	if cl == nil {
+		httpError(w, http.StatusBadRequest, "job %d has no cell %s/%d", req.Job, req.Grid, req.Index)
+		return
+	}
+	ws := c.ensureWorkerLocked(req.Worker, now)
+	// A worker that delivers results is alive, whatever its lease
+	// bookkeeping looked like; reset its breaker.
+	ws.consecExpiries = 0
+
+	if cl.state == cellDone {
+		// At-least-once dispatch means late duplicates are expected
+		// (heartbeat stall, redispatch racing the original). Identical
+		// payloads are the determinism guarantee holding; divergent ones
+		// mean a worker broke it — keep the journaled first record and
+		// flag loudly.
+		if experiments.DataHash(raw) == cl.hash {
+			j.dupes++
+			c.cfg.Logf("job %d: duplicate report for %s/%d from %q (deduplicated)", j.id, req.Grid, req.Index, req.Worker)
+			writeJSON(w, http.StatusOK, completeResponse{Status: "duplicate"})
+			return
+		}
+		j.mismatches++
+		c.cfg.Logf("job %d: MISMATCHED duplicate report for %s/%d from %q — determinism violation; keeping first record",
+			j.id, req.Grid, req.Index, req.Worker)
+		writeJSON(w, http.StatusOK, completeResponse{Status: "mismatch"})
+		return
+	}
+
+	// Journal-then-ack: a 200 means the record is on disk. A journal
+	// write failure leaves the cell un-acked; the worker retries or the
+	// lease expires and redispatches.
+	if err := c.markDoneLocked(j, cl, raw, failed, req.Worker); err != nil {
+		httpError(w, http.StatusInternalServerError, "journal: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, completeResponse{Status: "accepted"})
+}

@@ -76,6 +76,65 @@ if [ -n "${FUZZ:-}" ]; then
     [ "$code" -eq 1 ] # divergence must reproduce
 fi
 
+# Optional distributed-service pass: SERVICE=1 scripts/check.sh runs the
+# same quick table7 grid under the expserve coordinator with two chaos
+# events — one worker killed by an injected fault on its first cell
+# (documented exit 7) and the coordinator kill -9'd and restarted once on
+# the same state dir and address — then requires the service's tables and
+# -json output to be byte-identical to the single-process run above.
+if [ -n "${SERVICE:-}" ]; then
+    SVC_DIR="$(mktemp -d)"
+    trap 'rm -rf "$OBS_DIR" "$RES_DIR" "$SVC_DIR"' EXIT
+    go build -o "$SVC_DIR/expserve" ./cmd/expserve
+    go build -o "$SVC_DIR/expworker" ./cmd/expworker
+
+    # Coordinator: port 0 picks a free port, -addr-file publishes it.
+    "$SVC_DIR/expserve" serve -dir "$SVC_DIR/state" -addr 127.0.0.1:0 \
+        -addr-file "$SVC_DIR/addr" -lease-ttl 2s 2> "$SVC_DIR/serve1.log" &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do [ -s "$SVC_DIR/addr" ] && break; sleep 0.1; done
+    ADDR="http://$(cat "$SVC_DIR/addr")"
+
+    # One worker dies abruptly on its first cell; the survivor does the
+    # real work (the dead worker's lease expires and redispatches).
+    "$SVC_DIR/expworker" -coordinator "$ADDR" -name doomed -poll 100ms \
+        -fault die-mid-cell@1 2> "$SVC_DIR/doomed.log" &
+    DOOMED_PID=$!
+    "$SVC_DIR/expworker" -coordinator "$ADDR" -name steady -slots 2 -poll 100ms \
+        2> "$SVC_DIR/steady.log" &
+    STEADY_PID=$!
+
+    JOB=$("$SVC_DIR/expserve" submit -coordinator "$ADDR" -quick -only table7 -j 2)
+
+    # Kill -9 the coordinator mid-job and restart it on the same state
+    # dir and address: the journal resumes the job with zero
+    # re-simulation, the workers just retry until the new process answers.
+    sleep 1
+    kill -9 "$SERVE_PID"
+    wait "$SERVE_PID" || true
+    "$SVC_DIR/expserve" serve -dir "$SVC_DIR/state" -addr "$(cat "$SVC_DIR/addr")" \
+        -lease-ttl 2s 2> "$SVC_DIR/serve2.log" &
+    SERVE_PID=$!
+
+    "$SVC_DIR/expserve" wait -coordinator "$ADDR" -job "$JOB" \
+        -out "$SVC_DIR/svc.txt" -json-out "$SVC_DIR/svc.json"
+
+    # Byte-identity against the single-process reference run above.
+    diff "$RES_DIR/full.txt" "$SVC_DIR/svc.txt"
+    diff "$RES_DIR/full.json" "$SVC_DIR/svc.json"
+
+    # The doomed worker died by its injected fault: documented exit 7.
+    wcode=0; wait "$DOOMED_PID" || wcode=$?
+    [ "$wcode" -eq 7 ]
+    # Worker and coordinator drain cleanly on SIGTERM (exit 3 / 0).
+    kill "$STEADY_PID"
+    wcode=0; wait "$STEADY_PID" || wcode=$?
+    [ "$wcode" -eq 3 ]
+    kill "$SERVE_PID"
+    wcode=0; wait "$SERVE_PID" || wcode=$?
+    [ "$wcode" -eq 0 ]
+fi
+
 # Optional performance pass: BENCH=1 scripts/check.sh additionally runs
 # the benchmark suite and regenerates the throughput grid JSON
 # (see scripts/bench.sh for BASE_REF / BENCH_OUT knobs).
