@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/isa"
 	"repro/internal/mp"
 	"repro/internal/prog"
@@ -106,11 +107,108 @@ type runReport struct {
 type benchFile struct {
 	// Baseline, when present, is a run of this same tool built from the
 	// pre-change revision named in its label/commit fields.
-	Baseline *runReport         `json:"baseline,omitempty"`
-	Current  runReport          `json:"current"`
+	Baseline *runReport `json:"baseline,omitempty"`
+	Current  runReport  `json:"current"`
 	// Speedup maps "workload/scheme/contexts" to current ÷ baseline
 	// sim-cycles-per-sec.
 	Speedup map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+	// Sweeps holds the -sweeps mode's forked-vs-scratch measurements.
+	Sweeps []sweepMeasurement `json:"sweeps,omitempty"`
+}
+
+// sweepMeasurement times one sensitivity sweep with warm-up forking
+// against the same sweep fully from scratch. Identical is the
+// byte-identity of the two runs' rendered tables and JSON — forking is
+// an optimization, never a semantic.
+type sweepMeasurement struct {
+	Sweep          string  `json:"sweep"`
+	Forkable       bool    `json:"forkable"`
+	ScratchSeconds float64 `json:"scratch_seconds"`
+	ForkedSeconds  float64 `json:"forked_seconds"`
+	Speedup        float64 `json:"speedup"`
+	Identical      bool    `json:"identical_output"`
+}
+
+// benchSweeps measures every sensitivity sweep twice — warm-up forking
+// on and off — and reports wall-clock speedups plus output byte-identity.
+// The uniprocessor sweeps run a warm-up-heavy configuration (the L2 is
+// 1 MiB; one rotation barely touches it, so a steady-state measurement
+// wants many warm rotations) — exactly the regime the checkpointing
+// planner targets, where the shared prefix dominates per-cell cost. The
+// context-count, remote-latency, and issue-width sweeps cannot fork
+// (their parameter shapes warm-up itself) and are included to show the
+// planner leaves them untouched.
+func benchSweeps() []sweepMeasurement {
+	ucfg := experiments.DefaultUniConfig()
+	ucfg.WarmupRotations = 12
+	ucfg.MeasureRotations = 1
+	ucfg.Parallelism = 1
+	mcfg := experiments.QuickMPConfig()
+	mcfg.Parallelism = 1
+
+	sweeps := []struct {
+		name     string
+		forkable bool
+		run      func(disabled bool) (*experiments.SweepResult, error)
+	}{
+		{"switch-cost", true, func(d bool) (*experiments.SweepResult, error) {
+			c := ucfg
+			c.Checkpoint.Disabled = d
+			return experiments.SwitchCostSweep(c, "DC")
+		}},
+		{"mshr", true, func(d bool) (*experiments.SweepResult, error) {
+			c := ucfg
+			c.Checkpoint.Disabled = d
+			return experiments.MSHRSweep(c, "DC")
+		}},
+		{"context-count", false, func(d bool) (*experiments.SweepResult, error) {
+			c := ucfg
+			c.Checkpoint.Disabled = d
+			return experiments.ContextCountSweep(c, "DC")
+		}},
+		{"issue-width", false, func(d bool) (*experiments.SweepResult, error) {
+			c := ucfg
+			c.Checkpoint.Disabled = d
+			return experiments.IssueWidthSweep(c, "R1")
+		}},
+		{"remote-latency", false, func(d bool) (*experiments.SweepResult, error) {
+			return experiments.RemoteLatencySweep(mcfg, "ocean")
+		}},
+	}
+
+	var out []sweepMeasurement
+	for _, s := range sweeps {
+		time1 := func(disabled bool) (*experiments.SweepResult, float64) {
+			t0 := time.Now()
+			r, err := s.run(disabled)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: sweep %s: %v\n", s.name, err)
+				os.Exit(1)
+			}
+			return r, time.Since(t0).Seconds()
+		}
+		scratch, scratchSec := time1(true)
+		forked, forkedSec := time1(false)
+		wantText, gotText := experiments.FormatSweep(scratch), experiments.FormatSweep(forked)
+		wantJSON, _ := json.Marshal(scratch)
+		gotJSON, _ := json.Marshal(forked)
+		m := sweepMeasurement{
+			Sweep:          s.name,
+			Forkable:       s.forkable,
+			ScratchSeconds: scratchSec,
+			ForkedSeconds:  forkedSec,
+			Speedup:        scratchSec / forkedSec,
+			Identical:      wantText == gotText && string(wantJSON) == string(gotJSON),
+		}
+		fmt.Fprintf(os.Stderr, "sweep %-14s scratch %6.2fs  forked %6.2fs  speedup %.2fx  identical=%v\n",
+			m.Sweep, m.ScratchSeconds, m.ForkedSeconds, m.Speedup, m.Identical)
+		if !m.Identical {
+			fmt.Fprintf(os.Stderr, "bench: sweep %s: forked output diverges from scratch\n", s.name)
+			os.Exit(1)
+		}
+		out = append(out, m)
+	}
+	return out
 }
 
 func grid() []cellSpec {
@@ -199,6 +297,7 @@ func main() {
 	baseline := flag.String("baseline", "", "JSON file from a run of this tool at the pre-change revision; embedded, with per-cell speedups computed")
 	repeats := flag.Int("repeat", 3, "runs per cell; best is kept")
 	processors := flag.Int("processors", 8, "multiprocessor node count")
+	sweeps := flag.Bool("sweeps", false, "measure the sensitivity sweeps forked-vs-scratch instead of the throughput grid (self-baselining: needs no older revision)")
 	flag.Parse()
 
 	rep := runReport{
@@ -207,6 +306,11 @@ func main() {
 		Go:      runtime.Version(),
 		Date:    time.Now().UTC().Format(time.RFC3339),
 		Repeats: *repeats,
+	}
+	if *sweeps {
+		file := benchFile{Current: rep, Sweeps: benchSweeps()}
+		writeReport(&file, *out)
+		return
 	}
 	for _, spec := range grid() {
 		m, err := measure(spec, *processors, *repeats)
@@ -248,17 +352,21 @@ func main() {
 		}
 	}
 
-	enc, err := json.MarshalIndent(&file, "", "  ")
+	writeReport(&file, *out)
+}
+
+func writeReport(file *benchFile, out string) {
+	enc, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}

@@ -9,6 +9,12 @@
 // workers (default: all CPUs); -j 1 is the serial path. Output is
 // byte-identical at every -j.
 //
+// Sensitivity sweeps whose swept parameter takes effect at the
+// warm-up/measure boundary (switch cost, MSHRs) simulate their shared
+// warm-up once and fork every cell from the checkpoint — byte-identical
+// to, and faster than, simulating each warm-up. -no-checkpoint disables
+// the sharing; -checkpoint-dir persists the checkpoints across runs.
+//
 // Crash safety: -journal records every completed grid cell durably
 // (fsync per cell); -resume replays a journal's cells and simulates only
 // the remainder, producing byte-identical output to an uninterrupted
@@ -60,6 +66,8 @@ func run(args []string) (code int) {
 	resumePath := fs.String("resume", "", "resume from this journal: replay its cells, run only the remainder, keep appending")
 	allowBinaryMismatch := fs.Bool("allow-binary-mismatch", false, "resume a journal written by a different binary when the configuration is identical")
 	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell wall-clock budget; a cell exceeding it is retried once at a doubled budget, then fails (0 = off)")
+	checkpointDir := fs.String("checkpoint-dir", "", "persist sweep warm-up checkpoints in this directory and reuse them across runs (default: in-memory only)")
+	noCheckpoint := fs.Bool("no-checkpoint", false, "disable warm-up sharing: every sweep cell simulates its own warm-up")
 	interruptAfter := fs.Int("interrupt-after", 0, "testing: raise SIGINT after this many journal appends")
 	gopts := guard.BindFlags(fs)
 	prof := profiling.BindFlags(fs)
@@ -148,6 +156,12 @@ func run(args []string) (code int) {
 	mcfg.Guard = *gopts
 	ucfg.Obs = obs.Options()
 	mcfg.Obs = obs.Options()
+	ucfg.Checkpoint = experiments.CheckpointOptions{Disabled: *noCheckpoint, Dir: *checkpointDir}
+	if *checkpointDir != "" && !*noCheckpoint {
+		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+			return fail(err)
+		}
+	}
 
 	needUni := experiments.NeedUni(sel)
 	needMP := experiments.NeedMP(sel)
@@ -361,36 +375,43 @@ func run(args []string) (code int) {
 
 	if sel("sweeps") && !skipInterrupted("sweeps") {
 		start := time.Now()
-		if r, err := experiments.SwitchCostSweepCtx(ctx, ucfg, "DC"); err != nil {
-			return fail(err)
-		} else {
+		sweepBlob := map[string]*experiments.SweepResult{}
+		runSweep := func(key string, run func() (*experiments.SweepResult, error)) error {
+			r, err := run()
+			if err != nil {
+				return err
+			}
+			sweepBlob[key] = r
 			fmt.Println(experiments.FormatSweep(r))
 			fmt.Println()
+			return nil
 		}
-		if r, err := experiments.ContextCountSweepCtx(ctx, ucfg, "DC"); err != nil {
+		if err := runSweep("switch_cost", func() (*experiments.SweepResult, error) {
+			return experiments.SwitchCostSweepCtx(ctx, ucfg, "DC")
+		}); err != nil {
 			return fail(err)
-		} else {
-			fmt.Println(experiments.FormatSweep(r))
-			fmt.Println()
 		}
-		if r, err := experiments.MSHRSweepCtx(ctx, ucfg, "DC"); err != nil {
+		if err := runSweep("context_count", func() (*experiments.SweepResult, error) {
+			return experiments.ContextCountSweepCtx(ctx, ucfg, "DC")
+		}); err != nil {
 			return fail(err)
-		} else {
-			fmt.Println(experiments.FormatSweep(r))
-			fmt.Println()
 		}
-		if r, err := experiments.RemoteLatencySweepCtx(ctx, mcfg, "ocean"); err != nil {
+		if err := runSweep("mshr", func() (*experiments.SweepResult, error) {
+			return experiments.MSHRSweepCtx(ctx, ucfg, "DC")
+		}); err != nil {
 			return fail(err)
-		} else {
-			fmt.Println(experiments.FormatSweep(r))
-			fmt.Println()
 		}
-		if r, err := experiments.IssueWidthSweepCtx(ctx, ucfg, "R1"); err != nil {
+		if err := runSweep("remote_latency", func() (*experiments.SweepResult, error) {
+			return experiments.RemoteLatencySweepCtx(ctx, mcfg, "ocean")
+		}); err != nil {
 			return fail(err)
-		} else {
-			fmt.Println(experiments.FormatSweep(r))
-			fmt.Println()
 		}
+		if err := runSweep("issue_width", func() (*experiments.SweepResult, error) {
+			return experiments.IssueWidthSweepCtx(ctx, ucfg, "R1")
+		}); err != nil {
+			return fail(err)
+		}
+		jsonBlob["sweeps"] = sweepBlob
 		if r, err := experiments.RunPrefetchComparisonCtx(ctx, ucfg); err != nil {
 			return fail(err)
 		} else {

@@ -149,12 +149,30 @@ func (n *Node) AttachMetrics(m *metrics.ProcMetrics) {
 	reg.Register("coh/deferred", &n.Stats.Deferred)
 }
 
+// countingSource wraps the latency PRNG's source and counts raw draws,
+// which is what makes the stream checkpointable: math/rand exposes no
+// internal state, but replaying the recorded number of raw draws from a
+// fresh same-seeded source lands the stream at the identical position.
+// The wrapped source produces exactly the values the bare source would,
+// so existing golden results are unchanged.
+type countingSource struct {
+	src   rand.Source64
+	draws int64
+}
+
+func (s *countingSource) Int63() int64 { s.draws++; return s.src.Int63() }
+
+func (s *countingSource) Uint64() uint64 { s.draws++; return s.src.Uint64() }
+
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed); s.draws = 0 }
+
 // Fabric is the shared directory and interconnect for all nodes.
 type Fabric struct {
-	P     Params
-	nodes []*Node
-	dir   map[uint32]*dirPage
-	rng   *rand.Rand
+	P      Params
+	nodes  []*Node
+	dir    map[uint32]*dirPage
+	rng    *rand.Rand
+	rngSrc *countingSource
 
 	lastPageNo uint32
 	lastPage   *dirPage
@@ -172,10 +190,12 @@ func NewFabric(p Params, n int) (*Fabric, error) {
 	if n < 1 || n > 64 {
 		return nil, fmt.Errorf("coherence: node count %d out of range [1,64]", n)
 	}
+	src := &countingSource{src: rand.NewSource(p.Seed).(rand.Source64)}
 	f := &Fabric{
-		P:   p,
-		dir: make(map[uint32]*dirPage),
-		rng: rand.New(rand.NewSource(p.Seed)),
+		P:      p,
+		dir:    make(map[uint32]*dirPage),
+		rng:    rand.New(src),
+		rngSrc: src,
 	}
 	for i := 0; i < n; i++ {
 		f.nodes = append(f.nodes, &Node{

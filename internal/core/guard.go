@@ -36,6 +36,28 @@ func (t *Thread) HashArchState(h uint64) uint64 {
 	return h
 }
 
+// MachineHash digests every machine layer reachable from the processor
+// into one diagnostic hash: functional memory, the memory system when it
+// can hash itself (cache.Hierarchy implements guard.StateHasher; a
+// multiprocessor's shared coherence state hashes once at the fabric
+// level instead, see mp.machineHash), and each bound thread's
+// architectural state. The fuzzer's fork oracle and the
+// snapshot-equivalence tests compare these across machines; diagnostics
+// record them so two reports of the "same" failure can be told apart.
+func (p *Processor) MachineHash() uint64 {
+	layers := []uint64{p.FMem.Hash()}
+	if hs, ok := p.Mem.(guard.StateHasher); ok {
+		layers = append(layers, hs.Hash())
+	}
+	h := guard.MachineHash(layers...)
+	for _, c := range p.ctxs {
+		if c.thread != nil {
+			h = c.thread.HashArchState(h)
+		}
+	}
+	return h
+}
+
 // UsefulProgress is the watchdog's progress counter: issue slots spent on
 // useful (non-synchronization) instructions. Spin-wait code retires
 // synchronization instructions forever, so a deadlocked machine still
@@ -92,10 +114,11 @@ func (p *Processor) CheckInvariants() error {
 		return guard.NewSimError("core.invariant", fmt.Errorf(format, args...)).
 			At(p.cycle).On(p.ID, ctx, pc).
 			WithDiag(&guard.Diagnostic{
-				Reason: "pipeline invariant violation",
-				Cycle:  p.cycle,
-				Scheme: p.Cfg.Scheme.String(),
-				Procs:  []guard.ProcState{p.Snapshot()},
+				Reason:      "pipeline invariant violation",
+				Cycle:       p.cycle,
+				Scheme:      p.Cfg.Scheme.String(),
+				Procs:       []guard.ProcState{p.Snapshot()},
+				MachineHash: p.MachineHash(),
 			})
 	}
 	width := int64(p.Cfg.IssueWidth)
@@ -191,13 +214,17 @@ func (p *Processor) RunGuardedCtx(ctx context.Context, limit int64, opts guard.O
 		} else if err := p.runCancelable(ctx, done, chunk); err != nil {
 			return p.cycle - start, false, err
 		}
+		if p.BlockHook != nil {
+			p.BlockHook(p.cycle)
+		}
 		if wd.Observe(p.cycle, p.UsefulProgress()) {
 			d := &guard.Diagnostic{
-				Reason: fmt.Sprintf("watchdog: no useful instruction retired in %d cycles", wd.Stalled(p.cycle)),
-				Cycle:  p.cycle,
-				Scheme: p.Cfg.Scheme.String(),
-				Window: wd.Window(),
-				Procs:  []guard.ProcState{p.Snapshot()},
+				Reason:      fmt.Sprintf("watchdog: no useful instruction retired in %d cycles", wd.Stalled(p.cycle)),
+				Cycle:       p.cycle,
+				Scheme:      p.Cfg.Scheme.String(),
+				Window:      wd.Window(),
+				Procs:       []guard.ProcState{p.Snapshot()},
+				MachineHash: p.MachineHash(),
 			}
 			return p.cycle - start, false, guard.NewSimError(guard.OpWatchdog,
 				fmt.Errorf("livelock/deadlock: no useful instruction retired in %d cycles", wd.Stalled(p.cycle))).

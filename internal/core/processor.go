@@ -235,6 +235,13 @@ type Processor struct {
 	// hashes architectural state here; the hook fires at the same cycles
 	// with fast-forward on or off, so chains are comparable across modes.
 	SwitchWatch func(now int64, ctx int)
+	// BlockHook, if set, is invoked by RunGuardedCtx between guard
+	// chunks (multiples of the 64-cycle block) with the current cycle.
+	// Chunk boundaries are the single-processor driver's snapshot
+	// points: the machine is settled identically there whether the chunk
+	// stepped or fast-forwarded, so state captured by the hook restores
+	// position-identically. The hook must not advance the processor.
+	BlockHook func(now int64)
 
 	// Observability (metrics.go). obs is nil when disabled, which keeps
 	// the hot path to one nil check; nextSample is MaxInt64 whenever

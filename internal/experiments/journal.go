@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/snapshot"
 	"repro/internal/workstation"
 )
 
@@ -70,6 +71,18 @@ type Fingerprint struct {
 	Only    []string   `json:"only,omitempty"`
 	Uni     *UniConfig `json:"uni,omitempty"`
 	MP      *MPConfig  `json:"mp,omitempty"`
+	// Checkpoint stamps runs with warm-up forking enabled: a resumed run
+	// must agree on both the decision to fork and the snapshot codec
+	// speaking for any reused on-disk checkpoints. Forked and
+	// from-scratch cells are byte-identical, so this is provenance
+	// hygiene, not a correctness requirement — but it keeps one journal
+	// from silently mixing the two regimes.
+	Checkpoint *CheckpointStamp `json:"checkpoint,omitempty"`
+}
+
+// CheckpointStamp records how a run's checkpoints were produced.
+type CheckpointStamp struct {
+	CodecVersion int `json:"codec_version"`
 }
 
 // NewFingerprint builds the fingerprint for a cmd/experiments run over
@@ -88,6 +101,10 @@ func NewFingerprint(uni *UniConfig, mp *MPConfig, only []string) Fingerprint {
 		u := *uni
 		u.Parallelism = 0
 		u.Journal = nil
+		if !u.Checkpoint.Disabled {
+			fp.Checkpoint = &CheckpointStamp{CodecVersion: snapshot.Version}
+		}
+		u.Checkpoint = CheckpointOptions{}
 		fp.Uni = &u
 	}
 	if mp != nil {

@@ -56,17 +56,22 @@ func SwitchCostSweepCtx(ctx context.Context, cfg UniConfig, workload string) (*S
 		configs = append(configs, w)
 	}
 	add(workstation.DefaultConfig(core.Single, 1))
-	costs := []int{1, 3, 5, 7, 9}
+	// Unit-step resolution: each extra point costs one measure phase, not
+	// a full warm-up, because every blocked cell forks from one shared
+	// warm-up checkpoint (the sweep ran {1,3,5,7,9} before forking made
+	// the denser axis affordable).
+	costs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	for _, cost := range costs {
+		// The flush cost is a measurement-time override (not a base-config
+		// edit): warm-up runs at the default cost for every point, so all
+		// ten cells share one warm-up prefix and fork from one checkpoint.
 		w := workstation.DefaultConfig(core.Blocked, 4)
-		cc := core.DefaultConfig(core.Blocked, 4)
-		cc.BlockedFlushCost = cost
-		w.Core = &cc
+		w.Measure.BlockedFlushCost = cost
 		add(w)
 	}
 	add(workstation.DefaultConfig(core.Interleaved, 4))
 
-	thr, err := sweepThroughputs(ctx, cfg.Parallelism, kernels, configs)
+	thr, err := sweepThroughputsShared(ctx, cfg, workload, kernels, configs)
 	if err != nil {
 		return nil, err
 	}
@@ -133,6 +138,8 @@ func ContextCountSweepCtx(ctx context.Context, cfg UniConfig, workload string) (
 			configs = append(configs, mk(s, n))
 		}
 	}
+	// The context count is structural — it shapes the warm-up itself —
+	// so these cells cannot share a prefix and run from scratch.
 	thr, err := sweepThroughputs(ctx, cfg.Parallelism, kernels, configs)
 	if err != nil {
 		return nil, err
@@ -183,6 +190,9 @@ func RemoteLatencySweepCtx(ctx context.Context, cfg MPConfig, app string) (*Swee
 			specs = append(specs, spec{s, 4, scale})
 		}
 	}
+	// The swept latencies act from cycle zero (the multiprocessor run
+	// has no warm-up/measure split), so no prefix is shared: every cell
+	// simulates from scratch.
 	cycles := make([]int64, len(specs))
 	err = runCells(ctx, cfg.Parallelism, len(specs), func(ctx context.Context, i int) error {
 		sp := specs[i]
@@ -247,21 +257,25 @@ func MSHRSweepCtx(ctx context.Context, cfg UniConfig, workload string) (*SweepRe
 	if err != nil {
 		return nil, err
 	}
-	mk := func(s core.Scheme, n, mshrs int) workstation.Config {
+	mk := func(s core.Scheme, n int) workstation.Config {
 		w := workstation.DefaultConfig(s, n)
 		w.OS.SliceCycles = cfg.SliceCycles
 		w.WarmupRotations = cfg.WarmupRotations
 		w.MeasureRotations = cfg.MeasureRotations
 		w.Seed = cfg.Seed
-		w.Cache.MSHRs = mshrs
 		return w
 	}
 	mshrs := []int{1, 2, 4, 8}
-	configs := []workstation.Config{mk(core.Single, 1, 4)}
+	configs := []workstation.Config{mk(core.Single, 1)}
 	for _, m := range mshrs {
-		configs = append(configs, mk(core.Interleaved, 4, m))
+		// Warm-up runs with the default miss registers; the swept count
+		// takes effect when measurement starts, so the interleaved cells
+		// share one warm-up prefix and fork from one checkpoint.
+		w := mk(core.Interleaved, 4)
+		w.Measure.MSHRs = m
+		configs = append(configs, w)
 	}
-	thr, err := sweepThroughputs(ctx, cfg.Parallelism, kernels, configs)
+	thr, err := sweepThroughputsShared(ctx, cfg, workload, kernels, configs)
 	if err != nil {
 		return nil, err
 	}
@@ -356,6 +370,8 @@ func IssueWidthSweepCtx(ctx context.Context, cfg UniConfig, workload string) (*S
 		configs = append(configs, mk(core.Single, 1, width))
 		configs = append(configs, mk(core.Interleaved, 4, width))
 	}
+	// The issue width changes the slot accounting from cycle zero —
+	// warm-up differs per point — so the cells run from scratch.
 	thr, err := sweepThroughputs(ctx, cfg.Parallelism, kernels, configs)
 	if err != nil {
 		return nil, err

@@ -15,12 +15,12 @@ func TestSwitchCostSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	pts := r.Series["blocked"]
-	if len(pts) != 5 {
+	if len(pts) != 10 {
 		t.Fatalf("blocked points = %d", len(pts))
 	}
-	// Cheaper switches must not hurt: gain at cost 1 >= gain at cost 9.
+	// Cheaper switches must not hurt: gain at cost 1 >= gain at cost 10.
 	if pts[0].Gain < pts[len(pts)-1].Gain {
-		t.Errorf("gain(cost=1) %.3f < gain(cost=9) %.3f", pts[0].Gain, pts[len(pts)-1].Gain)
+		t.Errorf("gain(cost=1) %.3f < gain(cost=10) %.3f", pts[0].Gain, pts[len(pts)-1].Gain)
 	}
 	// Even a free-ish switch does not reach the interleaved reference
 	// (the blocked scheme still exposes short dependency stalls).

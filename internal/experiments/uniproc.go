@@ -56,6 +56,14 @@ type UniConfig struct {
 	// replays cells already present (crash-safe resume). Excluded from
 	// JSON so results and fingerprints do not depend on journaling.
 	Journal *Journal `json:"-"`
+
+	// Checkpoint configures warm-up sharing for the sensitivity sweeps:
+	// sweeps whose swept parameter is a measurement-time override
+	// simulate their shared warm-up prefix once and fork every cell from
+	// it. Excluded from JSON because forked and from-scratch runs are
+	// byte-identical; the one observable consequence — which codec wrote
+	// any on-disk checkpoints — is recorded in Fingerprint.Checkpoint.
+	Checkpoint CheckpointOptions `json:"-"`
 }
 
 // DefaultUniConfig reproduces the paper's setup (time-scaled).

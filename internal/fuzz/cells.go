@@ -18,6 +18,7 @@ import (
 	"repro/internal/mp"
 	"repro/internal/osmodel"
 	"repro/internal/prog"
+	"repro/internal/snapshot"
 	"repro/internal/workstation"
 )
 
@@ -49,6 +50,13 @@ type Cell struct {
 	Contexts int         // contexts per processor (timing machines)
 	FF       bool        // fast-forward engine on
 	Chaos    int64       // chaos latency-injection seed, 0 = off
+	// Restore forks the run through the snapshot codec: the machine is
+	// serialized at a derived 64-cycle block boundary, restored into a
+	// freshly built twin, and finished there. The switch recorder spans
+	// both phases, so the oracle compares the forked cell's full digest
+	// — cycles, switch chain, arch hash — strictly against its unforked
+	// sibling ("uni" machine only).
+	Restore bool
 }
 
 // Key is the cell's stable identity, used in reports and divergence
@@ -58,18 +66,19 @@ func (c Cell) Key() string {
 	case "func":
 		return "func/" + c.Ordering.String()
 	case "mp":
-		return fmt.Sprintf("mp/p%dc%d/%s/%s%s", c.Procs, c.Contexts, c.Scheme, ffTag(c.FF), chaosTag(c.Chaos))
+		return fmt.Sprintf("mp/p%dc%d/%s/%s%s%s", c.Procs, c.Contexts, c.Scheme, ffTag(c.FF), chaosTag(c.Chaos), restoreTag(c.Restore))
 	default:
-		return fmt.Sprintf("%s/%s/%s%s", c.Machine, c.Scheme, ffTag(c.FF), chaosTag(c.Chaos))
+		return fmt.Sprintf("%s/%s/%s%s%s", c.Machine, c.Scheme, ffTag(c.FF), chaosTag(c.Chaos), restoreTag(c.Restore))
 	}
 }
 
 // GroupKey identifies the strict-comparison group: cells differing only
-// in fast-forward mode are the same machine at the same cycle-level
-// schedule, so their cycle counts, switch chains, and full register
-// hashes must all match exactly.
+// in fast-forward mode or a snapshot fork are the same machine at the
+// same cycle-level schedule, so their cycle counts, switch chains, and
+// full register hashes must all match exactly.
 func (c Cell) GroupKey() string {
 	c.FF = false
+	c.Restore = false
 	return c.Key()
 }
 
@@ -83,6 +92,13 @@ func ffTag(ff bool) string {
 func chaosTag(seed int64) string {
 	if seed != 0 {
 		return "/chaos"
+	}
+	return ""
+}
+
+func restoreTag(restore bool) string {
+	if restore {
+		return "/restore"
 	}
 	return ""
 }
@@ -229,11 +245,25 @@ func PlanCells(s *Spec, quick bool) []Cell {
 			cells = append(cells, Cell{Machine: "uni", Scheme: sch, Contexts: T, FF: ff})
 		}
 	}
+	// Snapshot-codec crosscheck: forked twins of existing uni cells,
+	// serialized and restored at a seed-derived block boundary. Their
+	// digests land in the same strict groups as the unforked cells, so
+	// the oracle compares them cycle-for-cycle and hash-for-hash.
+	cells = append(cells,
+		Cell{Machine: "uni", Scheme: uniSchemes[0], Contexts: T, FF: true, Restore: true},
+		Cell{Machine: "uni", Scheme: core.Interleaved, Contexts: T, FF: true, Restore: true},
+	)
 	if !quick {
 		// Chaos latency injection: timing perturbed, semantics must not be.
 		cells = append(cells,
 			Cell{Machine: "uni", Scheme: core.Interleaved, Contexts: T, FF: true, Chaos: chaosSeed(0)},
 			Cell{Machine: "uni", Scheme: uniSchemes[0], Contexts: T, FF: true, Chaos: chaosSeed(1)},
+		)
+		// Forked twins with fast-forward off and under chaos: the codec
+		// must round-trip the slow path and perturbed latencies too.
+		cells = append(cells,
+			Cell{Machine: "uni", Scheme: core.Interleaved, Contexts: T, FF: false, Restore: true},
+			Cell{Machine: "uni", Scheme: core.Interleaved, Contexts: T, FF: true, Chaos: chaosSeed(0), Restore: true},
 		)
 
 		// Workstation environment: OS scheduler interference at slice
@@ -341,31 +371,43 @@ func RunCell(ctx context.Context, s *Spec, c Cell, lim Limits) (*CellResult, err
 // TLB interference at fixed slice boundaries (timing-only effects, so
 // fast-forward pairs stay strictly comparable).
 func runUni(ctx context.Context, p *prog.Program, s *Spec, c Cell, lim Limits, rec *recorder) (*mem.Memory, []*core.Thread, int64, error) {
-	ccfg := core.DefaultConfig(c.Scheme, c.Contexts)
-	ccfg.NoFastForward = !c.FF
-	params := cache.DefaultParams()
-	params.Chaos = guard.Options{ChaosSeed: c.Chaos}.NewChaos()
-	h, err := cache.NewHierarchy(params)
+	// build constructs one complete machine; Restore cells build a
+	// second, identical one to restore the checkpoint into.
+	build := func() (*cache.Hierarchy, *mem.Memory, *core.Processor, []*core.Thread, error) {
+		ccfg := core.DefaultConfig(c.Scheme, c.Contexts)
+		ccfg.NoFastForward = !c.FF
+		params := cache.DefaultParams()
+		params.Chaos = guard.Options{ChaosSeed: c.Chaos}.NewChaos()
+		h, err := cache.NewHierarchy(params)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		fm := mem.New()
+		p.LoadInit(fm)
+		proc, err := core.NewProcessor(ccfg, h, fm)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		ths := make([]*core.Thread, c.Contexts)
+		for i := range ths {
+			ths[i] = core.NewThread(fmt.Sprintf("%s.t%d", p.Name, i), p)
+			ths[i].SetIntReg(mp.TidReg, uint32(i))
+			ths[i].SetIntReg(mp.NThreadsReg, uint32(c.Contexts))
+			proc.BindThread(i, ths[i])
+		}
+		proc.SwitchWatch = func(now int64, ctx int) {
+			rec.observe(fm, proc.ThreadAt(ctx), 0, ctx, now)
+		}
+		return h, fm, proc, ths, nil
+	}
+	h, fm, proc, ths, err := build()
 	if err != nil {
 		return nil, nil, 0, err
-	}
-	fm := mem.New()
-	p.LoadInit(fm)
-	proc, err := core.NewProcessor(ccfg, h, fm)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	ths := make([]*core.Thread, c.Contexts)
-	for i := range ths {
-		ths[i] = core.NewThread(fmt.Sprintf("%s.t%d", p.Name, i), p)
-		ths[i].SetIntReg(mp.TidReg, uint32(i))
-		ths[i].SetIntReg(mp.NThreadsReg, uint32(c.Contexts))
-		proc.BindThread(i, ths[i])
-	}
-	proc.SwitchWatch = func(now int64, ctx int) {
-		rec.observe(fm, proc.ThreadAt(ctx), 0, ctx, now)
 	}
 
+	if c.Restore {
+		return runUniForked(ctx, c, lim, s.Seed, build, fm, proc, ths, h)
+	}
 	if c.Machine == "ws" {
 		// OS-scheduler interference at fixed cycle boundaries. The slice
 		// is much shorter than the real scheduler's so short generated
@@ -397,6 +439,73 @@ func runUni(ctx context.Context, p *prog.Program, s *Spec, c Cell, lim Limits, r
 		}
 	}
 	return fm, ths, cycles, nil
+}
+
+// runUniForked is runUni's snapshot-fork path: run to a block boundary
+// derived from the program seed, serialize every machine layer through
+// the snapshot codec, restore into a freshly built twin machine, and
+// finish the run there. The recorder spans both phases, so the cell's
+// digest — cycles, switch chain, arch hash — must be indistinguishable
+// from its unforked sibling's; any codec bug surfaces as a strict-group
+// divergence in the oracle.
+func runUniForked(ctx context.Context, c Cell, lim Limits, seed int64,
+	build func() (*cache.Hierarchy, *mem.Memory, *core.Processor, []*core.Thread, error),
+	fm *mem.Memory, proc *core.Processor, ths []*core.Thread, h *cache.Hierarchy,
+) (*mem.Memory, []*core.Thread, int64, error) {
+	k := experiments.DeriveSeed(seed, 0xb10c) % 512
+	if k < 0 {
+		k = -k
+	}
+	at := 64 * (k + 1)
+	if at >= lim.MaxCycles {
+		at = 64
+	}
+	// Phase 1: run the source machine to the boundary. Halting earlier
+	// is fine — the codec then round-trips a finished machine.
+	if _, _, err := proc.RunGuardedCtx(ctx, at, guard.Options{}); err != nil {
+		return nil, nil, 0, err
+	}
+	w := snapshot.NewWriter()
+	for _, th := range ths {
+		th.SaveState(w)
+	}
+	proc.SaveState(w)
+	h.SaveState(w)
+	fm.SaveState(w)
+
+	h2, fm2, proc2, ths2, err := build()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	r := snapshot.NewReader(w.Bytes())
+	for _, th := range ths2 {
+		th.RestoreState(r)
+	}
+	proc2.RestoreState(r)
+	h2.RestoreState(r)
+	fm2.RestoreState(r)
+	if err := snapshot.Finish(r); err != nil {
+		return nil, nil, 0, fmt.Errorf("restore at cycle %d: %w", at, err)
+	}
+	if got, want := proc2.MachineHash(), proc.MachineHash(); got != want {
+		return nil, nil, 0, fmt.Errorf("restored machine hash %#x != source %#x at cycle %d", got, want, at)
+	}
+
+	// Phase 2: finish on the twin. The remaining budget keeps the total
+	// identical to the unforked sibling's single run.
+	if _, _, err := proc2.RunGuardedCtx(ctx, lim.MaxCycles-at, guard.Options{}); err != nil {
+		return nil, nil, 0, err
+	}
+	if !proc2.AllHalted() {
+		return nil, nil, 0, fmt.Errorf("did not halt within %d cycles", lim.MaxCycles)
+	}
+	cycles := int64(0)
+	for _, th := range ths2 {
+		if th.HaltedAt+1 > cycles {
+			cycles = th.HaltedAt + 1
+		}
+	}
+	return fm2, ths2, cycles, nil
 }
 
 // runMP executes the cell on the lockstep multiprocessor.

@@ -61,3 +61,25 @@ func (c *Chaos) Jitter() int64 {
 // Perturb returns lat plus jitter: the common "stretch this latency"
 // call. Nil-safe.
 func (c *Chaos) Perturb(lat int64) int64 { return lat + c.Jitter() }
+
+// SnapshotState returns the PRNG position for checkpointing: the raw
+// splitmix64 state and the draw count. Seed and skew are configuration,
+// not state — a restorer rebuilds the Chaos from its config and resumes
+// the stream with RestoreSnapshotState. Nil-safe (returns zeros).
+func (c *Chaos) SnapshotState() (state uint64, draws int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.state, c.Draws
+}
+
+// RestoreSnapshotState resumes the perturbation stream at a position
+// captured by SnapshotState. Nil-safe (a no-op, matching a run whose
+// chaos mode is off).
+func (c *Chaos) RestoreSnapshotState(state uint64, draws int64) {
+	if c == nil {
+		return
+	}
+	c.state = state
+	c.Draws = draws
+}

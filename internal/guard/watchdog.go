@@ -58,6 +58,28 @@ func (w *Watchdog) Observe(now, progress int64) (tripped bool) {
 	return now-w.lastProgress >= w.window
 }
 
+// ProgressState returns the watchdog's position for checkpointing: the
+// last observed progress counter, the cycle it was observed at, and
+// whether the watchdog has been primed. Nil-safe (returns zeros).
+func (w *Watchdog) ProgressState() (lastCount, lastProgress int64, primed bool) {
+	if w == nil {
+		return 0, 0, false
+	}
+	return w.lastCount, w.lastProgress, w.primed
+}
+
+// SetProgressState resumes a watchdog at a position captured by
+// ProgressState, so a restored run observes exactly the staleness an
+// uninterrupted run would. Nil-safe (a no-op).
+func (w *Watchdog) SetProgressState(lastCount, lastProgress int64, primed bool) {
+	if w == nil {
+		return
+	}
+	w.lastCount = lastCount
+	w.lastProgress = lastProgress
+	w.primed = primed
+}
+
 // Stalled returns how many cycles have elapsed since the last observed
 // progress.
 func (w *Watchdog) Stalled(now int64) int64 {
@@ -137,6 +159,34 @@ type Diagnostic struct {
 	// Lines is the directory state of hot lines (multiprocessor runs).
 	Lines []LineState
 	Notes []string
+	// MachineHash digests the whole machine's state (memory, cache or
+	// coherence state, architectural state) at the moment the diagnostic
+	// was taken; zero when the builder did not compute one. Two
+	// diagnostics from the "same" failure with different hashes captured
+	// genuinely different machines.
+	MachineHash uint64
+}
+
+// StateHasher is implemented by machine layers that can digest their own
+// state (mem.Memory, cache.Hierarchy, coherence.Fabric).
+type StateHasher interface {
+	Hash() uint64
+}
+
+// MachineHash folds per-layer state digests into one machine-state hash
+// (FNV-1a over the layer digests, in argument order). Drivers fold their
+// layers in a fixed order — functional memory, then the memory system,
+// then architectural state — so equal hashes mean equal machines.
+func MachineHash(layers ...uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range layers {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	return h
 }
 
 // StuckContexts returns the non-halted contexts across all processors —
@@ -163,6 +213,9 @@ func (d *Diagnostic) String() string {
 	}
 	if d.Window > 0 {
 		fmt.Fprintf(&b, ", watchdog window %d", d.Window)
+	}
+	if d.MachineHash != 0 {
+		fmt.Fprintf(&b, ", machine state %#x", d.MachineHash)
 	}
 	b.WriteByte('\n')
 	for _, p := range d.Procs {

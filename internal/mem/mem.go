@@ -49,10 +49,6 @@ type Memory struct {
 	lastPN   uint32
 	lastPage *page
 	cache    [pageCacheSize]pageCacheEntry
-
-	// hashScratch is reused across Hash calls (per-cell chaos identity
-	// checks call Hash repeatedly).
-	hashScratch []uint32
 }
 
 // New returns an empty memory.
@@ -158,12 +154,16 @@ func (m *Memory) PageCount() int { return len(m.pages) }
 // read identically hash identically even if one touched (and zeroed)
 // pages the other never allocated. Chaos-mode tests compare these digests
 // to assert that timing perturbation never changes architectural state.
+//
+// Hash allocates its page-number scratch locally so it is safe to call
+// concurrently with other Hash calls on the same Memory — cells forked
+// from one checkpoint hash their (logically distinct, physically
+// restored-from-shared-bytes) memories from pool goroutines.
 func (m *Memory) Hash() uint64 {
-	pns := m.hashScratch[:0]
+	pns := make([]uint32, 0, len(m.pages))
 	for pn := range m.pages {
 		pns = append(pns, pn)
 	}
-	m.hashScratch = pns
 	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
 	h := uint64(14695981039346656037) // FNV offset basis
 	mix := func(v uint64) {

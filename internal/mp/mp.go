@@ -118,9 +118,63 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 // poll entirely, leaving the hot loop's cost and the fast-forward
 // goldens untouched.
 func RunCtx(ctx context.Context, p *prog.Program, cfg Config) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
+	m, err := newMachine(p, cfg)
+	if err != nil {
+		return nil, err
 	}
+	completed, err := m.runBlocks(ctx, 0, cfg.LimitCycles)
+	if err != nil {
+		return nil, err
+	}
+	return m.result(completed), nil
+}
+
+// checkEvery is the lockstep block length: halt checks, watchdog
+// observations, cancellation polls and checkpoints all land on its
+// boundaries, so fast-forward ON vs OFF — and forked vs scratch — runs
+// are byte-identical.
+const checkEvery = 64
+
+// procRunner is the per-processor driver state: until is the cached
+// NextEvent horizon (zero forces a recompute on first touch), (cls, ctx)
+// the charge for the processor's current boring region. The caches are
+// derived state — at a block boundary every processor is settled to the
+// boundary cycle and a recompute yields the identical classification —
+// so checkpoints drop them.
+type procRunner struct {
+	proc  *core.Processor
+	until int64
+	cls   core.SlotClass
+	ctx   int
+}
+
+// machine is one fully constructed multiprocessor plus the lockstep
+// driver's bookkeeping. RunCtx drives it from cycle 0 to completion; the
+// checkpoint entry points (snapshot.go) drive the same block loop in two
+// halves.
+type machine struct {
+	cfg  Config
+	ccfg core.Config
+
+	fab     *coherence.Fabric
+	fm      *mem.Memory
+	procs   []*core.Processor
+	threads []*core.Thread
+
+	col             *metrics.Collector
+	wd              *guard.Watchdog
+	checks          bool
+	cadence         int64
+	nextGuard       int64
+	wdArms, wdTrips int64
+	cellEvery       int64
+	nextCell        int64
+
+	runners      []procRunner
+	advanceBlock func(start, end int64)
+}
+
+func newMachine(p *prog.Program, cfg Config) (*machine, error) {
 	if cfg.Processors < 1 {
 		return nil, fmt.Errorf("mp: need at least one processor")
 	}
@@ -142,44 +196,75 @@ func RunCtx(ctx context.Context, p *prog.Program, cfg Config) (*Result, error) {
 	fm := mem.New()
 	p.LoadInit(fm)
 
+	m := &machine{cfg: cfg, ccfg: ccfg, fab: fab, fm: fm}
+
 	nThreads := cfg.Processors * cfg.Contexts
-	procs := make([]*core.Processor, cfg.Processors)
-	col := metrics.NewCollector(cfg.Obs, cfg.Processors)
-	var threads []*core.Thread
-	for i := range procs {
+	m.procs = make([]*core.Processor, cfg.Processors)
+	m.col = metrics.NewCollector(cfg.Obs, cfg.Processors)
+	for i := range m.procs {
 		proc, err := core.NewProcessor(ccfg, fab.Node(i), fm)
 		if err != nil {
 			return nil, err
 		}
 		proc.ID = i
-		procs[i] = proc
+		m.procs[i] = proc
 		if watch := cfg.SwitchWatch; watch != nil {
 			self := proc
 			proc.SwitchWatch = func(now int64, ctx int) { watch(self, ctx, now) }
 		}
-		proc.AttachMetrics(col.Proc(i))
-		fab.Node(i).AttachMetrics(col.Proc(i))
+		proc.AttachMetrics(m.col.Proc(i))
+		fab.Node(i).AttachMetrics(m.col.Proc(i))
 		for c := 0; c < cfg.Contexts; c++ {
 			tid := i*cfg.Contexts + c
 			th := core.NewThread(fmt.Sprintf("%s.t%d", p.Name, tid), p)
 			th.SetIntReg(TidReg, uint32(tid))
 			th.SetIntReg(NThreadsReg, uint32(nThreads))
 			proc.BindThread(c, th)
-			threads = append(threads, th)
+			m.threads = append(m.threads, th)
 		}
 	}
 
 	// Hardening: the watchdog defaults to LimitCycles/20 — a wedged run is
 	// reported within 5% of its cycle budget, with a diagnostic, instead of
 	// silently burning the remaining 95% and returning Completed=false.
-	wd := guard.NewWatchdog(cfg.Guard.ResolveWatchdog(cfg.LimitCycles / 20))
-	checks := cfg.Guard.InvariantsOn()
-	cadence := cfg.Guard.CheckCadence()
-	nextGuard := cadence
+	m.wd = guard.NewWatchdog(cfg.Guard.ResolveWatchdog(cfg.LimitCycles / 20))
+	m.checks = cfg.Guard.InvariantsOn()
+	m.cadence = cfg.Guard.CheckCadence()
+	m.nextGuard = m.cadence
 
-	// Lockstep execution until every thread halts. The processors share a
-	// clock: cross-processor interactions (directory transactions) are
-	// ordered by (cycle, processor index). The driver exploits a property
+	// Cell-scope observability: counters mutated across processors must not
+	// be sampled from inside any one processor's timeline — under fast-
+	// forward a node's invalidation count at an intermediate cycle depends
+	// on how far the OTHER processors have advanced within the block. They
+	// are sampled here instead, at block boundaries, where advanceBlock has
+	// settled every processor to exactly the same cycle in both run modes.
+	// The cadence is the configured period rounded up to a whole block.
+	if m.col != nil {
+		cellReg := m.col.CellRegistry()
+		for i := 0; i < cfg.Processors; i++ {
+			cellReg.Register(fmt.Sprintf("node%d/invalidations", i), &fab.Node(i).Stats.Invalidations)
+		}
+		if ch := cfg.Coherence.Chaos; ch != nil {
+			cellReg.Register("chaos/draws", &ch.Draws)
+		}
+		cellReg.Register("watchdog/arms", &m.wdArms)
+		cellReg.Register("watchdog/trips", &m.wdTrips)
+		if every := m.col.SampleEvery(); every > 0 {
+			m.cellEvery = (every + checkEvery - 1) / checkEvery * checkEvery
+			m.col.SetCellCadence(m.cellEvery)
+		}
+	}
+	m.nextCell = m.cellEvery
+
+	// Per-processor driver state lives in one struct so the hot loop walks
+	// a single contiguous slice.
+	m.runners = make([]procRunner, len(m.procs))
+	for i, proc := range m.procs {
+		m.runners[i].proc = proc
+	}
+
+	// A single scan per global cycle both classifies and steps, walking
+	// processors in index order. The lockstep driver exploits a property
 	// of the fast-forward engine's boring regions: a processor's cached
 	// NextEvent stays valid while OTHER processors execute, because
 	// cross-processor traffic mutates only coherence-node state, which
@@ -192,57 +277,14 @@ func RunCtx(ctx context.Context, p *prog.Program, cfg Config) (*Result, error) {
 	// 64-cycle block structure is kept so halt checks and watchdog
 	// observations happen at exactly the same cycles as cycle-by-cycle
 	// stepping, making fast-forward ON vs OFF results byte-identical.
-	const checkEvery = 64
-
-	// Cell-scope observability: counters mutated across processors must not
-	// be sampled from inside any one processor's timeline — under fast-
-	// forward a node's invalidation count at an intermediate cycle depends
-	// on how far the OTHER processors have advanced within the block. They
-	// are sampled here instead, at block boundaries, where advanceBlock has
-	// settled every processor to exactly the same cycle in both run modes.
-	// The cadence is the configured period rounded up to a whole block.
-	var wdArms, wdTrips int64
-	cellEvery := int64(0)
-	if col != nil {
-		cellReg := col.CellRegistry()
-		for i := 0; i < cfg.Processors; i++ {
-			cellReg.Register(fmt.Sprintf("node%d/invalidations", i), &fab.Node(i).Stats.Invalidations)
-		}
-		if ch := cfg.Coherence.Chaos; ch != nil {
-			cellReg.Register("chaos/draws", &ch.Draws)
-		}
-		cellReg.Register("watchdog/arms", &wdArms)
-		cellReg.Register("watchdog/trips", &wdTrips)
-		if every := col.SampleEvery(); every > 0 {
-			cellEvery = (every + checkEvery - 1) / checkEvery * checkEvery
-			col.SetCellCadence(cellEvery)
-		}
-	}
-	nextCell := cellEvery
-
-	// Per-processor driver state lives in one struct so the hot loop walks
-	// a single contiguous slice: until is the cached NextEvent horizon
-	// (zero forces a recompute on first touch), (cls, ctx) the charge for
-	// the processor's current boring region.
-	type runner struct {
-		proc  *core.Processor
-		until int64
-		cls   core.SlotClass
-		ctx   int
-	}
-	runners := make([]runner, len(procs))
-	for i, proc := range procs {
-		runners[i].proc = proc
-	}
-
-	// A single scan per global cycle both classifies and steps, walking
-	// processors in index order. Stepping processor j before classifying
-	// processor i > j is safe on a pull-based memory system (the only kind
-	// the fabric is): NextEvent reads purely processor-local state, and
-	// cross-processor traffic reaches a core only through its own
-	// accesses, so the classification is independent of its position
-	// relative to other processors' steps in the same cycle — while the
-	// steps themselves retain the lockstep (cycle, processor index) order.
+	//
+	// Stepping processor j before classifying processor i > j is safe on a
+	// pull-based memory system (the only kind the fabric is): NextEvent
+	// reads purely processor-local state, and cross-processor traffic
+	// reaches a core only through its own accesses, so the classification
+	// is independent of its position relative to other processors' steps
+	// in the same cycle — while the steps themselves retain the lockstep
+	// (cycle, processor index) order.
 	//
 	// The block advancer comes in two copies selected once per run, NOT as
 	// one copy with per-skip `if observed` branches: this loop is the
@@ -254,6 +296,7 @@ func RunCtx(ctx context.Context, p *prog.Program, cfg Config) (*Result, error) {
 	// SkipTo for ObservedSkipTo so skipped regions land in the event
 	// trace and counter series. The MP fast-forward golden tests compare
 	// the two modes byte-for-byte and catch any drift between the copies.
+	runners := m.runners
 	advancePlain := func(start, end int64) {
 		for now := start; now < end; {
 			target := end
@@ -330,99 +373,132 @@ func RunCtx(ctx context.Context, p *prog.Program, cfg Config) (*Result, error) {
 			}
 		}
 	}
-	advanceBlock := advancePlain
-	if col != nil {
-		advanceBlock = advanceObserved
+	m.advanceBlock = advancePlain
+	if m.col != nil {
+		m.advanceBlock = advanceObserved
 	}
-	// Cancellation is observed between blocks — one nil test per 64
-	// simulated cycles when detached, never inside the advancers — so the
-	// hot loop stays branch-free per cycle and a canceled cell stops
-	// within one block of the cancellation.
+	return m, nil
+}
+
+// runBlocks drives lockstep blocks from cycle start (a block boundary)
+// until the machine halts or cycle limit is reached, returning whether
+// every thread halted. Cycle indices are absolute, so a run resumed from
+// a checkpoint observes the watchdog, samples cells and polls
+// cancellation at the exact cycles the uninterrupted run would.
+//
+// Cancellation is observed between blocks — one nil test per 64
+// simulated cycles when detached, never inside the advancers — so the
+// hot loop stays branch-free per cycle and a canceled cell stops within
+// one block of the cancellation.
+func (m *machine) runBlocks(ctx context.Context, start, limit int64) (bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	done := ctx.Done()
-	completed := false
-	for cycle := int64(0); cycle < cfg.LimitCycles; cycle += checkEvery {
+	for cycle := start; cycle < limit; cycle += checkEvery {
 		if done != nil {
 			select {
 			case <-done:
-				if pm := col.Proc(0); pm != nil && pm.Sink != nil {
+				if pm := m.col.Proc(0); pm != nil && pm.Sink != nil {
 					pm.Sink.Emit(metrics.Event{Cycle: cycle, Kind: metrics.KindDrain, Ctx: -1})
 				}
-				return nil, guard.NewSimError(guard.OpCanceled, ctx.Err()).At(cycle)
+				return false, guard.NewSimError(guard.OpCanceled, ctx.Err()).At(cycle)
 			default:
 			}
 		}
-		advanceBlock(cycle, cycle+checkEvery)
+		m.advanceBlock(cycle, cycle+checkEvery)
 		now := cycle + checkEvery
-		if cellEvery > 0 && now >= nextCell {
-			col.SampleCell(nextCell)
-			nextCell += cellEvery
+		if m.cellEvery > 0 && now >= m.nextCell {
+			m.col.SampleCell(m.nextCell)
+			m.nextCell += m.cellEvery
 		}
-		done := true
-		for _, proc := range procs {
+		halted := true
+		for _, proc := range m.procs {
 			if !proc.AllHalted() {
-				done = false
+				halted = false
 				break
 			}
 		}
-		if done {
-			completed = true
-			break
+		if halted {
+			return true, nil
 		}
-		if now < nextGuard {
+		if now < m.nextGuard {
 			continue
 		}
-		nextGuard = now + cadence
+		m.nextGuard = now + m.cadence
 		var progress int64
-		for _, proc := range procs {
+		for _, proc := range m.procs {
 			progress += proc.UsefulProgress()
 		}
-		wdArms++
-		if wd.Observe(now, progress) {
-			wdTrips++
-			return nil, watchdogError(now, wd, cfg, procs, fab)
+		m.wdArms++
+		if m.wd.Observe(now, progress) {
+			m.wdTrips++
+			return false, watchdogError(now, m.wd, m.cfg, m.procs, m.fab)
 		}
-		if checks {
-			for _, proc := range procs {
+		if m.checks {
+			for _, proc := range m.procs {
 				if err := proc.CheckInvariants(); err != nil {
-					return nil, err
+					return false, err
 				}
 			}
-			if err := fab.CheckInvariants(); err != nil {
-				return nil, err
+			if err := m.fab.CheckInvariants(); err != nil {
+				return false, err
 			}
 		}
 	}
+	return false, nil
+}
 
-	res := &Result{Completed: completed, Threads: nThreads, Mem: fm, ThreadState: threads}
-	if !completed {
-		res.Diag = budgetDiagnostic(cfg, procs, fab)
+// result assembles the Result after the final block.
+func (m *machine) result(completed bool) *Result {
+	res := &Result{
+		Completed:   completed,
+		Threads:     m.cfg.Processors * m.cfg.Contexts,
+		Mem:         m.fm,
+		ThreadState: m.threads,
 	}
-	res.MemHash = fm.Hash()
+	if !completed {
+		res.Diag = budgetDiagnostic(m.cfg, m.procs, m.fab)
+	}
+	res.MemHash = m.fm.Hash()
 	res.ArchHash = res.MemHash
-	for _, th := range threads {
+	for _, th := range m.threads {
 		res.ArchHash = th.HashArchState(res.ArchHash)
 	}
-	for _, th := range threads {
+	for _, th := range m.threads {
 		if th.HaltedAt+1 > res.Cycles {
 			res.Cycles = th.HaltedAt + 1
 		}
 	}
-	for _, proc := range procs {
+	for _, proc := range m.procs {
 		res.PerProc = append(res.PerProc, proc.Stats)
 		res.Stats.Add(&proc.Stats)
 	}
-	res.Metrics = col.Result()
-	return res, nil
+	res.Metrics = m.col.Result()
+	return res
+}
+
+// machineHash digests the whole multiprocessor — every processor's
+// per-layer hash plus the shared coherence fabric (caches, directory,
+// pending misses) — into one diagnostic digest.
+func machineHash(procs []*core.Processor, fab *coherence.Fabric) uint64 {
+	layers := make([]uint64, 0, len(procs)+1)
+	for _, proc := range procs {
+		layers = append(layers, proc.MachineHash())
+	}
+	layers = append(layers, fab.Hash())
+	return guard.MachineHash(layers...)
 }
 
 // budgetDiagnostic assembles the same machine-state dump as a watchdog
 // trip for a run that exhausted LimitCycles while still making progress.
 func budgetDiagnostic(cfg Config, procs []*core.Processor, fab *coherence.Fabric) *guard.Diagnostic {
 	d := &guard.Diagnostic{
-		Reason: fmt.Sprintf("cycle budget: %d cycles elapsed before all threads halted", cfg.LimitCycles),
-		Cycle:  cfg.LimitCycles,
-		Scheme: cfg.Scheme.String(),
-		Lines:  fab.HotLines(16),
+		Reason:      fmt.Sprintf("cycle budget: %d cycles elapsed before all threads halted", cfg.LimitCycles),
+		Cycle:       cfg.LimitCycles,
+		Scheme:      cfg.Scheme.String(),
+		Lines:       fab.HotLines(16),
+		MachineHash: machineHash(procs, fab),
 	}
 	for _, proc := range procs {
 		d.Procs = append(d.Procs, proc.Snapshot())
@@ -435,11 +511,12 @@ func budgetDiagnostic(cfg Config, procs []*core.Processor, fab *coherence.Fabric
 // of the lines with transactions in flight.
 func watchdogError(now int64, wd *guard.Watchdog, cfg Config, procs []*core.Processor, fab *coherence.Fabric) error {
 	d := &guard.Diagnostic{
-		Reason: fmt.Sprintf("watchdog: no useful instruction retired machine-wide in %d cycles", wd.Stalled(now)),
-		Cycle:  now,
-		Scheme: cfg.Scheme.String(),
-		Window: wd.Window(),
-		Lines:  fab.HotLines(16),
+		Reason:      fmt.Sprintf("watchdog: no useful instruction retired machine-wide in %d cycles", wd.Stalled(now)),
+		Cycle:       now,
+		Scheme:      cfg.Scheme.String(),
+		Window:      wd.Window(),
+		Lines:       fab.HotLines(16),
+		MachineHash: machineHash(procs, fab),
 	}
 	if len(d.Lines) == 0 {
 		// Distinguishes software deadlock from protocol livelock: spinning

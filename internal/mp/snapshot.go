@@ -1,0 +1,172 @@
+package mp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/prog"
+	"repro/internal/snapshot"
+)
+
+// This file checkpoints a multiprocessor run at a lockstep block
+// boundary (a multiple of checkEvery = 64 cycles) and resumes it in a
+// fresh machine. Halt checks, watchdog observations and cancellation
+// polls all land on block boundaries, so a resumed run replays them at
+// exactly the cycles the uninterrupted run would. Thread-to-context
+// bindings are fixed by construction (processor i, context c holds
+// thread i·Contexts+c) and are not serialized; the per-processor
+// fast-forward caches are derived state, dropped and recomputed at the
+// boundary.
+
+// Kind names the multiprocessor snapshot shape in the codec container.
+const Kind = "mp"
+
+// sectionRun tags the driver-level block ("MPR1").
+const sectionRun = 0x4d505231
+
+// ErrNotCheckpointable marks a configuration whose runs cannot be
+// checkpointed: instrumented (Obs-enabled) runs carry sampling cursors
+// and event traces, and SwitchWatch-observed runs a switch-event stream,
+// that a fork would silently truncate.
+var ErrNotCheckpointable = errors.New("mp: instrumented run cannot be checkpointed")
+
+// ErrCompleted reports that the machine halted before reaching the
+// requested checkpoint cycle, so there is nothing left to fork.
+var ErrCompleted = errors.New("mp: run completed before the checkpoint cycle")
+
+// CheckpointAtCtx simulates blocks [0, atCycle) and returns the machine
+// serialized in the codec container, tagged with the caller's prefix
+// fingerprint. atCycle must be a block boundary (multiple of 64) below
+// the cycle limit.
+func CheckpointAtCtx(ctx context.Context, p *prog.Program, cfg Config, atCycle int64, fingerprint string) ([]byte, error) {
+	if atCycle < 0 || atCycle%checkEvery != 0 || atCycle >= cfg.LimitCycles {
+		return nil, fmt.Errorf("mp: checkpoint cycle %d is not a block boundary below the %d-cycle limit",
+			atCycle, cfg.LimitCycles)
+	}
+	m, err := newMachine(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if m.col != nil || cfg.SwitchWatch != nil {
+		return nil, ErrNotCheckpointable
+	}
+	completed, err := m.runBlocks(ctx, 0, atCycle)
+	if err != nil {
+		return nil, err
+	}
+	if completed {
+		return nil, fmt.Errorf("%w (before cycle %d)", ErrCompleted, atCycle)
+	}
+	w := snapshot.NewWriter()
+	m.saveState(w, atCycle)
+	return snapshot.Encode(Kind, fingerprint, w.Bytes()), nil
+}
+
+// ResumeCtx restores a checkpoint produced by CheckpointAtCtx into a
+// freshly built machine for cfg and runs it to completion, returning the
+// same Result the uninterrupted run would.
+func ResumeCtx(ctx context.Context, p *prog.Program, cfg Config, data []byte, fingerprint string) (*Result, error) {
+	m, err := newMachine(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if m.col != nil || cfg.SwitchWatch != nil {
+		return nil, ErrNotCheckpointable
+	}
+	rd, err := snapshot.Decode(data, Kind, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	atCycle, err := m.restoreState(rd)
+	if err != nil {
+		return nil, err
+	}
+	completed, err := m.runBlocks(ctx, atCycle, cfg.LimitCycles)
+	if err != nil {
+		return nil, err
+	}
+	return m.result(completed), nil
+}
+
+// saveState serializes the full machine as of block boundary atCycle.
+func (m *machine) saveState(w *snapshot.Writer, atCycle int64) {
+	w.Section(sectionRun)
+	w.I64(atCycle)
+	// Shape checks: the resuming machine must have identical geometry.
+	w.U8(uint8(m.cfg.Scheme))
+	w.Int(m.cfg.Processors)
+	w.Int(m.cfg.Contexts)
+	w.I64(m.cfg.LimitCycles)
+
+	w.I64(m.nextGuard)
+	w.Bool(m.wd != nil)
+	if m.wd != nil {
+		w.I64(m.wd.Window())
+		lastCount, lastProgress, primed := m.wd.ProgressState()
+		w.I64(lastCount)
+		w.I64(lastProgress)
+		w.Bool(primed)
+	}
+
+	for _, th := range m.threads {
+		th.SaveState(w)
+	}
+	for _, proc := range m.procs {
+		proc.SaveState(w)
+	}
+	m.fab.SaveState(w)
+	m.fm.SaveState(w)
+}
+
+// restoreState rebuilds the machine from a payload Reader and returns
+// the block boundary to resume at. Threads are already bound by
+// newMachine in the fixed tid order, so only contents are restored.
+func (m *machine) restoreState(rd *snapshot.Reader) (int64, error) {
+	rd.Section(sectionRun)
+	atCycle := rd.I64()
+	rd.Expect("scheme", int64(rd.U8()), int64(m.cfg.Scheme))
+	rd.Expect("processors", int64(rd.Int()), int64(m.cfg.Processors))
+	rd.Expect("contexts", int64(rd.Int()), int64(m.cfg.Contexts))
+	rd.Expect("cycle limit", rd.I64(), m.cfg.LimitCycles)
+
+	m.nextGuard = rd.I64()
+	hadWD := rd.Bool()
+	if rd.Err() == nil {
+		var inSnap, inMachine int64
+		if hadWD {
+			inSnap = 1
+		}
+		if m.wd != nil {
+			inMachine = 1
+		}
+		rd.Expect("watchdog presence", inSnap, inMachine)
+	}
+	if hadWD && m.wd != nil {
+		rd.Expect("watchdog window", rd.I64(), m.wd.Window())
+		lastCount := rd.I64()
+		lastProgress := rd.I64()
+		primed := rd.Bool()
+		if rd.Err() == nil {
+			m.wd.SetProgressState(lastCount, lastProgress, primed)
+		}
+	}
+
+	for _, th := range m.threads {
+		th.RestoreState(rd)
+	}
+	for _, proc := range m.procs {
+		proc.RestoreState(rd)
+	}
+	m.fab.RestoreState(rd)
+	m.fm.RestoreState(rd)
+
+	if err := snapshot.Finish(rd); err != nil {
+		return 0, err
+	}
+	if atCycle < 0 || atCycle%checkEvery != 0 || atCycle >= m.cfg.LimitCycles {
+		return 0, fmt.Errorf("%w: checkpoint cycle %d is not a block boundary below the %d-cycle limit",
+			snapshot.ErrMismatch, atCycle, m.cfg.LimitCycles)
+	}
+	return atCycle, nil
+}

@@ -1,0 +1,158 @@
+package mp
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guard"
+	"repro/internal/prog"
+	"repro/internal/snapshot"
+)
+
+// mpResultEqual compares everything but the pointer-bearing diagnostic
+// and memory fields (Mem and ThreadState are compared through their
+// hashes, which fold in every word and register).
+func mpResultEqual(t *testing.T, got, want *Result) {
+	t.Helper()
+	if got.Cycles != want.Cycles {
+		t.Errorf("Cycles = %d, want %d", got.Cycles, want.Cycles)
+	}
+	if got.Completed != want.Completed {
+		t.Errorf("Completed = %v, want %v", got.Completed, want.Completed)
+	}
+	if got.MemHash != want.MemHash {
+		t.Errorf("MemHash = %#x, want %#x", got.MemHash, want.MemHash)
+	}
+	if got.ArchHash != want.ArchHash {
+		t.Errorf("ArchHash = %#x, want %#x", got.ArchHash, want.ArchHash)
+	}
+	if got.Stats != want.Stats {
+		t.Errorf("aggregate Stats differ:\n got %+v\nwant %+v", got.Stats, want.Stats)
+	}
+	for i := range want.PerProc {
+		if got.PerProc[i] != want.PerProc[i] {
+			t.Errorf("proc %d Stats differ", i)
+		}
+	}
+}
+
+// TestMPForkEquivalence: restoring at random lockstep block boundaries
+// must reproduce the uninterrupted run exactly — cycles, stats, memory
+// and architectural hashes — for every scheme, with and without chaos.
+func TestMPForkEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		scheme core.Scheme
+		ctxs   int
+	}{
+		{core.Single, 1},
+		{core.Blocked, 2},
+		{core.BlockedFast, 2},
+		{core.Interleaved, 4},
+		{core.FineGrained, 4},
+	} {
+		for _, chaos := range []bool{false, true} {
+			name := tc.scheme.String()
+			if chaos {
+				name += "/chaos"
+			}
+			t.Run(name, func(t *testing.T) {
+				p := counterProgram(10, prog.YieldBackoff)
+				cfg := DefaultConfig(tc.scheme, tc.ctxs)
+				cfg.Processors = 4
+				cfg.LimitCycles = 5_000_000
+				if chaos {
+					cfg.Guard = guard.Options{ChaosSeed: 42, ChaosSkew: 2}
+				}
+				want, err := Run(p, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !want.Completed {
+					t.Fatal("reference run did not complete")
+				}
+				// Boundaries inside the run: the machine completes at
+				// want.Cycles, so any earlier block boundary is live.
+				blocks := want.Cycles / checkEvery
+				if blocks < 2 {
+					t.Skip("run too short to fork")
+				}
+				for trial := 0; trial < 3; trial++ {
+					at := (1 + rng.Int63n(blocks-1)) * checkEvery
+					ckpt, err := CheckpointAtCtx(context.Background(), p, cfg, at, "fp")
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := ResumeCtx(context.Background(), p, cfg, ckpt, "fp")
+					if err != nil {
+						t.Fatal(err)
+					}
+					mpResultEqual(t, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestMPCheckpointRejection: typed errors for corrupt bytes, mismatched
+// fingerprints, wrong shapes, and unusable checkpoint cycles.
+func TestMPCheckpointRejection(t *testing.T) {
+	p := counterProgram(10, prog.YieldBackoff)
+	cfg := DefaultConfig(core.Interleaved, 2)
+	cfg.Processors = 2
+	cfg.LimitCycles = 5_000_000
+	ckpt, err := CheckpointAtCtx(context.Background(), p, cfg, 10*checkEvery, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := append([]byte(nil), ckpt...)
+	bad[len(bad)/3] ^= 0x08
+	if _, err := ResumeCtx(context.Background(), p, cfg, bad, "fp"); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("corrupted: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := ResumeCtx(context.Background(), p, cfg, ckpt, "other"); !errors.Is(err, snapshot.ErrMismatch) {
+		t.Errorf("wrong fingerprint: err = %v, want ErrMismatch", err)
+	}
+	other := cfg
+	other.Scheme = core.Blocked
+	if _, err := ResumeCtx(context.Background(), p, other, ckpt, "fp"); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("wrong scheme: err = %v, want ErrCorrupt (shape check)", err)
+	}
+
+	if _, err := CheckpointAtCtx(context.Background(), p, cfg, 63, "fp"); err == nil {
+		t.Error("non-boundary checkpoint cycle accepted")
+	}
+	if _, err := CheckpointAtCtx(context.Background(), p, cfg, cfg.LimitCycles, "fp"); err == nil {
+		t.Error("checkpoint at the cycle limit accepted")
+	}
+	done, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	past := (done.Cycles/checkEvery + 10) * checkEvery
+	if _, err := CheckpointAtCtx(context.Background(), p, cfg, past, "fp"); !errors.Is(err, ErrCompleted) {
+		t.Errorf("checkpoint past completion: err = %v, want ErrCompleted", err)
+	}
+}
+
+// TestMPObsNotCheckpointable: instrumented and switch-watched runs must
+// refuse to checkpoint.
+func TestMPObsNotCheckpointable(t *testing.T) {
+	p := counterProgram(5, prog.YieldBackoff)
+	cfg := DefaultConfig(core.Interleaved, 2)
+	cfg.Processors = 2
+	cfg.LimitCycles = 1_000_000
+	cfg.Obs.SampleEvery = 1024
+	if _, err := CheckpointAtCtx(context.Background(), p, cfg, checkEvery, "fp"); !errors.Is(err, ErrNotCheckpointable) {
+		t.Errorf("observed run: err = %v, want ErrNotCheckpointable", err)
+	}
+	cfg.Obs.SampleEvery = 0
+	cfg.SwitchWatch = func(*core.Processor, int, int64) {}
+	if _, err := CheckpointAtCtx(context.Background(), p, cfg, checkEvery, "fp"); !errors.Is(err, ErrNotCheckpointable) {
+		t.Errorf("switch-watched run: err = %v, want ErrNotCheckpointable", err)
+	}
+}

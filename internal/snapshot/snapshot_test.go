@@ -1,0 +1,195 @@
+package snapshot
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Section(0x11111111)
+	w.U8(0xab)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xdeadbeef)
+	w.U64(1<<63 | 12345)
+	w.I64(-42)
+	w.Int(-7)
+	w.String("hello")
+	w.String("")
+
+	r := NewReader(w.Bytes())
+	r.Section(0x11111111)
+	if got := r.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<63|12345 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if err := Finish(r); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestReaderStickyErrors(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	if got := r.U64(); got != 0 {
+		t.Errorf("truncated U64 = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("Err = %v, want ErrCorrupt", r.Err())
+	}
+	// Every later read stays zero without panicking.
+	if r.U32() != 0 || r.String() != "" || r.Bool() {
+		t.Error("reads after sticky error must return zero values")
+	}
+
+	w := NewWriter()
+	w.Section(1)
+	r = NewReader(w.Bytes())
+	r.Section(2)
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("section tag mismatch: Err = %v, want ErrCorrupt", r.Err())
+	}
+
+	// A declared string length larger than the payload must not allocate
+	// or crash.
+	w = NewWriter()
+	w.U32(1 << 30)
+	r = NewReader(w.Bytes())
+	if r.String() != "" || !errors.Is(r.Err(), ErrCorrupt) {
+		t.Error("oversized string length must fail with ErrCorrupt")
+	}
+
+	r = NewReader(nil)
+	r.Expect("contexts", 4, 4)
+	if r.Err() != nil {
+		t.Errorf("Expect on equal values: %v", r.Err())
+	}
+	r.Expect("contexts", 4, 8)
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("Expect on unequal values: %v", r.Err())
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.U64(777)
+	w.String("payload")
+	data := Encode("workstation", "fp123", w.Bytes())
+
+	r, err := Decode(data, "workstation", "fp123")
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got := r.U64(); got != 777 {
+		t.Errorf("payload U64 = %d", got)
+	}
+	if got := r.String(); got != "payload" {
+		t.Errorf("payload String = %q", got)
+	}
+	if err := Finish(r); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	w := NewWriter()
+	w.U64(1)
+	good := Encode("kind", "fp", w.Bytes())
+
+	if _, err := Decode(good, "other", "fp"); !errors.Is(err, ErrMismatch) {
+		t.Errorf("wrong kind: %v, want ErrMismatch", err)
+	}
+	if _, err := Decode(good, "kind", "other"); !errors.Is(err, ErrMismatch) {
+		t.Errorf("wrong fingerprint: %v, want ErrMismatch", err)
+	}
+
+	// Flip one payload byte: checksum must catch it.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-9] ^= 0xff
+	if _, err := Decode(bad, "kind", "fp"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit flip: %v, want ErrCorrupt", err)
+	}
+
+	// Truncation anywhere must be ErrCorrupt, never a panic.
+	for n := 0; n < len(good); n++ {
+		if _, err := Decode(good[:n], "kind", "fp"); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", n)
+		}
+	}
+
+	// A different version is ErrVersion, so callers can report staleness
+	// distinctly from corruption.
+	vbad := append([]byte(nil), good...)
+	vbad[4] = Version + 1
+	if _, err := Decode(vbad, "kind", "fp"); !errors.Is(err, ErrVersion) {
+		t.Errorf("version bump: %v, want ErrVersion", err)
+	}
+
+	if _, err := Decode([]byte("not a snapshot at all"), "kind", "fp"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("garbage: %v, want ErrCorrupt", err)
+	}
+
+	// Trailing garbage after the checksum is corruption too.
+	tbad := append(append([]byte(nil), good...), 0)
+	if _, err := Decode(tbad, "kind", "fp"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing bytes: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStateHashDeterministic(t *testing.T) {
+	a := StateHash([]byte{1, 2, 3})
+	b := StateHash([]byte{1, 2, 3})
+	c := StateHash([]byte{1, 2, 4})
+	if a != b {
+		t.Error("StateHash not deterministic")
+	}
+	if a == c {
+		t.Error("StateHash collision on adjacent payloads")
+	}
+	if StateHash(nil) != fnvOffset {
+		t.Error("StateHash(nil) must be the FNV offset basis")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "ckpt.snap")
+	w := NewWriter()
+	w.U64(99)
+	data := Encode("k", "f", w.Bytes())
+	if err := SaveFile(path, data); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	r, err := Decode(got, "k", "f")
+	if err != nil {
+		t.Fatalf("Decode after load: %v", err)
+	}
+	if r.U64() != 99 {
+		t.Error("payload changed across save/load")
+	}
+}

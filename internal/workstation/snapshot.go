@@ -1,0 +1,259 @@
+package workstation
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/snapshot"
+
+	"context"
+)
+
+// This file checkpoints a workstation run at a slice boundary and
+// resumes it in a fresh process or a forked sweep cell. Slice boundaries
+// are the workstation's snapshot points: every intra-slice cadence
+// (64-cycle cancellation blocks, guard chunks) restarts at each slice,
+// so a run restored at a boundary replays the exact block structure of
+// an uninterrupted run. The serialized state is the machine (memory,
+// hierarchy, processor, threads) plus the driver's own bookkeeping: the
+// scheduler-interference PRNG position, watchdog progress, context
+// bindings, and the measure-window baselines.
+
+// Kind names the workstation snapshot shape in the codec container.
+const Kind = "workstation"
+
+// sectionRun tags the driver-level block ("WSR1").
+const sectionRun = 0x57535231
+
+// ErrNotCheckpointable marks a configuration whose runs cannot be
+// checkpointed: instrumented (Obs-enabled) runs carry sampling cursors
+// and event traces that a fork would silently truncate, so callers must
+// fall back to from-scratch simulation.
+var ErrNotCheckpointable = errors.New("workstation: instrumented run cannot be checkpointed")
+
+// countingSource wraps a rand.Source64 and counts raw draws, forwarding
+// values untouched. A checkpoint records the draw count; restore
+// repositions a fresh same-seeded source by discarding that many draws.
+type countingSource struct {
+	src   rand.Source64
+	draws int64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
+
+// CheckpointWarmupCtx simulates the warm-up prefix (every slice before
+// the measure boundary) and returns the machine serialized in the codec
+// container, tagged with the caller's prefix fingerprint. The sweep
+// planner calls this once per cell group and forks every cell of the
+// group from the returned bytes via ResumeCtx.
+func CheckpointWarmupCtx(ctx context.Context, kernels []apps.Kernel, cfg Config, fingerprint string) ([]byte, error) {
+	r, err := newRunner(kernels, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.checkpointAt(ctx, r.warmupSlices, fingerprint)
+}
+
+// CheckpointAtCtx simulates slices [0, atSlice) and returns the
+// serialized machine. It generalizes CheckpointWarmupCtx to arbitrary
+// slice boundaries for the snapshot property tests.
+func CheckpointAtCtx(ctx context.Context, kernels []apps.Kernel, cfg Config, atSlice int, fingerprint string) ([]byte, error) {
+	r, err := newRunner(kernels, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if atSlice < 0 || atSlice > r.totalSlices {
+		return nil, fmt.Errorf("workstation: checkpoint slice %d outside run of %d slices", atSlice, r.totalSlices)
+	}
+	return r.checkpointAt(ctx, atSlice, fingerprint)
+}
+
+func (r *runner) checkpointAt(ctx context.Context, atSlice int, fingerprint string) ([]byte, error) {
+	if r.col.Proc(0) != nil {
+		return nil, ErrNotCheckpointable
+	}
+	if err := r.runSlices(ctx, 0, atSlice); err != nil {
+		return nil, err
+	}
+	w := snapshot.NewWriter()
+	r.saveState(w, atSlice)
+	return snapshot.Encode(Kind, fingerprint, w.Bytes()), nil
+}
+
+// ResumeCtx restores a checkpoint produced by CheckpointWarmupCtx /
+// CheckpointAtCtx into a freshly built machine for cfg and runs the
+// remaining slices, returning the same Result the uninterrupted run
+// would. cfg must describe the same machine shape the checkpoint was
+// taken under — same scheme, contexts, slice geometry, workload — which
+// the caller asserts by passing the fingerprint the checkpoint was
+// written with (Decode rejects others with snapshot.ErrMismatch) and the
+// decoder double-checks structurally. Only MeasureOverrides may differ
+// between the checkpointing and resuming configurations: they apply at
+// the measure boundary, inside the resumed half of the loop.
+func ResumeCtx(ctx context.Context, kernels []apps.Kernel, cfg Config, data []byte, fingerprint string) (*Result, error) {
+	r, err := newRunner(kernels, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if r.col.Proc(0) != nil {
+		return nil, ErrNotCheckpointable
+	}
+	rd, err := snapshot.Decode(data, Kind, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	atSlice, err := r.restoreState(rd)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.runSlices(ctx, atSlice, r.totalSlices); err != nil {
+		return nil, err
+	}
+	return r.result(), nil
+}
+
+// saveState serializes the full run state as of the top of slice
+// atSlice (before that slice's scheduler invocation).
+func (r *runner) saveState(w *snapshot.Writer, atSlice int) {
+	w.Section(sectionRun)
+	w.Int(atSlice)
+	// Shape checks: the resuming runner must have identical slice
+	// geometry or every absolute slice index computation diverges.
+	w.U8(uint8(r.cfg.Scheme))
+	w.Int(r.cfg.Contexts)
+	w.I64(r.cfg.OS.SliceCycles)
+	w.Int(r.groupPeriod)
+	w.Int(r.rotation)
+	w.Int(r.warmupSlices)
+	w.Int(len(r.threads))
+
+	w.I64(r.rngSrc.draws)
+
+	w.Bool(r.wd != nil)
+	if r.wd != nil {
+		w.I64(r.wd.Window())
+		lastCount, lastProgress, primed := r.wd.ProgressState()
+		w.I64(lastCount)
+		w.I64(lastProgress)
+		w.Bool(primed)
+	}
+
+	for i := range r.threads {
+		w.I64(r.measureStart[i])
+		w.I64(r.devotedStart[i])
+	}
+	for _, th := range r.threads {
+		th.SaveState(w)
+	}
+	// Context bindings as thread indices (-1 = empty slot). The binding
+	// is state, not config: with one scheduling group the loop binds only
+	// at slice 0, so a resumed run cannot rebuild it from the slice index.
+	for c := 0; c < r.cfg.Contexts; c++ {
+		idx := -1
+		if th := r.proc.ThreadAt(c); th != nil {
+			for i, cand := range r.threads {
+				if cand == th {
+					idx = i
+					break
+				}
+			}
+		}
+		w.Int(idx)
+	}
+	r.proc.SaveState(w)
+	r.h.SaveState(w)
+	r.fm.SaveState(w)
+}
+
+// restoreState rebuilds the run state from a payload Reader and returns
+// the slice index to resume at. Order matters: threads restore first,
+// then bindings (BindThread resets per-context availability), then the
+// processor (which overwrites exactly those fields).
+func (r *runner) restoreState(rd *snapshot.Reader) (int, error) {
+	rd.Section(sectionRun)
+	atSlice := rd.Int()
+	rd.Expect("scheme", int64(rd.U8()), int64(r.cfg.Scheme))
+	rd.Expect("contexts", int64(rd.Int()), int64(r.cfg.Contexts))
+	rd.Expect("slice cycles", rd.I64(), r.cfg.OS.SliceCycles)
+	rd.Expect("group period", int64(rd.Int()), int64(r.groupPeriod))
+	rd.Expect("rotation", int64(rd.Int()), int64(r.rotation))
+	rd.Expect("warm-up slices", int64(rd.Int()), int64(r.warmupSlices))
+	rd.Expect("thread count", int64(rd.Int()), int64(len(r.threads)))
+
+	draws := rd.I64()
+	if rd.Err() == nil {
+		rd.Expect("rng draws already taken", r.rngSrc.draws, 0)
+		for i := int64(0); i < draws && rd.Err() == nil; i++ {
+			r.rngSrc.src.Int63()
+		}
+		r.rngSrc.draws = draws
+	}
+
+	hadWD := rd.Bool()
+	if rd.Err() == nil {
+		var inSnap, inMachine int64
+		if hadWD {
+			inSnap = 1
+		}
+		if r.wd != nil {
+			inMachine = 1
+		}
+		rd.Expect("watchdog presence", inSnap, inMachine)
+	}
+	if hadWD && r.wd != nil {
+		rd.Expect("watchdog window", rd.I64(), r.wd.Window())
+		lastCount := rd.I64()
+		lastProgress := rd.I64()
+		primed := rd.Bool()
+		if rd.Err() == nil {
+			r.wd.SetProgressState(lastCount, lastProgress, primed)
+		}
+	}
+
+	for i := range r.threads {
+		r.measureStart[i] = rd.I64()
+		r.devotedStart[i] = rd.I64()
+	}
+	for _, th := range r.threads {
+		th.RestoreState(rd)
+	}
+	for c := 0; c < r.cfg.Contexts; c++ {
+		idx := rd.Int()
+		if rd.Err() != nil {
+			break
+		}
+		if idx < -1 || idx >= len(r.threads) {
+			rd.Expect("bound thread index", int64(idx), -1)
+			break
+		}
+		if idx >= 0 {
+			r.proc.BindThread(c, r.threads[idx])
+		} else {
+			r.proc.BindThread(c, nil)
+		}
+	}
+	r.proc.RestoreState(rd)
+	r.h.RestoreState(rd)
+	r.fm.RestoreState(rd)
+
+	if err := snapshot.Finish(rd); err != nil {
+		return 0, err
+	}
+	if atSlice < 0 || atSlice > r.totalSlices {
+		return 0, fmt.Errorf("%w: checkpoint slice %d outside run of %d slices",
+			snapshot.ErrMismatch, atSlice, r.totalSlices)
+	}
+	return atSlice, nil
+}

@@ -21,6 +21,24 @@ import (
 	"repro/internal/prog"
 )
 
+// MeasureOverrides replace individual machine parameters at the instant
+// measurement starts (the warm-up/measure boundary). Sensitivity sweeps
+// that vary a parameter with no effect on what warm-up should look like
+// set it here instead of in the base configuration: every cell of the
+// sweep then shares an identical warm-up prefix, which the checkpointing
+// planner simulates once and forks per cell. The override is applied at
+// the same loop position in from-scratch and forked runs, so the two are
+// byte-identical by construction.
+type MeasureOverrides struct {
+	// BlockedFlushCost, if positive, replaces the blocked scheme's
+	// context-switch flush cost when measurement starts (the switch-cost
+	// sensitivity sweep).
+	BlockedFlushCost int
+	// MSHRs, if positive, replaces the hierarchy's outstanding-miss
+	// register count when measurement starts (the MSHR sweep).
+	MSHRs int
+}
+
 // Config parameterizes one workstation run.
 type Config struct {
 	Scheme   core.Scheme
@@ -42,6 +60,10 @@ type Config struct {
 	// applications), scaled with the slice length.
 	WarmupRotations  int
 	MeasureRotations int
+
+	// Measure holds parameter overrides applied when measurement starts;
+	// the zero value applies none. See MeasureOverrides.
+	Measure MeasureOverrides
 
 	// AppScale is passed to kernels as their work multiplier.
 	AppScale int
@@ -143,9 +165,45 @@ func Run(kernels []apps.Kernel, cfg Config) (*Result, error) {
 // context (Done() == nil) takes exactly the pre-cancellation code path,
 // keeping the fast-forward goldens byte-identical.
 func RunCtx(ctx context.Context, kernels []apps.Kernel, cfg Config) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
+	r, err := newRunner(kernels, cfg)
+	if err != nil {
+		return nil, err
 	}
+	if err := r.runSlices(ctx, 0, r.totalSlices); err != nil {
+		return nil, err
+	}
+	return r.result(), nil
+}
+
+// runner is one fully constructed workstation machine plus the slice
+// driver's bookkeeping. RunCtx drives it from slice 0 to the end; the
+// checkpoint entry points (snapshot.go) drive the same loop in two
+// halves, pausing at a slice boundary to serialize or restore, so a
+// forked run replays the measure phase through the identical code path.
+type runner struct {
+	cfg  Config
+	ccfg core.Config
+
+	fm   *mem.Memory
+	h    *cache.Hierarchy
+	proc *core.Processor
+
+	col             *metrics.Collector
+	wdArms, wdTrips int64
+	threads         []*core.Thread
+	groups          [][]*core.Thread
+	groupPeriod     int // slices per group
+	rotation        int // slices per full rotation
+	totalSlices     int
+	warmupSlices    int
+	rng             *rand.Rand
+	rngSrc          *countingSource
+	wd              *guard.Watchdog
+	measureStart    []int64
+	devotedStart    []int64
+}
+
+func newRunner(kernels []apps.Kernel, cfg Config) (*runner, error) {
 	if len(kernels) == 0 {
 		return nil, fmt.Errorf("workstation: empty workload")
 	}
@@ -170,18 +228,19 @@ func RunCtx(ctx context.Context, kernels []apps.Kernel, cfg Config) (*Result, er
 		return nil, err
 	}
 
+	r := &runner{cfg: cfg, ccfg: ccfg, fm: fm, h: h, proc: proc}
+
 	// Observability: on a single processor every counter is proc-scope.
 	// The watchdog and chaos counters mutate only at guard-chunk and slice
 	// boundaries, which fall at identical cycles whether the core steps or
 	// fast-forwards, so sampling them from the processor's timeline is
 	// mode-independent.
-	col := metrics.NewCollector(cfg.Obs, 1)
-	var wdArms, wdTrips int64
-	if pm := col.Proc(0); pm != nil {
+	r.col = metrics.NewCollector(cfg.Obs, 1)
+	if pm := r.col.Proc(0); pm != nil {
 		proc.AttachMetrics(pm)
 		h.AttachMetrics(pm)
-		pm.Reg.Register("watchdog/arms", &wdArms)
-		pm.Reg.Register("watchdog/trips", &wdTrips)
+		pm.Reg.Register("watchdog/arms", &r.wdArms)
+		pm.Reg.Register("watchdog/trips", &r.wdTrips)
 		if ch := cfg.Cache.Chaos; ch != nil {
 			pm.Reg.Register("chaos/draws", &ch.Draws)
 		}
@@ -193,7 +252,7 @@ func RunCtx(ctx context.Context, kernels []apps.Kernel, cfg Config) (*Result, er
 	if cfg.YieldOverride != nil {
 		yield = *cfg.YieldOverride
 	}
-	threads := make([]*core.Thread, len(kernels))
+	r.threads = make([]*core.Thread, len(kernels))
 	for i, k := range kernels {
 		// Bases are staggered within the 64 KB cache-index range so the
 		// processes do not all alias to the same direct-mapped sets (as
@@ -207,31 +266,55 @@ func RunCtx(ctx context.Context, kernels []apps.Kernel, cfg Config) (*Result, er
 			Scale:        cfg.AppScale,
 		})
 		p.LoadInit(fm)
-		threads[i] = core.NewThread(fmt.Sprintf("%s.%d", k.Name, i), p)
+		r.threads[i] = core.NewThread(fmt.Sprintf("%s.%d", k.Name, i), p)
 	}
 
 	// Scheduling groups of |contexts| applications.
-	var groups [][]*core.Thread
-	for i := 0; i < len(threads); i += cfg.Contexts {
+	for i := 0; i < len(r.threads); i += cfg.Contexts {
 		end := i + cfg.Contexts
-		if end > len(threads) {
-			end = len(threads)
+		if end > len(r.threads) {
+			end = len(r.threads)
 		}
-		groups = append(groups, threads[i:end])
+		r.groups = append(r.groups, r.threads[i:end])
 	}
-	groupPeriod := cfg.OS.AffinitySlices * cfg.Contexts // slices per group
-	rotation := len(groups) * groupPeriod               // slices per full rotation
+	r.groupPeriod = cfg.OS.AffinitySlices * cfg.Contexts
+	r.rotation = len(r.groups) * r.groupPeriod
+	r.totalSlices = (cfg.WarmupRotations + cfg.MeasureRotations) * r.rotation
+	r.warmupSlices = cfg.WarmupRotations * r.rotation
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	bind := func(g []*core.Thread) {
-		for c := 0; c < cfg.Contexts; c++ {
-			if c < len(g) {
-				proc.BindThread(c, g[c])
-			} else {
-				proc.BindThread(c, nil)
-			}
+	// The scheduler-interference stream draws through a counting source
+	// so a checkpoint records the stream position; the wrapper forwards
+	// the raw Int63 values untouched and the stream is unchanged.
+	r.rngSrc = &countingSource{src: rand.NewSource(cfg.Seed).(rand.Source64)}
+	r.rng = rand.New(r.rngSrc)
+
+	r.wd = guard.NewWatchdog(cfg.Guard.ResolveWatchdog(0))
+	r.measureStart = make([]int64, len(r.threads))
+	r.devotedStart = make([]int64, len(r.threads))
+	return r, nil
+}
+
+// bind places a scheduling group onto the processor's context slots.
+func (r *runner) bind(g []*core.Thread) {
+	for c := 0; c < r.cfg.Contexts; c++ {
+		if c < len(g) {
+			r.proc.BindThread(c, g[c])
+		} else {
+			r.proc.BindThread(c, nil)
 		}
 	}
+}
+
+// runSlices drives slices [from, to). Slice indices are absolute, so a
+// resumed run entering at the checkpoint slice executes the exact
+// scheduler binds, interference draws, and measure-boundary actions the
+// uninterrupted run would.
+func (r *runner) runSlices(ctx context.Context, from, to int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := r.cfg
+	proc, h := r.proc, r.h
 
 	// Cancellation: advance() is proc.Run with a ctx poll between
 	// 64-cycle blocks. With a detached context (done == nil — what Run
@@ -241,7 +324,7 @@ func RunCtx(ctx context.Context, kernels []apps.Kernel, cfg Config) (*Result, er
 	// but the call pattern.
 	done := ctx.Done()
 	canceled := func() error {
-		if pm := col.Proc(0); pm != nil && pm.Sink != nil {
+		if pm := r.col.Proc(0); pm != nil && pm.Sink != nil {
 			pm.Sink.Emit(metrics.Event{Cycle: proc.Now(), Kind: metrics.KindDrain, Ctx: -1})
 		}
 		return guard.NewSimError(guard.OpCanceled, ctx.Err()).At(proc.Now())
@@ -271,7 +354,7 @@ func RunCtx(ctx context.Context, kernels []apps.Kernel, cfg Config) (*Result, er
 	// identical to one Run call (Run(n) is n Step calls), so polling the
 	// watchdog and invariant checkers between chunks never perturbs
 	// results.
-	wd := guard.NewWatchdog(cfg.Guard.ResolveWatchdog(0))
+	wd := r.wd
 	checks := cfg.Guard.InvariantsOn()
 	cadence := cfg.Guard.CheckCadence()
 	runSlice := func() error {
@@ -288,16 +371,17 @@ func RunCtx(ctx context.Context, kernels []apps.Kernel, cfg Config) (*Result, er
 			}
 			remaining -= chunk
 			if wd != nil {
-				wdArms++
+				r.wdArms++
 			}
 			if wd.Observe(proc.Now(), proc.UsefulProgress()) {
-				wdTrips++
+				r.wdTrips++
 				d := &guard.Diagnostic{
-					Reason: fmt.Sprintf("watchdog: no useful instruction retired in %d cycles", wd.Stalled(proc.Now())),
-					Cycle:  proc.Now(),
-					Scheme: cfg.Scheme.String(),
-					Window: wd.Window(),
-					Procs:  []guard.ProcState{proc.Snapshot()},
+					Reason:      fmt.Sprintf("watchdog: no useful instruction retired in %d cycles", wd.Stalled(proc.Now())),
+					Cycle:       proc.Now(),
+					Scheme:      cfg.Scheme.String(),
+					Window:      wd.Window(),
+					Procs:       []guard.ProcState{proc.Snapshot()},
+					MachineHash: proc.MachineHash(),
 				}
 				return guard.NewSimError(guard.OpWatchdog,
 					fmt.Errorf("workload wedged: no useful instruction retired in %d cycles", wd.Stalled(proc.Now()))).
@@ -315,57 +399,67 @@ func RunCtx(ctx context.Context, kernels []apps.Kernel, cfg Config) (*Result, er
 		return nil
 	}
 
-	measureStart := make([]int64, len(threads))
-	devotedStart := make([]int64, len(threads))
-	totalSlices := (cfg.WarmupRotations + cfg.MeasureRotations) * rotation
-	warmupSlices := cfg.WarmupRotations * rotation
-	for slice := 0; slice < totalSlices; slice++ {
+	for slice := from; slice < to; slice++ {
 		// Scheduler invocation at every slice boundary; process switches
 		// only at group boundaries (affinity).
 		switched := 0
-		if slice%groupPeriod == 0 {
-			g := groups[(slice/groupPeriod)%len(groups)]
-			if len(groups) > 1 || slice == 0 {
-				bind(g)
-				if len(groups) > 1 {
+		if slice%r.groupPeriod == 0 {
+			g := r.groups[(slice/r.groupPeriod)%len(r.groups)]
+			if len(r.groups) > 1 || slice == 0 {
+				r.bind(g)
+				if len(r.groups) > 1 {
 					switched = cfg.Contexts
 				}
 			}
 		}
 		inter := osmodel.InterferenceFor(switched)
 		h.DrainFills(proc.Now())
-		h.SchedulerInterference(inter.ILines, inter.DLines, inter.TLBEntries, rng)
+		h.SchedulerInterference(inter.ILines, inter.DLines, inter.TLBEntries, r.rng)
 
-		if slice == warmupSlices {
+		if slice == r.warmupSlices {
+			// Measurement starts here: apply the measure-phase parameter
+			// overrides, then zero the issue-slot accounting. Forked runs
+			// enter the loop at exactly this slice, so scratch and forked
+			// cells apply the overrides at the same instant.
+			if v := cfg.Measure.BlockedFlushCost; v > 0 {
+				proc.Cfg.BlockedFlushCost = v
+			}
+			if v := cfg.Measure.MSHRs; v > 0 {
+				h.P.MSHRs = v
+			}
 			proc.Stats = core.Stats{}
-			for i, th := range threads {
-				measureStart[i] = th.Retired
-				devotedStart[i] = th.Devoted
+			for i, th := range r.threads {
+				r.measureStart[i] = th.Retired
+				r.devotedStart[i] = th.Devoted
 			}
 		}
 		if err := runSlice(); err != nil {
-			return nil, err
+			return err
 		}
 	}
+	return nil
+}
 
-	res := &Result{Stats: proc.Stats}
-	res.Throughput = proc.Stats.BusyFraction()
+// result assembles the Result after the final slice.
+func (r *runner) result() *Result {
+	res := &Result{Stats: r.proc.Stats}
+	res.Throughput = r.proc.Stats.BusyFraction()
 	// Devoted counts issue slots; convert per-slot efficiency back to
 	// instructions per cycle for superscalar configurations.
 	width := 1.0
-	if ccfg.IssueWidth > 1 {
-		width = float64(ccfg.IssueWidth)
+	if r.ccfg.IssueWidth > 1 {
+		width = float64(r.ccfg.IssueWidth)
 	}
 	var effSum float64
-	for i, th := range threads {
-		retired := th.Retired - measureStart[i]
-		devoted := th.Devoted - devotedStart[i]
+	for i, th := range r.threads {
+		retired := th.Retired - r.measureStart[i]
+		devoted := th.Devoted - r.devotedStart[i]
 		res.Apps = append(res.Apps, AppResult{Name: th.Name, Retired: retired, Devoted: devoted})
 		if devoted > 0 {
 			effSum += float64(retired) / float64(devoted) * width
 		}
 	}
-	res.FairThroughput = effSum / float64(len(threads))
-	res.Metrics = col.Result()
-	return res, nil
+	res.FairThroughput = effSum / float64(len(r.threads))
+	res.Metrics = r.col.Result()
+	return res
 }

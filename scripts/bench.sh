@@ -9,13 +9,29 @@
 #                                       # that run as the baseline, with
 #                                       # per-cell speedups
 #   BENCH_OUT=BENCH_2.json scripts/bench.sh   # choose the output file
+#   SWEEPS=1 scripts/bench.sh           # sweep-level wall-clock benchmark:
+#                                       # every sensitivity sweep timed
+#                                       # forked vs -no-checkpoint in one
+#                                       # binary (exits 1 unless outputs
+#                                       # are byte-identical)
 #
 # The committed BENCH_1.json was produced with BASE_REF set to the
 # revision preceding the fast-forward engine, so its speedup_vs_baseline
-# table measures the whole optimization stack.
+# table measures the whole optimization stack. BENCH_3.json was produced
+# with SWEEPS=1 BENCH_OUT=BENCH_3.json and records the shared-warm-up
+# forking speedups (the scratch leg of each pair is the baseline, so no
+# old-revision worktree is needed).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ -n "${SWEEPS:-}" ]; then
+    OUT=${BENCH_OUT:-BENCH_3.json}
+    COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+    go run ./cmd/bench -sweeps -commit "$COMMIT" -out "$OUT"
+    echo "wrote $OUT"
+    exit 0
+fi
 
 OUT=${BENCH_OUT:-BENCH_1.json}
 

@@ -76,6 +76,41 @@ if [ -n "${FUZZ:-}" ]; then
     [ "$code" -eq 1 ] # divergence must reproduce
 fi
 
+# Optional checkpoint pass: CKPT=1 scripts/check.sh requires a forked
+# sweep run (the default) to be byte-identical to -no-checkpoint, both
+# in the tables and the -json dump; then re-runs with a persistent
+# -checkpoint-dir, corrupts every checkpoint file in place, and requires
+# the next run to detect the typed codec error, fall back to cycle-0
+# simulation, and still produce identical output.
+if [ -n "${CKPT:-}" ]; then
+    CKPT_DIR="$(mktemp -d)"
+    trap 'rm -rf "$OBS_DIR" "$RES_DIR" "$CKPT_DIR"' EXIT
+    go build -o "$CKPT_DIR/experiments" ./cmd/experiments
+    "$CKPT_DIR/experiments" -quick -only sweeps -j 2 -no-checkpoint \
+        -json "$CKPT_DIR/scratch.json" > "$CKPT_DIR/scratch.txt"
+    "$CKPT_DIR/experiments" -quick -only sweeps -j 2 \
+        -json "$CKPT_DIR/forked.json" > "$CKPT_DIR/forked.txt"
+    diff "$CKPT_DIR/scratch.txt" "$CKPT_DIR/forked.txt"
+    diff "$CKPT_DIR/scratch.json" "$CKPT_DIR/forked.json"
+
+    "$CKPT_DIR/experiments" -quick -only sweeps -j 2 \
+        -checkpoint-dir "$CKPT_DIR/ckpts" \
+        -json "$CKPT_DIR/dir.json" > "$CKPT_DIR/dir.txt"
+    diff "$CKPT_DIR/scratch.txt" "$CKPT_DIR/dir.txt"
+    ls "$CKPT_DIR/ckpts"/*.ckpt >/dev/null # warm-up prefixes were persisted
+    for f in "$CKPT_DIR/ckpts"/*.ckpt; do
+        # Flip a byte mid-file: the codec must reject it (ErrCorrupt),
+        # drop the cached prefix, and re-simulate from cycle 0.
+        sz=$(wc -c < "$f")
+        printf '\377' | dd of="$f" bs=1 seek=$((sz / 2)) conv=notrunc 2>/dev/null
+    done
+    "$CKPT_DIR/experiments" -quick -only sweeps -j 2 \
+        -checkpoint-dir "$CKPT_DIR/ckpts" \
+        -json "$CKPT_DIR/corrupt.json" > "$CKPT_DIR/corrupt.txt"
+    diff "$CKPT_DIR/scratch.txt" "$CKPT_DIR/corrupt.txt"
+    diff "$CKPT_DIR/scratch.json" "$CKPT_DIR/corrupt.json"
+fi
+
 # Optional distributed-service pass: SERVICE=1 scripts/check.sh runs the
 # same quick table7 grid under the expserve coordinator with two chaos
 # events — one worker killed by an injected fault on its first cell
