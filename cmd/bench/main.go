@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -110,8 +111,10 @@ type benchFile struct {
 	Baseline *runReport `json:"baseline,omitempty"`
 	Current  runReport  `json:"current"`
 	// Speedup maps "workload/scheme/contexts" to current ÷ baseline
-	// sim-cycles-per-sec.
-	Speedup map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+	// sim-cycles-per-sec; SpeedupGeomean is their geometric mean, the
+	// single number -min-geomean guards in CI.
+	Speedup        map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+	SpeedupGeomean float64            `json:"speedup_geomean,omitempty"`
 	// Sweeps holds the -sweeps mode's forked-vs-scratch measurements.
 	Sweeps []sweepMeasurement `json:"sweeps,omitempty"`
 }
@@ -298,6 +301,7 @@ func main() {
 	repeats := flag.Int("repeat", 3, "runs per cell; best is kept")
 	processors := flag.Int("processors", 8, "multiprocessor node count")
 	sweeps := flag.Bool("sweeps", false, "measure the sensitivity sweeps forked-vs-scratch instead of the throughput grid (self-baselining: needs no older revision)")
+	minGeomean := flag.Float64("min-geomean", 0, "with -baseline: exit 1 unless the geomean of per-cell speedups is at least this (0 disables the guard)")
 	flag.Parse()
 
 	rep := runReport{
@@ -342,13 +346,27 @@ func main() {
 		}
 		file.Baseline = &base
 		file.Speedup = map[string]float64{}
+		logSum := 0.0
 		for _, b := range base.Cells {
 			key := fmt.Sprintf("%s/%s/%dctx", b.Workload, b.Scheme, b.Contexts)
 			for _, c := range rep.Cells {
 				if c.Workload == b.Workload && c.Scheme == b.Scheme && c.Contexts == b.Contexts {
-					file.Speedup[key] = c.CyclesPerSec / b.CyclesPerSec
+					s := c.CyclesPerSec / b.CyclesPerSec
+					file.Speedup[key] = s
+					logSum += math.Log(s)
 				}
 			}
+		}
+		if n := len(file.Speedup); n > 0 {
+			file.SpeedupGeomean = math.Exp(logSum / float64(n))
+			fmt.Fprintf(os.Stderr, "geomean speedup vs %s: %.3fx over %d cells\n",
+				base.Label, file.SpeedupGeomean, n)
+		}
+		if *minGeomean > 0 && file.SpeedupGeomean < *minGeomean {
+			writeReport(&file, *out)
+			fmt.Fprintf(os.Stderr, "bench: geomean %.3f below the %.2f regression bar\n",
+				file.SpeedupGeomean, *minGeomean)
+			os.Exit(1)
 		}
 	}
 

@@ -5,11 +5,12 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/mem"
 )
 
-// A canceled context stops a guarded run within one CancelCheckEvery
+// A canceled context stops a guarded run within one engine.BlockCycles
 // block and surfaces as a typed guard.canceled SimError that errors.Is
 // recognizes as context cancellation.
 func TestRunGuardedCtxCancelsWithinOneBlock(t *testing.T) {
@@ -33,8 +34,8 @@ func TestRunGuardedCtxCancelsWithinOneBlock(t *testing.T) {
 	if !guard.IsCancellation(err) || !errors.Is(err, context.Canceled) {
 		t.Errorf("cancellation error not recognized by errors.Is: %v", err)
 	}
-	if ran > CancelCheckEvery {
-		t.Errorf("ran %d cycles after cancellation, want <= %d (one block)", ran, CancelCheckEvery)
+	if ran > engine.BlockCycles {
+		t.Errorf("ran %d cycles after cancellation, want <= %d (one block)", ran, engine.BlockCycles)
 	}
 	if se.Cycle != ran {
 		t.Errorf("error cycle %d != cycles run %d", se.Cycle, ran)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/guard"
 )
 
@@ -171,99 +172,55 @@ func (p *Processor) RunGuarded(limit int64, opts guard.Options) (int64, bool, er
 	return p.RunGuardedCtx(context.Background(), limit, opts)
 }
 
-// CancelCheckEvery is the cycle granularity at which a cancelable run
-// observes its context: an attached, canceled context stops the
-// processor within one such block instead of after the full cycle
-// budget. Splitting a run into 64-cycle sub-chunks is cycle-exact (a
-// chunked run is byte-identical to an unchunked one — pinned by the
-// fast-forward golden tests), so the plumbing never perturbs results.
-const CancelCheckEvery = 64
-
 // RunGuardedCtx is RunGuarded with cooperative cancellation: when ctx
 // can be canceled, the run additionally polls ctx.Done() every
-// CancelCheckEvery cycles and returns a guard.OpCanceled SimError
+// engine.BlockCycles cycles and returns a guard.OpCanceled SimError
 // (wrapping ctx.Err(), so errors.Is sees context.Canceled) within one
 // block of the cancellation. A background/detached context leaves the
-// original single-RunUntilHalted-per-chunk path untouched.
+// single-RunUntilHalted-per-chunk path untouched.
+//
+// The loop itself lives in internal/engine: this method only supplies
+// the uniprocessor's Advance closure and diagnostic hooks, so guard
+// boundaries, cancellation latency, and the watchdog report are defined
+// in one place for every driver.
 func (p *Processor) RunGuardedCtx(ctx context.Context, limit int64, opts guard.Options) (int64, bool, error) {
-	if ctx == nil {
-		ctx = context.Background()
+	var checkers []guard.InvariantChecker
+	if opts.InvariantsOn() {
+		checkers = append(checkers, p)
+		if ic, ok := p.Mem.(guard.InvariantChecker); ok {
+			checkers = append(checkers, ic)
+		}
 	}
-	done := ctx.Done() // nil for context.Background(): detached fast path
-	every := opts.CheckCadence()
-	wd := guard.NewWatchdog(opts.ResolveWatchdog(0))
-	checks := opts.InvariantsOn()
 	start := p.cycle
-	for {
-		if p.AllHalted() {
-			return p.cycle - start, true, nil
-		}
-		ran := p.cycle - start
-		if ran >= limit {
-			return ran, false, nil
-		}
-		chunk := every
-		if rem := limit - ran; chunk > rem {
-			chunk = rem
-		}
-		// RunUntilHalted, not Run: the chunked loop must stop on the exact
-		// halt cycle, or guarded runs would overshoot to the next chunk
-		// boundary and report inflated cycle counts.
-		if done == nil {
-			p.RunUntilHalted(chunk)
-		} else if err := p.runCancelable(ctx, done, chunk); err != nil {
-			return p.cycle - start, false, err
-		}
-		if p.BlockHook != nil {
-			p.BlockHook(p.cycle)
-		}
-		if wd.Observe(p.cycle, p.UsefulProgress()) {
-			d := &guard.Diagnostic{
-				Reason:      fmt.Sprintf("watchdog: no useful instruction retired in %d cycles", wd.Stalled(p.cycle)),
-				Cycle:       p.cycle,
-				Scheme:      p.Cfg.Scheme.String(),
-				Window:      wd.Window(),
-				Procs:       []guard.ProcState{p.Snapshot()},
-				MachineHash: p.MachineHash(),
+	eng := &engine.Engine{
+		// RunUntilHalted, not Run: the chunked loop must stop on the
+		// exact halt cycle, or guarded runs would overshoot to the next
+		// chunk boundary and report inflated cycle counts.
+		Advance: func(now, target int64) int64 {
+			p.RunUntilHalted(target - now)
+			return p.cycle
+		},
+		Halted:     p.AllHalted,
+		Watchdog:   guard.NewWatchdog(opts.ResolveWatchdog(0)),
+		Progress:   p.UsefulProgress,
+		Checkers:   checkers,
+		GuardEvery: opts.CheckCadence(),
+		GuardAtEnd: true,
+		// The hook indirects through the field so a hook may disarm
+		// itself mid-run (checkpoint captures do).
+		BlockEnd: func(now int64) {
+			if p.BlockHook != nil {
+				p.BlockHook(now)
 			}
-			return p.cycle - start, false, guard.NewSimError(guard.OpWatchdog,
-				fmt.Errorf("livelock/deadlock: no useful instruction retired in %d cycles", wd.Stalled(p.cycle))).
-				At(p.cycle).On(p.ID, -1, -1).WithDiag(d)
-		}
-		if checks {
-			if err := p.CheckInvariants(); err != nil {
-				return p.cycle - start, false, err
-			}
-			if ic, ok := p.Mem.(guard.InvariantChecker); ok {
-				if err := ic.CheckInvariants(); err != nil {
-					return p.cycle - start, false, err
-				}
-			}
-		}
+		},
+		Describe: func(d *guard.Diagnostic) {
+			d.Scheme = p.Cfg.Scheme.String()
+			d.Procs = []guard.ProcState{p.Snapshot()}
+			d.MachineHash = p.MachineHash()
+		},
 	}
-}
-
-// runCancelable advances the processor exactly like RunUntilHalted(chunk)
-// — chunked runs are cycle-exact — but observes done between 64-cycle
-// blocks, so a canceled context stops the run within CancelCheckEvery
-// cycles of the block it was canceled in.
-func (p *Processor) runCancelable(ctx context.Context, done <-chan struct{}, chunk int64) error {
-	for rem := chunk; rem > 0; {
-		b := int64(CancelCheckEvery)
-		if b > rem {
-			b = rem
-		}
-		if _, halted := p.RunUntilHalted(b); halted {
-			return nil
-		}
-		rem -= b
-		select {
-		case <-done:
-			return guard.NewSimError(guard.OpCanceled, ctx.Err()).At(p.cycle)
-		default:
-		}
-	}
-	return nil
+	halted, err := eng.Run(ctx, start, start+limit)
+	return p.cycle - start, halted, err
 }
 
 var _ guard.InvariantChecker = (*Processor)(nil)

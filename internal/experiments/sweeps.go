@@ -37,7 +37,7 @@ func SwitchCostSweep(cfg UniConfig, workload string) (*SweepResult, error) {
 }
 
 // SwitchCostSweepCtx is SwitchCostSweep with cancellation: cancelling ctx
-// stops running cells within core.CancelCheckEvery cycles.
+// stops running cells within engine.BlockCycles cycles.
 func SwitchCostSweepCtx(ctx context.Context, cfg UniConfig, workload string) (*SweepResult, error) {
 	kernels, err := ResolveWorkload(workload)
 	if err != nil {

@@ -358,7 +358,7 @@ func RunUniprocessor(cfg UniConfig) (*UniResult, error) {
 
 // RunUniprocessorCtx is RunUniprocessor with cancellation and journaling:
 // cancelling ctx drains the grid (queued cells never start, running cells
-// stop within core.CancelCheckEvery cycles, both render as SKIP), and a
+// stop within engine.BlockCycles cycles, both render as SKIP), and a
 // cfg.Journal replays completed cells from a previous run and records new
 // ones durably. A cell whose first attempt trips the liveness watchdog is
 // retried once at a doubled window with the same derived seed before

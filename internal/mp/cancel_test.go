@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/prog"
 )
@@ -32,8 +33,8 @@ func TestRunCtxCanceledStopsAtBlockBoundary(t *testing.T) {
 	if !guard.IsCancellation(err) || !errors.Is(err, context.Canceled) {
 		t.Errorf("cancellation error not recognized by errors.Is: %v", err)
 	}
-	if se.Cycle > core.CancelCheckEvery {
-		t.Errorf("canceled at cycle %d, want <= one %d-cycle block", se.Cycle, core.CancelCheckEvery)
+	if se.Cycle > engine.BlockCycles {
+		t.Errorf("canceled at cycle %d, want <= one %d-cycle block", se.Cycle, engine.BlockCycles)
 	}
 }
 

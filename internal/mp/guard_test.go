@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/isa"
 	"repro/internal/prog"
@@ -94,6 +95,35 @@ func TestWatchdogCatchesDeadlock(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("diagnostic missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// Regression for the default-window truncation bug: LimitCycles/20
+// truncates to zero for budgets under 20 cycles, which used to silently
+// disarm the watchdog. The engine's default policy must clamp to a
+// floor, while an explicit disable must still win.
+func TestWatchdogDefaultFloorTinyBudget(t *testing.T) {
+	cfg := DefaultConfig(core.Interleaved, 2)
+	cfg.Processors = 2
+	cfg.LimitCycles = 10 // 10/20 == 0 without the floor
+	m, err := newMachine(deadlockProgram(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.eng.Watchdog == nil {
+		t.Fatal("tiny cycle budget silently disarmed the default watchdog")
+	}
+	if got := m.eng.Watchdog.Window(); got != engine.MinWatchdogWindow {
+		t.Errorf("window = %d, want the %d-cycle floor", got, engine.MinWatchdogWindow)
+	}
+
+	cfg.Guard.WatchdogWindow = -1
+	m, err = newMachine(deadlockProgram(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.eng.Watchdog != nil {
+		t.Error("explicit WatchdogWindow=-1 no longer disables the watchdog")
 	}
 }
 

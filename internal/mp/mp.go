@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -129,12 +130,6 @@ func RunCtx(ctx context.Context, p *prog.Program, cfg Config) (*Result, error) {
 	return m.result(completed), nil
 }
 
-// checkEvery is the lockstep block length: halt checks, watchdog
-// observations, cancellation polls and checkpoints all land on its
-// boundaries, so fast-forward ON vs OFF — and forked vs scratch — runs
-// are byte-identical.
-const checkEvery = 64
-
 // procRunner is the per-processor driver state: until is the cached
 // NextEvent horizon (zero forces a recompute on first touch), (cls, ctx)
 // the charge for the processor's current boring region. The caches are
@@ -161,17 +156,15 @@ type machine struct {
 	procs   []*core.Processor
 	threads []*core.Thread
 
-	col             *metrics.Collector
-	wd              *guard.Watchdog
-	checks          bool
-	cadence         int64
-	nextGuard       int64
-	wdArms, wdTrips int64
-	cellEvery       int64
-	nextCell        int64
+	col *metrics.Collector
+	// eng is the shared block-stepping engine (internal/engine): it owns
+	// the lockstep block loop — halt checks, watchdog observations,
+	// invariant checks, cancellation polls and cell samples at 64-cycle
+	// block boundaries — while this driver supplies the per-block
+	// advancer and the diagnostic hooks.
+	eng *engine.Engine
 
-	runners      []procRunner
-	advanceBlock func(start, end int64)
+	runners []procRunner
 }
 
 func newMachine(p *prog.Program, cfg Config) (*machine, error) {
@@ -224,13 +217,30 @@ func newMachine(p *prog.Program, cfg Config) (*machine, error) {
 		}
 	}
 
-	// Hardening: the watchdog defaults to LimitCycles/20 — a wedged run is
-	// reported within 5% of its cycle budget, with a diagnostic, instead of
-	// silently burning the remaining 95% and returning Completed=false.
-	m.wd = guard.NewWatchdog(cfg.Guard.ResolveWatchdog(cfg.LimitCycles / 20))
-	m.checks = cfg.Guard.InvariantsOn()
-	m.cadence = cfg.Guard.CheckCadence()
-	m.nextGuard = m.cadence
+	// Hardening: the watchdog defaults to engine.DefaultWatchdogWindow
+	// (LimitCycles/20, floored at a minimum window) — a wedged run is
+	// reported within 5% of its cycle budget, with a diagnostic, instead
+	// of silently burning the remaining 95% and returning
+	// Completed=false.
+	m.eng = &engine.Engine{
+		Halted:     m.allHalted,
+		HaltEvery:  engine.BlockCycles,
+		Watchdog:   guard.NewWatchdog(cfg.Guard.ResolveWatchdog(engine.DefaultWatchdogWindow(cfg.LimitCycles))),
+		Progress:   m.progress,
+		GuardEvery: cfg.Guard.CheckCadence(),
+		Describe:   m.describe,
+		OnCancel: func(now int64) {
+			if pm := m.col.Proc(0); pm != nil && pm.Sink != nil {
+				pm.Sink.Emit(metrics.Event{Cycle: now, Kind: metrics.KindDrain, Ctx: -1})
+			}
+		},
+	}
+	if cfg.Guard.InvariantsOn() {
+		for _, proc := range m.procs {
+			m.eng.Checkers = append(m.eng.Checkers, proc)
+		}
+		m.eng.Checkers = append(m.eng.Checkers, m.fab)
+	}
 
 	// Cell-scope observability: counters mutated across processors must not
 	// be sampled from inside any one processor's timeline — under fast-
@@ -247,14 +257,15 @@ func newMachine(p *prog.Program, cfg Config) (*machine, error) {
 		if ch := cfg.Coherence.Chaos; ch != nil {
 			cellReg.Register("chaos/draws", &ch.Draws)
 		}
-		cellReg.Register("watchdog/arms", &m.wdArms)
-		cellReg.Register("watchdog/trips", &m.wdTrips)
+		cellReg.Register("watchdog/arms", &m.eng.Arms)
+		cellReg.Register("watchdog/trips", &m.eng.Trips)
 		if every := m.col.SampleEvery(); every > 0 {
-			m.cellEvery = (every + checkEvery - 1) / checkEvery * checkEvery
-			m.col.SetCellCadence(m.cellEvery)
+			cellEvery := (every + engine.BlockCycles - 1) / engine.BlockCycles * engine.BlockCycles
+			m.col.SetCellCadence(cellEvery)
+			m.eng.Sample = m.col.SampleCell
+			m.eng.SampleEvery = cellEvery
 		}
 	}
-	m.nextCell = m.cellEvery
 
 	// Per-processor driver state lives in one struct so the hot loop walks
 	// a single contiguous slice.
@@ -373,11 +384,38 @@ func newMachine(p *prog.Program, cfg Config) (*machine, error) {
 			}
 		}
 	}
-	m.advanceBlock = advancePlain
+	adv := advancePlain
 	if m.col != nil {
-		m.advanceBlock = advanceObserved
+		adv = advanceObserved
+	}
+	// Lockstep blocks always run to a full boundary (HaltEvery), so the
+	// advancer settles every processor at exactly target in both run
+	// modes.
+	m.eng.Advance = func(now, target int64) int64 {
+		adv(now, target)
+		return target
 	}
 	return m, nil
+}
+
+// allHalted reports whether every thread on every processor has halted —
+// the engine's per-block halt check.
+func (m *machine) allHalted() bool {
+	for _, proc := range m.procs {
+		if !proc.AllHalted() {
+			return false
+		}
+	}
+	return true
+}
+
+// progress feeds the engine's watchdog: machine-wide useful issue slots.
+func (m *machine) progress() int64 {
+	var p int64
+	for _, proc := range m.procs {
+		p += proc.UsefulProgress()
+	}
+	return p
 }
 
 // runBlocks drives lockstep blocks from cycle start (a block boundary)
@@ -386,67 +424,12 @@ func newMachine(p *prog.Program, cfg Config) (*machine, error) {
 // a checkpoint observes the watchdog, samples cells and polls
 // cancellation at the exact cycles the uninterrupted run would.
 //
-// Cancellation is observed between blocks — one nil test per 64
-// simulated cycles when detached, never inside the advancers — so the
-// hot loop stays branch-free per cycle and a canceled cell stops within
-// one block of the cancellation.
+// The loop itself is the shared engine: cancellation is observed between
+// blocks — one nil test per 64 simulated cycles when detached, never
+// inside the advancers — so the hot loop stays branch-free per cycle and
+// a canceled cell stops within one block of the cancellation.
 func (m *machine) runBlocks(ctx context.Context, start, limit int64) (bool, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	done := ctx.Done()
-	for cycle := start; cycle < limit; cycle += checkEvery {
-		if done != nil {
-			select {
-			case <-done:
-				if pm := m.col.Proc(0); pm != nil && pm.Sink != nil {
-					pm.Sink.Emit(metrics.Event{Cycle: cycle, Kind: metrics.KindDrain, Ctx: -1})
-				}
-				return false, guard.NewSimError(guard.OpCanceled, ctx.Err()).At(cycle)
-			default:
-			}
-		}
-		m.advanceBlock(cycle, cycle+checkEvery)
-		now := cycle + checkEvery
-		if m.cellEvery > 0 && now >= m.nextCell {
-			m.col.SampleCell(m.nextCell)
-			m.nextCell += m.cellEvery
-		}
-		halted := true
-		for _, proc := range m.procs {
-			if !proc.AllHalted() {
-				halted = false
-				break
-			}
-		}
-		if halted {
-			return true, nil
-		}
-		if now < m.nextGuard {
-			continue
-		}
-		m.nextGuard = now + m.cadence
-		var progress int64
-		for _, proc := range m.procs {
-			progress += proc.UsefulProgress()
-		}
-		m.wdArms++
-		if m.wd.Observe(now, progress) {
-			m.wdTrips++
-			return false, watchdogError(now, m.wd, m.cfg, m.procs, m.fab)
-		}
-		if m.checks {
-			for _, proc := range m.procs {
-				if err := proc.CheckInvariants(); err != nil {
-					return false, err
-				}
-			}
-			if err := m.fab.CheckInvariants(); err != nil {
-				return false, err
-			}
-		}
-	}
-	return false, nil
+	return m.eng.Run(ctx, start, limit)
 }
 
 // result assembles the Result after the final block.
@@ -458,7 +441,7 @@ func (m *machine) result(completed bool) *Result {
 		ThreadState: m.threads,
 	}
 	if !completed {
-		res.Diag = budgetDiagnostic(m.cfg, m.procs, m.fab)
+		res.Diag = m.budgetDiagnostic()
 	}
 	res.MemHash = m.fm.Hash()
 	res.ArchHash = res.MemHash
@@ -492,43 +475,35 @@ func machineHash(procs []*core.Processor, fab *coherence.Fabric) uint64 {
 
 // budgetDiagnostic assembles the same machine-state dump as a watchdog
 // trip for a run that exhausted LimitCycles while still making progress.
-func budgetDiagnostic(cfg Config, procs []*core.Processor, fab *coherence.Fabric) *guard.Diagnostic {
+func (m *machine) budgetDiagnostic() *guard.Diagnostic {
 	d := &guard.Diagnostic{
-		Reason:      fmt.Sprintf("cycle budget: %d cycles elapsed before all threads halted", cfg.LimitCycles),
-		Cycle:       cfg.LimitCycles,
-		Scheme:      cfg.Scheme.String(),
-		Lines:       fab.HotLines(16),
-		MachineHash: machineHash(procs, fab),
+		Reason: fmt.Sprintf("cycle budget: %d cycles elapsed before all threads halted", m.cfg.LimitCycles),
+		Cycle:  m.cfg.LimitCycles,
 	}
-	for _, proc := range procs {
-		d.Procs = append(d.Procs, proc.Snapshot())
-	}
+	m.fillDiag(d)
 	return d
 }
 
-// watchdogError assembles the structured deadlock/livelock report: the
-// trip, every processor's per-context position, and the directory state
-// of the lines with transactions in flight.
-func watchdogError(now int64, wd *guard.Watchdog, cfg Config, procs []*core.Processor, fab *coherence.Fabric) error {
-	d := &guard.Diagnostic{
-		Reason:      fmt.Sprintf("watchdog: no useful instruction retired machine-wide in %d cycles", wd.Stalled(now)),
-		Cycle:       now,
-		Scheme:      cfg.Scheme.String(),
-		Window:      wd.Window(),
-		Lines:       fab.HotLines(16),
-		MachineHash: machineHash(procs, fab),
-	}
+// describe fills the driver-specific fields of the engine's watchdog
+// trip report: every processor's per-context position, the directory
+// state of the lines with transactions in flight, and the
+// deadlock-vs-livelock note.
+func (m *machine) describe(d *guard.Diagnostic) {
+	m.fillDiag(d)
 	if len(d.Lines) == 0 {
 		// Distinguishes software deadlock from protocol livelock: spinning
 		// on a held lock hits the local cache, so nothing is in flight.
 		d.Notes = append(d.Notes,
 			"no directory transactions in flight: contexts are spinning on locally cached data (software deadlock), not stuck in the protocol")
 	}
-	for _, proc := range procs {
+}
+
+// fillDiag adds the machine-state dump shared by every mp diagnostic.
+func (m *machine) fillDiag(d *guard.Diagnostic) {
+	d.Scheme = m.cfg.Scheme.String()
+	d.Lines = m.fab.HotLines(16)
+	d.MachineHash = machineHash(m.procs, m.fab)
+	for _, proc := range m.procs {
 		d.Procs = append(d.Procs, proc.Snapshot())
 	}
-	return guard.NewSimError(guard.OpWatchdog,
-		fmt.Errorf("livelock/deadlock on %d processors: no useful instruction retired in %d cycles",
-			cfg.Processors, wd.Stalled(now))).
-		At(now).WithDiag(d)
 }

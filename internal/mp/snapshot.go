@@ -5,12 +5,13 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/prog"
 	"repro/internal/snapshot"
 )
 
 // This file checkpoints a multiprocessor run at a lockstep block
-// boundary (a multiple of checkEvery = 64 cycles) and resumes it in a
+// boundary (a multiple of engine.BlockCycles) and resumes it in a
 // fresh machine. Halt checks, watchdog observations and cancellation
 // polls all land on block boundaries, so a resumed run replays them at
 // exactly the cycles the uninterrupted run would. Thread-to-context
@@ -40,7 +41,7 @@ var ErrCompleted = errors.New("mp: run completed before the checkpoint cycle")
 // fingerprint. atCycle must be a block boundary (multiple of 64) below
 // the cycle limit.
 func CheckpointAtCtx(ctx context.Context, p *prog.Program, cfg Config, atCycle int64, fingerprint string) ([]byte, error) {
-	if atCycle < 0 || atCycle%checkEvery != 0 || atCycle >= cfg.LimitCycles {
+	if atCycle < 0 || atCycle%engine.BlockCycles != 0 || atCycle >= cfg.LimitCycles {
 		return nil, fmt.Errorf("mp: checkpoint cycle %d is not a block boundary below the %d-cycle limit",
 			atCycle, cfg.LimitCycles)
 	}
@@ -99,11 +100,11 @@ func (m *machine) saveState(w *snapshot.Writer, atCycle int64) {
 	w.Int(m.cfg.Contexts)
 	w.I64(m.cfg.LimitCycles)
 
-	w.I64(m.nextGuard)
-	w.Bool(m.wd != nil)
-	if m.wd != nil {
-		w.I64(m.wd.Window())
-		lastCount, lastProgress, primed := m.wd.ProgressState()
+	w.I64(m.eng.NextGuard)
+	w.Bool(m.eng.Watchdog != nil)
+	if m.eng.Watchdog != nil {
+		w.I64(m.eng.Watchdog.Window())
+		lastCount, lastProgress, primed := m.eng.Watchdog.ProgressState()
 		w.I64(lastCount)
 		w.I64(lastProgress)
 		w.Bool(primed)
@@ -130,25 +131,25 @@ func (m *machine) restoreState(rd *snapshot.Reader) (int64, error) {
 	rd.Expect("contexts", int64(rd.Int()), int64(m.cfg.Contexts))
 	rd.Expect("cycle limit", rd.I64(), m.cfg.LimitCycles)
 
-	m.nextGuard = rd.I64()
+	m.eng.NextGuard = rd.I64()
 	hadWD := rd.Bool()
 	if rd.Err() == nil {
 		var inSnap, inMachine int64
 		if hadWD {
 			inSnap = 1
 		}
-		if m.wd != nil {
+		if m.eng.Watchdog != nil {
 			inMachine = 1
 		}
 		rd.Expect("watchdog presence", inSnap, inMachine)
 	}
-	if hadWD && m.wd != nil {
-		rd.Expect("watchdog window", rd.I64(), m.wd.Window())
+	if hadWD && m.eng.Watchdog != nil {
+		rd.Expect("watchdog window", rd.I64(), m.eng.Watchdog.Window())
 		lastCount := rd.I64()
 		lastProgress := rd.I64()
 		primed := rd.Bool()
 		if rd.Err() == nil {
-			m.wd.SetProgressState(lastCount, lastProgress, primed)
+			m.eng.Watchdog.SetProgressState(lastCount, lastProgress, primed)
 		}
 	}
 
@@ -164,7 +165,7 @@ func (m *machine) restoreState(rd *snapshot.Reader) (int64, error) {
 	if err := snapshot.Finish(rd); err != nil {
 		return 0, err
 	}
-	if atCycle < 0 || atCycle%checkEvery != 0 || atCycle >= m.cfg.LimitCycles {
+	if atCycle < 0 || atCycle%engine.BlockCycles != 0 || atCycle >= m.cfg.LimitCycles {
 		return 0, fmt.Errorf("%w: checkpoint cycle %d is not a block boundary below the %d-cycle limit",
 			snapshot.ErrMismatch, atCycle, m.cfg.LimitCycles)
 	}

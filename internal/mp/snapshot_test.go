@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/prog"
 	"repro/internal/snapshot"
@@ -76,12 +77,12 @@ func TestMPForkEquivalence(t *testing.T) {
 				}
 				// Boundaries inside the run: the machine completes at
 				// want.Cycles, so any earlier block boundary is live.
-				blocks := want.Cycles / checkEvery
+				blocks := want.Cycles / engine.BlockCycles
 				if blocks < 2 {
 					t.Skip("run too short to fork")
 				}
 				for trial := 0; trial < 3; trial++ {
-					at := (1 + rng.Int63n(blocks-1)) * checkEvery
+					at := (1 + rng.Int63n(blocks-1)) * engine.BlockCycles
 					ckpt, err := CheckpointAtCtx(context.Background(), p, cfg, at, "fp")
 					if err != nil {
 						t.Fatal(err)
@@ -104,7 +105,7 @@ func TestMPCheckpointRejection(t *testing.T) {
 	cfg := DefaultConfig(core.Interleaved, 2)
 	cfg.Processors = 2
 	cfg.LimitCycles = 5_000_000
-	ckpt, err := CheckpointAtCtx(context.Background(), p, cfg, 10*checkEvery, "fp")
+	ckpt, err := CheckpointAtCtx(context.Background(), p, cfg, 10*engine.BlockCycles, "fp")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestMPCheckpointRejection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	past := (done.Cycles/checkEvery + 10) * checkEvery
+	past := (done.Cycles/engine.BlockCycles + 10) * engine.BlockCycles
 	if _, err := CheckpointAtCtx(context.Background(), p, cfg, past, "fp"); !errors.Is(err, ErrCompleted) {
 		t.Errorf("checkpoint past completion: err = %v, want ErrCompleted", err)
 	}
@@ -147,12 +148,12 @@ func TestMPObsNotCheckpointable(t *testing.T) {
 	cfg.Processors = 2
 	cfg.LimitCycles = 1_000_000
 	cfg.Obs.SampleEvery = 1024
-	if _, err := CheckpointAtCtx(context.Background(), p, cfg, checkEvery, "fp"); !errors.Is(err, ErrNotCheckpointable) {
+	if _, err := CheckpointAtCtx(context.Background(), p, cfg, engine.BlockCycles, "fp"); !errors.Is(err, ErrNotCheckpointable) {
 		t.Errorf("observed run: err = %v, want ErrNotCheckpointable", err)
 	}
 	cfg.Obs.SampleEvery = 0
 	cfg.SwitchWatch = func(*core.Processor, int, int64) {}
-	if _, err := CheckpointAtCtx(context.Background(), p, cfg, checkEvery, "fp"); !errors.Is(err, ErrNotCheckpointable) {
+	if _, err := CheckpointAtCtx(context.Background(), p, cfg, engine.BlockCycles, "fp"); !errors.Is(err, ErrNotCheckpointable) {
 		t.Errorf("switch-watched run: err = %v, want ErrNotCheckpointable", err)
 	}
 }

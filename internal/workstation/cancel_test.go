@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/guard"
 )
 
@@ -28,8 +29,8 @@ func TestRunCtxCanceledStopsPromptly(t *testing.T) {
 		t.Errorf("cancellation error not recognized by errors.Is: %v", err)
 	}
 	// The drain lands within one cancel-check block of the start.
-	if se.Cycle > core.CancelCheckEvery {
-		t.Errorf("canceled at cycle %d, want <= %d", se.Cycle, core.CancelCheckEvery)
+	if se.Cycle > engine.BlockCycles {
+		t.Errorf("canceled at cycle %d, want <= %d", se.Cycle, engine.BlockCycles)
 	}
 }
 

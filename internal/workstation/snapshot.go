@@ -141,10 +141,10 @@ func (r *runner) saveState(w *snapshot.Writer, atSlice int) {
 
 	w.I64(r.rngSrc.draws)
 
-	w.Bool(r.wd != nil)
-	if r.wd != nil {
-		w.I64(r.wd.Window())
-		lastCount, lastProgress, primed := r.wd.ProgressState()
+	w.Bool(r.eng.Watchdog != nil)
+	if r.eng.Watchdog != nil {
+		w.I64(r.eng.Watchdog.Window())
+		lastCount, lastProgress, primed := r.eng.Watchdog.ProgressState()
 		w.I64(lastCount)
 		w.I64(lastProgress)
 		w.Bool(primed)
@@ -207,18 +207,18 @@ func (r *runner) restoreState(rd *snapshot.Reader) (int, error) {
 		if hadWD {
 			inSnap = 1
 		}
-		if r.wd != nil {
+		if r.eng.Watchdog != nil {
 			inMachine = 1
 		}
 		rd.Expect("watchdog presence", inSnap, inMachine)
 	}
-	if hadWD && r.wd != nil {
-		rd.Expect("watchdog window", rd.I64(), r.wd.Window())
+	if hadWD && r.eng.Watchdog != nil {
+		rd.Expect("watchdog window", rd.I64(), r.eng.Watchdog.Window())
 		lastCount := rd.I64()
 		lastProgress := rd.I64()
 		primed := rd.Bool()
 		if rd.Err() == nil {
-			r.wd.SetProgressState(lastCount, lastProgress, primed)
+			r.eng.Watchdog.SetProgressState(lastCount, lastProgress, primed)
 		}
 	}
 

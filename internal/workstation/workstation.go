@@ -14,6 +14,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -158,7 +159,7 @@ func Run(kernels []apps.Kernel, cfg Config) (*Result, error) {
 
 // RunCtx is Run with cooperative cancellation: when ctx can be canceled
 // the slice driver additionally polls ctx.Done() every
-// core.CancelCheckEvery (64) cycles, so a first-error cancel or a
+// engine.BlockCycles (64) cycles, so a first-error cancel or a
 // SIGINT/SIGTERM drain stops the simulation within one block instead of
 // after the remaining slices. The canceled run returns a
 // guard.OpCanceled SimError wrapping ctx.Err(); a background/detached
@@ -188,19 +189,18 @@ type runner struct {
 	h    *cache.Hierarchy
 	proc *core.Processor
 
-	col             *metrics.Collector
-	wdArms, wdTrips int64
-	threads         []*core.Thread
-	groups          [][]*core.Thread
-	groupPeriod     int // slices per group
-	rotation        int // slices per full rotation
-	totalSlices     int
-	warmupSlices    int
-	rng             *rand.Rand
-	rngSrc          *countingSource
-	wd              *guard.Watchdog
-	measureStart    []int64
-	devotedStart    []int64
+	col          *metrics.Collector
+	eng          *engine.Engine
+	threads      []*core.Thread
+	groups       [][]*core.Thread
+	groupPeriod  int // slices per group
+	rotation     int // slices per full rotation
+	totalSlices  int
+	warmupSlices int
+	rng          *rand.Rand
+	rngSrc       *countingSource
+	measureStart []int64
+	devotedStart []int64
 }
 
 func newRunner(kernels []apps.Kernel, cfg Config) (*runner, error) {
@@ -230,6 +230,38 @@ func newRunner(kernels []apps.Kernel, cfg Config) (*runner, error) {
 
 	r := &runner{cfg: cfg, ccfg: ccfg, fm: fm, h: h, proc: proc}
 
+	// The block-stepping engine drives every slice: proc.Run over the
+	// coalesced span (a single call per slice when detached and
+	// unguarded), the watchdog and invariant checkers at guard-cadence
+	// boundaries, the cancellation poll every engine.BlockCycles. The
+	// workstation machine cannot halt — a run is a fixed number of
+	// slices — so Halted stays nil, and guard cadences restart at each
+	// slice boundary via GuardAtEnd, which keeps slice boundaries valid
+	// snapshot points.
+	r.eng = &engine.Engine{
+		Advance: func(now, target int64) int64 {
+			proc.Run(target - now)
+			return target
+		},
+		Watchdog:   guard.NewWatchdog(cfg.Guard.ResolveWatchdog(0)),
+		Progress:   proc.UsefulProgress,
+		GuardEvery: cfg.Guard.CheckCadence(),
+		GuardAtEnd: true,
+		Describe: func(d *guard.Diagnostic) {
+			d.Scheme = cfg.Scheme.String()
+			d.Procs = []guard.ProcState{proc.Snapshot()}
+			d.MachineHash = proc.MachineHash()
+		},
+		OnCancel: func(now int64) {
+			if pm := r.col.Proc(0); pm != nil && pm.Sink != nil {
+				pm.Sink.Emit(metrics.Event{Cycle: now, Kind: metrics.KindDrain, Ctx: -1})
+			}
+		},
+	}
+	if cfg.Guard.InvariantsOn() {
+		r.eng.Checkers = []guard.InvariantChecker{proc, h}
+	}
+
 	// Observability: on a single processor every counter is proc-scope.
 	// The watchdog and chaos counters mutate only at guard-chunk and slice
 	// boundaries, which fall at identical cycles whether the core steps or
@@ -239,8 +271,8 @@ func newRunner(kernels []apps.Kernel, cfg Config) (*runner, error) {
 	if pm := r.col.Proc(0); pm != nil {
 		proc.AttachMetrics(pm)
 		h.AttachMetrics(pm)
-		pm.Reg.Register("watchdog/arms", &r.wdArms)
-		pm.Reg.Register("watchdog/trips", &r.wdTrips)
+		pm.Reg.Register("watchdog/arms", &r.eng.Arms)
+		pm.Reg.Register("watchdog/trips", &r.eng.Trips)
 		if ch := cfg.Cache.Chaos; ch != nil {
 			pm.Reg.Register("chaos/draws", &ch.Draws)
 		}
@@ -288,7 +320,6 @@ func newRunner(kernels []apps.Kernel, cfg Config) (*runner, error) {
 	r.rngSrc = &countingSource{src: rand.NewSource(cfg.Seed).(rand.Source64)}
 	r.rng = rand.New(r.rngSrc)
 
-	r.wd = guard.NewWatchdog(cfg.Guard.ResolveWatchdog(0))
 	r.measureStart = make([]int64, len(r.threads))
 	r.devotedStart = make([]int64, len(r.threads))
 	return r, nil
@@ -310,93 +341,20 @@ func (r *runner) bind(g []*core.Thread) {
 // scheduler binds, interference draws, and measure-boundary actions the
 // uninterrupted run would.
 func (r *runner) runSlices(ctx context.Context, from, to int) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	cfg := r.cfg
 	proc, h := r.proc, r.h
 
-	// Cancellation: advance() is proc.Run with a ctx poll between
-	// 64-cycle blocks. With a detached context (done == nil — what Run
-	// passes) it is a single proc.Run call, the exact pre-cancellation
-	// path; chunked runs are cycle-exact (pinned by the fast-forward
-	// goldens), so an attached-but-never-canceled context changes nothing
-	// but the call pattern.
-	done := ctx.Done()
-	canceled := func() error {
-		if pm := r.col.Proc(0); pm != nil && pm.Sink != nil {
-			pm.Sink.Emit(metrics.Event{Cycle: proc.Now(), Kind: metrics.KindDrain, Ctx: -1})
-		}
-		return guard.NewSimError(guard.OpCanceled, ctx.Err()).At(proc.Now())
-	}
-	advance := func(n int64) error {
-		if done == nil {
-			proc.Run(n)
-			return nil
-		}
-		for n > 0 {
-			b := int64(core.CancelCheckEvery)
-			if b > n {
-				b = n
-			}
-			proc.Run(b)
-			n -= b
-			select {
-			case <-done:
-				return canceled()
-			default:
-			}
-		}
-		return nil
-	}
-
-	// Hardening: stepping a slice in guard-cadence chunks is timing-
-	// identical to one Run call (Run(n) is n Step calls), so polling the
-	// watchdog and invariant checkers between chunks never perturbs
-	// results.
-	wd := r.wd
-	checks := cfg.Guard.InvariantsOn()
-	cadence := cfg.Guard.CheckCadence()
+	// Each slice is one engine span: proc.Run over coalesced chunks (a
+	// single call when detached and unguarded — the exact
+	// pre-cancellation path), the watchdog and invariant checkers at
+	// guard-cadence boundaries, a ctx poll every engine.BlockCycles.
+	// Chunked runs are cycle-exact (Run(n) is n Step calls, pinned by
+	// the fast-forward goldens), so neither hardening nor an
+	// attached-but-never-canceled context perturbs results.
 	runSlice := func() error {
-		if wd == nil && !checks {
-			return advance(int64(cfg.OS.SliceCycles))
-		}
-		for remaining := int64(cfg.OS.SliceCycles); remaining > 0; {
-			chunk := cadence
-			if chunk > remaining {
-				chunk = remaining
-			}
-			if err := advance(chunk); err != nil {
-				return err
-			}
-			remaining -= chunk
-			if wd != nil {
-				r.wdArms++
-			}
-			if wd.Observe(proc.Now(), proc.UsefulProgress()) {
-				r.wdTrips++
-				d := &guard.Diagnostic{
-					Reason:      fmt.Sprintf("watchdog: no useful instruction retired in %d cycles", wd.Stalled(proc.Now())),
-					Cycle:       proc.Now(),
-					Scheme:      cfg.Scheme.String(),
-					Window:      wd.Window(),
-					Procs:       []guard.ProcState{proc.Snapshot()},
-					MachineHash: proc.MachineHash(),
-				}
-				return guard.NewSimError(guard.OpWatchdog,
-					fmt.Errorf("workload wedged: no useful instruction retired in %d cycles", wd.Stalled(proc.Now()))).
-					At(proc.Now()).WithDiag(d)
-			}
-			if checks {
-				if err := proc.CheckInvariants(); err != nil {
-					return err
-				}
-				if err := h.CheckInvariants(); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
+		start := proc.Now()
+		_, err := r.eng.Run(ctx, start, start+int64(cfg.OS.SliceCycles))
+		return err
 	}
 
 	for slice := from; slice < to; slice++ {

@@ -20,7 +20,11 @@
 # table measures the whole optimization stack. BENCH_3.json was produced
 # with SWEEPS=1 BENCH_OUT=BENCH_3.json and records the shared-warm-up
 # forking speedups (the scratch leg of each pair is the baseline, so no
-# old-revision worktree is needed).
+# old-revision worktree is needed). BENCH_4.json was produced with
+# BASE_REF set to the revision preceding the internal/engine block-loop
+# unification; its geomean near 1.0 shows the shared engine kept the
+# detached hot path branch-free (MIN_GEOMEAN, default 0.97, enforces
+# this whenever BASE_REF is given).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -55,7 +59,10 @@ if [ -n "${BASE_REF:-}" ]; then
     (cd "$BASEDIR/wt" && go run ./cmd/bench \
         -label "baseline-$BASE_REF" -commit "$(git rev-parse --short "$BASE_REF")" \
         -out "$BASEJSON")
-    go run ./cmd/bench -commit "$COMMIT" -baseline "$BASEJSON" -out "$OUT"
+    # MIN_GEOMEAN guards against refactor-induced slowdowns: the run fails
+    # unless the geomean of per-cell speedups vs BASE_REF stays above it.
+    go run ./cmd/bench -commit "$COMMIT" -baseline "$BASEJSON" \
+        -min-geomean "${MIN_GEOMEAN:-0.97}" -out "$OUT"
 else
     go run ./cmd/bench -commit "$COMMIT" -out "$OUT"
 fi

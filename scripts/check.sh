@@ -16,6 +16,13 @@ go test -race ./...
 # is read once per process, so this must be a separate test invocation.
 GUARD_CHECKS=1 go test ./...
 
+# Engine equivalence: the three block-loop drivers (core, workstation,
+# mp) all run on internal/engine; the golden grid pins their outputs —
+# stats, metrics streams, checkpoint/resume — to digests captured from
+# the pre-unification hand-rolled loops. Any drift in guard cadence,
+# sampling, cancellation, or watchdog behavior fails here first.
+go test -count=1 -run 'TestEngineGolden' ./internal/engine
+
 # Chaos-mode determinism: perturb all memory/network latencies on a
 # race-free app and assert the final memory is byte-identical to the
 # unperturbed run (mpsim runs the reference config itself and fails on
