@@ -1,0 +1,75 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// Two seeds in-process — one per crash-inducing disk class family —
+// keep the harness itself under tier-1 without the full CI seed set
+// (scripts/check.sh TORTURE=1 runs 20).
+func TestTortureSmoke(t *testing.T) {
+	spec := tortureSpec()
+	baseText, baseJSON, err := baseline(spec)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	for _, seed := range []int64{1, 3} { // failed-sync and torn-write schedules
+		sched := scheduleFromSeed(seed)
+		fired, err := runSeed(spec, baseText, baseJSON, sched, 60*time.Second, func(string, ...any) {})
+		if err != nil {
+			t.Errorf("seed %d (%s): %v", seed, sched, err)
+			continue
+		}
+		total := int64(0)
+		for _, n := range fired {
+			total += n
+		}
+		if total == 0 {
+			t.Errorf("seed %d: no faults fired — the schedule was a no-op", seed)
+		}
+		t.Logf("seed %d: fired %s", seed, firedString(fired))
+	}
+}
+
+func TestScheduleFromSeedDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := scheduleFromSeed(seed), scheduleFromSeed(seed)
+		if a != b {
+			t.Fatalf("seed %d: schedule not a pure function of the seed:\n%s\n%s", seed, a, b)
+		}
+		if a.Disk.Empty() {
+			t.Fatalf("seed %d: no disk fault armed", seed)
+		}
+		if a.Client.Empty() || a.Workers[0].Empty() || a.Workers[1].Empty() {
+			t.Fatalf("seed %d: a transport has no faults armed", seed)
+		}
+	}
+	if scheduleFromSeed(1) == scheduleFromSeed(2) {
+		t.Fatal("distinct seeds produced identical schedules")
+	}
+}
+
+// The shrinker must strip every fault the failure does not need and
+// keep every fault it does.
+func TestShrinkSchedule(t *testing.T) {
+	full := scheduleFromSeed(1)
+	if full.Disk.FailSyncAt == 0 {
+		t.Fatalf("test premise: seed 1 arms failed-sync, got %s", full)
+	}
+	// Synthetic failure: reproduces iff the disk failed-sync AND the
+	// client drop are both present.
+	fails := func(s schedule) bool {
+		return s.Disk.FailSyncAt != 0 && s.Client.DropAt != 0
+	}
+	min := shrinkSchedule(full, fails)
+	want := schedule{}
+	want.Disk.FailSyncAt = full.Disk.FailSyncAt
+	want.Client.DropAt = full.Client.DropAt
+	if min != want {
+		t.Fatalf("shrink kept extra faults:\n got %s\nwant %s", min, want)
+	}
+	if got := remaining(min); got != "disk:failed-sync client:drop" {
+		t.Fatalf("remaining = %q", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/metrics"
 	"repro/internal/snapshot"
 	"repro/internal/workstation"
@@ -239,7 +240,8 @@ type journalKey struct {
 // irrelevant. A nil *Journal is valid everywhere and disables journaling.
 type Journal struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        faultfs.File
+	fs       faultfs.FS
 	path     string
 	cells    map[journalKey]json.RawMessage
 	appended int
@@ -248,14 +250,40 @@ type Journal struct {
 	onAppend func(appended int)
 }
 
+// AppendError is the typed failure a journal append surfaces through
+// Err(): which cell could not be made durable and why. The distinction
+// matters to callers — a failed Sync means the record's bytes may be in
+// the file but are NOT durable, so the cell must not be acknowledged;
+// recovery is reopen-and-truncate (OpenJournal), which restores the
+// pre-append state.
+type AppendError struct {
+	Grid  string
+	Index int
+	Err   error
+}
+
+func (e *AppendError) Error() string {
+	return fmt.Sprintf("experiments: journal cell %s/%d: %v", e.Grid, e.Index, e.Err)
+}
+
+func (e *AppendError) Unwrap() error { return e.Err }
+
 // CreateJournal starts a fresh journal at path (truncating any previous
 // file) and records the fingerprint header.
 func CreateJournal(path string, fp Fingerprint) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	return CreateJournalFS(nil, path, fp)
+}
+
+// CreateJournalFS is CreateJournal over an explicit filesystem; a nil
+// fsys means the real one. Fault-injection harnesses pass a faultfs
+// injector to exercise the journal's durability claims.
+func CreateJournalFS(fsys faultfs.FS, path string, fp Fingerprint) (*Journal, error) {
+	fsys = faultfs.OrOS(fsys)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: create journal: %w", err)
 	}
-	j := &Journal{f: f, path: path, cells: map[journalKey]json.RawMessage{}}
+	j := &Journal{f: f, fs: fsys, path: path, cells: map[journalKey]json.RawMessage{}}
 	fpData, err := json.Marshal(fp)
 	if err != nil {
 		f.Close()
@@ -292,7 +320,14 @@ func OpenJournal(path string, fp Fingerprint) (*Journal, error) {
 // mismatches remain hard errors in every mode — replayed cells would
 // silently disagree with what this run would simulate.
 func OpenJournalAllow(path string, fp Fingerprint, allowBinaryMismatch bool, warnf func(format string, args ...any)) (*Journal, error) {
-	f, err := os.Open(path)
+	return OpenJournalAllowFS(nil, path, fp, allowBinaryMismatch, warnf)
+}
+
+// OpenJournalAllowFS is OpenJournalAllow over an explicit filesystem; a
+// nil fsys means the real one.
+func OpenJournalAllowFS(fsys faultfs.FS, path string, fp Fingerprint, allowBinaryMismatch bool, warnf func(format string, args ...any)) (*Journal, error) {
+	fsys = faultfs.OrOS(fsys)
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: open journal: %w", err)
 	}
@@ -352,14 +387,14 @@ func OpenJournalAllow(path string, fp Fingerprint, allowBinaryMismatch bool, war
 
 	// Drop the torn tail (if any) so appends start on a record boundary,
 	// then reopen for appending.
-	if err := os.Truncate(path, validOff); err != nil {
+	if err := fsys.Truncate(path, validOff); err != nil {
 		return nil, fmt.Errorf("experiments: truncate journal tail: %w", err)
 	}
-	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	af, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: reopen journal: %w", err)
 	}
-	return &Journal{f: af, path: path, cells: cells}, nil
+	return &Journal{f: af, fs: fsys, path: path, cells: cells}, nil
 }
 
 // DataHash digests a cell record's payload (FNV-1a, hex) so a torn
@@ -492,9 +527,11 @@ func (j *Journal) Replay(grid string, index int, rec any) bool {
 // Record appends (grid, index, payload) as one fsynced line and keeps
 // the in-memory cell map current, so ReplayRaw sees records appended in
 // this process as well as ones replayed at open — the service
-// coordinator assembles final results from that map. Errors are sticky:
-// after the first failed append the journal stops accepting records and
-// Err() reports the failure.
+// coordinator assembles final results from that map. Errors are sticky
+// and typed: after the first failed append (a short write OR a failed
+// Sync — either way the record is not durably on disk) the journal
+// stops accepting records, the cell map is NOT updated, and Err()
+// reports an *AppendError identifying the cell.
 func (j *Journal) Record(grid string, index int, payload any) {
 	if j == nil {
 		return
@@ -503,7 +540,7 @@ func (j *Journal) Record(grid string, index int, payload any) {
 	if err != nil {
 		j.mu.Lock()
 		if j.writeErr == nil {
-			j.writeErr = fmt.Errorf("experiments: journal cell %s/%d: %w", grid, index, err)
+			j.writeErr = &AppendError{Grid: grid, Index: index, Err: err}
 		}
 		j.mu.Unlock()
 		return
@@ -516,7 +553,7 @@ func (j *Journal) Record(grid string, index int, payload any) {
 		return
 	}
 	if err := j.writeLineLocked(line); err != nil {
-		j.writeErr = fmt.Errorf("experiments: journal cell %s/%d: %w", grid, index, err)
+		j.writeErr = &AppendError{Grid: grid, Index: index, Err: err}
 		j.mu.Unlock()
 		return
 	}

@@ -8,7 +8,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+
+	"repro/internal/faultfs"
 )
 
 // journalTestConfig is the small grid the journal tests run: one workload,
@@ -432,5 +435,116 @@ func TestNilJournalIsInert(t *testing.T) {
 	}
 	if err := j.Close(); err != nil {
 		t.Errorf("nil journal close: %v", err)
+	}
+}
+
+// The failed-fsync satellite: a Record whose bytes reach the file but
+// whose Sync fails must (a) surface a typed *AppendError, (b) not enter
+// the replay map, and (c) leave a journal that — after the crash the
+// failed barrier implies — reopens to exactly the pre-append state,
+// with the un-durable tail truncated away.
+func TestJournalFailedSyncRecoversPreAppendState(t *testing.T) {
+	cfg := journalTestConfig()
+	fp := NewFingerprint(&cfg, nil, nil)
+	mem := faultfs.NewMem()
+	const path = "/grid.journal"
+
+	// Header sync is #1; cell records sync at #2, #3, #4. Fail the third
+	// cell's barrier.
+	inj := faultfs.NewInjector(mem, faultfs.Plan{FailSyncAt: 4}, nil, nil)
+	j, err := CreateJournalFS(inj, path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(GridWorkstation, 0, UniCellRecord{Failed: true, Failure: "cell 0"})
+	j.Record(GridWorkstation, 1, UniCellRecord{Failed: true, Failure: "cell 1"})
+	if err := j.Err(); err != nil {
+		t.Fatalf("clean appends errored: %v", err)
+	}
+	j.Record(GridWorkstation, 2, UniCellRecord{Failed: true, Failure: "cell 2"})
+
+	var ae *AppendError
+	if err := j.Err(); !errors.As(err, &ae) {
+		t.Fatalf("Err() = %v, want *AppendError", err)
+	}
+	if ae.Grid != GridWorkstation || ae.Index != 2 {
+		t.Errorf("AppendError names cell %s/%d, want %s/2", ae.Grid, ae.Index, GridWorkstation)
+	}
+	if !errors.Is(ae, syscall.EIO) {
+		t.Errorf("AppendError does not unwrap to the injected EIO: %v", ae)
+	}
+	if _, ok := j.ReplayRaw(GridWorkstation, 2); ok {
+		t.Error("un-durable cell entered the replay map")
+	}
+	// Sticky: later appends are refused outright.
+	j.Record(GridWorkstation, 3, UniCellRecord{Failed: true, Failure: "cell 3"})
+	if _, ok := j.ReplayRaw(GridWorkstation, 3); ok {
+		t.Error("append after sticky error was accepted")
+	}
+
+	// Crash now. The record's bytes may be sitting volatile in the file;
+	// the durable image must not contain them.
+	img := mem.CrashImage()
+	j2, err := OpenJournalAllowFS(img, path, fp, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Cells(); got != 2 {
+		t.Fatalf("recovered %d cells, want the 2 durable ones", got)
+	}
+	for i := 0; i < 2; i++ {
+		var rec UniCellRecord
+		if !j2.Replay(GridWorkstation, i, &rec) || rec.Failure != fmt.Sprintf("cell %d", i) {
+			t.Errorf("cell %d did not replay intact: %+v", i, rec)
+		}
+	}
+	if _, ok := j2.ReplayRaw(GridWorkstation, 2); ok {
+		t.Error("cell with failed sync survived the crash")
+	}
+	// And the recovered journal appends cleanly where it left off.
+	j2.Record(GridWorkstation, 2, UniCellRecord{Failed: true, Failure: "cell 2 rerun"})
+	if err := j2.Err(); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+// A torn append (short write mid-record) behaves the same way: typed
+// sticky error now, pre-append state after reopen.
+func TestJournalTornWriteRecovers(t *testing.T) {
+	cfg := journalTestConfig()
+	fp := NewFingerprint(&cfg, nil, nil)
+	mem := faultfs.NewMem()
+	const path = "/grid.journal"
+
+	// Header is write #1, cells are #2, #3, ... — tear the second cell's
+	// write partway through.
+	inj := faultfs.NewInjector(mem, faultfs.Plan{TornWriteAt: 3, TornWriteKeep: 17}, nil, nil)
+	j, err := CreateJournalFS(inj, path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(GridWorkstation, 0, UniCellRecord{Failed: true, Failure: "cell 0"})
+	j.Record(GridWorkstation, 1, UniCellRecord{Failed: true, Failure: "cell 1"})
+	var ae *AppendError
+	if err := j.Err(); !errors.As(err, &ae) || ae.Index != 1 {
+		t.Fatalf("Err() = %v, want *AppendError for cell 1", err)
+	}
+
+	j2, err := OpenJournalAllowFS(mem, path, fp, false, nil)
+	if err != nil {
+		t.Fatalf("reopen over the torn tail: %v", err)
+	}
+	defer j2.Close()
+	if got := j2.Cells(); got != 1 {
+		t.Fatalf("recovered %d cells, want 1", got)
+	}
+	j2.Record(GridWorkstation, 1, UniCellRecord{Failed: true, Failure: "cell 1 rerun"})
+	if err := j2.Err(); err != nil {
+		t.Fatalf("append after torn-tail truncation: %v", err)
+	}
+	var rec UniCellRecord
+	if !j2.Replay(GridWorkstation, 1, &rec) || rec.Failure != "cell 1 rerun" {
+		t.Errorf("re-recorded cell = %+v", rec)
 	}
 }

@@ -1,0 +1,367 @@
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Mem is an in-memory FS that models durability the way a journaled
+// filesystem does, so crash-point directory images are computable:
+//
+//   - File data written through a handle is volatile until the handle's
+//     Sync succeeds; Sync also makes the file's own directory entry
+//     durable (the ext4-style behavior the journal relies on).
+//   - Entry mutations that touch OTHER names — renames, removes, and
+//     creates that are never followed by a file Sync — stay volatile
+//     until SyncDir on the parent directory. This is the POSIX rule the
+//     atomic-writer satellite is about: rename + file fsync alone does
+//     not make the rename durable.
+//   - CrashImage materializes the durable view: what a process would
+//     find on disk after a crash at this exact point.
+//
+// Directories themselves are durable on creation (MkdirAll models a
+// state directory prepared before the run, not a claim under test).
+// A single Mem is safe for concurrent use and can be shared across
+// "process restarts" of the component under test.
+type Mem struct {
+	mu      sync.Mutex
+	files   map[string]*memNode // volatile namespace
+	durable map[string]*memNode // durable namespace
+	dirs    map[string]bool
+	tempSeq int
+}
+
+// memNode is one file's content: the volatile bytes every reader sees,
+// and the durable prefix as of the last successful Sync.
+type memNode struct {
+	data    []byte
+	durable []byte
+	synced  bool // a Sync succeeded at least once (dirent durability)
+	mode    fs.FileMode
+}
+
+// NewMem returns an empty in-memory filesystem with a root directory.
+func NewMem() *Mem {
+	return &Mem{
+		files:   map[string]*memNode{},
+		durable: map[string]*memNode{},
+		dirs:    map[string]bool{"/": true, ".": true},
+	}
+}
+
+func memClean(path string) string { return filepath.Clean(path) }
+
+func (m *Mem) lookup(path string) (*memNode, bool) {
+	n, ok := m.files[memClean(path)]
+	return n, ok
+}
+
+// dirExists reports whether path is a known directory.
+func (m *Mem) dirExists(path string) bool {
+	return m.dirs[memClean(path)]
+}
+
+func (m *Mem) MkdirAll(path string, perm fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := memClean(path)
+	for {
+		m.dirs[p] = true
+		parent := filepath.Dir(p)
+		if parent == p {
+			return nil
+		}
+		p = parent
+	}
+}
+
+func (m *Mem) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := memClean(path)
+	n, ok := m.files[p]
+	if flag&os.O_CREATE != 0 {
+		if !ok {
+			if !m.dirExists(filepath.Dir(p)) {
+				return nil, &fs.PathError{Op: "open", Path: path, Err: fs.ErrNotExist}
+			}
+			n = &memNode{mode: perm}
+			m.files[p] = n
+		}
+	} else if !ok {
+		return nil, &fs.PathError{Op: "open", Path: path, Err: fs.ErrNotExist}
+	}
+	if flag&os.O_TRUNC != 0 {
+		n.data = nil
+	}
+	h := &memHandle{fs: m, node: n, path: p}
+	if flag&os.O_APPEND != 0 {
+		h.append = true
+	}
+	if flag&(os.O_WRONLY|os.O_RDWR) == 0 {
+		h.readOnly = true
+	}
+	return h, nil
+}
+
+func (m *Mem) CreateTemp(dir, pattern string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := memClean(dir)
+	if !m.dirExists(d) {
+		return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: fs.ErrNotExist}
+	}
+	prefix, suffix, _ := strings.Cut(pattern, "*")
+	m.tempSeq++
+	p := filepath.Join(d, fmt.Sprintf("%s%09d%s", prefix, m.tempSeq, suffix))
+	n := &memNode{mode: 0o600}
+	m.files[p] = n
+	return &memHandle{fs: m, node: n, path: p}, nil
+}
+
+func (m *Mem) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.lookup(path)
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: path, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+func (m *Mem) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	op, np := memClean(oldpath), memClean(newpath)
+	n, ok := m.files[op]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(m.files, op)
+	m.files[np] = n
+	return nil
+}
+
+func (m *Mem) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := memClean(path)
+	if _, ok := m.files[p]; !ok {
+		return &fs.PathError{Op: "remove", Path: path, Err: fs.ErrNotExist}
+	}
+	delete(m.files, p)
+	return nil
+}
+
+func (m *Mem) Truncate(path string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.lookup(path)
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: path, Err: fs.ErrNotExist}
+	}
+	if size < 0 {
+		return &fs.PathError{Op: "truncate", Path: path, Err: fs.ErrInvalid}
+	}
+	for int64(len(n.data)) < size {
+		n.data = append(n.data, 0)
+	}
+	n.data = n.data[:size]
+	return nil
+}
+
+func (m *Mem) ReadDir(path string) ([]fs.DirEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := memClean(path)
+	if !m.dirExists(d) {
+		return nil, &fs.PathError{Op: "readdir", Path: path, Err: fs.ErrNotExist}
+	}
+	var names []string
+	for p := range m.files {
+		if filepath.Dir(p) == d {
+			names = append(names, filepath.Base(p))
+		}
+	}
+	for p := range m.dirs {
+		if p != d && filepath.Dir(p) == d {
+			names = append(names, filepath.Base(p))
+		}
+	}
+	sort.Strings(names)
+	entries := make([]fs.DirEntry, len(names))
+	for i, name := range names {
+		entries[i] = memDirEntry{name: name, dir: m.dirs[filepath.Join(d, name)]}
+	}
+	return entries, nil
+}
+
+// SyncDir makes every entry mutation in the directory durable: each
+// name's durable binding becomes its volatile binding (including
+// removals of names that no longer exist). This is the fsync(dirfd)
+// the atomic writer issues after its rename.
+func (m *Mem) SyncDir(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := memClean(path)
+	if !m.dirExists(d) {
+		return &fs.PathError{Op: "syncdir", Path: path, Err: fs.ErrNotExist}
+	}
+	for p := range m.durable {
+		if filepath.Dir(p) == d {
+			if _, ok := m.files[p]; !ok {
+				delete(m.durable, p)
+			}
+		}
+	}
+	for p, n := range m.files {
+		if filepath.Dir(p) == d {
+			m.durable[p] = n
+		}
+	}
+	return nil
+}
+
+// CrashImage returns a new Mem holding the durable view: each durable
+// directory entry with its node's last-synced content. This is the
+// filesystem a restarted process would observe after a crash at this
+// point; the original Mem is unchanged and still usable.
+func (m *Mem) CrashImage() *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	img := NewMem()
+	for p := range m.dirs {
+		img.dirs[p] = true
+	}
+	for p, n := range m.durable {
+		nn := &memNode{
+			data:    append([]byte(nil), n.durable...),
+			durable: append([]byte(nil), n.durable...),
+			synced:  true,
+			mode:    n.mode,
+		}
+		img.files[memClean(p)] = nn
+		img.durable[memClean(p)] = nn
+	}
+	img.tempSeq = m.tempSeq
+	return img
+}
+
+// memHandle is an open Mem file. Writers are sequential (the callers
+// write streams or append records); readers track their own offset.
+type memHandle struct {
+	fs       *Mem
+	node     *memNode
+	path     string
+	off      int // read/write position for non-append handles
+	append   bool
+	readOnly bool
+	closed   bool
+}
+
+func (h *memHandle) Name() string { return h.path }
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.off >= len(h.node.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.node.data[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.readOnly {
+		return 0, &fs.PathError{Op: "write", Path: h.path, Err: fs.ErrPermission}
+	}
+	if h.append {
+		h.node.data = append(h.node.data, p...)
+		return len(p), nil
+	}
+	for len(h.node.data) < h.off {
+		h.node.data = append(h.node.data, 0)
+	}
+	h.node.data = append(h.node.data[:h.off], p...)
+	h.off += len(p)
+	return len(p), nil
+}
+
+// Sync makes the node's current bytes durable and (first success)
+// its own directory entry findable after a crash.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.node.durable = append(h.node.durable[:0], h.node.data...)
+	h.node.synced = true
+	// The dirent under the file's CURRENT volatile name becomes durable,
+	// the fsync(file)-commits-the-inode behavior of journaled
+	// filesystems. A rename after this Sync still needs SyncDir.
+	if n, ok := h.fs.files[h.path]; ok && n == h.node {
+		h.fs.durable[h.path] = h.node
+	}
+	return nil
+}
+
+func (h *memHandle) Chmod(mode fs.FileMode) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.node.mode = mode
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+// memDirEntry is the synthetic fs.DirEntry ReadDir returns.
+type memDirEntry struct {
+	name string
+	dir  bool
+}
+
+func (e memDirEntry) Name() string { return e.name }
+func (e memDirEntry) IsDir() bool  { return e.dir }
+func (e memDirEntry) Type() fs.FileMode {
+	if e.dir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (e memDirEntry) Info() (fs.FileInfo, error) { return memFileInfo{e}, nil }
+
+type memFileInfo struct{ e memDirEntry }
+
+func (i memFileInfo) Name() string { return i.e.name }
+func (i memFileInfo) Size() int64  { return 0 }
+func (i memFileInfo) Mode() fs.FileMode {
+	return i.e.Type()
+}
+func (i memFileInfo) ModTime() time.Time { return time.Time{} }
+func (i memFileInfo) IsDir() bool        { return i.e.dir }
+func (i memFileInfo) Sys() any           { return nil }

@@ -1,0 +1,362 @@
+// Package faultnet is the seeded network-fault layer for the
+// distributed experiment service. A Transport wraps any
+// http.RoundTripper and executes a deterministic Plan against the
+// request stream flowing through it — dropped requests, delayed and
+// duplicated deliveries, connection resets after the server processed
+// the request, and truncated response bodies — which stresses exactly
+// the machinery the coordinator claims makes the service safe under a
+// lossy network: at-least-once dispatch, payload-hash dedup, lease
+// expiry and redispatch, and the per-worker circuit breaker.
+//
+// Schedules are ordinal-based, not probabilistic: PlanFromSeed derives
+// which request ordinal each fault class fires on as a pure function of
+// the seed, so the same seed replays the same schedule and a failing
+// schedule shrinks by zeroing fields. The package is a leaf: it imports
+// only the standard library.
+package faultnet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// FaultKind classifies one injected network failure.
+type FaultKind int
+
+const (
+	// FaultDrop: the request is never forwarded; the caller sees a
+	// transport error. The server never learns the request existed.
+	FaultDrop FaultKind = iota
+	// FaultDelay: the request is forwarded after a deterministic pause —
+	// long enough to overlap lease TTLs, not long enough to stall a run.
+	FaultDelay
+	// FaultDup: the request is delivered to the server twice; the first
+	// delivery's response is discarded, the second is returned. The
+	// server must tolerate the duplicate.
+	FaultDup
+	// FaultReset: the request is forwarded and processed, but the
+	// connection "resets" before the response arrives — the caller sees
+	// a transport error for work the server actually did. The classic
+	// at-least-once trap: the retry must dedup, not double-apply.
+	FaultReset
+	// FaultTruncate: the response starts arriving, then the body errors
+	// after k bytes. The caller's read fails mid-decode and it must
+	// retry as if the response never came.
+	FaultTruncate
+)
+
+// String names the fault for schedules and reports.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultDup:
+		return "duplicate"
+	case FaultReset:
+		return "reset"
+	case FaultTruncate:
+		return "truncation"
+	default:
+		return fmt.Sprintf("netfault(%d)", int(k))
+	}
+}
+
+// NetFaultKinds lists every injectable network fault class, for
+// coverage accounting.
+var NetFaultKinds = []FaultKind{FaultDrop, FaultDelay, FaultDup, FaultReset, FaultTruncate}
+
+// AllNetFaults is the classMask arming every network fault class.
+const AllNetFaults = 1<<FaultDrop | 1<<FaultDelay | 1<<FaultDup | 1<<FaultReset | 1<<FaultTruncate
+
+// Fault describes one injected failure, delivered to the OnFault hook.
+type Fault struct {
+	Kind    FaultKind
+	Ordinal int64 // which request (1-based) through this transport fired
+	URL     string
+}
+
+// InjectedError wraps the transport-shaped failure an injected fault
+// returns, recognizable via errors.As and errors.Is(err, syscall.ECONNRESET).
+type InjectedError struct {
+	Fault Fault
+	Err   error
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultnet: injected %v on %s (request %d): %v", e.Fault.Kind, e.Fault.URL, e.Fault.Ordinal, e.Err)
+}
+
+func (e *InjectedError) Unwrap() error { return e.Err }
+
+// Plan is one deterministic network-fault schedule: which request
+// ordinal (1-based, per transport) each one-shot fault fires on; zero
+// disables that class. When several classes name the same ordinal the
+// lowest-numbered class wins and the others stay armed for nothing —
+// PlanFromSeed avoids collisions, hand-built plans should too.
+type Plan struct {
+	DropAt     int64 `json:"dropAt,omitempty"`
+	DelayAt    int64 `json:"delayAt,omitempty"`
+	DupAt      int64 `json:"dupAt,omitempty"`
+	ResetAt    int64 `json:"resetAt,omitempty"`
+	TruncateAt int64 `json:"truncateAt,omitempty"`
+	// Delay is how long FaultDelay pauses the request.
+	Delay time.Duration `json:"delayNanos,omitempty"`
+	// TruncateBytes is how much of the response body FaultTruncate lets
+	// through before erroring.
+	TruncateBytes int `json:"truncateBytes,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool {
+	return p.DropAt == 0 && p.DelayAt == 0 && p.DupAt == 0 && p.ResetAt == 0 && p.TruncateAt == 0
+}
+
+// String renders the plan compactly for reports.
+func (p Plan) String() string {
+	if p.Empty() {
+		return "net:none"
+	}
+	s := "net:"
+	if p.DropAt > 0 {
+		s += fmt.Sprintf("[drop@%d]", p.DropAt)
+	}
+	if p.DelayAt > 0 {
+		s += fmt.Sprintf("[delay@%d %v]", p.DelayAt, p.Delay)
+	}
+	if p.DupAt > 0 {
+		s += fmt.Sprintf("[duplicate@%d]", p.DupAt)
+	}
+	if p.ResetAt > 0 {
+		s += fmt.Sprintf("[reset@%d]", p.ResetAt)
+	}
+	if p.TruncateAt > 0 {
+		s += fmt.Sprintf("[truncation@%d after %dB]", p.TruncateAt, p.TruncateBytes)
+	}
+	return s
+}
+
+// splitmix64 is the repo-wide seeding PRNG (same constants as
+// guard.Chaos, faultfs.PlanFromSeed and the pool's DeriveSeed).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// PlanFromSeed derives a deterministic network schedule from a seed.
+// classMask selects the armed classes (bit i = NetFaultKinds[i]); pass
+// AllNetFaults for everything. Armed classes get distinct ordinals, so
+// every armed fault actually fires if the request stream is long
+// enough.
+func PlanFromSeed(seed int64, classMask uint) Plan {
+	st := uint64(seed) ^ 0x6e657477 // decorrelate from the disk layer's stream
+	var p Plan
+	used := map[int64]bool{}
+	pick := func(span, base int64) int64 {
+		for {
+			n := int64(splitmix64(&st)%uint64(span)) + base
+			if !used[n] {
+				used[n] = true
+				return n
+			}
+		}
+	}
+	if classMask&(1<<FaultDrop) != 0 {
+		p.DropAt = pick(20, 2)
+	}
+	if classMask&(1<<FaultDelay) != 0 {
+		p.DelayAt = pick(20, 2)
+		p.Delay = time.Duration(splitmix64(&st)%40+10) * time.Millisecond
+	}
+	if classMask&(1<<FaultDup) != 0 {
+		p.DupAt = pick(20, 2)
+	}
+	if classMask&(1<<FaultReset) != 0 {
+		p.ResetAt = pick(20, 2)
+	}
+	if classMask&(1<<FaultTruncate) != 0 {
+		p.TruncateAt = pick(20, 2)
+		p.TruncateBytes = int(splitmix64(&st) % 64)
+	}
+	return p
+}
+
+// Transport wraps an http.RoundTripper and executes a Plan. The request
+// ordinal counter is per transport, so each worker/client gets its own
+// deterministic schedule. Faults are one-shot: each class fires at most
+// once per transport lifetime.
+type Transport struct {
+	// Base handles the real round trips; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// OnFault (optional) observes every fired fault.
+	OnFault func(Fault)
+
+	plan Plan
+
+	mu       sync.Mutex
+	requests int64
+	fired    map[FaultKind]int64
+}
+
+// NewTransport wraps base with plan.
+func NewTransport(base http.RoundTripper, plan Plan, onFault func(Fault)) *Transport {
+	return &Transport{Base: base, OnFault: onFault, plan: plan, fired: map[FaultKind]int64{}}
+}
+
+// Fired returns how many faults of each class this transport executed.
+func (t *Transport) Fired() map[FaultKind]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[FaultKind]int64, len(t.fired))
+	for k, v := range t.fired {
+		out[k] = v
+	}
+	return out
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// decide consumes one request ordinal and returns the fault to execute,
+// if any.
+func (t *Transport) decide(url string) *Fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.requests++
+	n := t.requests
+	var kind FaultKind = -1
+	switch n {
+	case t.plan.DropAt:
+		kind = FaultDrop
+	case t.plan.DelayAt:
+		kind = FaultDelay
+	case t.plan.DupAt:
+		kind = FaultDup
+	case t.plan.ResetAt:
+		kind = FaultReset
+	case t.plan.TruncateAt:
+		kind = FaultTruncate
+	default:
+		return nil
+	}
+	f := Fault{Kind: kind, Ordinal: n, URL: url}
+	t.fired[kind]++
+	hook := t.OnFault
+	if hook != nil {
+		t.mu.Unlock()
+		hook(f)
+		t.mu.Lock()
+	}
+	return &f
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.decide(req.URL.String())
+	if f == nil {
+		return t.base().RoundTrip(req)
+	}
+	switch f.Kind {
+	case FaultDrop:
+		// The server never sees it; drain the body like a transport would.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, &InjectedError{Fault: *f, Err: syscall.ECONNREFUSED}
+
+	case FaultDelay:
+		select {
+		case <-time.After(t.plan.Delay):
+		case <-req.Context().Done():
+			return nil, &InjectedError{Fault: *f, Err: req.Context().Err()}
+		}
+		return t.base().RoundTrip(req)
+
+	case FaultDup:
+		first, body, err := t.replayable(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp, err := t.base().RoundTrip(first); err == nil {
+			// First delivery processed; its response is lost on the floor.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		second := req.Clone(req.Context())
+		second.Body = io.NopCloser(bytes.NewReader(body))
+		return t.base().RoundTrip(second)
+
+	case FaultReset:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		// The server did the work; the caller never learns.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &InjectedError{Fault: *f, Err: syscall.ECONNRESET}
+
+	case FaultTruncate:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncatedBody{inner: resp.Body, remaining: t.plan.TruncateBytes, fault: *f}
+		return resp, nil
+	}
+	return t.base().RoundTrip(req)
+}
+
+// replayable rebuilds req with an in-memory body so it can be sent
+// twice.
+func (t *Transport) replayable(req *http.Request) (*http.Request, []byte, error) {
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	clone := req.Clone(req.Context())
+	clone.Body = io.NopCloser(bytes.NewReader(body))
+	return clone, body, nil
+}
+
+// truncatedBody delivers the first remaining bytes of the real body,
+// then errors as a mid-stream connection loss.
+type truncatedBody struct {
+	inner     io.ReadCloser
+	remaining int
+	fault     Fault
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, &InjectedError{Fault: b.fault, Err: syscall.ECONNRESET}
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.inner.Close() }

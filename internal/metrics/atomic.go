@@ -3,8 +3,9 @@ package metrics
 import (
 	"bufio"
 	"io"
-	"os"
 	"path/filepath"
+
+	"repro/internal/faultfs"
 )
 
 // WriteFileAtomic writes a result artifact with temp-file + rename
@@ -12,19 +13,29 @@ import (
 // which is fsynced and renamed over path only after write returns
 // successfully. A crash, a failed write, or a kill mid-stream therefore
 // never leaves a truncated or half-written file at path — the previous
-// contents (if any) stay intact. Every exporter in this repository
-// (-json, -metrics-out, -trace-out, journal snapshots) goes through
-// this helper.
-func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+// contents (if any) stay intact. After the rename the parent directory
+// is fsynced as well, so the rename itself (not just the file's bytes)
+// survives a crash. Every exporter in this repository (-json,
+// -metrics-out, -trace-out, journal snapshots) goes through this
+// helper.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	return WriteFileAtomicFS(nil, path, write)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an explicit filesystem; a
+// nil fsys means the real one. Fault-injection harnesses pass a faultfs
+// injector to exercise the crash-safety claim above.
+func WriteFileAtomicFS(fsys faultfs.FS, path string, write func(w io.Writer) error) (err error) {
+	fsys = faultfs.OrOS(fsys)
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 		}
 	}()
 	bw := bufio.NewWriter(tmp)
@@ -45,5 +56,10 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err = fsys.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// The rename updated the directory, not the file: without this the
+	// new entry can vanish on crash even though the file data is synced.
+	return fsys.SyncDir(dir)
 }

@@ -6,7 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+
+	"repro/internal/faultfs"
 )
 
 func TestWriteFileAtomicReplacesWholeFile(t *testing.T) {
@@ -89,5 +92,81 @@ func TestWriteFileAtomicBadDirectory(t *testing.T) {
 	err := WriteFileAtomic(path, func(w io.Writer) error { return nil })
 	if err == nil {
 		t.Fatal("write into a missing directory succeeded")
+	}
+}
+
+// The parent-dir-fsync regression: under the faultfs durability model a
+// rename is volatile until the directory is fsynced, so the crash image
+// must show the NEW artifact (proving WriteFileAtomicFS issues the
+// SyncDir) and never a half state.
+func TestWriteFileAtomicRenameSurvivesCrash(t *testing.T) {
+	m := faultfs.NewMem()
+	if err := m.MkdirAll("/out", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := "/out/result.json"
+	if err := WriteFileAtomicFS(m, path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "results v1\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	img := m.CrashImage()
+	data, err := img.ReadFile(path)
+	if err != nil {
+		t.Fatalf("crash right after WriteFileAtomic lost the rename: %v", err)
+	}
+	if string(data) != "results v1\n" {
+		t.Errorf("crash image content = %q", data)
+	}
+	entries, err := img.ReadDir("/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("crash image has stray entries: %v", entries)
+	}
+}
+
+// A failed fsync on the temp file aborts the write: the destination is
+// untouched (live and crash views both), and the caller sees the
+// injected error.
+func TestWriteFileAtomicFailedSyncAborts(t *testing.T) {
+	m := faultfs.NewMem()
+	if err := m.MkdirAll("/out", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := "/out/result.json"
+	if err := WriteFileAtomicFS(m, path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "good run\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultfs.NewInjector(m, faultfs.Plan{FailSyncAt: 1}, nil, nil)
+	err := WriteFileAtomicFS(inj, path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "doomed rewrite\n")
+		return err
+	})
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want injected EIO", err)
+	}
+	for name, fsys := range map[string]faultfs.FS{"live": m, "crash image": m.CrashImage()} {
+		data, err := fsys.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if string(data) != "good run\n" {
+			t.Errorf("%s content after failed sync = %q", name, data)
+		}
+	}
+	entries, err := m.ReadDir("/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("temp litter after failed sync: %v", entries)
 	}
 }

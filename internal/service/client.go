@@ -53,10 +53,19 @@ type leaseResponse struct {
 
 type heartbeatRequest struct {
 	Worker string `json:"worker"`
+	// LeaseIDs fences the renewal: only these leases renew, and only if
+	// still held by Worker. An ID the coordinator no longer recognizes
+	// (expired and swept, or re-leased to someone else) comes back in
+	// Expired — the worker is fenced off that cell and should stop
+	// working it. An empty list renews every lease held by Worker
+	// (legacy, unfenced).
+	LeaseIDs []int64 `json:"leaseIds,omitempty"`
 }
 
 type heartbeatResponse struct {
 	Renewed int `json:"renewed"`
+	// Expired lists requested lease IDs that could not be renewed.
+	Expired []int64 `json:"expired,omitempty"`
 }
 
 type completeRequest struct {

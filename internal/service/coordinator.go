@@ -30,7 +30,6 @@ import (
 	"io"
 	"io/fs"
 	"net/http"
-	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -39,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faultfs"
 	"repro/internal/guard"
 	"repro/internal/metrics"
 )
@@ -131,6 +131,10 @@ type Config struct {
 	// Logf, when non-nil, receives coordinator events (leases expiring,
 	// workers quarantined, jobs completing).
 	Logf func(format string, args ...any)
+	// FS is the filesystem the coordinator's durability layer (spec
+	// files, journals) runs on; nil means the real one. The torture
+	// harness passes a faultfs injector here.
+	FS faultfs.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +156,7 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	c.FS = faultfs.OrOS(c.FS)
 	return c
 }
 
@@ -269,12 +274,12 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("service: coordinator needs a state directory")
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: state directory: %w", err)
 	}
 	c := &Coordinator{cfg: cfg, jobs: map[int]*job{}, workers: map[string]*workerState{}, nextJob: 1}
 
-	entries, err := os.ReadDir(cfg.Dir)
+	entries, err := cfg.FS.ReadDir(cfg.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("service: scan state directory: %w", err)
 	}
@@ -319,7 +324,7 @@ func newJob(id int, spec JobSpec, uniN, mpN int, journal *experiments.Journal) *
 // re-simulation" restart guarantee; everything else redispatches with a
 // fresh attempt budget.
 func (c *Coordinator) recoverJob(id int) error {
-	data, err := os.ReadFile(c.specPath(id))
+	data, err := c.cfg.FS.ReadFile(c.specPath(id))
 	if err != nil {
 		return err
 	}
@@ -338,7 +343,7 @@ func (c *Coordinator) recoverJob(id int) error {
 	// The coordinator that wrote the journal may have been a different
 	// binary (a rebuild, or cmd/experiments handing a journal over); the
 	// config identity is the hard check, binary drift only warns.
-	journal, err := experiments.OpenJournalAllow(c.journalPath(id), fp, true, func(format string, args ...any) {
+	journal, err := experiments.OpenJournalAllowFS(c.cfg.FS, c.journalPath(id), fp, true, func(format string, args ...any) {
 		c.cfg.Logf("job %d: "+format, append([]any{id}, args...)...)
 	})
 	if err != nil {
@@ -347,7 +352,7 @@ func (c *Coordinator) recoverJob(id int) error {
 		if !errors.Is(err, fs.ErrNotExist) {
 			return err
 		}
-		if journal, err = experiments.CreateJournal(c.journalPath(id), fp); err != nil {
+		if journal, err = experiments.CreateJournalFS(c.cfg.FS, c.journalPath(id), fp); err != nil {
 			return err
 		}
 	}
@@ -635,14 +640,14 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Spec before journal: a crash between the two leaves a spec whose
 	// journal recovery recreates, never a journal no restart can interpret.
-	if err := metrics.WriteFileAtomic(c.specPath(id), func(w io.Writer) error {
+	if err := metrics.WriteFileAtomicFS(c.cfg.FS, c.specPath(id), func(w io.Writer) error {
 		_, werr := w.Write(specData)
 		return werr
 	}); err != nil {
 		httpError(w, http.StatusInternalServerError, "persist spec: %v", err)
 		return
 	}
-	journal, err := experiments.CreateJournal(c.journalPath(id), fp)
+	journal, err := experiments.CreateJournalFS(c.cfg.FS, c.journalPath(id), fp)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "create journal: %v", err)
 		return
@@ -881,18 +886,43 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Sweep FIRST: a renewal that arrives after its lease's TTL has
+	// elapsed must not resurrect it — the sweep may already have
+	// redispatched the cell, and renewing here would leave two workers
+	// believing they hold it.
 	c.expireLocked(now)
 	c.ensureWorkerLocked(req.Worker, now)
-	renewed := 0
-	for _, j := range c.jobs {
-		for _, cl := range j.cells {
-			if cl.state == cellLeased && cl.worker == req.Worker {
+	resp := heartbeatResponse{}
+	if len(req.LeaseIDs) > 0 {
+		// Fenced renewal: each ID renews only if that exact lease is
+		// still live and still belongs to this worker.
+		live := map[int64]*cell{}
+		for _, j := range c.jobs {
+			for _, cl := range j.cells {
+				if cl.state == cellLeased && cl.worker == req.Worker {
+					live[cl.leaseID] = cl
+				}
+			}
+		}
+		for _, id := range req.LeaseIDs {
+			if cl, ok := live[id]; ok {
 				cl.expiry = now.Add(c.cfg.LeaseTTL)
-				renewed++
+				resp.Renewed++
+			} else {
+				resp.Expired = append(resp.Expired, id)
+			}
+		}
+	} else {
+		for _, j := range c.jobs {
+			for _, cl := range j.cells {
+				if cl.state == cellLeased && cl.worker == req.Worker {
+					cl.expiry = now.Add(c.cfg.LeaseTTL)
+					resp.Renewed++
+				}
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, heartbeatResponse{Renewed: renewed})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {

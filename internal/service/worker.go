@@ -63,6 +63,9 @@ type Worker struct {
 	killed   chan struct{}
 	faultMu  sync.Mutex
 	fault    error
+
+	leaseMu sync.Mutex
+	leases  map[int64]bool // lease IDs currently being worked
 }
 
 // NewWorker builds a worker; Run does the work.
@@ -80,7 +83,32 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		cfg:    cfg,
 		client: &Client{Base: cfg.Coordinator, HTTP: cfg.HTTPClient},
 		killed: make(chan struct{}),
+		leases: map[int64]bool{},
 	}
+}
+
+// trackLease/untrackLease maintain the set of lease IDs the heartbeat
+// fences its renewals to.
+func (w *Worker) trackLease(id int64) {
+	w.leaseMu.Lock()
+	w.leases[id] = true
+	w.leaseMu.Unlock()
+}
+
+func (w *Worker) untrackLease(id int64) {
+	w.leaseMu.Lock()
+	delete(w.leases, id)
+	w.leaseMu.Unlock()
+}
+
+func (w *Worker) activeLeases() []int64 {
+	w.leaseMu.Lock()
+	defer w.leaseMu.Unlock()
+	ids := make([]int64, 0, len(w.leases))
+	for id := range w.leases {
+		ids = append(ids, id)
+	}
+	return ids
 }
 
 // die executes an injected fault: the worker stops abruptly — no
@@ -163,10 +191,12 @@ func (w *Worker) Run(ctx context.Context) error {
 		for _, l := range resp.Leases {
 			w.ttlNanos.Store(l.TTLMillis * int64(time.Millisecond))
 			w.running.Add(1)
+			w.trackLease(l.LeaseID)
 			wg.Add(1)
 			go func(l Lease) {
 				defer wg.Done()
 				defer w.running.Add(-1)
+				defer w.untrackLease(l.LeaseID)
 				w.runLease(ctx, l)
 			}(l)
 		}
@@ -212,7 +242,9 @@ func (w *Worker) register(ctx context.Context) error {
 	}
 }
 
-// heartbeatLoop renews the worker's leases at a third of the lease TTL.
+// heartbeatLoop renews the worker's leases at a third of the lease TTL,
+// fenced to the lease IDs it is actually working — a renewal can never
+// resurrect a lease the coordinator already swept or re-granted.
 // During an injected heartbeat stall it deliberately skips renewals —
 // the leases must expire for the fault to mean anything.
 func (w *Worker) heartbeatLoop(ctx context.Context) {
@@ -228,13 +260,24 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		if !sleepCtx(ctx, every) {
 			return
 		}
-		if w.stalled() || w.running.Load() == 0 {
+		if w.stalled() {
 			continue
 		}
+		ids := w.activeLeases()
+		if len(ids) == 0 {
+			continue
+		}
+		var resp heartbeatResponse
 		err := w.client.call(ctx, http.MethodPost, "/api/heartbeat",
-			heartbeatRequest{Worker: w.cfg.Name}, nil)
+			heartbeatRequest{Worker: w.cfg.Name, LeaseIDs: ids}, &resp)
 		if err != nil && ctx.Err() == nil {
 			w.cfg.Logf("worker %q: heartbeat: %v", w.cfg.Name, err)
+		}
+		if len(resp.Expired) > 0 {
+			// Fenced: those cells now belong to someone else. Finishing the
+			// simulation is harmless (dedup absorbs the report); the log line
+			// is the observable.
+			w.cfg.Logf("worker %q: fenced off %d expired lease(s): %v", w.cfg.Name, len(resp.Expired), resp.Expired)
 		}
 	}
 }

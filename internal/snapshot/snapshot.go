@@ -15,8 +15,10 @@
 // cadence), which is what makes a forked run position-identical to an
 // uninterrupted one by construction.
 //
-// The package is a leaf: it imports only the standard library, so every
-// simulation layer can depend on it without cycles.
+// The package is a near-leaf: it imports only the standard library plus
+// internal/faultfs (itself a stdlib-only leaf, threading fault-injected
+// filesystems under SaveFile), so every simulation layer can depend on
+// it without cycles.
 package snapshot
 
 import (
@@ -25,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/faultfs"
 )
 
 // Version is the codec version. Any change to a layer's serialized
@@ -291,18 +295,27 @@ func Finish(r *Reader) error {
 }
 
 // SaveFile writes a container to path atomically (temp file in the
-// same directory + rename), so a crash mid-write never leaves a
-// half-written checkpoint where a later run would trip over it.
+// same directory + rename + parent-directory fsync), so a crash
+// mid-write never leaves a half-written checkpoint where a later run
+// would trip over it.
 func SaveFile(path string, data []byte) error {
+	return SaveFileFS(nil, path, data)
+}
+
+// SaveFileFS is SaveFile over an explicit filesystem; a nil fsys means
+// the real one. Fault-injection harnesses pass a faultfs injector to
+// exercise the crash-safety claim.
+func SaveFileFS(fsys faultfs.FS, path string, data []byte) error {
+	fsys = faultfs.OrOS(fsys)
 	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	tmp, err := fsys.CreateTemp(dir, ".snapshot-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
@@ -314,7 +327,10 @@ func SaveFile(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
 
 // LoadFile reads a container written by SaveFile.

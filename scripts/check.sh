@@ -177,6 +177,20 @@ if [ -n "${SERVICE:-}" ]; then
     [ "$wcode" -eq 0 ]
 fi
 
+# Optional torture pass: TORTURE=1 scripts/check.sh runs the cmd/torture
+# harness over 20 fixed seeds — each seed a deterministic disk fault
+# schedule under the coordinator's journals (torn write / failed sync /
+# ENOSPC, followed by a crash-restart from the fsync-accurate crash
+# image) plus seeded network faults (drop, delay, duplicate, reset,
+# truncation) on every worker and client transport. The harness itself
+# asserts byte-identity against the fault-free single-process baseline
+# per seed, and -require-all-classes fails the pass unless every one of
+# the eight fault classes actually fired somewhere in the seed set (no
+# silent zero-coverage schedules).
+if [ -n "${TORTURE:-}" ]; then
+    go run ./cmd/torture -first 1 -n 20 -require-all-classes
+fi
+
 # Optional performance pass: BENCH=1 scripts/check.sh additionally runs
 # the benchmark suite and regenerates the throughput grid JSON
 # (see scripts/bench.sh for BASE_REF / BENCH_OUT knobs).
